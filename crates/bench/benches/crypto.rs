@@ -1,0 +1,45 @@
+//! Criterion: crypto primitive throughput (3DES, SHA-1, protected reads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsac_crypto::chunk::{ChunkLayout, ProtectedDoc};
+use xsac_crypto::modes::{posxor_decrypt, posxor_encrypt};
+use xsac_crypto::sha1::sha1;
+use xsac_crypto::{IntegrityScheme, SoeReader, TripleDes};
+
+fn key() -> TripleDes {
+    TripleDes::new(*b"bench-key-bench-key-24!!")
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let k = key();
+    let data = vec![0xA5u8; 64 * 1024];
+    let mut group = c.benchmark_group("crypto/primitives");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("3des-posxor-encrypt", |b| b.iter(|| posxor_encrypt(&k, &data, 0)));
+    let enc = posxor_encrypt(&k, &data, 0);
+    group.bench_function("3des-posxor-decrypt", |b| b.iter(|| posxor_decrypt(&k, &enc, 0)));
+    group.bench_function("sha1", |b| b.iter(|| sha1(&data)));
+    group.finish();
+}
+
+fn bench_protected_reads(c: &mut Criterion) {
+    let k = key();
+    let data: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("crypto/random-read-4k");
+    group.throughput(Throughput::Bytes(4096));
+    for scheme in IntegrityScheme::ALL {
+        let doc = ProtectedDoc::protect(&data, &k, scheme, ChunkLayout::default());
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &doc, |b, doc| {
+            let mut offset = 0usize;
+            b.iter(|| {
+                let mut r = SoeReader::new(doc, &k);
+                offset = (offset + 37 * 1024) % (200 * 1024);
+                r.read(offset, 4096).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_protected_reads);
+criterion_main!(benches);

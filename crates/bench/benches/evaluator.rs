@@ -1,0 +1,58 @@
+//! Criterion: real (host) throughput of the streaming access-control
+//! evaluator — the wall-clock counterpart of Figure 9's simulated times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsac_core::evaluator::{EvalConfig, Evaluator};
+use xsac_datagen::{hospital::physician_name, Dataset, Profile};
+use xsac_xml::Event;
+
+fn bench_profiles(c: &mut Criterion) {
+    let doc = Dataset::Hospital.generate(0.05, 42);
+    let events: Vec<Event<'static>> = doc.events();
+    let xml_bytes = xsac_xml::writer::document_to_string(&doc).len() as u64;
+    let mut group = c.benchmark_group("evaluator/hospital");
+    group.throughput(Throughput::Bytes(xml_bytes));
+    for profile in Profile::figure9() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &profile,
+            |b, profile| {
+                let mut dict = doc.dict.clone();
+                let policy = profile.policy(&physician_name(0), &mut dict);
+                b.iter(|| {
+                    let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
+                    for ev in &events {
+                        eval.event(ev);
+                    }
+                    eval.finish().log.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rule_count_scaling(c: &mut Criterion) {
+    // Access-control cost grows with the number of ARA (Figure 9's
+    // discussion); sweep the Researcher group count.
+    let doc = Dataset::Hospital.generate(0.03, 42);
+    let events: Vec<Event<'static>> = doc.events();
+    let mut group = c.benchmark_group("evaluator/rule-count");
+    for groups in [1usize, 4, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, &groups| {
+            let mut dict = doc.dict.clone();
+            let policy = xsac_datagen::researcher_policy("r", groups, &mut dict);
+            b.iter(|| {
+                let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
+                for ev in &events {
+                    eval.event(ev);
+                }
+                eval.finish().log.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles, bench_rule_count_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: end-to-end SOE pipeline (decode + verify + decrypt +
+//! evaluate) — the wall-clock counterpart of Figure 12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsac_bench::{demo_key, prepare};
+use xsac_datagen::{hospital::physician_name, Dataset, Profile};
+use xsac_soe::{run_session, CostModel, SessionConfig, Strategy};
+use xsac_crypto::IntegrityScheme;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let doc = Dataset::Hospital.generate(0.03, 42);
+    let bytes = xsac_xml::writer::document_to_string(&doc).len() as u64;
+    let key = demo_key();
+    for scheme in [IntegrityScheme::Ecb, IntegrityScheme::EcbMht] {
+        let server = prepare(&doc, scheme);
+        let mut group = c.benchmark_group(format!("pipeline/{}", scheme.name()));
+        group.throughput(Throughput::Bytes(bytes));
+        group.sample_size(10);
+        for profile in Profile::figure9() {
+            for (label, strategy) in [("tcsbr", Strategy::Tcsbr), ("bf", Strategy::BruteForce)] {
+                group.bench_with_input(
+                    BenchmarkId::new(profile.name(), label),
+                    &strategy,
+                    |b, &strategy| {
+                        let mut dict = server.dict.clone();
+                        let policy = profile.policy(&physician_name(0), &mut dict);
+                        let config =
+                            SessionConfig { strategy, cost: CostModel::smartcard() };
+                        b.iter(|| {
+                            run_session(&server, &key, &policy, None, &config)
+                                .expect("session")
+                                .result_bytes
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 8 — Index storage overhead.
+//!
+//! Structure/text ratios of the five encodings (NC, TC, TCS, TCSB, TCSBR)
+//! over the four datasets. The paper's full-scale values are printed for
+//! comparison; the *ordering* (TC ≪ NC, TCS > TC, TCSB > TCS, TCSBR back
+//! near TC) is the reproduced result.
+
+use xsac_bench::{banner, generate, parse_args};
+use xsac_datagen::Dataset;
+use xsac_index::encode::Encoding;
+use xsac_index::overhead::OverheadReport;
+
+/// Paper values (struct/text %), Figure 8.
+fn paper_row(d: Dataset) -> [f64; 5] {
+    match d {
+        // NC, TC, TCS, TCSB, TCSBR
+        Dataset::Wsu => [538.0, 77.0, 106.0, 142.0, 82.0],
+        Dataset::Sigmod => [145.0, 16.0, 24.0, 31.0, 15.0],
+        Dataset::Treebank => [254.0, 67.0, 78.0, 142.0, 71.0],
+        Dataset::Hospital => [71.0, 11.0, 16.0, 23.0, 14.0],
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner("Figure 8. Index storage overhead (structure/text %)", &args);
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "dataset", "NC", "TC", "TCS", "TCSB", "TCSBR"
+    );
+    for d in Dataset::ALL {
+        let doc = generate(d, &args);
+        let r = OverheadReport::measure(d.name(), &doc);
+        print!("{:<10}", d.name());
+        for enc in Encoding::ALL {
+            print!(" {:>7.1}%", r.ratio(enc));
+        }
+        println!();
+        let p = paper_row(d);
+        println!(
+            "{:<10} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}%   (paper)",
+            "", p[0], p[1], p[2], p[3], p[4]
+        );
+    }
+    println!();
+    println!("Expected shape: TC ≪ NC; TCS adds ~50%; TCSB worst (wide bitmaps);");
+    println!("TCSBR (recursive) falls back near TC — the Skip index is almost free.");
+}

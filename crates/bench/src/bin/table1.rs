@@ -1,0 +1,34 @@
+//! Table 1 — Communication and decryption costs.
+//!
+//! The table is a *parameter* of the evaluation (the throughputs the cost
+//! model charges); this binary prints the three contexts as configured,
+//! next to the paper's numbers.
+
+use xsac_soe::CostModel;
+
+fn main() {
+    println!("Table 1. Communication and decryption costs");
+    println!("{:<38} {:>14} {:>12}", "Context", "Communication", "Decryption");
+    let rows = [
+        ("Hardware based (future smartcards)", CostModel::smartcard(), "0.5 MB/s", "0.15 MB/s"),
+        ("Software based - Internet connection", CostModel::software_internet(), "0.1 MB/s", "1.2 MB/s"),
+        ("Software based - LAN connection", CostModel::software_lan(), "10 MB/s", "1.2 MB/s"),
+    ];
+    for (name, m, paper_comm, paper_dec) in rows {
+        println!(
+            "{:<38} {:>10.2} MB/s {:>8.2} MB/s   (paper: {} / {})",
+            name,
+            m.comm_bw / 1e6,
+            m.decrypt_bw / 1e6,
+            paper_comm,
+            paper_dec
+        );
+    }
+    println!();
+    println!(
+        "Calibrated extras (not in Table 1): smartcard SHA-1 {:.2} MB/s, \
+         evaluator {:.1}M ops/s — see EXPERIMENTS.md.",
+        CostModel::smartcard().hash_bw / 1e6,
+        CostModel::smartcard().evaluator_ops / 1e6
+    );
+}

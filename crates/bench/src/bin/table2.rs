@@ -1,0 +1,49 @@
+//! Table 2 — Documents characteristics.
+//!
+//! Generates the four datasets and reports their statistics next to the
+//! paper's values. Run with `--full` for Table-2 sizes (Treebank then
+//! takes a while: ~59 MB … its harness scale is 1/16 of `--scale`).
+
+use xsac_bench::{banner, generate, parse_args};
+use xsac_datagen::Dataset;
+use xsac_xml::DocStats;
+
+/// The paper's Table 2 rows: (size, text, max depth, avg depth, tags,
+/// text nodes, elements).
+fn paper_row(d: Dataset) -> (&'static str, &'static str, u32, f64, u32, u32, u32) {
+    match d {
+        Dataset::Wsu => ("1.3MB", "210KB", 4, 3.1, 20, 48_820, 74_557),
+        Dataset::Sigmod => ("350KB", "146KB", 6, 5.1, 11, 8_383, 11_526),
+        Dataset::Treebank => ("59MB", "33MB", 36, 7.8, 250, 1_391_845, 2_437_666),
+        Dataset::Hospital => ("3.6MB", "2.1MB", 8, 6.8, 89, 98_310, 117_795),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    banner("Table 2. Documents characteristics (measured vs paper)", &args);
+    println!(
+        "{:<9} {:>10} {:>10} {:>6} {:>6} {:>5} {:>10} {:>10}",
+        "dataset", "size", "text", "maxD", "avgD", "tags", "textNodes", "elements"
+    );
+    for d in Dataset::ALL {
+        let doc = generate(d, &args);
+        let s = DocStats::of(&doc);
+        println!(
+            "{:<9} {:>9.2}M {:>9.2}M {:>6} {:>6.1} {:>5} {:>10} {:>10}",
+            d.name(),
+            s.size as f64 / 1e6,
+            s.text_size as f64 / 1e6,
+            s.max_depth,
+            s.avg_depth,
+            s.distinct_tags,
+            s.text_nodes,
+            s.elements
+        );
+        let p = paper_row(d);
+        println!(
+            "{:<9} {:>10} {:>10} {:>6} {:>6.1} {:>5} {:>10} {:>10}   (paper, full scale)",
+            "", p.0, p.1, p.2, p.3, p.4, p.5, p.6
+        );
+    }
+}

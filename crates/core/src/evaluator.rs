@@ -1,0 +1,1117 @@
+//! The streaming access-control evaluator (§3), with skip-index driven
+//! subtree decisions (§3.3, §4.2) and pending-predicate management (§5).
+//!
+//! # Driving the evaluator
+//!
+//! Feed SAX events through [`Evaluator::event`] (or [`Evaluator::open`] /
+//! [`Evaluator::text`] / [`Evaluator::close`] when skip-index metadata is
+//! available). Calls return a [`Directive`] advising the driver about the
+//! subtree that was just opened (or, on close, about the *remaining content*
+//! of the parent):
+//!
+//! * [`Directive::Continue`] — keep feeding events normally;
+//! * [`Directive::Deliver`] — the whole subtree is authorized and inside
+//!   the query scope; the driver *may* bulk-feed its events through
+//!   [`Evaluator::raw_event`], bypassing the automata;
+//! * [`Directive::SkipDeny`] — nothing inside the subtree can be delivered;
+//!   the driver *may* skip the encrypted bytes entirely and call
+//!   [`Evaluator::skip_close`];
+//! * [`Directive::SkipPending`] — the subtree's delivery hangs on a fixed
+//!   pending condition and nothing inside can change any automaton state;
+//!   the driver *may* skip and register a readback handle via
+//!   [`Evaluator::skip_close`].
+//!
+//! Directives are *permissions*, not obligations: a driver that ignores
+//! them and keeps feeding events produces the same authorized view — only
+//! the costs differ. This invariant is exercised by the differential tests.
+
+use crate::authstack::{AuthEntry, AuthLevel, AuthStack, Decision};
+use crate::condition::{Cond, Ternary};
+use crate::output::{
+    Disposition, LogItem, OutputBuilder, OutputStats, ReadbackRequest, SubtreeRef,
+};
+use crate::predicate::PredRegistry;
+use crate::rule::{Policy, Sign};
+use crate::stats::EvalStats;
+use crate::token::{ArmedCmp, NavToken, PredToken, RuleRef, TokenLevel, TokenStack};
+use std::rc::Rc;
+use xsac_xml::{Event, TagId, TagSet};
+use xsac_xpath::{Automaton, Value};
+
+/// Advisory returned to the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// Keep feeding events.
+    Continue,
+    /// Whole subtree authorized: bulk delivery allowed (`raw_event`).
+    Deliver,
+    /// Whole subtree denied: skipping allowed (`skip_close`).
+    SkipDeny,
+    /// Whole subtree pending under a fixed condition: skipping allowed
+    /// (`skip_close` with a readback handle).
+    SkipPending,
+}
+
+/// Skip-index metadata attached to an open event by index-aware drivers.
+#[derive(Clone, Debug, Default)]
+pub struct SkipInfo<'a> {
+    /// `DescTag_e`: tags occurring strictly below the opened element.
+    pub desc_tags: Option<&'a TagSet>,
+    /// Driver handle for the encrypted subtree (enables `SkipPending`).
+    pub handle: Option<SubtreeRef>,
+}
+
+/// Evaluator configuration.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Emit skip/deliver directives and prune decided-subtree tokens
+    /// (§3.3). With `false` the evaluator always answers `Continue` —
+    /// the brute-force mode used as a baseline and in differential tests.
+    pub enable_skip_directives: bool,
+    /// Replace the names of denied ancestors kept by the structural rule
+    /// with a dummy tag (§2).
+    pub dummy_denied_ancestors: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { enable_skip_directives: true, dummy_denied_ancestors: false }
+    }
+}
+
+/// Result of an evaluation.
+#[derive(Debug)]
+pub struct EvalResult {
+    /// The delivery log (reassemble with [`crate::output::reassemble`]).
+    pub log: Vec<LogItem>,
+    /// Output-side statistics.
+    pub output: OutputStats,
+    /// Evaluator statistics.
+    pub stats: EvalStats,
+}
+
+/// The streaming evaluator.
+pub struct Evaluator {
+    automata: Vec<CompiledRule>,
+    query: Option<Automaton>,
+    config: EvalConfig,
+    tokens: TokenStack,
+    auth: AuthStack,
+    registry: PredRegistry,
+    output: OutputBuilder,
+    stats: EvalStats,
+    /// Document depth (0 before the root opens).
+    depth: u32,
+    /// Open tags of currently open elements (for close bookkeeping).
+    open_tags: Vec<TagId>,
+    /// Deferred output action for the element just opened (lets
+    /// `skip_close` replace an element entry by a skiptree entry).
+    pending_open: Option<(TagId, Disposition)>,
+    /// Depth of nested raw (bulk-delivery) elements inside the current
+    /// raw subtree.
+    raw_depth: u32,
+    raw_active: bool,
+}
+
+struct CompiledRule {
+    sign: Sign,
+    automaton: Automaton,
+    /// Comparison literals with `USER` resolved, indexed by predicate.
+    cmp_values: Vec<Option<Rc<str>>>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a policy, an optional query, and a config.
+    pub fn new(policy: &Policy, query: Option<&Automaton>, config: EvalConfig) -> Evaluator {
+        let automata: Vec<CompiledRule> = policy
+            .rules
+            .iter()
+            .map(|r| CompiledRule {
+                sign: r.sign,
+                automaton: r.automaton.clone(),
+                cmp_values: r
+                    .automaton
+                    .preds
+                    .iter()
+                    .map(|p| {
+                        p.comparison
+                            .as_ref()
+                            .map(|(_, v)| Rc::from(v.resolve(&policy.subject)))
+                    })
+                    .collect(),
+            })
+            .collect();
+        let query = query.cloned();
+        // Base token level: start tokens of every automaton.
+        let mut base = TokenLevel::default();
+        for (i, r) in automata.iter().enumerate() {
+            base.nav.push(NavToken {
+                rule: RuleRef::Rule(i as u16),
+                state: r.automaton.start,
+                bindings: Rc::from([]),
+            });
+        }
+        if let Some(q) = &query {
+            base.nav.push(NavToken { rule: RuleRef::Query, state: q.start, bindings: Rc::from([]) });
+        }
+        let dummy = None; // resolved lazily by the caller via config + dict
+        let stats = EvalStats { tokens_created: base.nav.len(), ..Default::default() };
+        Evaluator {
+            automata,
+            query,
+            tokens: TokenStack::new(base),
+            auth: AuthStack::new(),
+            registry: PredRegistry::new(),
+            output: OutputBuilder::new(dummy),
+            stats,
+            depth: 0,
+            open_tags: Vec::new(),
+            pending_open: None,
+            raw_depth: 0,
+            raw_active: false,
+            config,
+        }
+    }
+
+    /// Sets the dummy tag used for denied structural shells (call before
+    /// feeding events; requires `config.dummy_denied_ancestors`).
+    pub fn with_dummy_tag(mut self, dummy: TagId) -> Self {
+        if self.config.dummy_denied_ancestors {
+            self.output = OutputBuilder::new(Some(dummy));
+        }
+        self
+    }
+
+    fn automaton(&self, r: RuleRef) -> &Automaton {
+        match r {
+            RuleRef::Rule(i) => &self.automata[i as usize].automaton,
+            RuleRef::Query => self.query.as_ref().expect("query token without query"),
+        }
+    }
+
+    /// Convenience dispatcher without skip metadata.
+    pub fn event(&mut self, ev: &Event<'_>) -> Directive {
+        match ev {
+            Event::Open(t) => self.open(*t, None),
+            Event::Text(s) => {
+                self.text(s);
+                Directive::Continue
+            }
+            Event::Close(_) => self.close(),
+        }
+    }
+
+    /// Processes an open event. `skip` carries skip-index metadata when the
+    /// driver has it.
+    pub fn open(&mut self, tag: TagId, skip: Option<&SkipInfo<'_>>) -> Directive {
+        assert!(!self.raw_active, "feed raw subtree events through raw_event");
+        self.flush_pending_open();
+        self.stats.open_events += 1;
+        self.depth += 1;
+        self.open_tags.push(tag);
+
+        // (1) Token transitions.
+        let mut new_level = TokenLevel::default();
+        let mut rule_entries: Vec<AuthEntry> = Vec::new();
+        let mut query_entries: Vec<AuthEntry> = Vec::new();
+        let mut rule_satisfactions: Vec<crate::condition::PredInstId> = Vec::new();
+        let mut query_satisfactions: Vec<crate::condition::PredInstId> = Vec::new();
+
+        let top_nav: Vec<NavToken> = self.tokens.top().nav.clone();
+        let top_pred: Vec<PredToken> = self.tokens.top().pred.clone();
+        for t in &top_nav {
+            self.stats.token_ops += 1;
+            let (self_loop, transition) = {
+                let st = self.automaton(t.rule).state(t.state);
+                (st.self_loop, st.transition)
+            };
+            if self_loop {
+                new_level.nav.push(t.clone());
+                self.stats.tokens_created += 1;
+            }
+            if let Some((label, next)) = transition {
+                if label.matches(tag) {
+                    self.advance_nav(
+                        t,
+                        next,
+                        &mut new_level,
+                        &mut rule_entries,
+                        &mut query_entries,
+                        &mut rule_satisfactions,
+                        &mut query_satisfactions,
+                    );
+                }
+            }
+        }
+        for p in &top_pred {
+            self.stats.token_ops += 1;
+            if self.registry.is_true(p.inst) {
+                continue; // predicate already satisfied in this scope (§3.3)
+            }
+            let (self_loop, transition) = {
+                let st = self.automaton(p.rule).state(p.state);
+                (st.self_loop, st.transition)
+            };
+            if self_loop {
+                new_level.pred.push(p.clone());
+                self.stats.tokens_created += 1;
+            }
+            if let Some((label, next)) = transition {
+                if label.matches(tag) {
+                    self.advance_pred(
+                        p,
+                        next,
+                        &mut new_level,
+                        &mut rule_satisfactions,
+                        &mut query_satisfactions,
+                    );
+                }
+            }
+        }
+
+        // (2) Skip-index token filtering (§4.2): kill tokens whose
+        // RemainingLabels are not all present below this element.
+        if let Some(desc) = skip.and_then(|s| s.desc_tags) {
+            let automata: Vec<(RuleRef, u32)> =
+                new_level.nav.iter().map(|t| (t.rule, t.state)).collect();
+            let mut keep = vec![true; automata.len()];
+            for (i, (r, s)) in automata.iter().enumerate() {
+                let st = self.automaton(*r).state(*s);
+                if !(st.is_final || desc.contains_all(&st.remaining_labels)) {
+                    keep[i] = false;
+                }
+            }
+            let mut it = keep.iter();
+            let before = new_level.nav.len();
+            new_level.nav.retain(|_| *it.next().expect("keep len"));
+            self.stats.tokens_filtered += before - new_level.nav.len();
+
+            let preds: Vec<(RuleRef, u32)> =
+                new_level.pred.iter().map(|t| (t.rule, t.state)).collect();
+            let mut keep = vec![true; preds.len()];
+            for (i, (r, s)) in preds.iter().enumerate() {
+                let st = self.automaton(*r).state(*s);
+                if !(st.is_final || desc.contains_all(&st.remaining_labels)) {
+                    keep[i] = false;
+                }
+            }
+            let mut it = keep.iter();
+            let before = new_level.pred.len();
+            new_level.pred.retain(|_| *it.next().expect("keep len"));
+            self.stats.tokens_filtered += before - new_level.pred.len();
+        }
+
+        // (3) Authorization stack.
+        self.auth.push(AuthLevel { entries: rule_entries, query_entries });
+
+        // (4a) Rule-predicate satisfactions recognized at this very event.
+        for inst in rule_satisfactions {
+            self.registry.satisfy(inst);
+        }
+
+        // (4b) Query-predicate satisfactions, gated on this node's access
+        // condition (query predicates read only authorized content, §2).
+        if !query_satisfactions.is_empty() {
+            let gate = self.access_cond();
+            for inst in query_satisfactions {
+                self.registry.satisfy_with_condition(inst, gate.clone());
+            }
+        }
+
+        // (4c) Decision for this node — after every satisfaction carried
+        // by this very event (a node can complete the query match that
+        // puts itself in scope).
+        let disposition = self.disposition();
+
+        // (5) Subtree-level conclusions (§3.3). Prune rule tokens when the
+        // subtree decision is reached and no opposite-signed rule can fire
+        // inside.
+        let decision = self.auth.decide_node(&self.registry);
+        if self.config.enable_skip_directives {
+            if let Decision::Permit | Decision::Deny = decision {
+                let contrary = match decision {
+                    Decision::Permit => Sign::Deny,
+                    _ => Sign::Permit,
+                };
+                let any_contrary = new_level.nav.iter().any(|t| match t.rule {
+                    RuleRef::Rule(i) => self.automata[i as usize].sign == contrary,
+                    RuleRef::Query => false,
+                }) || self.auth.has_pending_of_sign(contrary, &self.registry);
+                if !any_contrary {
+                    new_level.nav.retain(|t| t.rule == RuleRef::Query);
+                }
+            }
+        }
+
+        let level_empty = new_level.is_empty();
+        self.tokens.push(new_level);
+        self.stats.peak_tokens = self.stats.peak_tokens.max(self.tokens.peak_tokens);
+
+        // (6) Deferred output action + resolutions.
+        self.pending_open = Some((tag, disposition.clone()));
+        self.flush_resolutions();
+        self.update_peaks();
+
+        // (7) Directive.
+        if !self.config.enable_skip_directives || !level_empty {
+            return Directive::Continue;
+        }
+        match disposition {
+            Disposition::Commit => {
+                self.stats.skips_delivered += 1;
+                Directive::Deliver
+            }
+            Disposition::Drop => {
+                self.stats.skips_denied += 1;
+                Directive::SkipDeny
+            }
+            Disposition::Pend(_) => {
+                if skip.and_then(|s| s.handle).is_some() {
+                    self.stats.skips_pending += 1;
+                    Directive::SkipPending
+                } else {
+                    Directive::Continue
+                }
+            }
+        }
+    }
+
+    /// Processes a text event.
+    pub fn text(&mut self, content: &str) {
+        assert!(!self.raw_active, "feed raw subtree events through raw_event");
+        self.flush_pending_open();
+        self.stats.text_events += 1;
+        // (a) Armed comparisons at the current level.
+        let armed: Vec<ArmedCmp> = self.tokens.top().armed.clone();
+        let mut gate: Option<Rc<Cond>> = None;
+        for a in &armed {
+            self.stats.token_ops += 1;
+            if !self.registry.is_unknown(a.inst) {
+                continue;
+            }
+            if a.op.eval(content, &a.value) {
+                if a.query {
+                    let g = gate.get_or_insert_with(|| self.access_cond()).clone();
+                    self.registry.satisfy_with_condition(a.inst, g);
+                } else {
+                    self.registry.satisfy(a.inst);
+                }
+            }
+        }
+        // (b) Dispose of the text node itself.
+        let disposition = self.disposition();
+        self.output.text(content, disposition, &self.registry);
+        // (c) Deliveries triggered by the new resolutions.
+        self.flush_resolutions();
+        self.update_peaks();
+    }
+
+    /// Processes a close event. The returned directive concerns the
+    /// *remaining content* of the parent element (the paper triggers
+    /// `SkipSubtree` on close events too — Figure 7).
+    pub fn close(&mut self) -> Directive {
+        assert!(!self.raw_active, "feed raw subtree events through raw_event");
+        self.flush_pending_open();
+        self.stats.close_events += 1;
+        self.tokens.pop();
+        self.auth.pop();
+        self.registry.close_depth(self.depth);
+        self.output.close_element();
+        self.open_tags.pop();
+        self.depth -= 1;
+        self.flush_resolutions();
+        self.update_peaks();
+
+        // Skip-rest opportunity for the parent.
+        if !self.config.enable_skip_directives || self.depth == 0 {
+            return Directive::Continue;
+        }
+        if !self.tokens.top().is_empty() {
+            return Directive::Continue;
+        }
+        match self.disposition() {
+            Disposition::Commit => Directive::Deliver,
+            Disposition::Drop => Directive::SkipDeny,
+            Disposition::Pend(_) => Directive::SkipPending,
+        }
+    }
+
+    /// Completes a skipped subtree (after [`Directive::SkipDeny`] /
+    /// [`Directive::SkipPending`] from [`Evaluator::open`]) or a skipped
+    /// remainder (after a directive from [`Evaluator::close`]).
+    ///
+    /// `handle` is required when the skipped content is pending: it is the
+    /// driver's readback reference to the still-encrypted bytes.
+    pub fn skip_close(&mut self, handle: Option<SubtreeRef>) {
+        assert!(!self.raw_active, "cannot skip while bulk-delivering");
+        if let Some((tag, disp)) = self.pending_open.take() {
+            // Whole-subtree skip: the element's open was processed, nothing
+            // below it will be.
+            match disp {
+                Disposition::Commit => {
+                    panic!("skip_close after a Deliver directive: use raw_event")
+                }
+                Disposition::Drop => {}
+                Disposition::Pend(cond) => {
+                    let h = handle.expect("pending skip requires a readback handle");
+                    self.output.pend_skipped_subtree(tag, cond, h, &self.registry);
+                }
+            }
+            self.tokens.pop();
+            self.auth.pop();
+            self.registry.close_depth(self.depth);
+            self.open_tags.pop();
+            self.depth -= 1;
+            self.flush_resolutions();
+        } else {
+            // Skip the remaining content of the current element.
+            assert!(self.depth > 0, "skip_close with no open element");
+            match self.disposition() {
+                Disposition::Commit => {
+                    panic!("skip_close after a Deliver directive: use raw_event")
+                }
+                Disposition::Drop => {}
+                Disposition::Pend(cond) => {
+                    let h = handle.expect("pending skip requires a readback handle");
+                    self.output.pend_skipped_rest(cond, h, &self.registry);
+                }
+            }
+            self.stats.close_events += 1;
+            self.tokens.pop();
+            self.auth.pop();
+            self.registry.close_depth(self.depth);
+            self.output.close_element();
+            self.open_tags.pop();
+            self.depth -= 1;
+            self.flush_resolutions();
+        }
+        self.update_peaks();
+    }
+
+    /// Bulk-delivers one event of an authorized subtree (after
+    /// [`Directive::Deliver`]). Feed every event *inside* the subtree plus
+    /// the subtree root's close; the root's open was already processed.
+    pub fn raw_event(&mut self, ev: &Event<'_>) {
+        self.flush_pending_open();
+        self.raw_active = true;
+        self.stats.raw_events += 1;
+        match ev {
+            Event::Open(t) => {
+                self.output.open_element(*t, Disposition::Commit, &self.registry);
+                self.raw_depth += 1;
+            }
+            Event::Text(s) => {
+                self.output.text(s, Disposition::Commit, &self.registry);
+            }
+            Event::Close(_) => {
+                if self.raw_depth > 0 {
+                    self.raw_depth -= 1;
+                    self.output.close_element();
+                } else {
+                    // Close of the raw subtree root: resume normal mode.
+                    self.raw_active = false;
+                    self.stats.close_events += 1;
+                    self.tokens.pop();
+                    self.auth.pop();
+                    self.registry.close_depth(self.depth);
+                    self.output.close_element();
+                    self.open_tags.pop();
+                    self.depth -= 1;
+                    self.flush_resolutions();
+                    self.update_peaks();
+                }
+            }
+        }
+    }
+
+    /// True while inside a bulk-delivered subtree.
+    pub fn in_raw_mode(&self) -> bool {
+        self.raw_active
+    }
+
+    /// Drains pending readback requests (subtrees whose condition resolved
+    /// true and whose bytes must be re-read from the terminal).
+    pub fn take_readbacks(&mut self) -> Vec<ReadbackRequest> {
+        self.output.take_readbacks()
+    }
+
+    /// Supplies the decoded events of a read-back subtree (or remainder).
+    pub fn readback_events(&mut self, entry: usize, events: &[Event<'_>]) {
+        self.output.deliver_readback(entry, events);
+    }
+
+    /// Finishes the evaluation, producing the delivery log and statistics.
+    pub fn finish(mut self) -> EvalResult {
+        self.flush_pending_open();
+        assert_eq!(self.depth, 0, "finish with {} unclosed element(s)", self.depth);
+        self.update_peaks();
+        let stats = {
+            let mut s = self.stats.clone();
+            s.instances_created = self.registry.created();
+            s.peak_tokens = s.peak_tokens.max(self.tokens.peak_tokens);
+            s.peak_auth_entries = self.auth.peak_entries;
+            s.peak_open_instances = self.registry.peak_open;
+            s
+        };
+        let (log, output) = self.output.finish(&self.registry);
+        let mut stats = stats;
+        stats.peak_pending_entries = output.pending_peak;
+        EvalResult { log, output, stats }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    #[allow(clippy::too_many_arguments)]
+    fn advance_nav(
+        &mut self,
+        t: &NavToken,
+        next: u32,
+        new_level: &mut TokenLevel,
+        rule_entries: &mut Vec<AuthEntry>,
+        query_entries: &mut Vec<AuthEntry>,
+        rule_satisfactions: &mut Vec<crate::condition::PredInstId>,
+        query_satisfactions: &mut Vec<crate::condition::PredInstId>,
+    ) {
+        let is_query = t.rule == RuleRef::Query;
+        let (anchors, is_final) = {
+            let a = self.automaton(t.rule);
+            let next_state = a.state(next);
+            let infos: Vec<(u32, xsac_xpath::PredPathInfo)> = next_state
+                .pred_anchors
+                .iter()
+                .map(|&pi| (pi, a.preds[pi as usize].clone()))
+                .collect();
+            (infos, next_state.is_final)
+        };
+        let mut bindings: Vec<(u32, crate::condition::PredInstId)> = t.bindings.to_vec();
+        for (pred_idx, info) in anchors {
+            let inst = self.registry.create(self.depth);
+            bindings.push((pred_idx, inst));
+            if info.start_state == info.final_state {
+                // Self predicate `[. op v]` or bare `[.]`.
+                match &info.comparison {
+                    None => {
+                        if is_query {
+                            query_satisfactions.push(inst);
+                        } else {
+                            rule_satisfactions.push(inst);
+                        }
+                    }
+                    Some((op, _)) => {
+                        new_level.armed.push(ArmedCmp {
+                            inst,
+                            op: *op,
+                            value: self.cmp_value(t.rule, pred_idx),
+                            query: is_query,
+                        });
+                    }
+                }
+            } else {
+                new_level.pred.push(PredToken {
+                    rule: t.rule,
+                    pred: pred_idx,
+                    state: info.start_state,
+                    inst,
+                });
+                self.stats.tokens_created += 1;
+            }
+        }
+        let bindings: Rc<[(u32, crate::condition::PredInstId)]> = bindings.into();
+        if is_final {
+            let entry = AuthEntry {
+                rule: t.rule,
+                sign: match t.rule {
+                    RuleRef::Rule(i) => self.automata[i as usize].sign,
+                    RuleRef::Query => Sign::Permit,
+                },
+                bindings,
+            };
+            if is_query {
+                query_entries.push(entry);
+            } else {
+                rule_entries.push(entry);
+            }
+        } else {
+            new_level.nav.push(NavToken { rule: t.rule, state: next, bindings });
+            self.stats.tokens_created += 1;
+        }
+    }
+
+    fn advance_pred(
+        &mut self,
+        p: &PredToken,
+        next: u32,
+        new_level: &mut TokenLevel,
+        rule_satisfactions: &mut Vec<crate::condition::PredInstId>,
+        query_satisfactions: &mut Vec<crate::condition::PredInstId>,
+    ) {
+        let is_query = p.rule == RuleRef::Query;
+        let (is_final, comparison) = {
+            let a = self.automaton(p.rule);
+            let f = a.state(next).is_final;
+            let c = if f { a.preds[p.pred as usize].comparison.clone() } else { None };
+            (f, c)
+        };
+        if is_final {
+            match &comparison {
+                None => {
+                    if is_query {
+                        query_satisfactions.push(p.inst);
+                    } else {
+                        rule_satisfactions.push(p.inst);
+                    }
+                }
+                Some((op, _)) => {
+                    new_level.armed.push(ArmedCmp {
+                        inst: p.inst,
+                        op: *op,
+                        value: self.cmp_value(p.rule, p.pred),
+                        query: is_query,
+                    });
+                }
+            }
+        } else {
+            new_level.pred.push(PredToken { rule: p.rule, pred: p.pred, state: next, inst: p.inst });
+            self.stats.tokens_created += 1;
+        }
+    }
+
+    fn cmp_value(&self, rule: RuleRef, pred: u32) -> Rc<str> {
+        match rule {
+            RuleRef::Rule(i) => self.automata[i as usize].cmp_values[pred as usize]
+                .clone()
+                .expect("comparison value"),
+            RuleRef::Query => {
+                let q = self.query.as_ref().expect("query");
+                let (_, v) = q.preds[pred as usize].comparison.as_ref().expect("comparison");
+                match v {
+                    Value::Literal(s) => Rc::from(s.as_str()),
+                    Value::User => Rc::from(""),
+                }
+            }
+        }
+    }
+
+    /// Access decision combined with query coverage.
+    fn disposition(&self) -> Disposition {
+        let access = match self.auth.decide_node(&self.registry) {
+            Decision::Permit => Ternary::True,
+            Decision::Deny => Ternary::False,
+            Decision::Pending => Ternary::Unknown,
+        };
+        let qcover = if self.query.is_some() {
+            self.auth.query_cover(&self.registry)
+        } else {
+            Ternary::True
+        };
+        match access.and(qcover) {
+            Ternary::True => Disposition::Commit,
+            Ternary::False => Disposition::Drop,
+            Ternary::Unknown => {
+                let mut parts = vec![self.auth.delivery_cond(&self.registry)];
+                if self.query.is_some() {
+                    parts.push(self.auth.query_cond(&self.registry));
+                }
+                Disposition::Pend(Cond::and(parts))
+            }
+        }
+    }
+
+    /// Access condition alone (gates query predicate matches).
+    fn access_cond(&self) -> Rc<Cond> {
+        self.auth.delivery_cond(&self.registry)
+    }
+
+    fn flush_pending_open(&mut self) {
+        if let Some((tag, disp)) = self.pending_open.take() {
+            self.output.open_element(tag, disp, &self.registry);
+        }
+    }
+
+    fn flush_resolutions(&mut self) {
+        while self.registry.has_unprocessed_resolutions() {
+            let resolved = self.registry.drain_resolved();
+            self.output.process_resolutions(&resolved, &self.registry);
+        }
+    }
+
+    fn update_peaks(&mut self) {
+        self.stats.peak_pending_entries =
+            self.stats.peak_pending_entries.max(self.output.waiting_entries());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::reassemble_to_string;
+    use crate::rule::Policy;
+    use xsac_xml::Document;
+
+    fn run(xml: &str, subject: &str, rules: &[(Sign, &str)]) -> String {
+        run_q(xml, subject, rules, None)
+    }
+
+    fn run_q(xml: &str, subject: &str, rules: &[(Sign, &str)], query: Option<&str>) -> String {
+        let doc = Document::parse(xml).unwrap();
+        let mut dict = doc.dict.clone();
+        let policy = Policy::parse(subject, rules, &mut dict).unwrap();
+        let q = query.map(|q| Automaton::parse(q, &mut dict).unwrap());
+        let mut eval = Evaluator::new(&policy, q.as_ref(), EvalConfig::default());
+        for ev in doc.events() {
+            eval.event(&ev);
+        }
+        let res = eval.finish();
+        reassemble_to_string(&dict, &res.log)
+    }
+
+    #[test]
+    fn closed_policy_delivers_nothing() {
+        assert_eq!(run("<a><b>x</b></a>", "u", &[]), "");
+    }
+
+    #[test]
+    fn simple_grant() {
+        assert_eq!(
+            run("<a><b>x</b><c>y</c></a>", "u", &[(Sign::Permit, "//b")]),
+            "<a><b>x</b></a>"
+        );
+    }
+
+    #[test]
+    fn grant_root_denies_subtree() {
+        assert_eq!(
+            run(
+                "<a><b>x</b><c>y</c></a>",
+                "u",
+                &[(Sign::Permit, "/a"), (Sign::Deny, "/a/c")]
+            ),
+            "<a><b>x</b></a>"
+        );
+    }
+
+    #[test]
+    fn most_specific_regrant() {
+        assert_eq!(
+            run(
+                "<a><b><c>deep</c>shallow</b></a>",
+                "u",
+                &[(Sign::Permit, "/a"), (Sign::Deny, "/a/b"), (Sign::Permit, "/a/b/c")]
+            ),
+            "<a><b><c>deep</c></b></a>"
+        );
+    }
+
+    #[test]
+    fn denial_takes_precedence() {
+        assert_eq!(
+            run("<a><b>x</b></a>", "u", &[(Sign::Permit, "//b"), (Sign::Deny, "//b")]),
+            ""
+        );
+    }
+
+    #[test]
+    fn predicate_grants_after_the_fact() {
+        // The predicate [d=1] resolves *after* <c> has been seen: pending
+        // delivery must reassemble c before d in document order.
+        assert_eq!(
+            run(
+                "<a><b><c>keep</c><d>1</d></b></a>",
+                "u",
+                &[(Sign::Permit, "//b[d=1]")]
+            ),
+            "<a><b><c>keep</c><d>1</d></b></a>"
+        );
+    }
+
+    #[test]
+    fn predicate_false_discards() {
+        assert_eq!(
+            run(
+                "<a><b><c>keep</c><d>2</d></b></a>",
+                "u",
+                &[(Sign::Permit, "//b[d=1]")]
+            ),
+            ""
+        );
+    }
+
+    #[test]
+    fn user_variable_resolution() {
+        let xml = "<r><act><phys>alice</phys><data>x</data></act>\
+                   <act><phys>bob</phys><data>y</data></act></r>";
+        assert_eq!(
+            run(xml, "alice", &[(Sign::Permit, "//act[phys = USER]")]),
+            "<r><act><phys>alice</phys><data>x</data></act></r>"
+        );
+    }
+
+    #[test]
+    fn descendant_predicate_multiple_instances() {
+        // //b[c] with several b candidates at different depths (footnote 5
+        // of the paper): only instances whose own subtree contains a c
+        // qualify.
+        let xml = "<a><b><d>no</d></b><b><c>1</c><d>yes</d></b></a>";
+        assert_eq!(
+            run(xml, "u", &[(Sign::Permit, "//b[c]/d")]),
+            "<a><b><d>yes</d></b></a>"
+        );
+    }
+
+    #[test]
+    fn figure3_document() {
+        // The paper's Figure 3: rules R: ⊕ //b[c]/d, S: ⊖ //c on the
+        // abstract document a(b(d,c,d), c(b(d,c)), b(c)). Walking the
+        // semantics: every d under a b-with-c is granted, every c denied.
+        let xml = "<a><b><d>d1</d><c>c1</c><d>d2</d></b><c><b><d>d3</d><c>c2</c></b></c></a>";
+        let got = run(xml, "u", &[(Sign::Permit, "//b[c]/d"), (Sign::Deny, "//c")]);
+        // d1, d2 granted (b has c); d3's b contains c2 so d3 granted too —
+        // but its path runs through the denied outer c, kept as a shell.
+        assert_eq!(
+            got,
+            "<a><b><d>d1</d><d>d2</d></b><c><b><d>d3</d></b></c></a>"
+        );
+    }
+
+    #[test]
+    fn pending_negative_blocks_until_resolution() {
+        // ⊕ //a, ⊖ //a/b[x=1]: b pending until x seen.
+        assert_eq!(
+            run(
+                "<a><b><k>v</k><x>1</x></b><c>ok</c></a>",
+                "u",
+                &[(Sign::Permit, "//a"), (Sign::Deny, "//a/b[x=1]")]
+            ),
+            "<a><c>ok</c></a>"
+        );
+        assert_eq!(
+            run(
+                "<a><b><k>v</k><x>2</x></b><c>ok</c></a>",
+                "u",
+                &[(Sign::Permit, "//a"), (Sign::Deny, "//a/b[x=1]")]
+            ),
+            "<a><b><k>v</k><x>2</x></b><c>ok</c></a>"
+        );
+    }
+
+    #[test]
+    fn wildcard_and_descendant_axes() {
+        assert_eq!(
+            run(
+                "<a><x><b>1</b></x><y><b>2</b></y><b>3</b></a>",
+                "u",
+                &[(Sign::Permit, "/a/*/b")]
+            ),
+            "<a><x><b>1</b></x><y><b>2</b></y></a>"
+        );
+        assert_eq!(
+            run("<a><x><b>1</b></x><b>2</b></a>", "u", &[(Sign::Permit, "//b")]),
+            "<a><x><b>1</b></x><b>2</b></a>"
+        );
+    }
+
+    #[test]
+    fn query_intersects_view() {
+        let xml = "<r><f><age>70</age><name>A</name></f><f><age>50</age><name>B</name></f></r>";
+        // View: everything. Query: folders with age > 65.
+        assert_eq!(
+            run_q(xml, "u", &[(Sign::Permit, "/r")], Some("//f[age > 65]")),
+            "<r><f><age>70</age><name>A</name></f></r>"
+        );
+    }
+
+    #[test]
+    fn query_predicate_cannot_read_denied_content() {
+        let xml = "<r><f><age>70</age><name>A</name></f></r>";
+        // age is denied: the query predicate must not observe it.
+        assert_eq!(
+            run_q(
+                xml,
+                "u",
+                &[(Sign::Permit, "/r"), (Sign::Deny, "//age")],
+                Some("//f[age > 65]")
+            ),
+            ""
+        );
+    }
+
+    #[test]
+    fn query_without_rules_sees_nothing() {
+        assert_eq!(run_q("<a><b>x</b></a>", "u", &[], Some("//b")), "");
+    }
+
+    #[test]
+    fn empty_elements_and_self_predicates() {
+        assert_eq!(
+            run("<a><b></b><c>5</c></a>", "u", &[(Sign::Permit, "//c[. = 5]")]),
+            "<a><c>5</c></a>"
+        );
+        assert_eq!(
+            run("<a><c>6</c></a>", "u", &[(Sign::Permit, "//c[. = 5]")]),
+            ""
+        );
+    }
+
+    #[test]
+    fn skip_directives_do_not_change_output() {
+        let xml = "<a><b><c>keep</c><d>1</d></b><e><f>deny</f></e></a>";
+        let rules = &[(Sign::Permit, "//b[d=1]"), (Sign::Deny, "//e")];
+        let with = {
+            let doc = Document::parse(xml).unwrap();
+            let mut dict = doc.dict.clone();
+            let policy = Policy::parse("u", rules, &mut dict).unwrap();
+            let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
+            for ev in doc.events() {
+                eval.event(&ev);
+            }
+            reassemble_to_string(&dict, &eval.finish().log)
+        };
+        let without = {
+            let doc = Document::parse(xml).unwrap();
+            let mut dict = doc.dict.clone();
+            let policy = Policy::parse("u", rules, &mut dict).unwrap();
+            let cfg = EvalConfig { enable_skip_directives: false, ..Default::default() };
+            let mut eval = Evaluator::new(&policy, None, cfg);
+            for ev in doc.events() {
+                eval.event(&ev);
+            }
+            reassemble_to_string(&dict, &eval.finish().log)
+        };
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn directives_fire_on_denied_subtrees() {
+        let doc = Document::parse("<a><b><x>1</x></b><c>keep</c></a>").unwrap();
+        let mut dict = doc.dict.clone();
+        let policy =
+            Policy::parse("u", &[(Sign::Permit, "/a"), (Sign::Deny, "/a/b")], &mut dict).unwrap();
+        let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
+        let mut skipped = false;
+        let events = doc.events();
+        let mut i = 0;
+        while i < events.len() {
+            let d = eval.event(&events[i]);
+            if d == Directive::SkipDeny && matches!(events[i], Event::Open(_)) {
+                // Skip to the matching close.
+                let mut depth = 1;
+                let mut j = i + 1;
+                while depth > 0 {
+                    match events[j] {
+                        Event::Open(_) => depth += 1,
+                        Event::Close(_) => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                eval.skip_close(None);
+                skipped = true;
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        let res = eval.finish();
+        assert!(skipped, "expected a SkipDeny directive for <b>");
+        assert_eq!(reassemble_to_string(&dict, &res.log), "<a><c>keep</c></a>");
+        assert!(res.stats.skips_denied >= 1);
+    }
+
+    #[test]
+    fn deliver_directive_allows_raw_feed() {
+        let doc = Document::parse("<a><b><x>1</x><y>2</y></b></a>").unwrap();
+        let mut dict = doc.dict.clone();
+        let policy = Policy::parse("u", &[(Sign::Permit, "/a/b")], &mut dict).unwrap();
+        let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
+        let events = doc.events();
+        let mut i = 0;
+        let mut raw_used = false;
+        while i < events.len() {
+            let d = eval.event(&events[i]);
+            i += 1;
+            if d == Directive::Deliver && matches!(events[i - 1], Event::Open(_)) {
+                raw_used = true;
+                // Feed the rest of the subtree raw (depth bookkeeping).
+                let mut depth = 1;
+                while depth > 0 {
+                    match events[i] {
+                        Event::Open(_) => depth += 1,
+                        Event::Close(_) => depth -= 1,
+                        _ => {}
+                    }
+                    eval.raw_event(&events[i]);
+                    i += 1;
+                }
+            }
+        }
+        let res = eval.finish();
+        assert!(raw_used);
+        assert_eq!(
+            reassemble_to_string(&dict, &res.log),
+            "<a><b><x>1</x><y>2</y></b></a>"
+        );
+        assert!(res.stats.raw_events > 0);
+    }
+
+    #[test]
+    fn token_filtering_with_desc_tags() {
+        let doc = Document::parse("<a><b><c>x</c></b></a>").unwrap();
+        let mut dict = doc.dict.clone();
+        let policy = Policy::parse("u", &[(Sign::Permit, "//zz")], &mut dict).unwrap();
+        let zz = dict.get("zz").unwrap();
+        let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
+        // DescTag of <a> does not contain zz: the //zz token dies at once.
+        let mut desc = TagSet::new();
+        for n in ["b", "c"] {
+            desc.insert(dict.get(n).unwrap());
+        }
+        assert!(!desc.contains(zz));
+        let d = eval.open(dict.get("a").unwrap(), Some(&SkipInfo { desc_tags: Some(&desc), handle: None }));
+        assert_eq!(d, Directive::SkipDeny, "no rule can match below: skip");
+        eval.skip_close(None);
+        let res = eval.finish();
+        assert!(res.stats.tokens_filtered > 0);
+        assert_eq!(reassemble_to_string(&dict, &res.log), "");
+    }
+
+    #[test]
+    fn pending_skip_with_readback() {
+        // ⊕ //b[d=1]: at <b>, with desc tags {c,d} the rule is pending and
+        // after the predicate tokens... the subtree *cannot* be skipped at
+        // <b> (predicate tokens are alive). But ⊖-irrelevant <e> content
+        // with a pending ancestor can. Construct: ⊕ //a[x=1]//b — at <b>
+        // everything inside is covered by the pending instance and no
+        // token can fire inside (desc tags exclude all rule labels).
+        let doc = Document::parse("<a><b><k>v</k></b><x>1</x></a>").unwrap();
+        let mut dict = doc.dict.clone();
+        let policy = Policy::parse("u", &[(Sign::Permit, "//a[x=1]//b")], &mut dict).unwrap();
+        let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
+        let a = dict.get("a").unwrap();
+        let b = dict.get("b").unwrap();
+        let k = dict.get("k").unwrap();
+        let x = dict.get("x").unwrap();
+        let desc_b: TagSet = [k].into_iter().collect();
+        assert_eq!(eval.open(a, None), Directive::Continue);
+        let d = eval.open(b, Some(&SkipInfo { desc_tags: Some(&desc_b), handle: Some(SubtreeRef(99)) }));
+        assert_eq!(d, Directive::SkipPending);
+        eval.skip_close(Some(SubtreeRef(99)));
+        // x=1 satisfies the predicate → readback request for b's subtree.
+        eval.open(x, None);
+        eval.text("1");
+        eval.close();
+        let reqs = eval.take_readbacks();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].subtree, SubtreeRef(99));
+        eval.readback_events(
+            reqs[0].entry,
+            &[Event::Open(b), Event::Open(k), Event::Text("v".into()), Event::Close(k), Event::Close(b)],
+        );
+        eval.close();
+        let res = eval.finish();
+        // Only b's subtree is granted by //a[x=1]//b; x itself is not.
+        assert_eq!(reassemble_to_string(&dict, &res.log), "<a><b><k>v</k></b></a>");
+        assert_eq!(res.stats.skips_pending, 1);
+        assert_eq!(res.output.readbacks, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Streaming access-control evaluation for XML documents — the core
+//! contribution of Bouganim, Dang Ngoc & Pucheral, *Client-Based Access
+//! Control Management for XML documents* (VLDB 2004 / INRIA RR-5282).
+//!
+//! The evaluator consumes a stream of SAX-style events and produces the
+//! *authorized view* of the document under a policy of XPath-based access
+//! rules, optionally intersected with an XPath query:
+//!
+//! * [`rule`] — access rules `<sign, subject, object>` and policies (§2);
+//! * [`condition`] — ternary boolean delivery conditions over predicate
+//!   instances (the `condition` field of the Pending Stack, §5);
+//! * [`predicate`] — the Predicate Set and predicate-instance registry (§3.1);
+//! * [`token`] — navigational/predicate tokens and the Token Stack (§3.1);
+//! * [`authstack`] — the Authorization Stack and `DecideNode` conflict
+//!   resolution (§3.2, Figure 4);
+//! * [`output`] — authorized-view construction: delivery log, anchors,
+//!   structural rule, and the reassembler (§5);
+//! * [`evaluator`] — the streaming engine tying everything together,
+//!   including `DecideSubtree`/`SkipSubtree` directives (§3.3, Figures 5-6);
+//! * [`oracle`] — a non-streaming DOM reference implementation of the same
+//!   semantics, used for differential testing;
+//! * [`stats`] — evaluation statistics consumed by the SOE cost model.
+//!
+//! # Quick example
+//!
+//! ```
+//! use xsac_core::{Policy, Sign, evaluator::Evaluator, output::reassemble_to_string};
+//! use xsac_xml::Document;
+//!
+//! let doc = Document::parse("<folder><admin><name>Bob</name></admin>\
+//!                            <medical><act>x</act></medical></folder>").unwrap();
+//! let mut dict = doc.dict.clone();
+//! let policy = Policy::parse("alice", &[(Sign::Permit, "//admin")], &mut dict).unwrap();
+//! let mut eval = Evaluator::new(&policy, None, Default::default());
+//! for ev in doc.events() {
+//!     eval.event(&ev);
+//! }
+//! let result = eval.finish();
+//! assert_eq!(
+//!     reassemble_to_string(&dict, &result.log),
+//!     "<folder><admin><name>Bob</name></admin></folder>"
+//! );
+//! ```
+
+pub mod authstack;
+pub mod condition;
+pub mod evaluator;
+pub mod oracle;
+pub mod output;
+pub mod predicate;
+pub mod rule;
+pub mod stats;
+pub mod token;
+
+pub use condition::{Cond, Ternary};
+pub use evaluator::{Directive, EvalConfig, EvalResult, Evaluator};
+pub use oracle::Oracle;
+pub use rule::{Policy, Rule, Sign};
+pub use stats::EvalStats;

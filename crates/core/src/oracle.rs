@@ -1,0 +1,464 @@
+//! Non-streaming reference implementation of the access-control semantics.
+//!
+//! The oracle materializes the document (which the SOE can never do) and
+//! computes the authorized view, and optionally a query result, directly
+//! from the model definition of §2:
+//!
+//! 1. every rule's object node-set is evaluated by straightforward
+//!    recursive XPath matching;
+//! 2. each node's decision is obtained by *Most-Specific-Object* /
+//!    *Denial-Takes-Precedence* resolution over the rule objects on its
+//!    root path, with the closed policy as default;
+//! 3. the view keeps granted elements, the text of granted elements, and
+//!    (structural rule) the tags of denied elements with granted
+//!    descendants;
+//! 4. queries are evaluated **on the authorized view** — query predicates
+//!    only observe granted content — and the result keeps the view
+//!    subtrees of the matched nodes plus their ancestor shells.
+//!
+//! The streaming evaluator must produce byte-identical output; the
+//! differential tests (unit + property-based) enforce this.
+
+use crate::rule::{Policy, Sign};
+use std::collections::{HashMap, HashSet};
+use xsac_xpath::{Axis, Path, Predicate};
+use xsac_xml::{Document, Node, NodeId};
+
+/// The oracle evaluator.
+pub struct Oracle<'a> {
+    doc: &'a Document,
+    /// parent[n] for every node.
+    parent: Vec<Option<NodeId>>,
+    /// depth[n] with the root at 1.
+    depth: Vec<u32>,
+}
+
+impl<'a> Oracle<'a> {
+    /// Builds the oracle for a document.
+    pub fn new(doc: &'a Document) -> Oracle<'a> {
+        let n = doc.node_count();
+        let mut parent = vec![None; n];
+        let mut depth = vec![0u32; n];
+        let mut stack = vec![(doc.root(), 1u32)];
+        while let Some((id, d)) = stack.pop() {
+            depth[id.index()] = d;
+            for &c in doc.children(id) {
+                parent[c.index()] = Some(id);
+                stack.push((c, d + 1));
+            }
+        }
+        Oracle { doc, parent, depth }
+    }
+
+    /// Evaluates the node-set selected by an absolute path.
+    pub fn matches(&self, path: &Path, user: &str) -> HashSet<NodeId> {
+        self.matches_in(path, user, None)
+    }
+
+    /// As [`Oracle::matches`], restricted to a set of visible elements and
+    /// with text reads restricted to granted elements (used for queries
+    /// over the authorized view). `visible` maps element → granted flag;
+    /// elements absent from the map do not exist for the evaluation.
+    fn matches_in(
+        &self,
+        path: &Path,
+        user: &str,
+        visible: Option<&HashMap<NodeId, bool>>,
+    ) -> HashSet<NodeId> {
+        // Current candidate set starts at the virtual root (None marker =
+        // above the document root).
+        let mut current: Vec<Option<NodeId>> = vec![None];
+        for step in &path.steps {
+            let mut next: Vec<Option<NodeId>> = Vec::new();
+            let mut seen = HashSet::new();
+            for cand in &current {
+                let targets: Vec<NodeId> = match step.axis {
+                    Axis::Child => self.element_children(*cand, visible),
+                    Axis::Descendant => self.element_descendants(*cand, visible),
+                };
+                for t in targets {
+                    if !step.test.matches(self.doc.dict.name(self.doc.tag(t))) {
+                        continue;
+                    }
+                    if !step
+                        .predicates
+                        .iter()
+                        .all(|p| self.predicate_holds(t, p, user, visible))
+                    {
+                        continue;
+                    }
+                    if seen.insert(t) {
+                        next.push(Some(t));
+                    }
+                }
+            }
+            current = next;
+        }
+        current.into_iter().flatten().collect()
+    }
+
+    fn element_children(
+        &self,
+        of: Option<NodeId>,
+        visible: Option<&HashMap<NodeId, bool>>,
+    ) -> Vec<NodeId> {
+        let list: Vec<NodeId> = match of {
+            None => vec![self.doc.root()],
+            Some(id) => self.doc.children(id).to_vec(),
+        };
+        list.into_iter()
+            .filter(|&c| matches!(self.doc.node(c), Node::Element { .. }))
+            .filter(|c| visible.is_none_or(|v| v.contains_key(c)))
+            .collect()
+    }
+
+    fn element_descendants(
+        &self,
+        of: Option<NodeId>,
+        visible: Option<&HashMap<NodeId, bool>>,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = self.element_children(of, visible);
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            stack.extend(self.element_children(Some(id), visible));
+        }
+        out
+    }
+
+    /// Does `pred` hold at anchor element `n`?
+    fn predicate_holds(
+        &self,
+        n: NodeId,
+        pred: &Predicate,
+        user: &str,
+        visible: Option<&HashMap<NodeId, bool>>,
+    ) -> bool {
+        // Matched elements of the relative path.
+        let matched: Vec<NodeId> = if pred.steps.is_empty() {
+            vec![n]
+        } else {
+            let mut current = vec![n];
+            for step in &pred.steps {
+                let mut next = Vec::new();
+                let mut seen = HashSet::new();
+                for cand in &current {
+                    let targets = match step.axis {
+                        Axis::Child => self.element_children(Some(*cand), visible),
+                        Axis::Descendant => self.element_descendants(Some(*cand), visible),
+                    };
+                    for t in targets {
+                        if step.test.matches(self.doc.dict.name(self.doc.tag(t)))
+                            && seen.insert(t)
+                        {
+                            next.push(t);
+                        }
+                    }
+                }
+                current = next;
+            }
+            current
+        };
+        match &pred.comparison {
+            None => matched
+                .iter()
+                .any(|&m| visible.is_none_or(|v| v.get(&m) == Some(&true))),
+            Some((op, value)) => {
+                let rhs = value.resolve(user);
+                matched.iter().any(|&m| {
+                    // Text readable only on granted elements when a
+                    // visibility map is active (query-over-view rule).
+                    if visible.is_some_and(|v| v.get(&m) != Some(&true)) {
+                        return false;
+                    }
+                    self.text_chunks(m).iter().any(|t| op.eval(t, rhs))
+                })
+            }
+        }
+    }
+
+    /// Immediate text chunks of an element (a comparison holds if *any*
+    /// chunk satisfies it, mirroring the streaming per-event semantics).
+    fn text_chunks(&self, n: NodeId) -> Vec<&str> {
+        self.doc
+            .children(n)
+            .iter()
+            .filter_map(|&c| match self.doc.node(c) {
+                Node::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Per-element access decision under `policy` (true = granted).
+    pub fn decisions(&self, policy: &Policy) -> HashMap<NodeId, bool> {
+        // Rule objects.
+        let objects: Vec<(Sign, HashSet<NodeId>)> = policy
+            .rules
+            .iter()
+            .map(|r| (r.sign, self.matches(&r.path, &policy.subject)))
+            .collect();
+        let mut out = HashMap::new();
+        // For each element: scan root path, most specific level decides.
+        for (id, _) in self.doc.preorder() {
+            if !matches!(self.doc.node(id), Node::Element { .. }) {
+                continue;
+            }
+            let mut best_depth = 0u32;
+            let mut granted = false; // closed policy
+            let mut cur = Some(id);
+            while let Some(c) = cur {
+                let d = self.depth[c.index()];
+                let mut pos_here = false;
+                let mut neg_here = false;
+                for (sign, objs) in &objects {
+                    if objs.contains(&c) {
+                        match sign {
+                            Sign::Permit => pos_here = true,
+                            Sign::Deny => neg_here = true,
+                        }
+                    }
+                }
+                if (pos_here || neg_here) && d > best_depth {
+                    best_depth = d;
+                    granted = !neg_here; // denial takes precedence
+                }
+                cur = self.parent[c.index()];
+            }
+            out.insert(id, granted);
+        }
+        out
+    }
+
+    /// The authorized view: kept elements mapped to their granted flag
+    /// (false = structural shell).
+    pub fn view(&self, policy: &Policy) -> HashMap<NodeId, bool> {
+        let decisions = self.decisions(policy);
+        let mut kept: HashMap<NodeId, bool> = HashMap::new();
+        for (&id, &granted) in &decisions {
+            if granted {
+                kept.insert(id, true);
+                // Structural rule: the path to a granted node is kept.
+                let mut cur = self.parent[id.index()];
+                while let Some(c) = cur {
+                    kept.entry(c).or_insert(false);
+                    cur = self.parent[c.index()];
+                }
+            }
+        }
+        kept
+    }
+
+    /// Materializes the authorized view as a document (None when empty).
+    pub fn view_document(&self, policy: &Policy) -> Option<Document> {
+        let kept = self.view(policy);
+        self.materialize(&kept)
+    }
+
+    /// Query result over the authorized view (§2: "the result of a query
+    /// is computed from the authorized view of the queried document").
+    pub fn query_document(&self, policy: &Policy, query: &Path) -> Option<Document> {
+        let kept = self.view(policy);
+        let matches = self.matches_in(query, &policy.subject, Some(&kept));
+        // Keep: view subtrees of matched nodes + ancestor shells.
+        let mut result: HashMap<NodeId, bool> = HashMap::new();
+        for &m in &matches {
+            // Subtree of m within the view.
+            let mut stack = vec![m];
+            while let Some(id) = stack.pop() {
+                if let Some(&granted) = kept.get(&id) {
+                    result.insert(id, granted);
+                    stack.extend(
+                        self.doc
+                            .children(id)
+                            .iter()
+                            .filter(|c| matches!(self.doc.node(**c), Node::Element { .. })),
+                    );
+                }
+            }
+            // Ancestors as shells.
+            let mut cur = self.parent[m.index()];
+            while let Some(c) = cur {
+                result.entry(c).or_insert(false);
+                cur = self.parent[c.index()];
+            }
+        }
+        self.materialize(&result)
+    }
+
+    /// Builds the result document from a kept-element map.
+    fn materialize(&self, kept: &HashMap<NodeId, bool>) -> Option<Document> {
+        let root = self.doc.root();
+        if !kept.contains_key(&root) {
+            return None;
+        }
+        let root_name = self.doc.dict.name(self.doc.tag(root)).to_owned();
+        let doc = self.doc;
+        Some(Document::build(&root_name, |b| {
+            fn emit(
+                doc: &Document,
+                kept: &HashMap<NodeId, bool>,
+                id: NodeId,
+                b: &mut xsac_xml::tree::DocBuilder<'_>,
+            ) {
+                let granted = kept.get(&id) == Some(&true);
+                for &c in doc.children(id) {
+                    match doc.node(c) {
+                        Node::Text(t) => {
+                            if granted {
+                                b.text(t.clone());
+                            }
+                        }
+                        Node::Element { tag, .. } => {
+                            if kept.contains_key(&c) {
+                                b.open(doc.dict.name(*tag));
+                                emit(doc, kept, c, b);
+                                b.close();
+                            }
+                        }
+                    }
+                }
+            }
+            emit(doc, kept, root, b);
+        }))
+    }
+}
+
+/// Convenience: authorized view of `xml` as a serialized string.
+pub fn oracle_view_string(doc: &Document, policy: &Policy) -> String {
+    match Oracle::new(doc).view_document(policy) {
+        Some(d) => xsac_xml::writer::document_to_string(&d),
+        None => String::new(),
+    }
+}
+
+/// Convenience: query-over-view result as a serialized string.
+pub fn oracle_query_string(doc: &Document, policy: &Policy, query: &Path) -> String {
+    match Oracle::new(doc).query_document(policy, query) {
+        Some(d) => xsac_xml::writer::document_to_string(&d),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsac_xml::TagDict;
+    use xsac_xpath::parse_path;
+
+    fn policy(subject: &str, rules: &[(Sign, &str)], dict: &mut TagDict) -> Policy {
+        Policy::parse(subject, rules, dict).unwrap()
+    }
+
+    #[test]
+    fn matches_simple_paths() {
+        let doc = Document::parse("<a><b>1</b><c><b>2</b></c></a>").unwrap();
+        let o = Oracle::new(&doc);
+        assert_eq!(o.matches(&parse_path("/a/b").unwrap(), "u").len(), 1);
+        assert_eq!(o.matches(&parse_path("//b").unwrap(), "u").len(), 2);
+        assert_eq!(o.matches(&parse_path("/a/*").unwrap(), "u").len(), 2);
+        assert_eq!(o.matches(&parse_path("/b").unwrap(), "u").len(), 0);
+    }
+
+    #[test]
+    fn matches_predicates() {
+        let doc = Document::parse("<a><b><d>1</d></b><b><d>2</d></b></a>").unwrap();
+        let o = Oracle::new(&doc);
+        assert_eq!(o.matches(&parse_path("//b[d=1]").unwrap(), "u").len(), 1);
+        assert_eq!(o.matches(&parse_path("//b[d]").unwrap(), "u").len(), 2);
+        assert_eq!(o.matches(&parse_path("//b[d>0]").unwrap(), "u").len(), 2);
+        assert_eq!(o.matches(&parse_path("//b[e]").unwrap(), "u").len(), 0);
+    }
+
+    #[test]
+    fn user_predicate() {
+        let doc = Document::parse("<r><x><who>ann</who></x><x><who>bob</who></x></r>").unwrap();
+        let o = Oracle::new(&doc);
+        assert_eq!(o.matches(&parse_path("//x[who=USER]").unwrap(), "ann").len(), 1);
+        assert_eq!(o.matches(&parse_path("//x[who!=USER]").unwrap(), "ann").len(), 1);
+    }
+
+    #[test]
+    fn view_closed_policy() {
+        let doc = Document::parse("<a><b>x</b></a>").unwrap();
+        let mut dict = doc.dict.clone();
+        let p = policy("u", &[], &mut dict);
+        assert_eq!(oracle_view_string(&doc, &p), "");
+    }
+
+    #[test]
+    fn view_structural_shell() {
+        let doc = Document::parse("<a><b><c>x</c>btext</b></a>").unwrap();
+        let mut dict = doc.dict.clone();
+        let p = policy("u", &[(Sign::Permit, "//c")], &mut dict);
+        // a and b are shells (tags kept, text dropped); c granted.
+        assert_eq!(oracle_view_string(&doc, &p), "<a><b><c>x</c></b></a>");
+    }
+
+    #[test]
+    fn view_most_specific_and_denial() {
+        let doc = Document::parse("<a><b><c>x</c>btext</b><d>y</d></a>").unwrap();
+        let mut dict = doc.dict.clone();
+        let p = policy(
+            "u",
+            &[(Sign::Permit, "/a"), (Sign::Deny, "/a/b"), (Sign::Permit, "/a/b/c")],
+            &mut dict,
+        );
+        assert_eq!(oracle_view_string(&doc, &p), "<a><b><c>x</c></b><d>y</d></a>");
+    }
+
+    #[test]
+    fn query_over_view() {
+        let doc =
+            Document::parse("<r><f><age>70</age></f><f><age>50</age></f></r>").unwrap();
+        let mut dict = doc.dict.clone();
+        let p = policy("u", &[(Sign::Permit, "/r")], &mut dict);
+        let q = parse_path("//f[age>65]").unwrap();
+        assert_eq!(
+            oracle_query_string(&doc, &p, &q),
+            "<r><f><age>70</age></f></r>"
+        );
+    }
+
+    #[test]
+    fn query_predicates_blind_to_denied_content() {
+        let doc = Document::parse("<r><f><age>70</age><n>A</n></f></r>").unwrap();
+        let mut dict = doc.dict.clone();
+        let p = policy("u", &[(Sign::Permit, "/r"), (Sign::Deny, "//age")], &mut dict);
+        let q = parse_path("//f[age>65]").unwrap();
+        assert_eq!(oracle_query_string(&doc, &p, &q), "");
+    }
+
+    #[test]
+    fn figure7_walkthrough() {
+        // The paper's Figure 7 example: rules
+        //   R: ⊕ /a[d = 4]/c      S: ⊖ //c/e[m = 3]
+        //   T: ⊕ //c[//i = 3]//f  U: ⊖ //h[k = 2]
+        // on document
+        //   a( b(m,o,p), c( e(m=3,t,p), f(m,p), g, h(m,k=2,i=3) ), d=4 ).
+        let xml = "<a><b><m>0</m><o>0</o><p>0</p></b>\
+                   <c><e><m>3</m><t>0</t><p>0</p></e>\
+                      <f><m>0</m><p>0</p></f>\
+                      <g>0</g>\
+                      <h><m>0</m><k>2</k><i>3</i></h></c>\
+                   <d>4</d></a>";
+        let doc = Document::parse(xml).unwrap();
+        let mut dict = doc.dict.clone();
+        let p = policy(
+            "u",
+            &[
+                (Sign::Permit, "/a[d = 4]/c"),
+                (Sign::Deny, "//c/e[m = 3]"),
+                (Sign::Permit, "//c[//i = 3]//f"),
+                (Sign::Deny, "//h[k = 2]"),
+            ],
+            &mut dict,
+        );
+        // R grants c's subtree (d=4 holds); S denies e (m=3 holds);
+        // T grants f redundantly; U denies h (k=2 holds).
+        assert_eq!(
+            oracle_view_string(&doc, &p),
+            "<a><c><f><m>0</m><p>0</p></f><g>0</g></c></a>"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Evaluation statistics.
+//!
+//! The SOE cost model (crate `xsac-soe`) charges the access-control CPU
+//! cost from these counters — "the cost of access control is determined by
+//! the number of active tokens that are to be managed at the same time"
+//! (§7) — and the memory counters back the paper's claim that the engine
+//! fits a memory-constrained SOE.
+
+/// Counters collected by one evaluation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Open events processed.
+    pub open_events: usize,
+    /// Text events processed.
+    pub text_events: usize,
+    /// Close events processed.
+    pub close_events: usize,
+    /// Raw (bulk-delivered) events that bypassed the automata.
+    pub raw_events: usize,
+    /// Token transitions attempted (token × event work units).
+    pub token_ops: usize,
+    /// Token proxies created.
+    pub tokens_created: usize,
+    /// Predicate instances created.
+    pub instances_created: usize,
+    /// Tokens killed by the skip-index `RemainingLabels` filter (§4.2).
+    pub tokens_filtered: usize,
+    /// Subtrees the evaluator offered to skip with a ⊖ decision.
+    pub skips_denied: usize,
+    /// Subtrees offered for bulk delivery (⊕ for the whole subtree).
+    pub skips_delivered: usize,
+    /// Subtrees offered to skip as pending.
+    pub skips_pending: usize,
+    /// Peak live tokens (SOE working memory).
+    pub peak_tokens: usize,
+    /// Peak authorization-stack entries.
+    pub peak_auth_entries: usize,
+    /// Peak unresolved predicate instances.
+    pub peak_open_instances: usize,
+    /// Peak waiting pending entries.
+    pub peak_pending_entries: usize,
+}
+
+impl EvalStats {
+    /// Total input events.
+    pub fn events(&self) -> usize {
+        self.open_events + self.text_events + self.close_events + self.raw_events
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "events={} (raw={}) token_ops={} tokens={} instances={} filtered={} \
+             skips(deny/deliver/pend)={}/{}/{} peaks(tok/auth/inst/pend)={}/{}/{}/{}",
+            self.events(),
+            self.raw_events,
+            self.token_ops,
+            self.tokens_created,
+            self.instances_created,
+            self.tokens_filtered,
+            self.skips_denied,
+            self.skips_delivered,
+            self.skips_pending,
+            self.peak_tokens,
+            self.peak_auth_entries,
+            self.peak_open_instances,
+            self.peak_pending_entries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_summary() {
+        let s = EvalStats { open_events: 2, text_events: 1, close_events: 2, raw_events: 3, ..Default::default() };
+        assert_eq!(s.events(), 8);
+        assert!(s.summary().contains("events=8"));
+    }
+}

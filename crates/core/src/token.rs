@@ -1,0 +1,203 @@
+//! Tokens and the Token Stack (§3.1).
+//!
+//! "The navigation progress in all ARA is memorized thanks to a unique
+//! stack-based data structure called Token Stack. The top of the stack
+//! contains all active NT and PT tokens, i.e. tokens that can trigger a new
+//! transition at the next incoming event. Tokens created by a triggered
+//! transition are pushed in the stack. The stack is popped at each close
+//! event."
+
+use crate::condition::PredInstId;
+use xsac_xpath::{CmpOp, StateId};
+use std::rc::Rc;
+
+/// Identifies the automaton a token belongs to: a policy rule or the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleRef {
+    /// Index into the policy's rule vector.
+    Rule(u16),
+    /// The (single) query automaton.
+    Query,
+}
+
+/// A navigational token (NT): progress of one rule instance along the
+/// navigational path.
+#[derive(Clone, Debug)]
+pub struct NavToken {
+    /// Owning automaton.
+    pub rule: RuleRef,
+    /// Current state.
+    pub state: StateId,
+    /// Predicate instances bound so far: `(pred_index, instance)` pairs,
+    /// materializing the paper's "rule instance" depth labels.
+    pub bindings: Rc<[(u32, PredInstId)]>,
+}
+
+/// A predicate token (PT): progress of one predicate instance along its
+/// predicate path.
+#[derive(Clone, Debug)]
+pub struct PredToken {
+    /// Owning automaton.
+    pub rule: RuleRef,
+    /// Predicate path index within the automaton.
+    pub pred: u32,
+    /// Current state.
+    pub state: StateId,
+    /// The instance this token works for.
+    pub inst: PredInstId,
+}
+
+/// A comparison armed at the current level: a predicate token reached its
+/// final state on an element whose immediate text must satisfy `op value`.
+#[derive(Clone, Debug)]
+pub struct ArmedCmp {
+    /// Instance satisfied if the comparison succeeds.
+    pub inst: PredInstId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side with `USER` already resolved.
+    pub value: Rc<str>,
+    /// Armed for a query predicate (satisfaction is gated on node
+    /// delivery, see `evaluator`).
+    pub query: bool,
+}
+
+/// One level of the Token Stack: tokens active below the element opened at
+/// that depth.
+#[derive(Clone, Debug, Default)]
+pub struct TokenLevel {
+    /// Active navigational tokens.
+    pub nav: Vec<NavToken>,
+    /// Active predicate tokens.
+    pub pred: Vec<PredToken>,
+    /// Comparisons awaiting the current element's immediate text.
+    pub armed: Vec<ArmedCmp>,
+}
+
+impl TokenLevel {
+    /// No live work at this level: nothing inside the current subtree can
+    /// trigger any transition or comparison — the precondition of
+    /// `SkipSubtree` ("the Token Stack becomes empty", §3.3).
+    pub fn is_empty(&self) -> bool {
+        self.nav.is_empty() && self.pred.is_empty() && self.armed.is_empty()
+    }
+
+    /// Number of tokens (for statistics).
+    pub fn token_count(&self) -> usize {
+        self.nav.len() + self.pred.len() + self.armed.len()
+    }
+}
+
+/// The Token Stack.
+#[derive(Default)]
+pub struct TokenStack {
+    levels: Vec<TokenLevel>,
+    /// Peak total tokens across all levels (SOE memory accounting).
+    pub peak_tokens: usize,
+    total: usize,
+}
+
+impl TokenStack {
+    /// Creates a stack with the given base level (depth 0: start tokens).
+    pub fn new(base: TokenLevel) -> Self {
+        let total = base.token_count();
+        TokenStack { levels: vec![base], peak_tokens: total, total }
+    }
+
+    /// The top level.
+    pub fn top(&self) -> &TokenLevel {
+        self.levels.last().expect("token stack never empty")
+    }
+
+    /// Mutable top level.
+    pub fn top_mut(&mut self) -> &mut TokenLevel {
+        self.levels.last_mut().expect("token stack never empty")
+    }
+
+    /// Pushes a new level (open event).
+    pub fn push(&mut self, level: TokenLevel) {
+        self.total += level.token_count();
+        self.peak_tokens = self.peak_tokens.max(self.total);
+        self.levels.push(level);
+    }
+
+    /// Pops the top level (close event).
+    pub fn pop(&mut self) -> TokenLevel {
+        assert!(self.levels.len() > 1, "cannot pop the base token level");
+        let level = self.levels.pop().expect("checked");
+        self.total -= level.token_count();
+        level
+    }
+
+    /// Depth of the stack (number of levels above the base).
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Removes all tokens at the top level (the `TS[top].NT = ∅` of
+    /// Figure 5, extended to predicate tokens when a full skip is decided).
+    pub fn clear_top_nav(&mut self) {
+        let removed = {
+            let top = self.top_mut();
+            let n = top.nav.len();
+            top.nav.clear();
+            n
+        };
+        self.total -= removed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nav(state: StateId) -> NavToken {
+        NavToken { rule: RuleRef::Rule(0), state, bindings: Rc::from([]) }
+    }
+
+    #[test]
+    fn push_pop_tracks_totals() {
+        let mut ts = TokenStack::new(TokenLevel { nav: vec![nav(0)], ..Default::default() });
+        assert_eq!(ts.depth(), 0);
+        ts.push(TokenLevel { nav: vec![nav(1), nav(2)], ..Default::default() });
+        assert_eq!(ts.depth(), 1);
+        assert_eq!(ts.peak_tokens, 3);
+        let popped = ts.pop();
+        assert_eq!(popped.nav.len(), 2);
+        assert_eq!(ts.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base token level")]
+    fn popping_base_panics() {
+        let mut ts = TokenStack::new(TokenLevel::default());
+        ts.pop();
+    }
+
+    #[test]
+    fn emptiness_includes_armed() {
+        let mut lvl = TokenLevel::default();
+        assert!(lvl.is_empty());
+        lvl.armed.push(ArmedCmp {
+            inst: PredInstId(0),
+            op: CmpOp::Eq,
+            value: Rc::from("x"),
+            query: false,
+        });
+        assert!(!lvl.is_empty());
+        assert_eq!(lvl.token_count(), 1);
+    }
+
+    #[test]
+    fn clear_top_nav_only_clears_nav() {
+        let mut ts = TokenStack::new(TokenLevel::default());
+        ts.push(TokenLevel {
+            nav: vec![nav(1)],
+            pred: vec![PredToken { rule: RuleRef::Query, pred: 0, state: 5, inst: PredInstId(1) }],
+            armed: vec![],
+        });
+        ts.clear_top_nav();
+        assert!(ts.top().nav.is_empty());
+        assert_eq!(ts.top().pred.len(), 1, "PT tokens must survive (pending predicates)");
+    }
+}

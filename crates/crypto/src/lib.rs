@@ -1,0 +1,32 @@
+//! Cryptographic substrate for the xsac workspace, built from scratch
+//! (no external crypto crates): DES / triple-DES, SHA-1, the paper's
+//! position-XOR-ECB encryption, chunked documents and per-chunk Merkle
+//! hash trees enabling *random integrity checking* (§6 + Appendix A of
+//! Bouganim et al., VLDB 2004).
+//!
+//! Threat model (§6): "in a client-based context, the attacker is the user
+//! himself" — block substitution, known-plaintext dictionaries,
+//! statistical inference, and random tampering must all be defeated while
+//! still allowing the SOE to make forward *and backward* random accesses
+//! with 8-byte alignment.
+//!
+//! * [`des`] — the DES block cipher and 3DES-EDE (validated against
+//!   published test vectors);
+//! * [`sha1`](mod@crate::sha1) — SHA-1 (validated against FIPS-180 vectors);
+//! * [`modes`] — ECB, CBC and the paper's `E_k(b ⊕ pos)` position-XOR-ECB;
+//! * [`chunk`] — chunk/fragment layout of Appendix A;
+//! * [`merkle`] — per-chunk Merkle trees over ciphertext fragments;
+//! * [`protocol`] — the four integrity schemes of Figure 11 (ECB,
+//!   CBC-SHA, CBC-SHAC, ECB-MHT) with SOE/terminal cost accounting.
+
+pub mod chunk;
+pub mod des;
+pub mod merkle;
+pub mod modes;
+pub mod protocol;
+pub mod sha1;
+
+pub use chunk::{ChunkLayout, ProtectedDoc};
+pub use des::TripleDes;
+pub use protocol::{AccessCost, IntegrityError, IntegrityScheme, SoeReader};
+pub use sha1::{sha1, Sha1};

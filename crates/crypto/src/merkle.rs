@@ -1,0 +1,185 @@
+//! Per-chunk Merkle hash trees over ciphertext fragments (Appendix A,
+//! Figure F1).
+//!
+//! "Each chunk is divided into m fragments organized in a binary tree. A
+//! hash value is computed for each fragment and attached to each leaf.
+//! Each intermediate node contains a hash computed on the concatenation of
+//! its children. The ChunkDigest is the root. When the SOE accesses bytes
+//! in fragment f, the terminal sends the hashing information computed on
+//! the other fragments following the Merkle hash tree strategy; the SOE
+//! recomputes the root and compares it to the (encrypted) ChunkDigest."
+
+use crate::sha1::{sha1, Digest, Sha1};
+use std::ops::Range;
+
+/// Combines two child digests.
+pub fn combine(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha1::new();
+    h.update(left);
+    h.update(right);
+    h.finish()
+}
+
+/// Leaf digests of a chunk: one SHA-1 per fragment (over ciphertext).
+pub fn fragment_hashes(chunk: &[u8], fragment_size: usize) -> Vec<Digest> {
+    chunk.chunks(fragment_size).map(sha1).collect()
+}
+
+/// Merkle root of a leaf list. A single leaf is its own root; with an odd
+/// count at some level, the last node is promoted unchanged.
+pub fn merkle_root(leaves: &[Digest]) -> Digest {
+    assert!(!leaves.is_empty(), "cannot hash an empty chunk");
+    subtree_root(leaves, 0..leaves.len())
+}
+
+/// Terminal side: the sibling digests the SOE needs to recompute the root
+/// while knowing only the leaves in `range`. Returned in the deterministic
+/// traversal order consumed by [`root_from_range`].
+pub fn range_proof(leaves: &[Digest], range: Range<usize>) -> Vec<Digest> {
+    let mut proof = Vec::new();
+    collect_proof(leaves, 0..leaves.len(), &range, &mut proof);
+    proof
+}
+
+fn collect_proof(leaves: &[Digest], interval: Range<usize>, range: &Range<usize>, out: &mut Vec<Digest>) {
+    if interval.end <= range.start || interval.start >= range.end {
+        // Disjoint: the whole subtree is one proof element.
+        out.push(subtree_root(leaves, interval));
+        return;
+    }
+    if range.start <= interval.start && interval.end <= range.end {
+        return; // fully known to the SOE
+    }
+    let mid = split_point(&interval);
+    collect_proof(leaves, interval.start..mid, range, out);
+    collect_proof(leaves, mid..interval.end, range, out);
+}
+
+fn subtree_root(leaves: &[Digest], interval: Range<usize>) -> Digest {
+    if interval.len() == 1 {
+        return leaves[interval.start];
+    }
+    let mid = split_point(&interval);
+    combine(
+        &subtree_root(leaves, interval.start..mid),
+        &subtree_root(leaves, mid..interval.end),
+    )
+}
+
+/// The left subtree covers the largest power of two < len (a left-complete
+/// tree — both sides must agree on this shape).
+fn split_point(interval: &Range<usize>) -> usize {
+    let len = interval.len();
+    debug_assert!(len >= 2);
+    let half = (len + 1).next_power_of_two() / 2;
+    let left = if half >= len { len / 2 } else { half };
+    interval.start + left.max(1)
+}
+
+/// SOE side: recomputes the root knowing the leaves in `range` (computed
+/// from the bytes it read) and the terminal-provided `proof`.
+pub fn root_from_range(
+    n_leaves: usize,
+    range: Range<usize>,
+    range_leaves: &[Digest],
+    proof: &[Digest],
+) -> Digest {
+    assert_eq!(range.len(), range_leaves.len());
+    let mut cursor = 0usize;
+    let mut next_proof = |_: Range<usize>| {
+        let d = proof[cursor];
+        cursor += 1;
+        d
+    };
+    let root = root_known(range_leaves, &range, 0..n_leaves, &mut next_proof);
+    assert_eq!(cursor, proof.len(), "proof length mismatch");
+    root
+}
+
+fn root_known(
+    known: &[Digest],
+    range: &Range<usize>,
+    interval: Range<usize>,
+    next_proof: &mut impl FnMut(Range<usize>) -> Digest,
+) -> Digest {
+    if interval.end <= range.start || interval.start >= range.end {
+        return next_proof(interval);
+    }
+    if range.start <= interval.start && interval.end <= range.end {
+        // Fully known: compute from the SOE's own leaf hashes.
+        let local: Vec<Digest> = interval.clone().map(|i| known[i - range.start]).collect();
+        return subtree_root(&local, 0..local.len());
+    }
+    let mid = split_point(&interval);
+    combine(
+        &root_known(known, range, interval.start..mid, next_proof),
+        &root_known(known, range, mid..interval.end, next_proof),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| sha1(&[i as u8])).collect()
+    }
+
+    #[test]
+    fn single_leaf_root() {
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn figure_f1_shape() {
+        // 8 fragments, SOE reads fragment 2 (0-based): proof = H1..H2
+        // combined pair, H4, H5678 — i.e. 3 digests.
+        let l = leaves(8);
+        let proof = range_proof(&l, 2..3);
+        assert_eq!(proof.len(), 3);
+        let root = root_from_range(8, 2..3, &l[2..3], &proof);
+        assert_eq!(root, merkle_root(&l));
+    }
+
+    #[test]
+    fn all_ranges_all_sizes_verify() {
+        for n in 1..=9 {
+            let l = leaves(n);
+            let root = merkle_root(&l);
+            for a in 0..n {
+                for b in a + 1..=n {
+                    let proof = range_proof(&l, a..b);
+                    let got = root_from_range(n, a..b, &l[a..b], &proof);
+                    assert_eq!(got, root, "n={n} range={a}..{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails_verification() {
+        let l = leaves(8);
+        let root = merkle_root(&l);
+        let proof = range_proof(&l, 3..5);
+        let mut bad = l[3..5].to_vec();
+        bad[0][0] ^= 1;
+        let got = root_from_range(8, 3..5, &bad, &proof);
+        assert_ne!(got, root);
+    }
+
+    #[test]
+    fn fragment_hashing_partial_tail() {
+        let data = vec![9u8; 700];
+        let hashes = fragment_hashes(&data, 256);
+        assert_eq!(hashes.len(), 3);
+        assert_eq!(hashes[2], sha1(&data[512..700]));
+    }
+
+    #[test]
+    fn proof_size_logarithmic() {
+        let l = leaves(64);
+        let proof = range_proof(&l, 17..18);
+        assert!(proof.len() <= 6, "single-leaf proof in a 64-leaf tree is ≤ log2(64): {}", proof.len());
+    }
+}

@@ -1,0 +1,181 @@
+//! Block-cipher modes: ECB, CBC, and the paper's position-XOR-ECB.
+//!
+//! "In place of CBC, we perform an exclusive OR between each 8-byte block
+//! and the position of this block in the document, before encrypting the
+//! result in ECB mode. Thus, a plaintext block b at absolute position p in
+//! the document is encrypted by `E_k(b ⊕ p)`" (Appendix A). This yields
+//! different ciphertexts for identical plaintext blocks (defeating
+//! dictionary and statistical attacks) while preserving O(1) random
+//! access, which plain CBC cannot.
+
+use crate::des::TripleDes;
+
+/// Block size of the underlying cipher.
+pub const BLOCK: usize = 8;
+
+/// Pads data to a whole number of blocks with zero bytes (the document
+/// formats carry their own lengths, so zero padding is unambiguous).
+pub fn pad_blocks(data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    let rem = out.len() % BLOCK;
+    if rem != 0 {
+        out.resize(out.len() + BLOCK - rem, 0);
+    }
+    out
+}
+
+fn to_block(bytes: &[u8]) -> u64 {
+    u64::from_be_bytes(bytes.try_into().expect("8-byte block"))
+}
+
+/// Encrypts whole blocks in ECB mode.
+pub fn ecb_encrypt(cipher: &TripleDes, data: &[u8]) -> Vec<u8> {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in data.chunks_exact(BLOCK) {
+        out.extend_from_slice(&cipher.encrypt_block(to_block(chunk)).to_be_bytes());
+    }
+    out
+}
+
+/// Decrypts whole blocks in ECB mode.
+pub fn ecb_decrypt(cipher: &TripleDes, data: &[u8]) -> Vec<u8> {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in data.chunks_exact(BLOCK) {
+        out.extend_from_slice(&cipher.decrypt_block(to_block(chunk)).to_be_bytes());
+    }
+    out
+}
+
+/// Position-XOR ECB encryption: block `i` (counting from `first_block`) is
+/// encrypted as `E_k(b_i ⊕ (first_block + i))`.
+pub fn posxor_encrypt(cipher: &TripleDes, data: &[u8], first_block: u64) -> Vec<u8> {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut out = Vec::with_capacity(data.len());
+    for (i, chunk) in data.chunks_exact(BLOCK).enumerate() {
+        let pos = first_block + i as u64;
+        out.extend_from_slice(&cipher.encrypt_block(to_block(chunk) ^ pos).to_be_bytes());
+    }
+    out
+}
+
+/// Position-XOR ECB decryption.
+pub fn posxor_decrypt(cipher: &TripleDes, data: &[u8], first_block: u64) -> Vec<u8> {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut out = Vec::with_capacity(data.len());
+    for (i, chunk) in data.chunks_exact(BLOCK).enumerate() {
+        let pos = first_block + i as u64;
+        out.extend_from_slice(&(cipher.decrypt_block(to_block(chunk)) ^ pos).to_be_bytes());
+    }
+    out
+}
+
+/// CBC encryption (used by the CBC-SHA / CBC-SHAC baselines of Figure 11).
+pub fn cbc_encrypt(cipher: &TripleDes, data: &[u8], iv: u64) -> Vec<u8> {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut out = Vec::with_capacity(data.len());
+    let mut prev = iv;
+    for chunk in data.chunks_exact(BLOCK) {
+        prev = cipher.encrypt_block(to_block(chunk) ^ prev);
+        out.extend_from_slice(&prev.to_be_bytes());
+    }
+    out
+}
+
+/// CBC decryption.
+pub fn cbc_decrypt(cipher: &TripleDes, data: &[u8], iv: u64) -> Vec<u8> {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut out = Vec::with_capacity(data.len());
+    let mut prev = iv;
+    for chunk in data.chunks_exact(BLOCK) {
+        let c = to_block(chunk);
+        out.extend_from_slice(&(cipher.decrypt_block(c) ^ prev).to_be_bytes());
+        prev = c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher() -> TripleDes {
+        let mut key = [0u8; 24];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8 + 1;
+        }
+        TripleDes::new(key)
+    }
+
+    #[test]
+    fn pad_to_block() {
+        assert_eq!(pad_blocks(&[1, 2, 3]).len(), 8);
+        assert_eq!(pad_blocks(&[0; 8]).len(), 8);
+        assert_eq!(pad_blocks(&[0; 9]).len(), 16);
+        assert_eq!(pad_blocks(&[]).len(), 0);
+    }
+
+    #[test]
+    fn ecb_roundtrip_and_determinism() {
+        let c = cipher();
+        let data = pad_blocks(b"identical blocks identical blocks");
+        let enc = ecb_encrypt(&c, &data);
+        assert_eq!(ecb_decrypt(&c, &enc), data);
+        // ECB leaks equality of blocks:
+        let two = [0x42u8; 16];
+        let e = ecb_encrypt(&c, &two);
+        assert_eq!(e[0..8], e[8..16], "ECB: identical plaintexts → identical ciphertexts");
+    }
+
+    #[test]
+    fn posxor_hides_equal_blocks() {
+        let c = cipher();
+        let two = [0x42u8; 16];
+        let e = posxor_encrypt(&c, &two, 0);
+        assert_ne!(e[0..8], e[8..16], "position XOR must break ECB equality leak");
+        assert_eq!(posxor_decrypt(&c, &e, 0), two);
+    }
+
+    #[test]
+    fn posxor_random_access() {
+        // Decrypting only the second block works given its position.
+        let c = cipher();
+        let data: Vec<u8> = (0..32).collect();
+        let enc = posxor_encrypt(&c, &data, 100);
+        let second = posxor_decrypt(&c, &enc[8..16], 101);
+        assert_eq!(second, &data[8..16]);
+    }
+
+    #[test]
+    fn posxor_position_binding_defeats_block_swapping() {
+        // Swapping two ciphertext blocks garbles the plaintext (block
+        // substitution attack of §6).
+        let c = cipher();
+        let data: Vec<u8> = (0..16).collect();
+        let mut enc = posxor_encrypt(&c, &data, 0);
+        enc.swap(0, 8);
+        enc.swap(1, 9);
+        enc.swap(2, 10);
+        enc.swap(3, 11);
+        enc.swap(4, 12);
+        enc.swap(5, 13);
+        enc.swap(6, 14);
+        enc.swap(7, 15);
+        let dec = posxor_decrypt(&c, &enc, 0);
+        assert_ne!(dec, data);
+    }
+
+    #[test]
+    fn cbc_roundtrip_and_chaining() {
+        let c = cipher();
+        let data = [0x42u8; 24];
+        let enc = cbc_encrypt(&c, &data, 0xDEAD_BEEF);
+        assert_eq!(cbc_decrypt(&c, &enc, 0xDEAD_BEEF), data);
+        assert_ne!(enc[0..8], enc[8..16], "CBC hides equal blocks");
+        // Wrong IV corrupts only the first block.
+        let dec = cbc_decrypt(&c, &enc, 0);
+        assert_ne!(dec[0..8], data[0..8]);
+        assert_eq!(dec[8..24], data[8..24]);
+    }
+}

@@ -1,0 +1,208 @@
+//! SHA-1 (FIPS 180-1), implemented from the specification.
+//!
+//! The paper uses "a collision resistant hash function (e.g., SHA-1) to
+//! compute a digest of each chunk" (§6). Incremental hashing matters: the
+//! terminal hands the SOE *intermediate* hash states so that the SOE only
+//! hashes the bytes it actually reads (Appendix A).
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// A SHA-1 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Bytes processed so far (for the length suffix).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Fresh hasher.
+    pub fn new() -> Sha1 {
+        Sha1 {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Resumes from a saved compression state (used by the cooperative
+    /// integrity protocol: the terminal sends the intermediate hash of the
+    /// bytes preceding the SOE's read position). `blocks` is the number of
+    /// 64-byte blocks already compressed.
+    pub fn resume(state: [u32; 5], blocks: u64) -> Sha1 {
+        Sha1 { state, len: blocks * 64, buf: [0; 64], buf_len: 0 }
+    }
+
+    /// The current compression state, valid at block boundaries.
+    pub fn state(&self) -> ([u32; 5], u64) {
+        debug_assert_eq!(self.buf_len, 0, "state() is meaningful at block boundaries");
+        (self.state, self.len / 64)
+    }
+
+    /// Feeds bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len += data.len() as u64;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                // Everything was absorbed into the buffer; the tail
+                // assignment below must not clobber `buf_len`.
+                return;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().expect("64");
+            self.compress(&block);
+            data = &data[64..];
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Finishes, producing the digest.
+    pub fn finish(mut self) -> Digest {
+        let bit_len = self.len * 8;
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Length is appended manually (not via update, which counts).
+        let mut block = self.buf;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finish()
+}
+
+fn hex(d: &Digest) -> String {
+    d.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Hex rendering (diagnostics).
+pub fn digest_hex(d: &Digest) -> String {
+    hex(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(hex(&h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), sha1(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn resume_from_intermediate_state() {
+        // Terminal hashes the first two blocks; SOE resumes and hashes the
+        // rest — final digest must match a full hash.
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        let mut terminal = Sha1::new();
+        terminal.update(&data[..128]);
+        let (state, blocks) = terminal.state();
+        let mut soe = Sha1::resume(state, blocks);
+        soe.update(&data[128..]);
+        assert_eq!(soe.finish(), sha1(&data));
+    }
+
+    #[test]
+    fn tamper_changes_digest() {
+        let mut data = vec![7u8; 100];
+        let d1 = sha1(&data);
+        data[50] ^= 1;
+        assert_ne!(sha1(&data), d1);
+    }
+}

@@ -1,0 +1,360 @@
+//! The synthetic Hospital document of Figure 1 / Table 2.
+//!
+//! The paper generated it with ToXgene; this generator implements the
+//! Figure-1 DTD directly: folders with administrative data, optional
+//! protocol subscriptions, medical acts with nested details, and analysis
+//! results organized in the measurement groups `G1`..`G10`.
+
+use crate::rng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use xsac_xml::tree::DocBuilder;
+use xsac_xml::Document;
+
+/// Tunable generation parameters.
+#[derive(Clone, Debug)]
+pub struct HospitalConfig {
+    /// Number of patient folders.
+    pub folders: usize,
+    /// Physicians appearing as `RPhys` (the Doctor profile's USER is one
+    /// of them).
+    pub physicians: usize,
+    /// Fraction of folders subscribed to at least one protocol.
+    pub protocol_rate: f64,
+    /// Mean number of medical acts per folder.
+    pub acts_per_folder: usize,
+    /// Mean number of lab-result series per folder.
+    pub lab_results_per_folder: usize,
+}
+
+impl Default for HospitalConfig {
+    fn default() -> Self {
+        HospitalConfig {
+            folders: 420,
+            physicians: 10,
+            protocol_rate: 0.9,
+            acts_per_folder: 8,
+            lab_results_per_folder: 3,
+        }
+    }
+}
+
+impl HospitalConfig {
+    /// Scales the Table-2 size (scale 1.0 ≈ 3.6 MB / ~118k elements).
+    pub fn at_scale(scale: f64) -> HospitalConfig {
+        let folders = ((420.0 * scale).round() as usize).max(1);
+        HospitalConfig { folders, ..Default::default() }
+    }
+}
+
+/// Physician identifier used by the Doctor policy (`USER`).
+pub fn physician_name(i: usize) -> String {
+    format!("phys{i:03}")
+}
+
+/// Draws a physician index with a skewed (min-of-two) distribution:
+/// `phys000` is the busiest (the Figure-10 full-time doctor), the last
+/// index the rarest (the part-time doctor).
+fn pick_physician(n: usize, r: &mut impl Rng) -> usize {
+    let a = r.random_range(0..n);
+    let b = r.random_range(0..n);
+    a.min(b)
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Anna", "Bruno", "Celine", "David", "Elsa", "Farid", "Gisele", "Hugo", "Ines", "Jean",
+    "Karim", "Lea", "Marc", "Nadia", "Olivier", "Paula", "Quentin", "Rosa", "Simon", "Theo",
+];
+const LAST_NAMES: &[&str] = &[
+    "Martin", "Bernard", "Thomas", "Petit", "Robert", "Richard", "Durand", "Dubois", "Moreau",
+    "Laurent", "Simon", "Michel", "Lefevre", "Leroy", "Roux", "David", "Bertrand", "Morel",
+    "Fournier", "Girard",
+];
+const SYMPTOMS: &[&str] = &[
+    "persistent cough and mild fever over several days",
+    "acute abdominal pain radiating to the lower back",
+    "recurring migraines with visual aura",
+    "shortness of breath on moderate exertion",
+    "joint stiffness most pronounced in the morning",
+    "intermittent chest tightness without palpitations",
+    "fatigue with unexplained weight loss",
+    "skin rash spreading across the forearms",
+];
+const DIAGNOSTICS: &[&str] = &[
+    "seasonal bronchitis, no antibiotic indicated",
+    "suspected renal colic, imaging ordered",
+    "migraine with aura, preventive treatment discussed",
+    "exercise-induced asthma, spirometry scheduled",
+    "early osteoarthritis, physiotherapy recommended",
+    "atypical chest pain, stress test requested",
+    "iron deficiency anemia, supplementation started",
+    "contact dermatitis, topical treatment prescribed",
+];
+const COMMENTS: &[&str] = &[
+    "patient advised to return if symptoms worsen",
+    "follow-up appointment scheduled in six weeks",
+    "treatment tolerated well at previous visit",
+    "dosage adjusted after renal function review",
+    "referred to specialist for complementary exam",
+    "vaccination record updated during the visit",
+];
+const VITALS: &[(&str, &str, &str)] = &[
+    ("Temperature", "C", "36.5"),
+    ("BloodPressure", "mmHg", "120/80"),
+    ("HeartRate", "bpm", "72"),
+    ("Weight", "kg", "70"),
+    ("Height", "cm", "172"),
+];
+/// Measurements appearing inside each `G1`..`G10` group. `Cholesterol`
+/// drives the Researcher rules.
+const MEASURES: &[(&str, u32, u32)] = &[
+    ("Cholesterol", 120, 280),
+    ("Glucose", 60, 220),
+    ("Hemoglobin", 9, 19),
+    ("Creatinine", 40, 130),
+    ("Triglycerides", 50, 400),
+    ("Sodium", 130, 150),
+    ("Potassium", 3, 6),
+    ("Calcium", 80, 110),
+    ("Ferritin", 20, 300),
+    ("TSH", 1, 5),
+];
+const IMMUNO_TESTS: &[&str] =
+    &["HIV", "HBV", "HCV", "Rubella", "Measles", "Tetanus"];
+const DRUGS: &[&str] = &[
+    "amoxicillin", "paracetamol", "ibuprofen", "atorvastatin", "metformin", "lisinopril",
+    "omeprazole", "salbutamol",
+];
+const RELATIONS: &[&str] = &["spouse", "parent", "child", "sibling", "friend"];
+const WARDS: &[&str] = &["cardiology", "pneumology", "oncology", "pediatrics", "general"];
+const INSURERS: &[&str] = &["CPAM", "MGEN", "Harmonie", "AXA", "Swisslife"];
+const CITIES: &[&str] = &["Paris", "Versailles", "Rocquencourt", "Chesnay", "Rennes", "Lyon"];
+
+/// Generates the Hospital document.
+pub fn hospital_document(config: &HospitalConfig, seed: u64) -> Document {
+    let mut r = rng(seed);
+    Document::build("Hospital", |b| {
+        for f in 0..config.folders {
+            folder(b, config, f, &mut r);
+        }
+    })
+}
+
+fn folder(b: &mut DocBuilder<'_>, config: &HospitalConfig, f: usize, r: &mut impl Rng) {
+    b.open("Folder");
+    admin(b, f, r);
+    // Protocols (the Researcher profile keys on Type=G3). A folder's lab
+    // groups correlate with its subscriptions: protocol tests produce the
+    // corresponding measurements.
+    let mut protocol_types: Vec<u32> = Vec::new();
+    if r.random_bool(config.protocol_rate) {
+        let n = r.random_range(1..=2);
+        for _ in 0..n {
+            let g = r.random_range(1..=10);
+            protocol_types.push(g);
+            b.open("Protocol");
+            b.leaf("Id", format!("P{:05}", r.random_range(0..100_000)));
+            b.leaf("Type", format!("G{g}"));
+            b.leaf("Date", date(r));
+            b.leaf("RPhys", physician_name(pick_physician(config.physicians, r)));
+            b.close();
+        }
+    }
+    med_acts(b, config, r);
+    analysis(b, config, &protocol_types, r);
+    if r.random_bool(0.3) {
+        immunology(b, r);
+    }
+    if r.random_bool(0.2) {
+        b.open("Stay");
+        b.leaf("Ward", *WARDS.choose(r).expect("wards"));
+        b.leaf("Room", r.random_range(100..500).to_string());
+        b.leaf("AdmissionDate", date(r));
+        b.leaf("DischargeDate", date(r));
+        b.leaf("DischargeNote", multi(COMMENTS, 2, r));
+        b.close();
+    }
+    b.close();
+}
+
+/// Concatenates up to `n` random phrases into one narrative value.
+fn multi(pool: &[&str], n: usize, r: &mut impl Rng) -> String {
+    let k = r.random_range((n / 2).max(1)..=n);
+    let mut parts: Vec<&str> = Vec::with_capacity(k);
+    for _ in 0..k {
+        parts.push(pool.choose(r).expect("pool"));
+    }
+    parts.join("; ")
+}
+
+fn admin(b: &mut DocBuilder<'_>, f: usize, r: &mut impl Rng) {
+    b.open("Admin");
+    b.leaf("SSN", format!("{:013}", r.random_range(1_000_000_000_000u64..2_000_000_000_000)));
+    b.leaf("Fname", *FIRST_NAMES.choose(r).expect("names"));
+    b.leaf("Lname", *LAST_NAMES.choose(r).expect("names"));
+    b.leaf("Age", r.random_range(1..100).to_string());
+    b.open("Address");
+    b.leaf("Street", format!("{} rue des Lilas", r.random_range(1..200)));
+    b.leaf("City", *CITIES.choose(r).expect("cities"));
+    b.leaf("Zip", format!("{:05}", r.random_range(75000..96000)));
+    b.close();
+    b.leaf("Phone", format!("+33 1 {:02} {:02} {:02} {:02}", r.random_range(10..99), r.random_range(10..99), r.random_range(10..99), r.random_range(10..99)));
+    b.leaf("Gender", ["F", "M"].choose(r).expect("g").to_string());
+    b.leaf("BloodType", ["O+", "O-", "A+", "A-", "B+", "AB+"].choose(r).expect("bt").to_string());
+    b.leaf("Email", format!("patient{f:04}@example.org"));
+    b.open("Insurance");
+    b.leaf("Company", *INSURERS.choose(r).expect("insurers"));
+    b.leaf("PolicyNum", format!("{:08}", r.random_range(0..100_000_000)));
+    b.leaf("Mutual", ["yes", "no"].choose(r).expect("m").to_string());
+    b.close();
+    b.open("Emergency");
+    b.open("Contact");
+    b.leaf("Name", format!("{} {}", FIRST_NAMES.choose(r).expect("f"), LAST_NAMES.choose(r).expect("l")));
+    b.leaf("Relation", *RELATIONS.choose(r).expect("rel"));
+    b.leaf("ContactPhone", format!("+33 6 {:02} {:02} {:02} {:02}", r.random_range(10..99), r.random_range(10..99), r.random_range(10..99), r.random_range(10..99)));
+    b.close();
+    b.close();
+    if r.random_bool(0.25) {
+        b.open("Allergies");
+        for _ in 0..r.random_range(1..=2) {
+            b.leaf("Allergy", ["penicillin", "latex", "pollen", "peanuts", "aspirin"].choose(r).expect("a").to_string());
+        }
+        b.close();
+    }
+    b.close();
+}
+
+fn med_acts(b: &mut DocBuilder<'_>, config: &HospitalConfig, r: &mut impl Rng) {
+    b.open("MedActs");
+    let n = r.random_range(config.acts_per_folder / 2..=config.acts_per_folder * 3 / 2);
+    for _ in 0..n {
+        b.open("Act");
+        b.leaf("Date", date(r));
+        b.leaf("RPhys", physician_name(pick_physician(config.physicians, r)));
+        b.leaf("ActType", ["consultation", "surgery", "radiology", "checkup"].choose(r).expect("acts").to_string());
+        b.open("Details");
+        b.open("VitalSigns");
+        for &(name, unit, base) in VITALS.iter().take(r.random_range(2..=VITALS.len())) {
+            b.open(name);
+            b.leaf("Value", base);
+            b.leaf("Unit", unit);
+            b.close();
+        }
+        b.close();
+        b.leaf("Symptoms", multi(SYMPTOMS, 4, r));
+        b.leaf("Diagnostic", multi(DIAGNOSTICS, 4, r));
+        b.leaf("Comments", multi(COMMENTS, 5, r));
+        if r.random_bool(0.5) {
+            b.open("Treatment");
+            b.leaf("Drug", *DRUGS.choose(r).expect("drugs"));
+            b.leaf("Dose", format!("{} mg", 50 * r.random_range(1..20)));
+            b.leaf("Frequency", ["once daily", "twice daily", "every 8 hours"].choose(r).expect("freq").to_string());
+            b.leaf("Duration", format!("{} days", r.random_range(3..30)));
+            b.close();
+        }
+        b.close();
+        b.open("Billing");
+        b.leaf("Code", format!("B{:04}", r.random_range(0..10_000)));
+        b.leaf("Amount", format!("{}.00", r.random_range(20..400)));
+        b.close();
+        b.close();
+    }
+    b.close();
+}
+
+fn analysis(
+    b: &mut DocBuilder<'_>,
+    config: &HospitalConfig,
+    protocol_types: &[u32],
+    r: &mut impl Rng,
+) {
+    b.open("Analysis");
+    let n = r.random_range(1..=config.lab_results_per_folder * 2 - 1);
+    for _ in 0..n {
+        b.open("LabResults");
+        b.leaf("Date", date(r));
+        b.leaf("Lab", format!("lab{:02}", r.random_range(0..20)));
+        let groups = r.random_range(1..=3);
+        for _ in 0..groups {
+            let g = if !protocol_types.is_empty() && r.random_bool(0.9) {
+                *protocol_types.choose(r).expect("types")
+            } else {
+                r.random_range(1..=10)
+            };
+            b.open(&format!("G{g}"));
+            for &(m, lo, hi) in MEASURES.iter().take(r.random_range(2..=MEASURES.len())) {
+                b.leaf(m, r.random_range(lo..=hi).to_string());
+            }
+            b.leaf("RPhys", physician_name(pick_physician(config.physicians, r)));
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+}
+
+fn immunology(b: &mut DocBuilder<'_>, r: &mut impl Rng) {
+    b.open("Immunology");
+    let n = r.random_range(1..=3);
+    for _ in 0..n {
+        b.open("Test");
+        b.leaf("Antigen", *IMMUNO_TESTS.choose(r).expect("tests"));
+        b.open("Result");
+        b.leaf("Titer", format!("1:{}", 1 << r.random_range(2..9)));
+        b.leaf("Interpretation", ["immune", "non-immune", "equivocal"].choose(r).expect("interp").to_string());
+        b.close();
+        b.close();
+    }
+    b.close();
+}
+
+fn date(r: &mut impl Rng) -> String {
+    format!("200{}-{:02}-{:02}", r.random_range(0..5), r.random_range(1..13), r.random_range(1..29))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsac_xml::DocStats;
+
+    #[test]
+    fn small_document_is_valid() {
+        let doc = hospital_document(&HospitalConfig { folders: 5, ..Default::default() }, 1);
+        let s = DocStats::of(&doc);
+        assert!(s.elements > 100);
+        assert_eq!(s.max_depth, 8, "Hospital depth matches Table 2");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = HospitalConfig { folders: 3, ..Default::default() };
+        let a = hospital_document(&cfg, 7);
+        let b = hospital_document(&cfg, 7);
+        assert_eq!(a.events(), b.events());
+        let c = hospital_document(&cfg, 8);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn table2_characteristics_at_scale_one() {
+        let doc = hospital_document(&HospitalConfig::default(), 42);
+        let s = DocStats::of(&doc);
+        // Table 2: 3.6 MB, 2.1 MB text, 89 tags, 117 795 elements,
+        // avg depth 6.8. Tolerance ±25% (synthetic reproduction).
+        assert!((80_000..160_000).contains(&s.elements), "elements {}", s.elements);
+        assert!((2_500_000..5_000_000).contains(&s.size), "size {}", s.size);
+        assert!(s.text_size * 3 > s.size, "text-dominated like the original: {s:?}");
+        assert!((75..110).contains(&s.distinct_tags), "tags {}", s.distinct_tags);
+        assert!((5.5..7.5).contains(&s.avg_depth), "avg depth {}", s.avg_depth);
+        assert_eq!(s.max_depth, 8);
+    }
+
+    #[test]
+    fn contains_researcher_material() {
+        let doc = hospital_document(&HospitalConfig::default(), 42);
+        let xml = xsac_xml::writer::document_to_string(&doc);
+        assert!(xml.contains("<Protocol>"));
+        assert!(xml.contains("<G3>"));
+        assert!(xml.contains("<Cholesterol>"));
+    }
+}

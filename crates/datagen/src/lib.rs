@@ -1,0 +1,81 @@
+//! Synthetic datasets and workloads for the experiments of §7.
+//!
+//! The paper evaluates on one synthetic and three real documents
+//! (Table 2). The real datasets came from the now-defunct UW XML
+//! repository; the generators below reproduce their *published structural
+//! characteristics* (size, text ratio, depths, tag counts, element
+//! counts), which is what the index and skipping behaviour depend on:
+//!
+//! | dataset | size | text | max depth | avg depth | tags | elements |
+//! |---|---|---|---|---|---|---|
+//! | WSU | 1.3 MB | 210 KB | 4 | 3.1 | 20 | 74 557 |
+//! | Sigmod | 350 KB | 146 KB | 6 | 5.1 | 11 | 11 526 |
+//! | Treebank | 59 MB | 33 MB | 36 | 7.8 | 250 | 2 437 666 |
+//! | Hospital | 3.6 MB | 2.1 MB | 8 | 6.8 | 89 | 117 795 |
+//!
+//! The Hospital document follows the Figure-1 DTD and is generated the
+//! way the paper generated it with ToXgene. Each generator accepts a
+//! `scale` factor (1.0 reproduces Table 2; tests use small scales).
+//!
+//! [`profiles`] builds the access-control policies of the motivating
+//! example (Secretary / Doctor / Researcher and the five Figure-10 view
+//! variants); [`rulegen`] draws random policies for Figure 12.
+
+pub mod hospital;
+pub mod profiles;
+pub mod rulegen;
+pub mod sigmod;
+pub mod treebank;
+pub mod wsu;
+
+pub use hospital::{hospital_document, HospitalConfig};
+pub use profiles::{doctor_policy, researcher_policy, secretary_policy, Profile};
+pub use rulegen::{random_policy, RuleGenConfig};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for reproducible experiments.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// The four Table-2 datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// University course listings (flat, many small elements).
+    Wsu,
+    /// SIGMOD Record article index (regular, shallow).
+    Sigmod,
+    /// Penn Treebank parse trees (deep, recursive, 250 tags).
+    Treebank,
+    /// The paper's synthetic hospital document (Figure 1 DTD).
+    Hospital,
+}
+
+impl Dataset {
+    /// All datasets.
+    pub const ALL: [Dataset; 4] = [Dataset::Wsu, Dataset::Sigmod, Dataset::Treebank, Dataset::Hospital];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Wsu => "WSU",
+            Dataset::Sigmod => "Sigmod",
+            Dataset::Treebank => "Treebank",
+            Dataset::Hospital => "Hospital",
+        }
+    }
+
+    /// Generates the dataset at the given scale (1.0 = Table 2 size).
+    pub fn generate(self, scale: f64, seed: u64) -> xsac_xml::Document {
+        match self {
+            Dataset::Wsu => wsu::wsu_document(scale, seed),
+            Dataset::Sigmod => sigmod::sigmod_document(scale, seed),
+            Dataset::Treebank => treebank::treebank_document(scale, seed),
+            Dataset::Hospital => {
+                hospital::hospital_document(&HospitalConfig::at_scale(scale), seed)
+            }
+        }
+    }
+}

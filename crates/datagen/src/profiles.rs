@@ -1,0 +1,186 @@
+//! The access-control policies of the motivating example (Figure 1) and
+//! the view variants of Figure 10.
+
+use xsac_core::{Policy, Sign};
+use xsac_xml::TagDict;
+
+/// The user profiles evaluated in §7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// `S1: ⊕ //Admin`.
+    Secretary,
+    /// Doctor with the Figure-1 rules (`USER` = a physician id).
+    Doctor,
+    /// Researcher with rules R2/R3 instantiated for `groups` protocol
+    /// groups ("Rules 2 & 3 occur for each of the 10 groups" — §7 uses
+    /// all ten for the complex-policy measurement).
+    Researcher {
+        /// Number of `G<i>` groups granted (1..=10).
+        groups: usize,
+    },
+}
+
+impl Profile {
+    /// Figure-9's three profiles.
+    pub fn figure9() -> [Profile; 3] {
+        [Profile::Secretary, Profile::Doctor, Profile::Researcher { groups: 10 }]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Secretary => "Secretary",
+            Profile::Doctor => "Doctor",
+            Profile::Researcher { .. } => "Researcher",
+        }
+    }
+
+    /// Builds the policy for `subject`.
+    pub fn policy(self, subject: &str, dict: &mut TagDict) -> Policy {
+        match self {
+            Profile::Secretary => secretary_policy(subject, dict),
+            Profile::Doctor => doctor_policy(subject, dict),
+            Profile::Researcher { groups } => researcher_policy(subject, groups, dict),
+        }
+    }
+}
+
+/// `S1: ⊕ //Admin` — "a secretary is granted access only to the patient's
+/// administrative subfolders".
+pub fn secretary_policy(subject: &str, dict: &mut TagDict) -> Policy {
+    Policy::parse(subject, &[(Sign::Permit, "//Admin")], dict).expect("static policy")
+}
+
+/// The Doctor policy D1–D4 of Figure 1.
+pub fn doctor_policy(subject: &str, dict: &mut TagDict) -> Policy {
+    Policy::parse(
+        subject,
+        &[
+            (Sign::Permit, "//Folder/Admin"),
+            (Sign::Permit, "//MedActs[//RPhys = USER]"),
+            (Sign::Deny, "//Act[RPhys != USER]/Details"),
+            (Sign::Permit, "//Folder[MedActs//RPhys = USER]/Analysis"),
+        ],
+        dict,
+    )
+    .expect("static policy")
+}
+
+/// The Researcher policy R1 + (R2, R3) per group.
+pub fn researcher_policy(subject: &str, groups: usize, dict: &mut TagDict) -> Policy {
+    assert!((1..=10).contains(&groups));
+    let mut rules: Vec<(Sign, String)> =
+        vec![(Sign::Permit, "//Folder[Protocol]//Age".to_owned())];
+    for g in 1..=groups {
+        rules.push((
+            Sign::Permit,
+            format!("//Folder[Protocol/Type=G{g}]//LabResults//G{g}"),
+        ));
+        rules.push((Sign::Deny, format!("//G{g}[Cholesterol > 250]")));
+    }
+    let refs: Vec<(Sign, &str)> = rules.iter().map(|(s, p)| (*s, p.as_str())).collect();
+    Policy::parse(subject, &refs, dict).expect("static policy")
+}
+
+/// The five Figure-10 views: Secretary, part-time / full-time doctor
+/// (few / many patients — controlled through how common the physician id
+/// is in the generated data), junior / senior researcher (few / many
+/// groups).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum View {
+    /// Secretary.
+    S,
+    /// Part-time doctor (rare physician id).
+    Ptd,
+    /// Full-time doctor (frequent physician id).
+    Ftd,
+    /// Junior researcher (2 groups).
+    Jr,
+    /// Senior researcher (8 groups).
+    Sr,
+}
+
+impl View {
+    /// All Figure-10 views.
+    pub const ALL: [View; 5] = [View::S, View::Ptd, View::Ftd, View::Jr, View::Sr];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            View::S => "Sec",
+            View::Ptd => "PTD",
+            View::Ftd => "FTD",
+            View::Jr => "JR",
+            View::Sr => "SR",
+        }
+    }
+
+    /// Builds the view's policy. `frequent_phys` / `rare_phys` are
+    /// physician ids with many / few occurrences in the dataset.
+    pub fn policy(
+        self,
+        dict: &mut TagDict,
+        frequent_phys: &str,
+        rare_phys: &str,
+    ) -> Policy {
+        match self {
+            View::S => secretary_policy("sec", dict),
+            View::Ptd => doctor_policy(rare_phys, dict),
+            View::Ftd => doctor_policy(frequent_phys, dict),
+            View::Jr => researcher_policy("jr", 2, dict),
+            View::Sr => researcher_policy("sr", 8, dict),
+        }
+    }
+}
+
+/// The Figure-10 query, parameterized by the age threshold `v` (varying
+/// the selectivity): `//Folder[//Age > v]`.
+pub fn figure10_query(v: u32) -> String {
+    format!("//Folder[//Age > {v}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_compile() {
+        let mut dict = TagDict::new();
+        assert_eq!(secretary_policy("s", &mut dict).rules.len(), 1);
+        assert_eq!(doctor_policy("d", &mut dict).rules.len(), 4);
+        assert_eq!(researcher_policy("r", 10, &mut dict).rules.len(), 21);
+        assert_eq!(researcher_policy("r", 1, &mut dict).rules.len(), 3);
+    }
+
+    #[test]
+    fn figure9_profiles() {
+        let mut dict = TagDict::new();
+        for p in Profile::figure9() {
+            let policy = p.policy("u", &mut dict);
+            assert!(!policy.rules.is_empty(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn views_compile() {
+        let mut dict = TagDict::new();
+        for v in View::ALL {
+            let p = v.policy(&mut dict, "phys000", "phys039");
+            assert!(!p.rules.is_empty(), "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn query_text() {
+        assert_eq!(figure10_query(65), "//Folder[//Age > 65]");
+        let parsed = xsac_xpath::parse_path(&figure10_query(65)).unwrap();
+        assert_eq!(parsed.predicate_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn researcher_groups_bounded() {
+        let mut dict = TagDict::new();
+        let _ = researcher_policy("r", 11, &mut dict);
+    }
+}

@@ -1,0 +1,87 @@
+//! Synthetic SIGMOD Record dataset: index of articles.
+//!
+//! Table 2: 350 KB, 146 KB text, max depth 6, avg depth 5.1, 11 tags,
+//! 8 383 text nodes, 11 526 elements. "The Sigmod document is
+//! well-structured, non-recursive, of medium depth" (§7).
+
+use crate::rng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use xsac_xml::Document;
+
+const TITLE_WORDS: &[&str] = &[
+    "Efficient", "Scalable", "Adaptive", "Distributed", "Parallel", "Incremental", "Secure",
+    "Query", "Processing", "Optimization", "Indexing", "Streams", "XML", "Relational",
+    "Transactions", "Views", "Mining", "Warehouses", "Joins", "Caching", "Replication",
+];
+const FIRST: &[&str] = &[
+    "Michael", "Rakesh", "Serge", "Hector", "Jennifer", "David", "Philip", "Laura", "Umesh",
+    "Christos", "Jim", "Pat", "Divesh", "Jeff", "Mary",
+];
+const LAST: &[&str] = &[
+    "Stonebraker", "Agrawal", "Abiteboul", "Garcia-Molina", "Widom", "DeWitt", "Bernstein",
+    "Haas", "Dayal", "Faloutsos", "Gray", "Selinger", "Srivastava", "Ullman", "Fernandez",
+];
+
+/// Generates the Sigmod-like document (`scale` 1.0 ≈ Table 2).
+pub fn sigmod_document(scale: f64, seed: u64) -> Document {
+    let mut r = rng(seed);
+    let issues = ((100.0 * scale).round() as usize).max(1);
+    Document::build("SigmodRecord", |b| {
+        for i in 0..issues {
+            b.open("issue");
+            b.leaf("volume", (11 + i / 4).to_string());
+            b.leaf("number", (1 + i % 4).to_string());
+            b.open("articles");
+            let n = r.random_range(10..=20);
+            for _ in 0..n {
+                b.open("article");
+                let words = r.random_range(4..=9);
+                let title: Vec<&str> = (0..words)
+                    .map(|_| *TITLE_WORDS.choose(&mut r).expect("words"))
+                    .collect();
+                b.leaf("title", format!("{}.", title.join(" ")));
+                let start = r.random_range(1..400);
+                b.leaf("initPage", start.to_string());
+                b.leaf("endPage", (start + r.random_range(2..30)).to_string());
+                b.open("authors");
+                for _ in 0..r.random_range(1..=4) {
+                    b.open("author");
+                    b.text(format!(
+                        "{} {}",
+                        FIRST.choose(&mut r).expect("f"),
+                        LAST.choose(&mut r).expect("l")
+                    ));
+                    b.close();
+                }
+                b.close();
+                b.close();
+            }
+            b.close();
+            b.close();
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsac_xml::DocStats;
+
+    #[test]
+    fn table2_characteristics() {
+        let doc = sigmod_document(1.0, 11);
+        let s = DocStats::of(&doc);
+        assert_eq!(s.max_depth, 6);
+        assert!((9..=12).contains(&s.distinct_tags), "tags {}", s.distinct_tags);
+        assert!((9_000..15_000).contains(&s.elements), "elements {}", s.elements);
+        assert!((4.5..5.6).contains(&s.avg_depth), "avg depth {}", s.avg_depth);
+        assert!((250_000..500_000).contains(&s.size), "size {}", s.size);
+        assert!(s.text_size * 3 > s.size, "text-rich: {} of {}", s.text_size, s.size);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(sigmod_document(0.1, 2).events(), sigmod_document(0.1, 2).events());
+    }
+}

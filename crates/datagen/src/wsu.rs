@@ -1,0 +1,87 @@
+//! Synthetic WSU dataset: university course listings.
+//!
+//! Table 2: 1.3 MB, 210 KB text, max depth 4, avg depth 3.1, 20 tags,
+//! 48 820 text nodes, 74 557 elements. "The WSU document is rather flat
+//! and contains a large amount of very small elements (its structure
+//! represents 78% of the document size after TCSBR indexation)" (§7).
+
+use crate::rng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use xsac_xml::Document;
+
+const DEPTS: &[&str] = &[
+    "CS", "EE", "ME", "MATH", "PHYS", "CHEM", "BIOL", "HIST", "ENGL", "PHIL", "ECON", "STAT",
+];
+const BUILDINGS: &[&str] = &["SLOAN", "TODD", "FULMR", "CUE", "HELD", "CARP", "EME"];
+const DAYS: &[&str] = &["MWF", "TTH", "MW", "F", "DAILY", "ARR"];
+const TITLES: &[&str] = &[
+    "INTRO PROGRAMMING", "DATA STRUCTURES", "CIRCUITS I", "THERMODYNAMICS", "CALCULUS II",
+    "QUANTUM MECH", "ORGANIC CHEM", "GENETICS", "WORLD HISTORY", "COMPOSITION", "ETHICS",
+    "MICROECONOMICS", "PROBABILITY", "DATABASES", "OPERATING SYS",
+];
+
+/// Generates the WSU-like document (`scale` 1.0 ≈ Table 2).
+pub fn wsu_document(scale: f64, seed: u64) -> Document {
+    let mut r = rng(seed);
+    let courses = ((4400.0 * scale).round() as usize).max(1);
+    Document::build("root", |b| {
+        for _ in 0..courses {
+            b.open("course");
+            b.leaf("sln", format!("{:05}", r.random_range(10000..99999)));
+            b.leaf("limit", r.random_range(5..300).to_string());
+            b.leaf("enrolled", r.random_range(0..300).to_string());
+            b.leaf("title", *TITLES.choose(&mut r).expect("titles"));
+            b.open("crs");
+            b.leaf("prefix", *DEPTS.choose(&mut r).expect("depts"));
+            b.leaf("num", r.random_range(100..600).to_string());
+            b.close();
+            b.leaf("sect", format!("{:02}", r.random_range(1..20)));
+            b.leaf("credit", format!("{}.0", r.random_range(1..5)));
+            b.leaf("days", *DAYS.choose(&mut r).expect("days"));
+            b.open("times");
+            b.leaf("start", format!("{}:{:02}", r.random_range(7..19), 10 * r.random_range(0..6)));
+            b.leaf("end", format!("{}:{:02}", r.random_range(8..21), 10 * r.random_range(0..6)));
+            b.close();
+            b.open("place");
+            b.leaf("bldg", *BUILDINGS.choose(&mut r).expect("bldgs"));
+            b.leaf("room", r.random_range(100..500).to_string());
+            b.close();
+            b.leaf("instructor", format!("{}.", ["SMITH", "JONES", "LEE", "CHEN", "DAVIS", "STAFF"].choose(&mut r).expect("i")));
+            if r.random_bool(0.15) {
+                b.leaf("footnote", "SEE DEPARTMENT FOR DETAILS");
+            }
+            b.close();
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsac_xml::DocStats;
+
+    #[test]
+    fn table2_shape_small_scale() {
+        let doc = wsu_document(0.05, 3);
+        let s = DocStats::of(&doc);
+        assert_eq!(s.max_depth, 4, "root/course/times/start");
+    }
+
+    #[test]
+    fn table2_characteristics() {
+        let doc = wsu_document(1.0, 3);
+        let s = DocStats::of(&doc);
+        assert_eq!(s.max_depth, 4);
+        assert!((15..=22).contains(&s.distinct_tags), "tags {}", s.distinct_tags);
+        assert!((55_000..95_000).contains(&s.elements), "elements {}", s.elements);
+        assert!((2.8..3.5).contains(&s.avg_depth), "avg depth {}", s.avg_depth);
+        assert!((900_000..1_700_000).contains(&s.size), "size {}", s.size);
+        assert!(s.text_size < s.size / 3, "flat + small values: text {} size {}", s.text_size, s.size);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(wsu_document(0.01, 5).events(), wsu_document(0.01, 5).events());
+    }
+}

@@ -1,0 +1,215 @@
+//! Bit-level I/O for the skip-index encodings.
+//!
+//! Node records are byte-aligned (the paper: "In all these methods, the
+//! metadata need be aligned on a byte frontier"), so writers expose an
+//! explicit [`BitWriter::align`] and readers track their byte position for
+//! subtree skips.
+
+/// Number of bits needed to express values in `0..=max` (at least 1).
+pub fn width_for(max: u64) -> u32 {
+    if max == 0 {
+        1
+    } else {
+        64 - max.leading_zeros()
+    }
+}
+
+/// MSB-first bit writer.
+#[derive(Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0 = aligned).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `width` low bits of `value`, MSB first.
+    pub fn write(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        debug_assert!(width == 64 || value < (1u64 << width), "value {value} overflows {width} bits");
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed");
+            *last |= (bit as u8) << (7 - self.used);
+            self.used = (self.used + 1) % 8;
+        }
+    }
+
+    /// Writes a single flag bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write(bit as u64, 1);
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        self.used = 0;
+    }
+
+    /// Appends raw bytes (must be aligned).
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        assert_eq!(self.used, 0, "write_bytes requires byte alignment");
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Current length in bytes (including any partial byte).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Finishes, returning the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit position.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader starting at byte `offset`.
+    pub fn at(data: &'a [u8], offset: usize) -> Self {
+        BitReader { data, pos: offset * 8 }
+    }
+
+    /// Reads `width` bits MSB first.
+    pub fn read(&mut self, width: u32) -> Option<u64> {
+        if self.pos + width as usize > self.data.len() * 8 {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.data[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Some(out)
+    }
+
+    /// Reads one flag bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read(1).map(|b| b != 0)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Current byte position (aligned reads only).
+    pub fn byte_pos(&self) -> usize {
+        debug_assert_eq!(self.pos % 8, 0, "byte_pos on unaligned reader");
+        self.pos / 8
+    }
+
+    /// Jumps to an absolute byte position.
+    pub fn seek(&mut self, byte: usize) {
+        self.pos = byte * 8;
+    }
+
+    /// Reads `n` raw bytes (aligned).
+    pub fn read_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        debug_assert_eq!(self.pos % 8, 0);
+        let start = self.pos / 8;
+        if start + n > self.data.len() {
+            return None;
+        }
+        self.pos += n * 8;
+        Some(&self.data[start..start + n])
+    }
+
+    /// True when all bytes are consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_for_boundaries() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(4), 3);
+        assert_eq!(width_for(255), 8);
+        assert_eq!(width_for(256), 9);
+    }
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write(5, 3);
+        w.write(1, 1);
+        w.write(1000, 10);
+        w.align();
+        w.write(0xDEADBEEF, 32);
+        let buf = w.finish();
+        let mut r = BitReader::at(&buf, 0);
+        assert_eq!(r.read(3), Some(5));
+        assert_eq!(r.read(1), Some(1));
+        assert_eq!(r.read(10), Some(1000));
+        r.align();
+        assert_eq!(r.read(32), Some(0xDEADBEEF));
+    }
+
+    #[test]
+    fn bytes_and_alignment() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.align();
+        w.write_bytes(b"xy");
+        let buf = w.finish();
+        assert_eq!(buf.len(), 3);
+        let mut r = BitReader::at(&buf, 0);
+        assert_eq!(r.read_bit(), Some(true));
+        r.align();
+        assert_eq!(r.byte_pos(), 1);
+        assert_eq!(r.read_bytes(2), Some(&b"xy"[..]));
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_none() {
+        let buf = [0xFFu8];
+        let mut r = BitReader::at(&buf, 0);
+        assert_eq!(r.read(8), Some(0xFF));
+        assert_eq!(r.read(1), None);
+        assert_eq!(r.read_bytes(1), None);
+    }
+
+    #[test]
+    fn seek_repositions() {
+        let buf = [1u8, 2, 3];
+        let mut r = BitReader::at(&buf, 0);
+        r.seek(2);
+        assert_eq!(r.read(8), Some(3));
+    }
+
+    #[test]
+    fn zero_width_read() {
+        let buf = [0u8];
+        let mut r = BitReader::at(&buf, 0);
+        assert_eq!(r.read(0), Some(0));
+    }
+}

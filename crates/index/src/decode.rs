@@ -1,0 +1,507 @@
+//! Streaming decoder for the Skip index (TCSBR) with subtree skipping.
+//!
+//! The decoder mirrors §4.1's description: "the SOE stores the tag
+//! dictionary and uses an internal SkipStack to record the DescTag and
+//! SubtreeSize of the current element. When decoding an element e,
+//! DescTag_parent(e) and SubtreeSize_parent(e) are retrieved from this
+//! stack and used to decode in turn TagArray_e, SubtreeSize_e and the
+//! encoded tag of e."
+//!
+//! Skipping an open subtree is a byte seek to its body end; pending
+//! subtrees can be re-decoded later from a saved [`DecoderContext`]
+//! (read-back, §5) without re-analyzing anything else.
+
+use crate::bits::{width_for, BitReader};
+use std::fmt;
+use std::rc::Rc;
+use xsac_xml::{Event, TagId, TagSet};
+
+/// Decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded node event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedNode {
+    /// An element opens. `desc` is its descendant-tag set (the decoded
+    /// TagArray), `body` the byte extent of its content.
+    Element {
+        /// The element tag.
+        tag: TagId,
+        /// Descendant tags (strictly below); empty for leaves.
+        desc: Rc<TagSet>,
+        /// Byte extent `[start, end)` of the body.
+        body: (usize, usize),
+    },
+    /// A text node.
+    Text(String),
+    /// An element closes (synthesized — the encoding has no closing tags).
+    Close(TagId),
+    /// End of document.
+    End,
+}
+
+/// Snapshot sufficient to re-decode a byte range later (pending-subtree
+/// readback): the record's starting offset, its end, and the decoding
+/// context it is read under.
+#[derive(Debug, Clone)]
+pub struct DecoderContext {
+    /// First byte of the range (a record boundary).
+    pub start: usize,
+    /// One past the last byte of the range.
+    pub end: usize,
+    /// `DescTag_parent`: tag list the records are indexed against.
+    pub tags: Rc<[TagId]>,
+    /// `SubtreeSize_parent`: the size bound for the size fields.
+    pub body_bound: u64,
+}
+
+struct Level {
+    tag: TagId,
+    tags: Rc<[TagId]>,
+    /// Decoded TagArray kept for [`Decoder`] clients via the Element
+    /// event; retained per level for potential re-exposure.
+    #[allow(dead_code)]
+    desc: Rc<TagSet>,
+    body_bound: u64,
+    end: usize,
+}
+
+/// Streaming TCSBR decoder.
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    stack: Vec<Level>,
+    /// Context of the most recently decoded element record.
+    last_element: Option<DecoderContext>,
+    root_tags: Rc<[TagId]>,
+    done: bool,
+    /// Total bytes consumed by `next` (for cost accounting; skipped bytes
+    /// are *not* counted — that is the point of the index).
+    pub bytes_read: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over TCSBR bytes; `dict_len` is the tag
+    /// dictionary size (shared knowledge between SOE and server).
+    pub fn new(data: &'a [u8], dict_len: usize) -> Result<Decoder<'a>, DecodeError> {
+        if data.len() < 4 {
+            return Err(DecodeError { offset: 0, message: "missing header".into() });
+        }
+        let root_tags: Rc<[TagId]> = (0..dict_len as u32).map(TagId).collect();
+        Ok(Decoder {
+            data,
+            pos: 4,
+            stack: Vec::new(),
+            last_element: None,
+            root_tags,
+            done: false,
+            bytes_read: 4,
+        })
+    }
+
+    /// Current absolute byte position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The context of the element record most recently returned by
+    /// [`Decoder::next`] — save it before skipping to allow readback.
+    pub fn last_element_context(&self) -> Option<DecoderContext> {
+        self.last_element.clone()
+    }
+
+    /// Context covering the *remaining* content of the current element
+    /// (skip-rest on close directives).
+    pub fn rest_context(&self) -> Option<DecoderContext> {
+        let top = self.stack.last()?;
+        Some(DecoderContext {
+            start: self.pos,
+            end: top.end,
+            tags: top.tags.clone(),
+            body_bound: top.body_bound,
+        })
+    }
+
+    /// Next node in document order.
+    #[allow(clippy::should_implement_trait)] // fallible pull-style next()
+    pub fn next(&mut self) -> Result<DecodedNode, DecodeError> {
+        if self.done {
+            return Ok(DecodedNode::End);
+        }
+        // Close any element whose body is exhausted.
+        if let Some(top) = self.stack.last() {
+            debug_assert!(self.pos <= top.end, "decoder overran a subtree");
+            if self.pos == top.end {
+                let level = self.stack.pop().expect("non-empty");
+                if self.stack.is_empty() {
+                    self.done = true;
+                }
+                return Ok(DecodedNode::Close(level.tag));
+            }
+        } else if !self.stack.is_empty() {
+            unreachable!()
+        }
+        if self.stack.is_empty() && self.pos > 4 {
+            self.done = true;
+            return Ok(DecodedNode::End);
+        }
+
+        let (tags, bound, level_end) = match self.stack.last() {
+            Some(top) => (top.tags.clone(), top.body_bound, top.end),
+            None => {
+                let end = 4 + u32::from_be_bytes(self.data[0..4].try_into().expect("header"))
+                    as usize;
+                (self.root_tags.clone(), u32::MAX as u64, end)
+            }
+        };
+        let record_start = self.pos;
+        let mut r = BitReader::at(self.data, self.pos);
+        let err = |offset, message: &str| DecodeError { offset, message: message.into() };
+        let leaf = r.read_bit().ok_or_else(|| err(record_start, "eof in leaf bit"))?;
+        let tagw = width_for(tags.len().saturating_sub(1) as u64);
+        let idx = r.read(tagw).ok_or_else(|| err(record_start, "eof in tag index"))? as usize;
+        let tag = *tags
+            .get(idx)
+            .ok_or_else(|| err(record_start, "tag index out of context"))?;
+        let sizew = width_for(bound);
+        let size = r.read(sizew).ok_or_else(|| err(record_start, "eof in size"))? as usize;
+        let mut desc = TagSet::new();
+        if !leaf {
+            for &t in tags.iter() {
+                if r.read_bit().ok_or_else(|| err(record_start, "eof in tag array"))? {
+                    desc.insert(t);
+                }
+            }
+        }
+        r.align();
+        let body_start = r.byte_pos();
+        let body_end = body_start + size;
+        if body_end > level_end {
+            return Err(err(record_start, "record overruns its parent"));
+        }
+        self.bytes_read += body_start - record_start;
+        if tag == TagId::TEXT {
+            let bytes = r
+                .read_bytes(size)
+                .ok_or_else(|| err(body_start, "eof in text body"))?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| err(body_start, "invalid UTF-8 text"))?
+                .to_owned();
+            self.pos = body_end;
+            self.bytes_read += size;
+            if self.stack.is_empty() {
+                return Err(err(record_start, "text node at document root"));
+            }
+            return Ok(DecodedNode::Text(text));
+        }
+        // Element record.
+        let desc_list: Rc<[TagId]> = desc.to_vec().into();
+        let desc = Rc::new(desc);
+        self.last_element = Some(DecoderContext {
+            start: record_start,
+            end: body_end,
+            tags: tags.clone(),
+            body_bound: bound,
+        });
+        self.stack.push(Level {
+            tag,
+            tags: desc_list,
+            desc: desc.clone(),
+            body_bound: size as u64,
+            end: body_end,
+        });
+        self.pos = body_start;
+        Ok(DecodedNode::Element { tag, desc, body: (body_start, body_end) })
+    }
+
+    /// Skips the element opened by the last [`DecodedNode::Element`]:
+    /// seeks past its body without decoding (and without emitting its
+    /// close). The bytes are *not* counted as read.
+    pub fn skip_current(&mut self) {
+        let level = self.stack.pop().expect("skip_current without open element");
+        self.pos = level.end;
+        if self.stack.is_empty() {
+            self.done = true;
+        }
+    }
+
+    /// Skips the remaining content of the current element (after some of
+    /// its children were decoded) and pops it without emitting its close.
+    pub fn skip_rest(&mut self) {
+        let level = self.stack.pop().expect("skip_rest without open element");
+        self.pos = level.end;
+        if self.stack.is_empty() {
+            self.done = true;
+        }
+    }
+
+    /// Decodes a saved byte range into events (pending readback). The
+    /// range may contain one subtree or a forest of records.
+    pub fn decode_range(
+        data: &[u8],
+        ctx: &DecoderContext,
+    ) -> Result<Vec<Event<'static>>, DecodeError> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(TagId, usize, Rc<[TagId]>, u64)> = Vec::new();
+        let mut pos = ctx.start;
+        loop {
+            // Close exhausted levels.
+            while let Some(&(tag, end, _, _)) = stack.last() {
+                if pos == end {
+                    out.push(Event::Close(tag));
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if stack.is_empty() && pos >= ctx.end {
+                break;
+            }
+            let (tags, bound) = match stack.last() {
+                Some((_, _, tags, bound)) => (tags.clone(), *bound),
+                None => (ctx.tags.clone(), ctx.body_bound),
+            };
+            let record_start = pos;
+            let mut r = BitReader::at(data, pos);
+            let err = |message: &str| DecodeError { offset: record_start, message: message.into() };
+            let leaf = r.read_bit().ok_or_else(|| err("eof in leaf bit"))?;
+            let tagw = width_for(tags.len().saturating_sub(1) as u64);
+            let idx = r.read(tagw).ok_or_else(|| err("eof in tag index"))? as usize;
+            let tag = *tags.get(idx).ok_or_else(|| err("tag index out of context"))?;
+            let sizew = width_for(bound);
+            let size = r.read(sizew).ok_or_else(|| err("eof in size"))? as usize;
+            let mut desc: Vec<TagId> = Vec::new();
+            if !leaf {
+                for &t in tags.iter() {
+                    if r.read_bit().ok_or_else(|| err("eof in tag array"))? {
+                        desc.push(t);
+                    }
+                }
+            }
+            r.align();
+            let body_start = r.byte_pos();
+            let body_end = body_start + size;
+            if tag == TagId::TEXT {
+                let bytes = r.read_bytes(size).ok_or_else(|| err("eof in text body"))?;
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| err("invalid UTF-8 text"))?
+                    .to_owned();
+                out.push(Event::Text(text.into()));
+                pos = body_end;
+            } else {
+                out.push(Event::Open(tag));
+                stack.push((tag, body_end, desc.into(), size as u64));
+                pos = body_start;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes everything into events (no skipping — brute-force mode).
+    pub fn decode_all(data: &[u8], dict_len: usize) -> Result<Vec<Event<'static>>, DecodeError> {
+        let mut d = Decoder::new(data, dict_len)?;
+        let mut out = Vec::new();
+        loop {
+            match d.next()? {
+                DecodedNode::Element { tag, .. } => out.push(Event::Open(tag)),
+                DecodedNode::Text(t) => out.push(Event::Text(t.into())),
+                DecodedNode::Close(t) => out.push(Event::Close(t)),
+                DecodedNode::End => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_document, Encoding};
+    use xsac_xml::Document;
+
+    fn roundtrip(xml: &str) {
+        let doc = Document::parse(xml).unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let events = Decoder::decode_all(&enc.bytes, doc.dict.len()).unwrap();
+        assert_eq!(events, doc.events(), "roundtrip of {xml}");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("<a><b>one</b><c>two</c></a>");
+    }
+
+    #[test]
+    fn roundtrip_deep_and_mixed() {
+        roundtrip("<a>t1<b><c><d>deep</d></c></b>t2<e></e></a>");
+    }
+
+    #[test]
+    fn roundtrip_empty_root() {
+        roundtrip("<a></a>");
+    }
+
+    #[test]
+    fn roundtrip_repeated_tags_recursive() {
+        roundtrip("<a><a><a>x</a></a><a>y</a></a>");
+    }
+
+    #[test]
+    fn skip_current_lands_on_sibling() {
+        let doc = Document::parse("<a><b><x>111</x><y>222</y></b><c>cc</c></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+        let b = doc.dict.get("b").unwrap();
+        let c = doc.dict.get("c").unwrap();
+        // a
+        assert!(matches!(d.next().unwrap(), DecodedNode::Element { .. }));
+        // b → skip it
+        match d.next().unwrap() {
+            DecodedNode::Element { tag, .. } => assert_eq!(tag, b),
+            other => panic!("{other:?}"),
+        }
+        d.skip_current();
+        // next must be c
+        match d.next().unwrap() {
+            DecodedNode::Element { tag, .. } => assert_eq!(tag, c),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn skipped_bytes_not_counted() {
+        let doc = Document::parse("<a><b><x>0123456789012345678901234567890123456789</x></b><c>c</c></a>")
+            .unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let full = {
+            let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+            while !matches!(d.next().unwrap(), DecodedNode::End) {}
+            d.bytes_read
+        };
+        let skipped = {
+            let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+            d.next().unwrap(); // a
+            d.next().unwrap(); // b
+            d.skip_current();
+            while !matches!(d.next().unwrap(), DecodedNode::End) {}
+            d.bytes_read
+        };
+        assert!(skipped + 40 <= full, "skipping must save the text bytes: {skipped} vs {full}");
+    }
+
+    #[test]
+    fn readback_matches_skipped_subtree() {
+        let doc = Document::parse("<a><b><x>11</x><y>22</y></b><c>cc</c></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+        d.next().unwrap(); // a
+        d.next().unwrap(); // b
+        let ctx = d.last_element_context().unwrap();
+        d.skip_current();
+        let events = Decoder::decode_range(&enc.bytes, &ctx).unwrap();
+        let b = doc.dict.get("b").unwrap();
+        let x = doc.dict.get("x").unwrap();
+        let y = doc.dict.get("y").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Event::Open(b),
+                Event::Open(x),
+                Event::Text("11".into()),
+                Event::Close(x),
+                Event::Open(y),
+                Event::Text("22".into()),
+                Event::Close(y),
+                Event::Close(b),
+            ]
+        );
+    }
+
+    #[test]
+    fn rest_context_covers_remaining_children() {
+        let doc = Document::parse("<a><b>1</b><c>2</c><d>3</d></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+        d.next().unwrap(); // a
+        d.next().unwrap(); // b
+        d.next().unwrap(); // "1"
+        d.next().unwrap(); // /b
+        let ctx = d.rest_context().unwrap();
+        d.skip_rest();
+        assert!(matches!(d.next().unwrap(), DecodedNode::End));
+        let events = Decoder::decode_range(&enc.bytes, &ctx).unwrap();
+        let c = doc.dict.get("c").unwrap();
+        let dd = doc.dict.get("d").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Event::Open(c),
+                Event::Text("2".into()),
+                Event::Close(c),
+                Event::Open(dd),
+                Event::Text("3".into()),
+                Event::Close(dd),
+            ]
+        );
+    }
+
+    #[test]
+    fn desc_tags_exposed_on_open() {
+        let doc = Document::parse("<a><b><c>x</c></b></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+        match d.next().unwrap() {
+            DecodedNode::Element { desc, .. } => {
+                assert!(desc.contains(doc.dict.get("b").unwrap()));
+                assert!(desc.contains(doc.dict.get("c").unwrap()));
+                assert!(desc.contains(TagId::TEXT));
+                assert!(!desc.contains(doc.dict.get("a").unwrap()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let doc = Document::parse("<a><b>hello world</b></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let truncated = &enc.bytes[..enc.bytes.len() - 4];
+        let mut d = Decoder::new(truncated, doc.dict.len()).unwrap();
+        let mut result = Ok(());
+        loop {
+            match d.next() {
+                Ok(DecodedNode::End) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert!(result.is_err(), "truncation must be detected");
+    }
+
+    #[test]
+    fn garbage_header_errors() {
+        assert!(Decoder::new(&[1, 2], 5).is_err());
+    }
+}

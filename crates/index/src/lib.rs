@@ -1,0 +1,36 @@
+//! The Skip index (§4 of Bouganim et al., VLDB 2004) and the encoding
+//! variants it is compared against in Figure 8.
+//!
+//! The Skip index is "a highly compact structural index, encoded
+//! recursively into the XML document to allow streaming", designed "to
+//! detect and skip the unauthorized fragments (wrt. an access control
+//! policy) and the irrelevant fragments (wrt. a potential query)".
+//!
+//! Encodings (Figure 8):
+//!
+//! | name | content |
+//! |------|---------|
+//! | `NC` | the original, non-compressed textual document |
+//! | `TC` | dictionary tag compression: `log2(Nt)`-bit tag codes |
+//! | `TCS` | TC + subtree sizes (skippable; closing tags dropped) |
+//! | `TCSB` | TCS + a descendant-tag bitmap per internal element |
+//! | `TCSBR` | the recursive variant of TCSB — **the Skip index** |
+//!
+//! Modules:
+//! * [`bits`] — bit-level readers/writers;
+//! * [`encode`] — document → encoded bytes for every variant;
+//! * [`decode`] — streaming decoder with the paper's `SkipStack`, able to
+//!   skip subtrees by their byte extents and to resume decoding at a saved
+//!   position (pending-subtree readback);
+//! * [`overhead`] — the structure/text ratios of Figure 8.
+
+pub mod bits;
+pub mod decode;
+pub mod encode;
+pub mod overhead;
+pub mod update;
+
+pub use decode::{DecodeError, Decoder, DecoderContext, DecodedNode};
+pub use encode::{encode_document, EncodedDoc, Encoding};
+pub use overhead::{overhead_row, OverheadReport};
+pub use update::{update_impact, Update, UpdateImpact};

@@ -1,0 +1,98 @@
+//! Figure-8 metric: index storage overhead as `structure / text` ratios.
+
+use crate::encode::{encode_document, Encoding};
+use xsac_xml::Document;
+
+/// Overhead of every encoding for one document.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Document label.
+    pub name: String,
+    /// Text bytes (denominator).
+    pub text_bytes: usize,
+    /// `(encoding, structure bytes, structure/text %)` per variant.
+    pub rows: Vec<(Encoding, usize, f64)>,
+}
+
+impl OverheadReport {
+    /// Measures all five encodings.
+    pub fn measure(name: &str, doc: &Document) -> OverheadReport {
+        let mut rows = Vec::new();
+        let mut text_bytes = 0;
+        for enc in Encoding::ALL {
+            let e = encode_document(doc, enc);
+            text_bytes = e.text_bytes;
+            let ratio = if e.text_bytes == 0 {
+                f64::INFINITY
+            } else {
+                e.structure_bytes() as f64 / e.text_bytes as f64 * 100.0
+            };
+            rows.push((enc, e.structure_bytes(), ratio));
+        }
+        OverheadReport { name: name.to_owned(), text_bytes, rows }
+    }
+
+    /// Ratio for one encoding.
+    pub fn ratio(&self, enc: Encoding) -> f64 {
+        self.rows
+            .iter()
+            .find(|(e, _, _)| *e == enc)
+            .map(|(_, _, r)| *r)
+            .expect("all encodings measured")
+    }
+}
+
+/// One formatted Figure-8 row.
+pub fn overhead_row(report: &OverheadReport) -> String {
+    let mut s = format!("{:<10} text={:>9}B ", report.name, report.text_bytes);
+    for (enc, _, ratio) in &report.rows {
+        s.push_str(&format!("{}={:>6.1}% ", enc.name(), ratio));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape() {
+        // Enough repetition that tag compression beats the dictionary cost.
+        let doc = Document::parse(
+            "<a><b>hello</b><b>world</b><b>again</b><b>stuff</b><b>here!</b></a>",
+        )
+        .unwrap();
+        let r = OverheadReport::measure("tiny", &doc);
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.text_bytes, 25);
+        assert!(r.ratio(Encoding::NC) > r.ratio(Encoding::TC));
+        let row = overhead_row(&r);
+        assert!(row.contains("TCSBR="));
+    }
+
+    #[test]
+    fn figure8_shape_holds_on_structured_doc() {
+        // A document with many small elements: TC ≪ NC and TCSBR ≤ TCSB.
+        let mut xml = String::from("<folders>");
+        for i in 0..200 {
+            xml.push_str(&format!(
+                "<folder><admin><name>p{i}</name><age>{}</age></admin>\
+                 <acts><act><date>2004-07-{:02}</date></act></acts></folder>",
+                20 + (i % 60),
+                1 + (i % 28)
+            ));
+        }
+        xml.push_str("</folders>");
+        let doc = Document::parse(&xml).unwrap();
+        let r = OverheadReport::measure("synthetic", &doc);
+        assert!(r.ratio(Encoding::TC) < r.ratio(Encoding::NC));
+        assert!(r.ratio(Encoding::TCS) > r.ratio(Encoding::TC));
+        assert!(r.ratio(Encoding::TCSB) > r.ratio(Encoding::TCS));
+        assert!(
+            r.ratio(Encoding::TCSBR) < r.ratio(Encoding::TCSB),
+            "the recursive encoding must beat the flat bitmap one: {} vs {}",
+            r.ratio(Encoding::TCSBR),
+            r.ratio(Encoding::TCSB)
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Update-cost analysis for the Skip index (§4.1, "Updating the
+//! document").
+//!
+//! "In the worst case, updating an element induces an update of the
+//! SubtreeSize, the TagArray and the encoded tag of each of e's ancestors
+//! and of their direct children. In the best case, only the SubtreeSize
+//! of e's ancestors need be updated. The worst case occurs in two rather
+//! infrequent situations: the SubtreeSize of e's ancestor's children have
+//! to be updated if the size of e's father grows (resp. shrinks) and
+//! jumps a power of 2; the TagArray and the encoded tag of e's ancestor's
+//! children have to be updated if the update of e generates an insertion
+//! or deletion in the tag dictionary."
+//!
+//! This module quantifies those effects for a contemplated update without
+//! performing it: which records must be rewritten and roughly how many
+//! bytes of the encoded document they cover.
+
+use crate::bits::width_for;
+use xsac_xml::{Document, Node, NodeId, TagSet};
+
+/// A contemplated document update.
+#[derive(Clone, Debug)]
+pub enum Update {
+    /// Replace the text content of a text node with one of `new_len`
+    /// bytes.
+    ResizeText {
+        /// The text node.
+        node: NodeId,
+        /// New byte length.
+        new_len: usize,
+    },
+    /// Insert a new leaf element `<tag>text</tag>` under an element.
+    InsertLeaf {
+        /// Parent element.
+        parent: NodeId,
+        /// Tag name of the new child.
+        tag: String,
+        /// Text length of the new child.
+        text_len: usize,
+    },
+}
+
+/// The records the update forces to rewrite.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateImpact {
+    /// Ancestors whose `SubtreeSize` field changes (always ≥ the target's
+    /// depth — the best case of §4.1).
+    pub resized_ancestors: usize,
+    /// Ancestors whose size-field *width* jumps a power of two, forcing
+    /// every direct child's size field to be re-encoded.
+    pub width_jumps: usize,
+    /// Children records re-encoded because of width jumps.
+    pub children_reencoded: usize,
+    /// Ancestors whose `TagArray` changes (new descendant tag).
+    pub tagarray_rewrites: usize,
+    /// Whether the update inserts a new entry in the tag dictionary
+    /// (the worst case of §4.1).
+    pub dictionary_insertion: bool,
+}
+
+impl UpdateImpact {
+    /// The §4.1 best case: only ancestor sizes change.
+    pub fn is_best_case(&self) -> bool {
+        self.width_jumps == 0 && self.tagarray_rewrites == 0 && !self.dictionary_insertion
+    }
+}
+
+/// Analyses the impact of `update` on the TCSBR encoding of `doc`.
+pub fn update_impact(doc: &Document, update: &Update) -> UpdateImpact {
+    let parents = parent_map(doc);
+    let mut impact = UpdateImpact::default();
+    match update {
+        Update::ResizeText { node, new_len } => {
+            let old_len = match doc.node(*node) {
+                Node::Text(t) => t.len(),
+                Node::Element { .. } => panic!("ResizeText targets a text node"),
+            };
+            let delta = *new_len as i64 - old_len as i64;
+            size_chain_impact(doc, &parents, parents[node.index()], delta, &mut impact);
+        }
+        Update::InsertLeaf { parent, tag, text_len } => {
+            assert!(
+                matches!(doc.node(*parent), Node::Element { .. }),
+                "InsertLeaf targets an element"
+            );
+            // New record ≈ header (2-4 bytes) + text record + text.
+            let added = 4 + 2 + *text_len as i64;
+            size_chain_impact(doc, &parents, Some(*parent), added, &mut impact);
+            // Tag novelty: a tag unseen in the dictionary rewrites the
+            // TagArrays of the whole ancestor chain; a tag merely new to
+            // some subtree rewrites the TagArrays up to the first
+            // ancestor that already contains it.
+            let tag_id = doc.dict.get(tag);
+            impact.dictionary_insertion = tag_id.is_none();
+            let mut cur = Some(*parent);
+            while let Some(a) = cur {
+                let contains = tag_id.is_some_and(|t| subtree_tags(doc, a).contains(t));
+                if contains {
+                    break;
+                }
+                impact.tagarray_rewrites += 1;
+                cur = parents[a.index()];
+            }
+        }
+    }
+    impact
+}
+
+/// Walks the ancestor chain accumulating size-field effects.
+fn size_chain_impact(
+    doc: &Document,
+    parents: &[Option<NodeId>],
+    mut cur: Option<NodeId>,
+    delta: i64,
+    impact: &mut UpdateImpact,
+) {
+    if delta == 0 {
+        return;
+    }
+    while let Some(a) = cur {
+        impact.resized_ancestors += 1;
+        let old = encoded_body_size(doc, a) as i64;
+        let new = (old + delta).max(0) as u64;
+        if width_for(old as u64) != width_for(new) {
+            impact.width_jumps += 1;
+            impact.children_reencoded += doc.children(a).len();
+        }
+        cur = parents[a.index()];
+    }
+}
+
+fn parent_map(doc: &Document) -> Vec<Option<NodeId>> {
+    let mut parents = vec![None; doc.node_count()];
+    for (id, _) in doc.preorder() {
+        for &c in doc.children(id) {
+            parents[c.index()] = Some(id);
+        }
+    }
+    parents
+}
+
+/// Approximate encoded body size of an element: text bytes + ~3 header
+/// bytes per descendant record (the analysis needs only the *magnitude*
+/// relative to power-of-two boundaries, not exact widths).
+fn encoded_body_size(doc: &Document, id: NodeId) -> u64 {
+    let mut total = 0u64;
+    let mut stack: Vec<NodeId> = doc.children(id).to_vec();
+    while let Some(n) = stack.pop() {
+        match doc.node(n) {
+            Node::Text(t) => total += 2 + t.len() as u64,
+            Node::Element { children, .. } => {
+                total += 3;
+                stack.extend(children.iter().copied());
+            }
+        }
+    }
+    total
+}
+
+fn subtree_tags(doc: &Document, id: NodeId) -> TagSet {
+    let mut set = TagSet::new();
+    let mut stack: Vec<NodeId> = doc.children(id).to_vec();
+    while let Some(n) = stack.pop() {
+        if let Node::Element { tag, children } = doc.node(n) {
+            set.insert(*tag);
+            stack.extend(children.iter().copied());
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        // Text sizes chosen away from power-of-two boundaries so that
+        // ±1-byte updates stay in the best case.
+        Document::parse(
+            "<a><b><c>0123456789</c><c>x</c></b>             <d><e>a text value of forty characters exactly!</e></d></a>",
+        )
+        .unwrap()
+    }
+
+    fn text_node_under(doc: &Document, name: &str) -> NodeId {
+        let (elem, _) = doc
+            .preorder()
+            .into_iter()
+            .find(|(id, _)| {
+                matches!(doc.node(*id), Node::Element { .. })
+                    && doc.dict.name(doc.tag(*id)) == name
+            })
+            .expect("element");
+        doc.children(elem)
+            .iter()
+            .copied()
+            .find(|&c| matches!(doc.node(c), Node::Text(_)))
+            .expect("text child")
+    }
+
+    fn text_len(d: &Document, t: NodeId) -> usize {
+        match d.node(t) {
+            Node::Text(s) => s.len(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn small_text_resize_is_best_case() {
+        let d = doc();
+        let t = text_node_under(&d, "e");
+        // +1 byte: sizes change on the ancestor chain (e, d, a) but — at
+        // sizes away from power-of-two boundaries — no width jumps and no
+        // tag effects.
+        let l = text_len(&d, t);
+        let i = update_impact(&d, &Update::ResizeText { node: t, new_len: l + 1 });
+        assert_eq!(i.resized_ancestors, 3);
+        assert!(i.is_best_case(), "{i:?}");
+    }
+
+    #[test]
+    fn unchanged_size_touches_nothing() {
+        let d = doc();
+        let t = text_node_under(&d, "e");
+        let l = text_len(&d, t);
+        let i = update_impact(&d, &Update::ResizeText { node: t, new_len: l });
+        assert_eq!(i, UpdateImpact::default());
+    }
+
+    #[test]
+    fn large_growth_jumps_powers_of_two() {
+        let d = doc();
+        let t = text_node_under(&d, "e");
+        // 40 bytes → 4KB: every ancestor's size field widens, so all
+        // their children must be re-encoded (the paper's first worst case).
+        let i = update_impact(&d, &Update::ResizeText { node: t, new_len: 4096 });
+        assert_eq!(i.resized_ancestors, 3);
+        assert!(i.width_jumps >= 2, "{i:?}");
+        assert!(i.children_reencoded >= 2);
+        assert!(!i.is_best_case());
+    }
+
+    #[test]
+    fn inserting_known_tag_stops_at_covering_ancestor() {
+        let d = doc();
+        let b = d
+            .preorder()
+            .into_iter()
+            .find(|(id, _)| {
+                matches!(d.node(*id), Node::Element { .. }) && d.dict.name(d.tag(*id)) == "d"
+            })
+            .unwrap()
+            .0;
+        // <c> exists under b but not under d: inserting <c> under d
+        // rewrites the TagArrays of d... and stops at a (which already
+        // sees a c below b).
+        let i = update_impact(
+            &d,
+            &Update::InsertLeaf { parent: b, tag: "c".into(), text_len: 3 },
+        );
+        assert!(!i.dictionary_insertion);
+        assert_eq!(i.tagarray_rewrites, 1, "{i:?}");
+    }
+
+    #[test]
+    fn inserting_novel_tag_is_worst_case() {
+        let d = doc();
+        let root = d.root();
+        let i = update_impact(
+            &d,
+            &Update::InsertLeaf { parent: root, tag: "brandnew".into(), text_len: 3 },
+        );
+        assert!(i.dictionary_insertion, "{i:?}");
+        assert!(i.tagarray_rewrites >= 1);
+        assert!(!i.is_best_case());
+    }
+
+    #[test]
+    #[should_panic(expected = "ResizeText targets a text node")]
+    fn resize_requires_text_node() {
+        let d = doc();
+        let _ = update_impact(&d, &Update::ResizeText { node: d.root(), new_len: 3 });
+    }
+}

@@ -1,0 +1,56 @@
+//! Server-side document preparation: skip-index encoding, encryption and
+//! chunk digests. This is what the (trusted) publisher runs once before
+//! handing the encrypted document to servers and terminals.
+
+use xsac_crypto::chunk::ChunkLayout;
+use xsac_crypto::{IntegrityScheme, ProtectedDoc, TripleDes};
+use xsac_index::encode::{encode_document, EncodedDoc, Encoding};
+use xsac_xml::{Document, TagDict};
+
+/// A published document: TCSBR-encoded, encrypted and authenticated.
+pub struct ServerDoc {
+    /// Tag dictionary (shared with the SOE over the secure channel,
+    /// like the decryption keys — Figure 2).
+    pub dict: TagDict,
+    /// The skip-index encoding (plaintext; kept server-side only).
+    pub encoded: EncodedDoc,
+    /// The encrypted + authenticated form stored on the terminal.
+    pub protected: ProtectedDoc,
+}
+
+impl ServerDoc {
+    /// Prepares a document for publication.
+    pub fn prepare(
+        doc: &Document,
+        key: &TripleDes,
+        scheme: IntegrityScheme,
+        layout: ChunkLayout,
+    ) -> ServerDoc {
+        let encoded = encode_document(doc, Encoding::TCSBR);
+        let protected = ProtectedDoc::protect(&encoded.bytes, key, scheme, layout);
+        ServerDoc { dict: doc.dict.clone(), encoded, protected }
+    }
+
+    /// Size of the encrypted document + digests on the terminal.
+    pub fn stored_len(&self) -> usize {
+        self.protected.stored_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> TripleDes {
+        TripleDes::new(*b"secret-key-secret-key-24")
+    }
+
+    #[test]
+    fn prepare_roundtrip_sizes() {
+        let doc = Document::parse("<a><b>hello</b><c>world</c></a>").unwrap();
+        let s = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, ChunkLayout::default());
+        assert!(s.stored_len() >= s.encoded.bytes.len());
+        assert_eq!(s.protected.plain_len, s.encoded.bytes.len());
+        assert!(s.dict.get("b").is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! The target-architecture simulator: a Secure Operating Environment
+//! (SOE) evaluating access control over an encrypted, skip-indexed,
+//! streaming XML document served by an untrusted terminal (§2, Figure 2).
+//!
+//! The paper measured a C prototype on Axalto's cycle-accurate smartcard
+//! simulator. This crate replaces that hardware with a *cost model*
+//! (Table 1) charging every byte that crosses the terminal→SOE channel,
+//! every byte deciphered or hashed inside the SOE, and every automaton
+//! operation of the evaluator. The quantities are measured by actually
+//! running the full pipeline — decoding, integrity verification and rule
+//! evaluation are all real; only wall-clock time is synthesized.
+//!
+//! * [`cost`] — the Table-1 contexts and time synthesis;
+//! * [`document`] — server-side preparation (skip-index encoding +
+//!   encryption + chunk digests);
+//! * [`session`] — the SOE pipeline: stream → decrypt → verify → evaluate
+//!   → deliver, honouring skip directives and pending readbacks;
+//! * [`baseline`] — the Brute-Force comparator and the LWB oracle lower
+//!   bound of §7.
+
+pub mod baseline;
+pub mod cost;
+pub mod document;
+pub mod session;
+
+pub use baseline::{brute_force_session, lwb_estimate, LwbReport};
+pub use cost::{CostModel, TimeBreakdown};
+pub use document::ServerDoc;
+pub use session::{run_session, SessionConfig, SessionError, SessionResult, Strategy};

@@ -1,0 +1,437 @@
+//! The SOE evaluation session: the full client-side pipeline of Figure 2.
+//!
+//! A session streams the encrypted document from the terminal through the
+//! SOE: bytes are transferred, verified (per the integrity scheme),
+//! deciphered, skip-index decoded and fed to the access-control
+//! evaluator. Skip directives translate into byte seeks that save
+//! communication *and* decryption — "the two limiting factors of the
+//! target architecture" (§3.3). Pending subtrees are skipped and read
+//! back on resolution (§5); their bytes are charged only if actually
+//! delivered.
+//!
+//! Every byte consumed by the decoder is metered through the
+//! [`xsac_crypto::SoeReader`], which also performs the *real* integrity
+//! verification — a tampered document aborts the session exactly as it
+//! would on the card.
+
+use crate::cost::{CostModel, TimeBreakdown};
+use crate::document::ServerDoc;
+use std::collections::HashMap;
+use std::fmt;
+use xsac_core::evaluator::{Directive, EvalConfig, Evaluator, SkipInfo};
+use xsac_core::output::{LogItem, OutputStats, SubtreeRef};
+use xsac_core::stats::EvalStats;
+use xsac_core::Policy;
+use xsac_crypto::protocol::AccessCost;
+use xsac_crypto::{SoeReader, TripleDes};
+use xsac_index::decode::{DecodedNode, Decoder, DecoderContext};
+use xsac_xpath::Automaton;
+
+/// How the SOE consumes the document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Skip-index driven (the paper's TCSBR strategy).
+    Tcsbr,
+    /// Ablation: subtree sizes only — skips fire when tokens die
+    /// naturally, but the `RemainingLabels`/`DescTag` token filter of
+    /// §4.2 is disabled (models a TCS-style index).
+    SizesOnly,
+    /// Brute force: read and analyze everything (the BF baseline of
+    /// Figure 9 — "filtering the document without any index").
+    BruteForce,
+}
+
+/// Session configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Consumption strategy.
+    pub strategy: Strategy,
+    /// Cost model used to synthesize times.
+    pub cost: CostModel,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { strategy: Strategy::Tcsbr, cost: CostModel::smartcard() }
+    }
+}
+
+/// Session failure.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Tampering detected by the integrity layer.
+    Integrity(xsac_crypto::IntegrityError),
+    /// Malformed encoded document.
+    Decode(xsac_index::DecodeError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Integrity(e) => write!(f, "session aborted: {e}"),
+            SessionError::Decode(e) => write!(f, "session aborted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<xsac_crypto::IntegrityError> for SessionError {
+    fn from(e: xsac_crypto::IntegrityError) -> Self {
+        SessionError::Integrity(e)
+    }
+}
+
+impl From<xsac_index::DecodeError> for SessionError {
+    fn from(e: xsac_index::DecodeError) -> Self {
+        SessionError::Decode(e)
+    }
+}
+
+/// Outcome of a session.
+pub struct SessionResult {
+    /// Delivery log of the authorized view / query result.
+    pub log: Vec<LogItem>,
+    /// Output statistics.
+    pub output: OutputStats,
+    /// Evaluator statistics.
+    pub stats: EvalStats,
+    /// Byte-level costs metered by the integrity layer.
+    pub cost: AccessCost,
+    /// Synthesized times under the session's cost model.
+    pub time: TimeBreakdown,
+    /// Size of the delivered result (text + tag bytes).
+    pub result_bytes: usize,
+}
+
+impl SessionResult {
+    /// Throughput in KB of *source document* per second (Figure 12).
+    pub fn throughput_kbps(&self, source_bytes: usize) -> f64 {
+        source_bytes as f64 / 1000.0 / self.time.total()
+    }
+}
+
+/// Runs one SOE session.
+pub fn run_session(
+    server: &ServerDoc,
+    key: &TripleDes,
+    policy: &Policy,
+    query: Option<&Automaton>,
+    config: &SessionConfig,
+) -> Result<SessionResult, SessionError> {
+    let mut reader = SoeReader::new(&server.protected, key);
+    // Simulation scaffold: the decoder walks the plaintext image; every
+    // range it consumes is *also* read through `reader`, which performs
+    // the metered transfer, decryption and verification of the real
+    // ciphertext. A verification failure aborts the session.
+    let plain = &server.encoded.bytes;
+    let mut decoder = Decoder::new(plain, server.dict.len())?;
+
+    let eval_config = EvalConfig {
+        enable_skip_directives: config.strategy != Strategy::BruteForce,
+        ..Default::default()
+    };
+    let use_desc_filter = config.strategy == Strategy::Tcsbr;
+    let mut eval = Evaluator::new(policy, query, eval_config);
+
+    // Pending skipped subtrees: handle → saved decoder context.
+    let mut handles: HashMap<u64, DecoderContext> = HashMap::new();
+    let mut next_handle = 0u64;
+
+    // Header transfer.
+    reader.read(0, 4)?;
+
+    loop {
+        let before = decoder.position();
+        let node = decoder.next()?;
+        let consumed = decoder.position() - before;
+        if consumed > 0 {
+            reader.read(before, consumed)?;
+        }
+        match node {
+            DecodedNode::End => break,
+            DecodedNode::Close(_) => {
+                let directive = eval.close();
+                serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                if directive == Directive::SkipDeny || directive == Directive::SkipPending {
+                    // Skip the rest of the parent element.
+                    if let Some(ctx) = decoder.rest_context() {
+                        if ctx.start < ctx.end {
+                            let handle = alloc_handle(&mut next_handle, &mut handles, ctx);
+                            decoder.skip_rest();
+                            eval.skip_close(Some(SubtreeRef(handle)));
+                            serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                            continue;
+                        }
+                    }
+                }
+            }
+            DecodedNode::Text(t) => {
+                eval.text(&t);
+                serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+            }
+            DecodedNode::Element { tag, desc, .. } => {
+                let ctx = decoder.last_element_context();
+                let handle_id = next_handle;
+                let info = SkipInfo {
+                    desc_tags: if use_desc_filter { Some(&desc) } else { None },
+                    handle: ctx.as_ref().map(|_| SubtreeRef(handle_id)),
+                };
+                let directive = eval.open(tag, Some(&info));
+                serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                match directive {
+                    Directive::Continue => {}
+                    Directive::SkipDeny => {
+                        decoder.skip_current();
+                        eval.skip_close(None);
+                        serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                    }
+                    Directive::SkipPending => {
+                        let ctx = ctx.expect("element context");
+                        let handle = alloc_handle(&mut next_handle, &mut handles, ctx);
+                        decoder.skip_current();
+                        eval.skip_close(Some(SubtreeRef(handle)));
+                        serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                    }
+                    Directive::Deliver => {
+                        // Bulk delivery: decode the subtree without rule
+                        // evaluation; bytes are still transferred and
+                        // deciphered.
+                        let ctx = ctx.expect("element context");
+                        let inner = DecoderContext {
+                            start: decoder.position(),
+                            end: ctx.end,
+                            tags: desc.to_vec().into(),
+                            body_bound: (ctx.end - decoder.position()) as u64,
+                        };
+                        // Raw subtree contents (the root open was already
+                        // processed by the evaluator).
+                        let body_len = ctx.end - decoder.position();
+                        if body_len > 0 {
+                            reader.read(decoder.position(), body_len)?;
+                            let events = decode_body(plain, &inner, &server.dict)?;
+                            for ev in &events {
+                                eval.raw_event(ev);
+                            }
+                        }
+                        eval.raw_event(&xsac_xml::Event::Close(tag));
+                        decoder.skip_current();
+                        serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                    }
+                }
+            }
+        }
+    }
+
+    let result = eval.finish();
+    let mut cost = reader.cost;
+    let evaluator_ops = (result.stats.token_ops + result.stats.events()) as u64;
+    let result_bytes: usize = result
+        .log
+        .iter()
+        .map(|item| match &item.node {
+            xsac_core::output::LogNode::Element { tag, .. } => {
+                server.dict.name(*tag).len() * 2 + 5
+            }
+            xsac_core::output::LogNode::Text(t) => t.len(),
+        })
+        .sum();
+    // The authorized result leaves the SOE over the same channel it came
+    // in by (Table 1's "worst case where each data entering the SOE takes
+    // part in the result").
+    cost.bytes_to_soe += result_bytes as u64;
+    let time = config.cost.time(
+        cost.bytes_to_soe,
+        cost.bytes_decrypted,
+        cost.bytes_hashed,
+        evaluator_ops,
+    );
+    Ok(SessionResult {
+        log: result.log,
+        output: result.output,
+        stats: result.stats,
+        cost,
+        time,
+        result_bytes,
+    })
+}
+
+fn alloc_handle(
+    next: &mut u64,
+    handles: &mut HashMap<u64, DecoderContext>,
+    ctx: DecoderContext,
+) -> u64 {
+    let id = *next;
+    *next += 1;
+    handles.insert(id, ctx);
+    id
+}
+
+/// Serves the evaluator's readback requests: transfers + verifies +
+/// decodes the saved byte ranges ("pending elements or subtrees are read
+/// back from the terminal", §5 — never re-analyzed, just delivered).
+fn serve_readbacks(
+    eval: &mut Evaluator,
+    reader: &mut SoeReader<'_>,
+    plain: &[u8],
+    handles: &HashMap<u64, DecoderContext>,
+) -> Result<(), SessionError> {
+    loop {
+        let reqs = eval.take_readbacks();
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        for req in reqs {
+            let ctx = handles.get(&req.subtree.0).expect("readback handle");
+            reader.read(ctx.start, ctx.end - ctx.start)?;
+            let events = Decoder::decode_range(plain, ctx)?;
+            eval.readback_events(req.entry, &events);
+        }
+    }
+}
+
+/// Decodes the *body* of an element (its children forest).
+fn decode_body(
+    plain: &[u8],
+    ctx: &DecoderContext,
+    _dict: &xsac_xml::TagDict,
+) -> Result<Vec<xsac_xml::Event<'static>>, SessionError> {
+    Ok(Decoder::decode_range(plain, ctx)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsac_core::output::reassemble_to_string;
+    use xsac_core::oracle::oracle_view_string;
+    use xsac_core::Sign;
+    use xsac_crypto::chunk::ChunkLayout;
+    use xsac_crypto::IntegrityScheme;
+    use xsac_xml::Document;
+
+    fn key() -> TripleDes {
+        TripleDes::new(*b"0123456789abcdefFEDCBA98")
+    }
+
+    fn tiny_layout() -> ChunkLayout {
+        ChunkLayout { chunk_size: 256, fragment_size: 32 }
+    }
+
+    fn run(
+        xml: &str,
+        rules: &[(Sign, &str)],
+        strategy: Strategy,
+        scheme: IntegrityScheme,
+    ) -> (String, AccessCost) {
+        let doc = Document::parse(xml).unwrap();
+        let k = key();
+        let server = ServerDoc::prepare(&doc, &k, scheme, tiny_layout());
+        let mut dict = server.dict.clone();
+        let policy = Policy::parse("u", rules, &mut dict).unwrap();
+        let config = SessionConfig { strategy, cost: CostModel::smartcard() };
+        let res = run_session(&server, &k, &policy, None, &config).unwrap();
+        (reassemble_to_string(&dict, &res.log), res.cost)
+    }
+
+    #[test]
+    fn session_matches_oracle() {
+        let xml = "<a><b><c>keep</c><d>1</d></b><e><f>drop drop drop</f></e></a>";
+        let rules: &[(Sign, &str)] = &[(Sign::Permit, "//b[d=1]"), (Sign::Deny, "//e")];
+        let doc = Document::parse(xml).unwrap();
+        let mut dict = doc.dict.clone();
+        let policy = Policy::parse("u", rules, &mut dict).unwrap();
+        let expected = oracle_view_string(&doc, &policy);
+        for strategy in [Strategy::Tcsbr, Strategy::BruteForce] {
+            for scheme in IntegrityScheme::ALL {
+                let (got, _) = run(xml, rules, strategy, scheme);
+                assert_eq!(got, expected, "{strategy:?} {scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_saves_bytes() {
+        // A large denied subtree must not be transferred under Tcsbr.
+        let mut xml = String::from("<a><keep>y</keep><deny>");
+        for i in 0..200 {
+            xml.push_str(&format!("<x>secret value number {i}</x>"));
+        }
+        xml.push_str("</deny></a>");
+        let rules: &[(Sign, &str)] = &[(Sign::Permit, "/a"), (Sign::Deny, "/a/deny")];
+        let (out_skip, cost_skip) = run(&xml, rules, Strategy::Tcsbr, IntegrityScheme::EcbMht);
+        let (out_bf, cost_bf) = run(&xml, rules, Strategy::BruteForce, IntegrityScheme::EcbMht);
+        assert_eq!(out_skip, out_bf);
+        assert!(
+            cost_skip.bytes_to_soe * 2 < cost_bf.bytes_to_soe,
+            "skipping must save most communication: {} vs {}",
+            cost_skip.bytes_to_soe,
+            cost_bf.bytes_to_soe
+        );
+        assert!(cost_skip.bytes_decrypted < cost_bf.bytes_decrypted);
+    }
+
+    #[test]
+    fn pending_subtree_never_decrypted_when_denied() {
+        // ⊕ //a[x=1]//b with x=2: the b subtree is skipped pending and the
+        // predicate resolves false — its bytes must never be read.
+        let mut xml = String::from("<a><b>");
+        for i in 0..100 {
+            xml.push_str(&format!("<k>pending payload {i}</k>"));
+        }
+        xml.push_str("</b><x>2</x></a>");
+        let rules: &[(Sign, &str)] = &[(Sign::Permit, "//a[x=1]//b")];
+        let (out, cost) = run(&xml, rules, Strategy::Tcsbr, IntegrityScheme::EcbMht);
+        assert_eq!(out, "");
+        let (_, cost_bf) = run(&xml, rules, Strategy::BruteForce, IntegrityScheme::EcbMht);
+        assert!(
+            cost.bytes_to_soe * 2 < cost_bf.bytes_to_soe,
+            "pending-denied subtree must stay on the terminal: {} vs {}",
+            cost.bytes_to_soe,
+            cost_bf.bytes_to_soe
+        );
+    }
+
+    #[test]
+    fn pending_subtree_read_back_when_granted() {
+        let xml = "<a><b><k>v1</k><k>v2</k></b><x>1</x></a>";
+        let rules: &[(Sign, &str)] = &[(Sign::Permit, "//a[x=1]//b")];
+        let doc = Document::parse(xml).unwrap();
+        let mut dict = doc.dict.clone();
+        let policy = Policy::parse("u", rules, &mut dict).unwrap();
+        let expected = oracle_view_string(&doc, &policy);
+        let (got, _) = run(xml, rules, Strategy::Tcsbr, IntegrityScheme::EcbMht);
+        assert_eq!(got, expected);
+        assert!(got.contains("v1") && got.contains("v2"));
+    }
+
+    #[test]
+    fn tampering_aborts_session() {
+        let doc = Document::parse("<a><b>hello world hello</b></a>").unwrap();
+        let k = key();
+        let mut server =
+            ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
+        // Tamper one ciphertext byte.
+        let n = server.protected.ciphertext.len();
+        server.protected.ciphertext[n / 2] ^= 0x80;
+        let mut dict = server.dict.clone();
+        let policy = Policy::parse("u", &[(Sign::Permit, "//a")], &mut dict).unwrap();
+        let res = run_session(&server, &k, &policy, None, &SessionConfig::default());
+        assert!(matches!(res, Err(SessionError::Integrity(_))));
+    }
+
+    #[test]
+    fn query_session() {
+        let xml = "<r><f><age>70</age><n>A</n></f><f><age>50</age><n>B</n></f></r>";
+        let doc = Document::parse(xml).unwrap();
+        let k = key();
+        let server = ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
+        let mut dict = server.dict.clone();
+        let policy = Policy::parse("u", &[(Sign::Permit, "/r")], &mut dict).unwrap();
+        let q = Automaton::parse("//f[age > 65]", &mut dict).unwrap();
+        let res = run_session(&server, &k, &policy, Some(&q), &SessionConfig::default()).unwrap();
+        let got = reassemble_to_string(&dict, &res.log);
+        assert_eq!(got, "<r><f><age>70</age><n>A</n></f></r>");
+        assert!(res.time.total() > 0.0);
+        assert!(res.result_bytes > 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal XML text escaping/unescaping.
+
+use std::borrow::Cow;
+
+/// Escapes `&`, `<`, `>`, `"` for element content and attribute values.
+pub fn escape(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"')) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves the five predefined entities plus decimal/hex character
+/// references. Unknown entities are preserved verbatim.
+pub fn unescape(s: &str) -> Cow<'_, str> {
+    if !s.contains('&') {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        if let Some(end) = rest.find(';') {
+            let entity = &rest[1..end];
+            let resolved: Option<char> = match entity {
+                "amp" => Some('&'),
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32),
+                _ if entity.starts_with('#') => {
+                    entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+                }
+                _ => None,
+            };
+            match resolved {
+                Some(c) => {
+                    out.push(c);
+                    rest = &rest[end + 1..];
+                }
+                None => {
+                    out.push('&');
+                    rest = &rest[1..];
+                }
+            }
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_passthrough_borrows() {
+        assert!(matches!(escape("plain text"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_special_chars() {
+        assert_eq!(escape(r#"a<b&c>d"e"#), "a&lt;b&amp;c&gt;d&quot;e");
+    }
+
+    #[test]
+    fn unescape_entities() {
+        assert_eq!(unescape("a&lt;b&amp;c&gt;d&quot;e&apos;f"), "a<b&c>d\"e'f");
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;"), "ABC");
+    }
+
+    #[test]
+    fn unescape_preserves_unknown() {
+        assert_eq!(unescape("&unknown; & plain"), "&unknown; & plain");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = r#"x < y && z > "quoted" 'single'"#;
+        assert_eq!(unescape(&escape(original)), original);
+    }
+}

@@ -1,0 +1,154 @@
+//! Document statistics — the characteristics the paper reports in Table 2
+//! (size, text size, maximum/average depth, #distinct tags, #text nodes,
+//! #elements).
+
+use crate::dict::TagId;
+use crate::event::Event;
+use crate::tree::Document;
+use std::collections::HashSet;
+
+/// Table-2 style statistics for a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Textual serialization size in bytes.
+    pub size: usize,
+    /// Total bytes of text content.
+    pub text_size: usize,
+    /// Maximum element depth (root = 1).
+    pub max_depth: u32,
+    /// Average *element* depth.
+    pub avg_depth: f64,
+    /// Number of distinct element tags.
+    pub distinct_tags: usize,
+    /// Number of text nodes.
+    pub text_nodes: usize,
+    /// Number of element nodes.
+    pub elements: usize,
+}
+
+impl DocStats {
+    /// Computes statistics for a materialized document.
+    pub fn of(doc: &Document) -> DocStats {
+        let mut c = StatsCollector::new();
+        doc.emit(doc.root(), &mut |e| c.event(e));
+        c.finish(crate::writer::textual_len(doc, doc.root()))
+    }
+
+    /// Renders one row of Table 2.
+    pub fn row(&self, name: &str) -> String {
+        format!(
+            "{:<10} size={:>9}B text={:>9}B maxDepth={:>2} avgDepth={:>4.1} tags={:>3} textNodes={:>8} elements={:>8}",
+            name, self.size, self.text_size, self.max_depth, self.avg_depth,
+            self.distinct_tags, self.text_nodes, self.elements
+        )
+    }
+}
+
+/// Streaming statistics collector (works on event streams too).
+pub struct StatsCollector {
+    depth: u32,
+    max_depth: u32,
+    depth_sum: u64,
+    elements: usize,
+    text_nodes: usize,
+    text_size: usize,
+    tags: HashSet<TagId>,
+}
+
+impl Default for StatsCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsCollector {
+    /// New empty collector.
+    pub fn new() -> Self {
+        StatsCollector {
+            depth: 0,
+            max_depth: 0,
+            depth_sum: 0,
+            elements: 0,
+            text_nodes: 0,
+            text_size: 0,
+            tags: HashSet::new(),
+        }
+    }
+
+    /// Consumes one event.
+    pub fn event(&mut self, ev: &Event<'_>) {
+        match ev {
+            Event::Open(tag) => {
+                self.depth += 1;
+                self.max_depth = self.max_depth.max(self.depth);
+                self.depth_sum += u64::from(self.depth);
+                self.elements += 1;
+                self.tags.insert(*tag);
+            }
+            Event::Text(t) => {
+                self.text_nodes += 1;
+                self.text_size += t.len();
+            }
+            Event::Close(_) => {
+                self.depth -= 1;
+            }
+        }
+    }
+
+    /// Finalizes the statistics; `size` is the serialized byte size.
+    pub fn finish(self, size: usize) -> DocStats {
+        DocStats {
+            size,
+            text_size: self.text_size,
+            max_depth: self.max_depth,
+            avg_depth: if self.elements == 0 {
+                0.0
+            } else {
+                self.depth_sum as f64 / self.elements as f64
+            },
+            distinct_tags: self.tags.len(),
+            text_nodes: self.text_nodes,
+            elements: self.elements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_small_document() {
+        let doc = Document::parse("<a><b>hi</b><b>yo</b><c><d>deep</d></c></a>").unwrap();
+        let s = DocStats::of(&doc);
+        assert_eq!(s.elements, 5);
+        assert_eq!(s.text_nodes, 3);
+        assert_eq!(s.text_size, 8);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.distinct_tags, 4);
+        // depths: a=1, b=2, b=2, c=2, d=3 → avg 2.0
+        assert!((s.avg_depth - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_is_serialized_length() {
+        let xml = "<a><b>hi</b></a>";
+        let doc = Document::parse(xml).unwrap();
+        assert_eq!(DocStats::of(&doc).size, xml.len());
+    }
+
+    #[test]
+    fn empty_collector_finishes() {
+        let s = StatsCollector::new().finish(0);
+        assert_eq!(s.elements, 0);
+        assert_eq!(s.avg_depth, 0.0);
+    }
+
+    #[test]
+    fn row_formats() {
+        let doc = Document::parse("<a>x</a>").unwrap();
+        let row = DocStats::of(&doc).row("tiny");
+        assert!(row.starts_with("tiny"));
+        assert!(row.contains("elements="));
+    }
+}

@@ -1,0 +1,296 @@
+//! Arena-based document tree.
+//!
+//! The tree is used wherever a materialized document is needed: data
+//! generation, server-side skip-index encoding, and the non-streaming
+//! reference oracle. The SOE itself never materializes documents (that is
+//! the point of the paper); the streaming evaluator consumes [`Event`]s.
+
+use crate::dict::{TagDict, TagId};
+use crate::event::Event;
+use crate::parser::{ParseError, Parser};
+use std::borrow::Cow;
+
+/// Index of a node in the document arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A document node: an element with children, or a text leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// Element node.
+    Element {
+        /// Interned tag.
+        tag: TagId,
+        /// Children in document order.
+        children: Vec<NodeId>,
+    },
+    /// Text node.
+    Text(String),
+}
+
+/// An XML document: tag dictionary + node arena + root element.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// The shared tag dictionary.
+    pub dict: TagDict,
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Parses a document from XML text.
+    pub fn parse(input: &str) -> Result<Document, ParseError> {
+        let mut dict = TagDict::new();
+        let mut parser = Parser::new(input, &mut dict);
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut root: Option<NodeId> = None;
+        while let Some(ev) = parser.next()? {
+            match ev {
+                Event::Open(tag) => {
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node::Element { tag, children: Vec::new() });
+                    if let Some(&parent) = stack.last() {
+                        if let Node::Element { children, .. } = &mut nodes[parent.index()] {
+                            children.push(id);
+                        }
+                    } else if root.is_none() {
+                        root = Some(id);
+                    } else {
+                        return Err(ParseError {
+                            offset: 0,
+                            message: "multiple root elements".into(),
+                        });
+                    }
+                    stack.push(id);
+                }
+                Event::Text(text) => {
+                    let Some(&parent) = stack.last() else {
+                        return Err(ParseError {
+                            offset: 0,
+                            message: "text content outside the root element".into(),
+                        });
+                    };
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node::Text(text.into_owned()));
+                    if let Node::Element { children, .. } = &mut nodes[parent.index()] {
+                        children.push(id);
+                    }
+                }
+                Event::Close(_) => {
+                    stack.pop();
+                }
+            }
+        }
+        match root {
+            Some(root) => Ok(Document { dict, nodes, root }),
+            None => Err(ParseError { offset: 0, message: "empty document".into() }),
+        }
+    }
+
+    /// Builds a document programmatically with a [`DocBuilder`].
+    pub fn build(root_tag: &str, f: impl FnOnce(&mut DocBuilder<'_>)) -> Document {
+        let mut dict = TagDict::new();
+        let root_tag = dict.intern(root_tag);
+        let mut nodes = vec![Node::Element { tag: root_tag, children: Vec::new() }];
+        let root = NodeId(0);
+        {
+            let mut b = DocBuilder { dict: &mut dict, nodes: &mut nodes, stack: vec![root] };
+            f(&mut b);
+            assert_eq!(b.stack.len(), 1, "DocBuilder: unclosed elements");
+        }
+        Document { dict, nodes, root }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the arena (elements + text nodes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tag of an element node. Panics on a text node.
+    pub fn tag(&self, id: NodeId) -> TagId {
+        match self.node(id) {
+            Node::Element { tag, .. } => *tag,
+            Node::Text(_) => panic!("tag() called on a text node"),
+        }
+    }
+
+    /// Children of an element node (empty for text nodes).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match self.node(id) {
+            Node::Element { children, .. } => children,
+            Node::Text(_) => &[],
+        }
+    }
+
+    /// Concatenated *immediate* text content of an element — the value the
+    /// paper's predicates compare against (e.g. `[Cholesterol > 250]`).
+    pub fn immediate_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for &c in self.children(id) {
+            if let Node::Text(t) = self.node(c) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Streams the subtree rooted at `id` into an event sink.
+    pub fn emit(&self, id: NodeId, sink: &mut impl FnMut(&Event<'_>)) {
+        match self.node(id) {
+            Node::Text(t) => sink(&Event::Text(Cow::Borrowed(t))),
+            Node::Element { tag, children } => {
+                sink(&Event::Open(*tag));
+                for &c in children {
+                    self.emit(c, sink);
+                }
+                sink(&Event::Close(*tag));
+            }
+        }
+    }
+
+    /// All events of the document in order, owned.
+    pub fn events(&self) -> Vec<Event<'static>> {
+        let mut out = Vec::with_capacity(self.nodes.len() * 2);
+        self.emit(self.root, &mut |e| out.push(e.clone().into_owned()));
+        out
+    }
+
+    /// Document-order iteration of `(NodeId, depth)` for all nodes, root at
+    /// depth 1 (the paper counts the root at depth 1 — cf. Figure 3).
+    pub fn preorder(&self) -> Vec<(NodeId, u32)> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, 1u32)];
+        while let Some((id, d)) = stack.pop() {
+            out.push((id, d));
+            let children = self.children(id);
+            for &c in children.iter().rev() {
+                stack.push((c, d + 1));
+            }
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`Document`]s (used by the data generators).
+pub struct DocBuilder<'a> {
+    dict: &'a mut TagDict,
+    nodes: &'a mut Vec<Node>,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> DocBuilder<'a> {
+    /// Opens a child element; must be paired with [`DocBuilder::close`].
+    pub fn open(&mut self, tag: &str) -> &mut Self {
+        let tag = self.dict.intern(tag);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Element { tag, children: Vec::new() });
+        let parent = *self.stack.last().expect("builder stack empty");
+        if let Node::Element { children, .. } = &mut self.nodes[parent.index()] {
+            children.push(id);
+        }
+        self.stack.push(id);
+        self
+    }
+
+    /// Closes the most recently opened element.
+    pub fn close(&mut self) -> &mut Self {
+        assert!(self.stack.len() > 1, "DocBuilder: close() would pop the root");
+        self.stack.pop();
+        self
+    }
+
+    /// Appends a text node to the current element.
+    pub fn text(&mut self, content: impl Into<String>) -> &mut Self {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Text(content.into()));
+        let parent = *self.stack.last().expect("builder stack empty");
+        if let Node::Element { children, .. } = &mut self.nodes[parent.index()] {
+            children.push(id);
+        }
+        self
+    }
+
+    /// Convenience: `<tag>text</tag>`.
+    pub fn leaf(&mut self, tag: &str, content: impl Into<String>) -> &mut Self {
+        self.open(tag).text(content).close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = Document::parse("<a><b>1</b><b>2</b><c/></a>").unwrap();
+        let root = doc.root();
+        assert_eq!(doc.dict.name(doc.tag(root)), "a");
+        assert_eq!(doc.children(root).len(), 3);
+        let b0 = doc.children(root)[0];
+        assert_eq!(doc.immediate_text(b0), "1");
+        assert_eq!(doc.immediate_text(root), "");
+    }
+
+    #[test]
+    fn builder_matches_parse() {
+        let built = Document::build("a", |b| {
+            b.leaf("b", "1");
+            b.leaf("b", "2");
+            b.open("c").close();
+        });
+        let parsed = Document::parse("<a><b>1</b><b>2</b><c/></a>").unwrap();
+        assert_eq!(built.events(), parsed.events());
+    }
+
+    #[test]
+    fn events_roundtrip_through_parse() {
+        let xml = "<r><x>one</x><y><z>two</z></y></r>";
+        let doc = Document::parse(xml).unwrap();
+        let events = doc.events();
+        assert_eq!(events.len(), 2 * 4 + 2); // 4 elements, 2 text nodes
+    }
+
+    #[test]
+    fn preorder_depths() {
+        let doc = Document::parse("<a><b><c>t</c></b></a>").unwrap();
+        let order: Vec<u32> = doc.preorder().iter().map(|&(_, d)| d).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]); // a b c #text
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(Document::parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(Document::parse("  ").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn builder_asserts_balance() {
+        let _ = Document::build("a", |b| {
+            b.open("b");
+        });
+    }
+}

@@ -1,0 +1,85 @@
+//! Parser robustness and serialization round-trips.
+
+use proptest::prelude::*;
+use xsac_xml::writer::document_to_string;
+use xsac_xml::{Document, TagDict};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..Default::default() })]
+
+    /// Arbitrary input never panics the parser: a Document or a ParseError.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,256}") {
+        let _ = Document::parse(&input);
+    }
+
+    /// Tag-soup-shaped input never panics either.
+    #[test]
+    fn tag_soup_never_panics(parts in prop::collection::vec(
+        prop_oneof![
+            Just("<a>".to_string()),
+            Just("</a>".to_string()),
+            Just("<b x='1'>".to_string()),
+            Just("</b>".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("&amp;".to_string()),
+            Just("&#xZZ;".to_string()),
+            Just("text".to_string()),
+            Just("<!--".to_string()),
+            Just("-->".to_string()),
+            Just("<![CDATA[".to_string()),
+            Just("]]>".to_string()),
+        ],
+        0..24,
+    )) {
+        let _ = Document::parse(&parts.concat());
+    }
+
+    /// parse ∘ serialize is the identity on event streams for generated
+    /// documents.
+    #[test]
+    fn serialize_parse_roundtrip(
+        names in prop::collection::vec("[a-z][a-z0-9]{0,6}", 1..8),
+        texts in prop::collection::vec("[ -~&&[^<&]]{0,16}", 1..8),
+    ) {
+        // Build a nested document from the fragments.
+        let mut xml = String::new();
+        for n in &names {
+            xml.push_str(&format!("<{n}>"));
+        }
+        for t in &texts {
+            if !t.trim().is_empty() {
+                xml.push_str(&xsac_xml::escape::escape(t));
+            }
+        }
+        for n in names.iter().rev() {
+            xml.push_str(&format!("</{n}>"));
+        }
+        let d1 = Document::parse(&xml).unwrap();
+        let s1 = document_to_string(&d1);
+        let d2 = Document::parse(&s1).unwrap();
+        prop_assert_eq!(d1.events(), d2.events());
+        prop_assert_eq!(s1.clone(), document_to_string(&d2));
+    }
+
+    /// escape/unescape are inverses on arbitrary content.
+    #[test]
+    fn escape_roundtrip(s in ".{0,128}") {
+        let escaped = xsac_xml::escape::escape(&s);
+        prop_assert_eq!(xsac_xml::escape::unescape(&escaped).into_owned(), s);
+    }
+}
+
+#[test]
+fn dictionaries_stay_consistent_across_parses() {
+    // Two parses of the same document give identical dictionaries.
+    let xml = "<a><b id=\"1\">x</b><c/></a>";
+    let d1 = Document::parse(xml).unwrap();
+    let d2 = Document::parse(xml).unwrap();
+    let n1: Vec<&str> = d1.dict.iter().map(|(_, n)| n).collect();
+    let n2: Vec<&str> = d2.dict.iter().map(|(_, n)| n).collect();
+    assert_eq!(n1, n2);
+    assert_eq!(d1.dict.get("@id"), d2.dict.get("@id"));
+    let _ = TagDict::new();
+}

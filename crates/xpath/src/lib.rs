@@ -1,0 +1,23 @@
+//! The XPath fragment XP{[],*,//} used by the paper's access-control model.
+//!
+//! "We consider a rather robust subset of XPath denoted by XP{[],*,//}
+//! \[MiS02\]. This subset, widely used in practice, consists of node tests,
+//! the child axis (/), the descendant axis (//), wildcards (*) and
+//! predicates or branches [...]" (§2).
+//!
+//! * [`ast`] — paths, steps, predicates, comparison operators;
+//! * [`parser`] — text → AST;
+//! * [`automaton`] — AST → non-deterministic *Access Rule Automaton* (ARA)
+//!   with one navigational path and zero or more predicate paths (§3.1),
+//!   including the `RemainingLabels` metadata used by the skip index (§4.2);
+//! * [`containment`] — homomorphism-based sufficient containment test used
+//!   for the static policy minimization discussed in §3.3.
+
+pub mod ast;
+pub mod automaton;
+pub mod containment;
+pub mod parser;
+
+pub use ast::{Axis, CmpOp, NameTest, Path, Predicate, Step, Value};
+pub use automaton::{Automaton, Label, PredPathInfo, StateId};
+pub use parser::{parse_path, XPathError};

@@ -1,0 +1,118 @@
+//! Soundness of the containment test (§3.3): whenever the homomorphism
+//! check claims `P ⊇ Q`, the *actual node sets* selected on any document
+//! must satisfy `matches(Q) ⊆ matches(P)`. (The converse need not hold —
+//! the test is sufficient, not complete.)
+//!
+//! The node sets are computed by the `xsac-core` oracle, so this test
+//! also cross-validates two independent implementations of the XPath
+//! fragment's semantics.
+
+use proptest::prelude::*;
+use xsac_core::oracle::Oracle;
+use xsac_core::{Policy, Sign};
+use xsac_xml::Document;
+use xsac_xpath::containment::{contains, scope_contains};
+use xsac_xpath::parse_path;
+
+const TAGS: &[&str] = &["a", "b", "c"];
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        proptest::sample::select(&["1", "2"]).prop_map(|v| v.to_string()),
+        proptest::sample::select(TAGS).prop_map(|t| format!("<{t}></{t}>")),
+    ];
+    let inner = leaf.prop_recursive(3, 20, 3, |elem| {
+        (proptest::sample::select(TAGS), prop::collection::vec(elem, 0..3)).prop_map(
+            |(t, cs)| format!("<{t}>{}</{t}>", cs.concat()),
+        )
+    });
+    (proptest::sample::select(TAGS), prop::collection::vec(inner, 1..4))
+        .prop_map(|(t, cs)| format!("<{t}>{}</{t}>", cs.concat()))
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        4 => proptest::sample::select(TAGS).prop_map(|t| t.to_string()),
+        1 => Just("*".to_string()),
+    ];
+    let seg = (proptest::sample::select(&["/", "//"]), step)
+        .prop_map(|(a, s)| format!("{a}{s}"));
+    let pred = prop_oneof![
+        2 => Just(String::new()),
+        1 => (proptest::sample::select(TAGS), proptest::sample::select(&["", " = 1", " > 1"]))
+            .prop_map(|(t, c)| format!("[{t}{c}]")),
+    ];
+    (prop::collection::vec(seg, 1..4), pred).prop_map(|(s, p)| format!("{}{p}", s.concat()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, ..Default::default() })]
+
+    #[test]
+    fn containment_is_sound(xml in arb_doc(), p in arb_path(), q in arb_path()) {
+        let sup = parse_path(&p).unwrap();
+        let sub = parse_path(&q).unwrap();
+        if !contains(&sup, &sub) {
+            return Ok(()); // inconclusive answers claim nothing
+        }
+        let doc = Document::parse(&xml).unwrap();
+        let oracle = Oracle::new(&doc);
+        let big = oracle.matches(&sup, "u");
+        let small = oracle.matches(&sub, "u");
+        prop_assert!(
+            small.is_subset(&big),
+            "claimed {p} ⊇ {q} but node sets disagree on {xml}"
+        );
+    }
+
+    #[test]
+    fn scope_containment_is_sound(xml in arb_doc(), p in arb_path(), q in arb_path()) {
+        let sup = parse_path(&p).unwrap();
+        let sub = parse_path(&q).unwrap();
+        if !scope_contains(&sup, &sub) {
+            return Ok(());
+        }
+        // Scope containment must imply view containment for single-rule
+        // policies of the same sign: granting `sup` shows at least
+        // everything granting `sub` shows.
+        let doc = Document::parse(&xml).unwrap();
+        let oracle = Oracle::new(&doc);
+        let mut dict = doc.dict.clone();
+        let pol_sup = Policy::parse("u", &[(Sign::Permit, p.as_str())], &mut dict).unwrap();
+        let pol_sub = Policy::parse("u", &[(Sign::Permit, q.as_str())], &mut dict).unwrap();
+        let granted_sup = oracle.decisions(&pol_sup);
+        let granted_sub = oracle.decisions(&pol_sub);
+        for (node, g) in granted_sub {
+            if g {
+                prop_assert_eq!(
+                    granted_sup.get(&node),
+                    Some(&true),
+                    "scope {} ⊇ {} violated at a node of {}",
+                    &p, &q, &xml
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_never_changes_single_user_views(
+        xml in arb_doc(),
+        paths in prop::collection::vec(arb_path(), 1..4),
+        signs in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let doc = Document::parse(&xml).unwrap();
+        let rules: Vec<(Sign, &str)> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (if signs[i % signs.len()] { Sign::Permit } else { Sign::Deny }, p.as_str())
+            })
+            .collect();
+        let mut dict = doc.dict.clone();
+        let mut policy = Policy::parse("u", &rules, &mut dict).unwrap();
+        let before = xsac_core::oracle::oracle_view_string(&doc, &policy);
+        policy.minimize();
+        let after = xsac_core::oracle::oracle_view_string(&doc, &policy);
+        prop_assert_eq!(before, after, "minimize changed the view for rules {:?}", rules);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: evaluate an access-control policy on a streaming document.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xsac::core::output::reassemble_to_string;
+use xsac::core::{evaluator::Evaluator, Policy, Sign};
+use xsac::xml::Document;
+
+fn main() {
+    // 1. A document (normally this arrives as an encrypted stream; here
+    //    we parse locally to focus on the evaluator).
+    let doc = Document::parse(
+        "<Folder>\
+           <Admin><Name>Ann Martin</Name><Age>71</Age></Admin>\
+           <MedActs>\
+             <Act><RPhys>house</RPhys><Details>confidential details</Details></Act>\
+             <Act><RPhys>wilson</RPhys><Details>other details</Details></Act>\
+           </MedActs>\
+         </Folder>",
+    )
+    .expect("well-formed");
+
+    // 2. An access-control policy: a doctor sees the administrative data
+    //    and her own acts, but not the details of someone else's acts.
+    let mut dict = doc.dict.clone();
+    let policy = Policy::parse(
+        "house", // the USER variable
+        &[
+            (Sign::Permit, "//Admin"),
+            (Sign::Permit, "//MedActs"),
+            (Sign::Deny, "//Act[RPhys != USER]/Details"),
+        ],
+        &mut dict,
+    )
+    .expect("rules parse");
+
+    // 3. Stream the document through the evaluator.
+    let mut eval = Evaluator::new(&policy, None, Default::default());
+    for ev in doc.events() {
+        eval.event(&ev);
+    }
+    let result = eval.finish();
+
+    // 4. The authorized view.
+    println!("authorized view for doctor 'house':");
+    println!("{}", reassemble_to_string(&dict, &result.log));
+    println!();
+    println!("evaluator statistics: {}", result.stats.summary());
+}
