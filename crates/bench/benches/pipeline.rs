@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use xsac_bench::{demo_key, prepare};
+use xsac_crypto::IntegrityScheme;
 use xsac_datagen::{hospital::physician_name, Dataset, Profile};
 use xsac_soe::{run_session, CostModel, SessionConfig, Strategy};
-use xsac_crypto::IntegrityScheme;
 
 fn bench_pipeline(c: &mut Criterion) {
     let doc = Dataset::Hospital.generate(0.03, 42);
@@ -24,8 +24,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     |b, &strategy| {
                         let mut dict = server.dict.clone();
                         let policy = profile.policy(&physician_name(0), &mut dict);
-                        let config =
-                            SessionConfig { strategy, cost: CostModel::smartcard() };
+                        let config = SessionConfig { strategy, cost: CostModel::smartcard() };
                         b.iter(|| {
                             run_session(&server, &key, &policy, None, &config)
                                 .expect("session")

@@ -8,9 +8,9 @@
 //! analysed before being skipped).
 
 use xsac_bench::{banner, generate, parse_args, prepare, run_tcsbr};
+use xsac_crypto::IntegrityScheme;
 use xsac_datagen::profiles::{figure10_query, View};
 use xsac_datagen::{hospital::physician_name, Dataset};
-use xsac_crypto::IntegrityScheme;
 use xsac_xpath::Automaton;
 
 fn main() {
@@ -22,10 +22,7 @@ fn main() {
     // (full-time doctor), the last id the rarest (part-time doctor).
     let frequent = physician_name(0);
     let rare = physician_name(9);
-    println!(
-        "{:<5} {:>4} {:>12} {:>10} {:>10}",
-        "view", "v", "result(KB)", "time(s)", "KB/s"
-    );
+    println!("{:<5} {:>4} {:>12} {:>10} {:>10}", "view", "v", "result(KB)", "time(s)", "KB/s");
     for view in View::ALL {
         for v in [101, 90, 75, 50, 0] {
             let mut dict = server.dict.clone();

@@ -8,8 +8,8 @@
 //! benefit.
 
 use xsac_bench::{banner, generate, parse_args, prepare, run_tcsbr};
-use xsac_datagen::{hospital::physician_name, Dataset, Profile};
 use xsac_crypto::IntegrityScheme;
+use xsac_datagen::{hospital::physician_name, Dataset, Profile};
 
 fn main() {
     let args = parse_args();

@@ -7,10 +7,10 @@
 
 use xsac_bench::{banner, dataset_scale, generate, parse_args, prepare, run_tcsbr};
 use xsac_core::Policy;
+use xsac_crypto::IntegrityScheme;
 use xsac_datagen::rulegen::{policy_with_selectivity, RuleGenConfig};
 use xsac_datagen::{hospital::physician_name, Dataset, Profile};
 use xsac_soe::{lwb_estimate, CostModel};
-use xsac_crypto::IntegrityScheme;
 use xsac_xml::Document;
 
 fn row(name: &str, doc: &Document, policy: &Policy, source_bytes: usize) {
@@ -90,7 +90,11 @@ fn main() {
             .bytes
             .len();
         row(
-            &format!("Bank({:.0}%,s{:.3})", sel * 100.0, dataset_scale(Dataset::Treebank, args.scale)),
+            &format!(
+                "Bank({:.0}%,s{:.3})",
+                sel * 100.0,
+                dataset_scale(Dataset::Treebank, args.scale)
+            ),
             &doc,
             &policy,
             bytes,

@@ -24,10 +24,7 @@ fn paper_row(d: Dataset) -> [f64; 5] {
 fn main() {
     let args = parse_args();
     banner("Figure 8. Index storage overhead (structure/text %)", &args);
-    println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "dataset", "NC", "TC", "TCS", "TCSB", "TCSBR"
-    );
+    println!("{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}", "dataset", "NC", "TC", "TCS", "TCSB", "TCSBR");
     for d in Dataset::ALL {
         let doc = generate(d, &args);
         let r = OverheadReport::measure(d.name(), &doc);

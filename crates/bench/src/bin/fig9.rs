@@ -6,9 +6,9 @@
 //! (communication / decryption / access control).
 
 use xsac_bench::{banner, generate, parse_args, prepare, run_bf, run_tcsbr};
+use xsac_crypto::IntegrityScheme;
 use xsac_datagen::{hospital::physician_name, Dataset, Profile};
 use xsac_soe::{lwb_estimate, CostModel};
-use xsac_crypto::IntegrityScheme;
 
 fn main() {
     let args = parse_args();

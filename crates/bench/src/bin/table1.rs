@@ -11,7 +11,12 @@ fn main() {
     println!("{:<38} {:>14} {:>12}", "Context", "Communication", "Decryption");
     let rows = [
         ("Hardware based (future smartcards)", CostModel::smartcard(), "0.5 MB/s", "0.15 MB/s"),
-        ("Software based - Internet connection", CostModel::software_internet(), "0.1 MB/s", "1.2 MB/s"),
+        (
+            "Software based - Internet connection",
+            CostModel::software_internet(),
+            "0.1 MB/s",
+            "1.2 MB/s",
+        ),
         ("Software based - LAN connection", CostModel::software_lan(), "10 MB/s", "1.2 MB/s"),
     ];
     for (name, m, paper_comm, paper_dec) in rows {

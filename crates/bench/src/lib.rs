@@ -75,11 +75,7 @@ pub fn prepare(doc: &Document, scheme: IntegrityScheme) -> ServerDoc {
 }
 
 /// Runs a TCSBR session under the smartcard cost model.
-pub fn run_tcsbr(
-    server: &ServerDoc,
-    policy: &Policy,
-    query: Option<&Automaton>,
-) -> SessionResult {
+pub fn run_tcsbr(server: &ServerDoc, policy: &Policy, query: Option<&Automaton>) -> SessionResult {
     xsac_soe::run_session(
         server,
         &demo_key(),

@@ -245,10 +245,7 @@ impl AuthStack {
     /// `DecideSubtree` to block subtree-wide conclusions).
     pub fn has_pending_of_sign(&self, sign: Sign, reg: &PredRegistry) -> bool {
         self.levels().iter().any(|level| {
-            level
-                .entries
-                .iter()
-                .any(|e| e.sign == sign && e.status(reg) == Ternary::Unknown)
+            level.entries.iter().any(|e| e.sign == sign && e.status(reg) == Ternary::Unknown)
         })
     }
 }

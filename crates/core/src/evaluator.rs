@@ -134,9 +134,7 @@ impl Evaluator {
                     .preds
                     .iter()
                     .map(|p| {
-                        p.comparison
-                            .as_ref()
-                            .map(|(_, v)| Rc::from(v.resolve(&policy.subject)))
+                        p.comparison.as_ref().map(|(_, v)| Rc::from(v.resolve(&policy.subject)))
                     })
                     .collect(),
             })
@@ -152,7 +150,11 @@ impl Evaluator {
             });
         }
         if let Some(q) = &query {
-            base.nav.push(NavToken { rule: RuleRef::Query, state: q.start, bindings: Rc::from([]) });
+            base.nav.push(NavToken {
+                rule: RuleRef::Query,
+                state: q.start,
+                bindings: Rc::from([]),
+            });
         }
         let dummy = None; // resolved lazily by the caller via config + dict
         let stats = EvalStats { tokens_created: base.nav.len(), ..Default::default() };
@@ -672,7 +674,12 @@ impl Evaluator {
                 }
             }
         } else {
-            new_level.pred.push(PredToken { rule: p.rule, pred: p.pred, state: next, inst: p.inst });
+            new_level.pred.push(PredToken {
+                rule: p.rule,
+                pred: p.pred,
+                state: next,
+                inst: p.inst,
+            });
             self.stats.tokens_created += 1;
         }
     }
@@ -782,11 +789,7 @@ mod tests {
     #[test]
     fn grant_root_denies_subtree() {
         assert_eq!(
-            run(
-                "<a><b>x</b><c>y</c></a>",
-                "u",
-                &[(Sign::Permit, "/a"), (Sign::Deny, "/a/c")]
-            ),
+            run("<a><b>x</b><c>y</c></a>", "u", &[(Sign::Permit, "/a"), (Sign::Deny, "/a/c")]),
             "<a><b>x</b></a>"
         );
     }
@@ -805,10 +808,7 @@ mod tests {
 
     #[test]
     fn denial_takes_precedence() {
-        assert_eq!(
-            run("<a><b>x</b></a>", "u", &[(Sign::Permit, "//b"), (Sign::Deny, "//b")]),
-            ""
-        );
+        assert_eq!(run("<a><b>x</b></a>", "u", &[(Sign::Permit, "//b"), (Sign::Deny, "//b")]), "");
     }
 
     #[test]
@@ -816,11 +816,7 @@ mod tests {
         // The predicate [d=1] resolves *after* <c> has been seen: pending
         // delivery must reassemble c before d in document order.
         assert_eq!(
-            run(
-                "<a><b><c>keep</c><d>1</d></b></a>",
-                "u",
-                &[(Sign::Permit, "//b[d=1]")]
-            ),
+            run("<a><b><c>keep</c><d>1</d></b></a>", "u", &[(Sign::Permit, "//b[d=1]")]),
             "<a><b><c>keep</c><d>1</d></b></a>"
         );
     }
@@ -828,11 +824,7 @@ mod tests {
     #[test]
     fn predicate_false_discards() {
         assert_eq!(
-            run(
-                "<a><b><c>keep</c><d>2</d></b></a>",
-                "u",
-                &[(Sign::Permit, "//b[d=1]")]
-            ),
+            run("<a><b><c>keep</c><d>2</d></b></a>", "u", &[(Sign::Permit, "//b[d=1]")]),
             ""
         );
     }
@@ -853,10 +845,7 @@ mod tests {
         // of the paper): only instances whose own subtree contains a c
         // qualify.
         let xml = "<a><b><d>no</d></b><b><c>1</c><d>yes</d></b></a>";
-        assert_eq!(
-            run(xml, "u", &[(Sign::Permit, "//b[c]/d")]),
-            "<a><b><d>yes</d></b></a>"
-        );
+        assert_eq!(run(xml, "u", &[(Sign::Permit, "//b[c]/d")]), "<a><b><d>yes</d></b></a>");
     }
 
     #[test]
@@ -868,10 +857,7 @@ mod tests {
         let got = run(xml, "u", &[(Sign::Permit, "//b[c]/d"), (Sign::Deny, "//c")]);
         // d1, d2 granted (b has c); d3's b contains c2 so d3 granted too —
         // but its path runs through the denied outer c, kept as a shell.
-        assert_eq!(
-            got,
-            "<a><b><d>d1</d><d>d2</d></b><c><b><d>d3</d></b></c></a>"
-        );
+        assert_eq!(got, "<a><b><d>d1</d><d>d2</d></b><c><b><d>d3</d></b></c></a>");
     }
 
     #[test]
@@ -898,11 +884,7 @@ mod tests {
     #[test]
     fn wildcard_and_descendant_axes() {
         assert_eq!(
-            run(
-                "<a><x><b>1</b></x><y><b>2</b></y><b>3</b></a>",
-                "u",
-                &[(Sign::Permit, "/a/*/b")]
-            ),
+            run("<a><x><b>1</b></x><y><b>2</b></y><b>3</b></a>", "u", &[(Sign::Permit, "/a/*/b")]),
             "<a><x><b>1</b></x><y><b>2</b></y></a>"
         );
         assert_eq!(
@@ -926,12 +908,7 @@ mod tests {
         let xml = "<r><f><age>70</age><name>A</name></f></r>";
         // age is denied: the query predicate must not observe it.
         assert_eq!(
-            run_q(
-                xml,
-                "u",
-                &[(Sign::Permit, "/r"), (Sign::Deny, "//age")],
-                Some("//f[age > 65]")
-            ),
+            run_q(xml, "u", &[(Sign::Permit, "/r"), (Sign::Deny, "//age")], Some("//f[age > 65]")),
             ""
         );
     }
@@ -947,10 +924,7 @@ mod tests {
             run("<a><b></b><c>5</c></a>", "u", &[(Sign::Permit, "//c[. = 5]")]),
             "<a><c>5</c></a>"
         );
-        assert_eq!(
-            run("<a><c>6</c></a>", "u", &[(Sign::Permit, "//c[. = 5]")]),
-            ""
-        );
+        assert_eq!(run("<a><c>6</c></a>", "u", &[(Sign::Permit, "//c[. = 5]")]), "");
     }
 
     #[test]
@@ -1047,10 +1021,7 @@ mod tests {
         }
         let res = eval.finish();
         assert!(raw_used);
-        assert_eq!(
-            reassemble_to_string(&dict, &res.log),
-            "<a><b><x>1</x><y>2</y></b></a>"
-        );
+        assert_eq!(reassemble_to_string(&dict, &res.log), "<a><b><x>1</x><y>2</y></b></a>");
         assert!(res.stats.raw_events > 0);
     }
 
@@ -1067,7 +1038,8 @@ mod tests {
             desc.insert(dict.get(n).unwrap());
         }
         assert!(!desc.contains(zz));
-        let d = eval.open(dict.get("a").unwrap(), Some(&SkipInfo { desc_tags: Some(&desc), handle: None }));
+        let d = eval
+            .open(dict.get("a").unwrap(), Some(&SkipInfo { desc_tags: Some(&desc), handle: None }));
         assert_eq!(d, Directive::SkipDeny, "no rule can match below: skip");
         eval.skip_close(None);
         let res = eval.finish();
@@ -1093,7 +1065,8 @@ mod tests {
         let x = dict.get("x").unwrap();
         let desc_b: TagSet = [k].into_iter().collect();
         assert_eq!(eval.open(a, None), Directive::Continue);
-        let d = eval.open(b, Some(&SkipInfo { desc_tags: Some(&desc_b), handle: Some(SubtreeRef(99)) }));
+        let d = eval
+            .open(b, Some(&SkipInfo { desc_tags: Some(&desc_b), handle: Some(SubtreeRef(99)) }));
         assert_eq!(d, Directive::SkipPending);
         eval.skip_close(Some(SubtreeRef(99)));
         // x=1 satisfies the predicate → readback request for b's subtree.
@@ -1105,7 +1078,13 @@ mod tests {
         assert_eq!(reqs[0].subtree, SubtreeRef(99));
         eval.readback_events(
             reqs[0].entry,
-            &[Event::Open(b), Event::Open(k), Event::Text("v".into()), Event::Close(k), Event::Close(b)],
+            &[
+                Event::Open(b),
+                Event::Open(k),
+                Event::Text("v".into()),
+                Event::Close(k),
+                Event::Close(b),
+            ],
         );
         eval.close();
         let res = eval.finish();

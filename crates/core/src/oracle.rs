@@ -21,8 +21,8 @@
 
 use crate::rule::{Policy, Sign};
 use std::collections::{HashMap, HashSet};
-use xsac_xpath::{Axis, Path, Predicate};
 use xsac_xml::{Document, Node, NodeId};
+use xsac_xpath::{Axis, Path, Predicate};
 
 /// The oracle evaluator.
 pub struct Oracle<'a> {
@@ -80,11 +80,7 @@ impl<'a> Oracle<'a> {
                     if !step.test.matches(self.doc.dict.name(self.doc.tag(t))) {
                         continue;
                     }
-                    if !step
-                        .predicates
-                        .iter()
-                        .all(|p| self.predicate_holds(t, p, user, visible))
-                    {
+                    if !step.predicates.iter().all(|p| self.predicate_holds(t, p, user, visible)) {
                         continue;
                     }
                     if seen.insert(t) {
@@ -148,8 +144,7 @@ impl<'a> Oracle<'a> {
                         Axis::Descendant => self.element_descendants(Some(*cand), visible),
                     };
                     for t in targets {
-                        if step.test.matches(self.doc.dict.name(self.doc.tag(t)))
-                            && seen.insert(t)
+                        if step.test.matches(self.doc.dict.name(self.doc.tag(t))) && seen.insert(t)
                         {
                             next.push(t);
                         }
@@ -160,9 +155,7 @@ impl<'a> Oracle<'a> {
             current
         };
         match &pred.comparison {
-            None => matched
-                .iter()
-                .any(|&m| visible.is_none_or(|v| v.get(&m) == Some(&true))),
+            None => matched.iter().any(|&m| visible.is_none_or(|v| v.get(&m) == Some(&true))),
             Some((op, value)) => {
                 let rhs = value.resolve(user);
                 matched.iter().any(|&m| {
@@ -193,11 +186,8 @@ impl<'a> Oracle<'a> {
     /// Per-element access decision under `policy` (true = granted).
     pub fn decisions(&self, policy: &Policy) -> HashMap<NodeId, bool> {
         // Rule objects.
-        let objects: Vec<(Sign, HashSet<NodeId>)> = policy
-            .rules
-            .iter()
-            .map(|r| (r.sign, self.matches(&r.path, &policy.subject)))
-            .collect();
+        let objects: Vec<(Sign, HashSet<NodeId>)> =
+            policy.rules.iter().map(|r| (r.sign, self.matches(&r.path, &policy.subject))).collect();
         let mut out = HashMap::new();
         // For each element: scan root path, most specific level decides.
         for (id, _) in self.doc.preorder() {
@@ -409,15 +399,11 @@ mod tests {
 
     #[test]
     fn query_over_view() {
-        let doc =
-            Document::parse("<r><f><age>70</age></f><f><age>50</age></f></r>").unwrap();
+        let doc = Document::parse("<r><f><age>70</age></f><f><age>50</age></f></r>").unwrap();
         let mut dict = doc.dict.clone();
         let p = policy("u", &[(Sign::Permit, "/r")], &mut dict);
         let q = parse_path("//f[age>65]").unwrap();
-        assert_eq!(
-            oracle_query_string(&doc, &p, &q),
-            "<r><f><age>70</age></f></r>"
-        );
+        assert_eq!(oracle_query_string(&doc, &p, &q), "<r><f><age>70</age></f></r>");
     }
 
     #[test]
@@ -456,9 +442,6 @@ mod tests {
         );
         // R grants c's subtree (d=4 holds); S denies e (m=3 holds);
         // T grants f redundantly; U denies h (k=2 holds).
-        assert_eq!(
-            oracle_view_string(&doc, &p),
-            "<a><c><f><m>0</m><p>0</p></f><g>0</g></c></a>"
-        );
+        assert_eq!(oracle_view_string(&doc, &p), "<a><c><f><m>0</m><p>0</p></f><g>0</g></c></a>");
     }
 }

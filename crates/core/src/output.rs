@@ -381,9 +381,9 @@ impl OutputBuilder {
         let mut last_at_level: Vec<Option<u64>> = vec![None];
         let mut first = true;
         let place = |this: &mut Self,
-                         first: &mut bool,
-                         stack: &Vec<u64>,
-                         last_at_level: &Vec<Option<u64>>|
+                     first: &mut bool,
+                     stack: &Vec<u64>,
+                     last_at_level: &Vec<Option<u64>>|
          -> Anchor {
             if *first {
                 *first = false;
@@ -448,10 +448,7 @@ impl OutputBuilder {
             .filter(|(_, e)| e.cond.eval(&reg.lookup()) == Ternary::Unknown)
             .map(|(i, _)| i)
             .collect();
-        assert!(
-            undecided.is_empty(),
-            "unresolved pending entries at document end: {undecided:?}"
-        );
+        assert!(undecided.is_empty(), "unresolved pending entries at document end: {undecided:?}");
         // Sweep entries that resolved without a watcher firing (true
         // conditions are delivered, false ones discarded).
         for idx in 0..self.entries.len() {
@@ -796,9 +793,7 @@ pub fn reassemble(dict: &TagDict, log: &[LogItem]) -> Option<Document> {
         panic!("root log item must be an element");
     };
     let root_name = dict.name(*root_tag).to_owned();
-    Some(Document::build(&root_name, |b| {
-        build(dict, log, &slots, root_seq, b)
-    }))
+    Some(Document::build(&root_name, |b| build(dict, log, &slots, root_seq, b)))
 }
 
 /// Reassembles and serializes (empty string for an empty view).
@@ -912,10 +907,7 @@ mod tests {
         out.process_resolutions(&reg.drain_resolved(), &reg);
         out.close_element();
         let (log, _) = out.finish(&reg);
-        assert_eq!(
-            reassemble_to_string(&dict, &log),
-            "<r><a></a><b></b><c></c></r>"
-        );
+        assert_eq!(reassemble_to_string(&dict, &log), "<r><a></a><b></b><c></c></r>");
     }
 
     #[test]
@@ -1055,10 +1047,7 @@ mod tests {
         out.process_resolutions(&reg.drain_resolved(), &reg);
         out.close_element();
         let (log, _) = out.finish(&reg);
-        assert_eq!(
-            reassemble_to_string(&dict, &log),
-            "<r><x></x><y></y><z></z><w></w></r>"
-        );
+        assert_eq!(reassemble_to_string(&dict, &log), "<r><x></x><y></y><z></z><w></w></r>");
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl PredRegistry {
                     let b = *b;
                     if b {
                         self.satisfy(id);
-                    } else {// an unsatisfied gate resolves nothing
+                    } else { // an unsatisfied gate resolves nothing
                     }
                 }
                 _ => {

@@ -112,10 +112,7 @@ mod tests {
         let mut dict = TagDict::new();
         let p = Policy::parse(
             "doc1",
-            &[
-                (Sign::Permit, "//Folder/Admin"),
-                (Sign::Deny, "//Act[RPhys != USER]/Details"),
-            ],
+            &[(Sign::Permit, "//Folder/Admin"), (Sign::Deny, "//Act[RPhys != USER]/Details")],
             &mut dict,
         )
         .unwrap();
@@ -135,12 +132,9 @@ mod tests {
     #[test]
     fn minimize_drops_contained_same_sign_rule() {
         let mut dict = TagDict::new();
-        let mut p = Policy::parse(
-            "u",
-            &[(Sign::Permit, "//a"), (Sign::Permit, "//a/b")],
-            &mut dict,
-        )
-        .unwrap();
+        let mut p =
+            Policy::parse("u", &[(Sign::Permit, "//a"), (Sign::Permit, "//a/b")], &mut dict)
+                .unwrap();
         assert_eq!(p.minimize(), 1);
         assert_eq!(p.rules.len(), 1);
         assert_eq!(p.rules[0].path.to_string(), "//a");
@@ -151,11 +145,7 @@ mod tests {
         let mut dict = TagDict::new();
         let mut p = Policy::parse(
             "u",
-            &[
-                (Sign::Permit, "//a"),
-                (Sign::Permit, "//a/b"),
-                (Sign::Deny, "//a/b/c"),
-            ],
+            &[(Sign::Permit, "//a"), (Sign::Permit, "//a/b"), (Sign::Deny, "//a/b/c")],
             &mut dict,
         )
         .unwrap();

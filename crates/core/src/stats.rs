@@ -75,7 +75,13 @@ mod tests {
 
     #[test]
     fn totals_and_summary() {
-        let s = EvalStats { open_events: 2, text_events: 1, close_events: 2, raw_events: 3, ..Default::default() };
+        let s = EvalStats {
+            open_events: 2,
+            text_events: 1,
+            close_events: 2,
+            raw_events: 3,
+            ..Default::default()
+        };
         assert_eq!(s.events(), 8);
         assert!(s.summary().contains("events=8"));
     }

@@ -8,8 +8,8 @@
 //! event."
 
 use crate::condition::PredInstId;
-use xsac_xpath::{CmpOp, StateId};
 use std::rc::Rc;
+use xsac_xpath::{CmpOp, StateId};
 
 /// Identifies the automaton a token belongs to: a policy rule or the query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

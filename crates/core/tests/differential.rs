@@ -63,21 +63,14 @@ fn arb_pred() -> impl Strategy<Value = String> {
     ];
     let cmp = prop_oneof![
         Just(String::new()),
-        (
-            proptest::sample::select(&["=", "!=", ">", "<"]),
-            proptest::sample::select(VALUES)
-        )
+        (proptest::sample::select(&["=", "!=", ">", "<"]), proptest::sample::select(VALUES))
             .prop_map(|(op, v)| format!(" {op} {v}")),
     ];
     (relpath, cmp).prop_map(|(p, c)| format!("[{p}{c}]"))
 }
 
 fn arb_path() -> impl Strategy<Value = String> {
-    let seg = (
-        proptest::sample::select(&["/", "//"]),
-        arb_step(),
-        prop::option::of(arb_pred()),
-    )
+    let seg = (proptest::sample::select(&["/", "//"]), arb_step(), prop::option::of(arb_pred()))
         .prop_map(|(axis, step, pred)| format!("{axis}{step}{}", pred.unwrap_or_default()));
     prop::collection::vec(seg, 1..4).prop_map(|segs| segs.concat())
 }
@@ -89,7 +82,12 @@ fn arb_policy() -> impl Strategy<Value = Vec<(bool, String)>> {
 // ---------------------------------------------------------------------
 // drivers
 
-fn run_streaming(doc: &Document, rules: &[(bool, String)], query: Option<&str>, optimized: bool) -> String {
+fn run_streaming(
+    doc: &Document,
+    rules: &[(bool, String)],
+    query: Option<&str>,
+    optimized: bool,
+) -> String {
     let mut dict = doc.dict.clone();
     let rules: Vec<(Sign, &str)> = rules
         .iter()
@@ -124,7 +122,11 @@ fn run_with_skips(doc: &Document, rules: &[(bool, String)], query: Option<&str>)
 
     // Pre-compute, for every node, its DescTag set and its events.
     let mut desc: std::collections::HashMap<NodeId, TagSet> = Default::default();
-    fn fill(doc: &Document, id: NodeId, desc: &mut std::collections::HashMap<NodeId, TagSet>) -> TagSet {
+    fn fill(
+        doc: &Document,
+        id: NodeId,
+        desc: &mut std::collections::HashMap<NodeId, TagSet>,
+    ) -> TagSet {
         let mut set = TagSet::new();
         for &c in doc.children(id) {
             if let Node::Element { tag, .. } = doc.node(c) {
@@ -287,7 +289,8 @@ fn paper_motivating_policies_on_tiny_hospital() {
         (false, "//G3[Cholesterol > 250]".into()),
     ];
 
-    for (name, rules) in [("secretary", secretary), ("doctor", doctor), ("researcher", researcher)] {
+    for (name, rules) in [("secretary", secretary), ("doctor", doctor), ("researcher", researcher)]
+    {
         // Doctor rules resolve USER=doc1.
         let expected = {
             let mut dict = doc.dict.clone();
@@ -363,8 +366,7 @@ fn oracle_streaming_agree_on_handpicked_corpus() {
     ];
     for (xml, rules) in cases {
         let doc = Document::parse(xml).unwrap();
-        let rules: Vec<(bool, String)> =
-            rules.iter().map(|(p, s)| (*p, s.to_string())).collect();
+        let rules: Vec<(bool, String)> = rules.iter().map(|(p, s)| (*p, s.to_string())).collect();
         let expected = run_oracle(&doc, &rules, None);
         for optimized in [false, true] {
             let got = run_streaming(&doc, &rules, None, optimized);

@@ -71,12 +71,7 @@ fn token_peak_scales_with_depth_only() {
     assert!(d40.peak_tokens > d10.peak_tokens, "deeper nesting keeps more proxies");
     // //a//a keeps one proxy per (level, first-match position): O(depth²)
     // in the raw NFA — 4× depth ⇒ ≤ ~16× tokens, not worse.
-    assert!(
-        d40.peak_tokens <= d10.peak_tokens * 20,
-        "{} vs {}",
-        d40.peak_tokens,
-        d10.peak_tokens
-    );
+    assert!(d40.peak_tokens <= d10.peak_tokens * 20, "{} vs {}", d40.peak_tokens, d10.peak_tokens);
     // With the §3.3 optimizations the growth flattens entirely.
     let rules: &[(Sign, &str)] = &[(Sign::Permit, "//a//a")];
     let o10 = run(&make(10), rules);
@@ -135,10 +130,7 @@ fn open_instances_bounded_by_nesting() {
     }
     xml.push_str("</r>");
     let doc = Document::parse(&xml).unwrap();
-    let stats = run(
-        &doc,
-        &[(Sign::Permit, "//f[missing=1]"), (Sign::Deny, "//f[a=never]")],
-    );
+    let stats = run(&doc, &[(Sign::Permit, "//f[missing=1]"), (Sign::Deny, "//f[a=never]")]);
     assert!(
         stats.peak_open_instances <= 4,
         "instances must close with their folders: {}",

@@ -9,7 +9,9 @@
 
 use crate::des::TripleDes;
 use crate::merkle::{fragment_hashes, merkle_root};
-use crate::modes::{cbc_encrypt, pad_blocks, posxor_encrypt, BLOCK};
+use crate::modes::{
+    cbc_encrypt_in_place, pad_blocks, posxor_decrypt_in_place, posxor_encrypt_in_place, BLOCK,
+};
 use crate::protocol::IntegrityScheme;
 use crate::sha1::{sha1, Digest};
 
@@ -35,7 +37,10 @@ impl ChunkLayout {
     /// Validates the geometry.
     pub fn validate(&self) {
         assert!(self.fragment_size.is_multiple_of(BLOCK), "fragments must be whole blocks");
-        assert!(self.chunk_size.is_multiple_of(self.fragment_size), "chunks must be whole fragments");
+        assert!(
+            self.chunk_size.is_multiple_of(self.fragment_size),
+            "chunks must be whole fragments"
+        );
     }
 
     /// Fragments per chunk.
@@ -74,7 +79,9 @@ pub struct ProtectedDoc {
 }
 
 impl ProtectedDoc {
-    /// Encrypts and authenticates `plaintext` under `key`.
+    /// Encrypts and authenticates `plaintext` under `key`. The padded
+    /// plaintext buffer is allocated once and encrypted chunk by chunk in
+    /// place — it *becomes* the ciphertext.
     pub fn protect(
         plaintext: &[u8],
         key: &TripleDes,
@@ -82,27 +89,27 @@ impl ProtectedDoc {
         layout: ChunkLayout,
     ) -> ProtectedDoc {
         layout.validate();
-        let padded = pad_blocks(plaintext);
-        let mut ciphertext = Vec::with_capacity(padded.len());
+        let mut ciphertext = pad_blocks(plaintext);
         let mut plain_digests: Vec<Digest> = Vec::new();
-        for (ci, chunk) in padded.chunks(layout.chunk_size).enumerate() {
+        for (ci, chunk) in ciphertext.chunks_mut(layout.chunk_size).enumerate() {
+            // Plaintext digests must be taken before the in-place pass.
+            if scheme == IntegrityScheme::CbcSha {
+                plain_digests.push(sha1(chunk));
+            }
             let first_block = (ci * layout.chunk_size / BLOCK) as u64;
             match scheme {
                 IntegrityScheme::Ecb | IntegrityScheme::EcbMht => {
-                    ciphertext.extend_from_slice(&posxor_encrypt(key, chunk, first_block));
+                    posxor_encrypt_in_place(key, chunk, first_block);
                 }
                 IntegrityScheme::CbcSha | IntegrityScheme::CbcShac => {
                     // Per-chunk CBC with the chunk index folded into the IV
                     // (random access re-starts at chunk boundaries).
-                    ciphertext.extend_from_slice(&cbc_encrypt(key, chunk, iv_for(ci)));
+                    cbc_encrypt_in_place(key, chunk, iv_for(ci));
                 }
-            }
-            if scheme == IntegrityScheme::CbcSha {
-                plain_digests.push(sha1(chunk));
             }
         }
         let mut digests = Vec::new();
-        let n_chunks = padded.len().div_ceil(layout.chunk_size);
+        let n_chunks = ciphertext.len().div_ceil(layout.chunk_size);
         #[allow(clippy::needless_range_loop)] // ci also derives offsets
         for ci in 0..n_chunks {
             let start = ci * layout.chunk_size;
@@ -138,17 +145,18 @@ impl ProtectedDoc {
 }
 
 /// Encrypts a 20-byte digest into a 24-byte record bound to its chunk.
+/// Stack-only: the record never touches the heap.
 pub fn encrypt_digest(key: &TripleDes, chunk_index: usize, digest: &Digest) -> [u8; DIGEST_RECORD] {
-    let mut padded = [0u8; DIGEST_RECORD];
-    padded[..20].copy_from_slice(digest);
-    let enc = posxor_encrypt(key, &padded, DIGEST_DOMAIN + (chunk_index as u64) * 3);
-    enc.try_into().expect("3 blocks")
+    let mut record = [0u8; DIGEST_RECORD];
+    record[..20].copy_from_slice(digest);
+    posxor_encrypt_in_place(key, &mut record, DIGEST_DOMAIN + (chunk_index as u64) * 3);
+    record
 }
 
-/// Decrypts a digest record.
+/// Decrypts a digest record (stack-only).
 pub fn decrypt_digest(key: &TripleDes, chunk_index: usize, record: &[u8; DIGEST_RECORD]) -> Digest {
-    let dec =
-        crate::modes::posxor_decrypt(key, record, DIGEST_DOMAIN + (chunk_index as u64) * 3);
+    let mut dec = *record;
+    posxor_decrypt_in_place(key, &mut dec, DIGEST_DOMAIN + (chunk_index as u64) * 3);
     dec[..20].try_into().expect("20 bytes")
 }
 

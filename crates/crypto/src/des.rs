@@ -1,166 +1,186 @@
-//! The DES block cipher and 3DES-EDE.
+//! The DES block cipher and 3DES-EDE — fast SP-table implementation.
 //!
 //! The paper encrypts with "a triple-DES algorithm hardwired in the smart
-//! card" (Appendix A). DES is implemented from the FIPS 46-3 tables;
-//! known-answer tests pin the implementation to published vectors.
+//! card" (Appendix A), and Figure 12 shows decryption dominating the
+//! end-to-end cost, so this module is the hottest code in the workspace.
+//!
+//! # SP-table derivation
+//!
+//! The classic software optimization (Hoey/Outerbridge lineage, the same
+//! structure used by libdes and its descendants) collapses the per-round
+//! work into table lookups:
+//!
+//! * **SP boxes.** Round function `f(R, K) = P(S(E(R) ⊕ K))` applies the
+//!   eight 6→4-bit S-boxes and then the fixed 32-bit permutation `P`.
+//!   Because each S-box feeds a disjoint 4-bit field of `P`'s input, `P`
+//!   distributes over the concatenation: precompute, for every box `b`
+//!   and 6-bit input `v`, the 32-bit word `P(S_b(v) << (28 − 4b))`. The
+//!   round function becomes eight lookups OR-ed together. The tables are
+//!   built **at compile time** ([`build_sp`]) from the FIPS `SBOX`/`P`
+//!   constants of the retained [`reference`] module, so the fast path is
+//!   derived from, not parallel to, the audited tables.
+//! * **Expansion.** `E` duplicates edge bits of each 4-bit nibble: the
+//!   6-bit chunk feeding box `b` is bits `4b..4b+5` of `R` cyclically
+//!   extended by one bit on each side. After one rotate (`R >>> 1`) every
+//!   chunk is a contiguous 6-bit window, so expansion costs one rotate
+//!   plus shifts — no table at all. The round keys are pre-split into
+//!   eight 6-bit pieces aligned with those windows.
+//! * **IP/FP.** The initial and final permutations are butterflies: five
+//!   delta-swaps on the 32-bit halves ([`ip_split`]/[`fp_join`]) replace
+//!   128 single-bit moves. Their correctness is pinned against the
+//!   bit-by-bit `reference::permute` in the tests below.
+//! * **Round unrolling.** The 16 rounds run two at a time over
+//!   `(u32, u32)` half-blocks with the Feistel swap folded into operand
+//!   order, and 3DES fuses the three passes: `FP∘IP = id`, so the middle
+//!   permutations cancel and one IP + 48 rounds + one FP process each
+//!   block.
+//!
+//! The bit-by-bit FIPS implementation is retained as [`reference`] for
+//! differential testing (`crates/crypto/tests/des_differential.rs` checks
+//! fast == reference on random keys/blocks and pins both to published
+//! known-answer vectors). `cargo bench -p xsac-bench --bench crypto`
+//! measures the speedup and records it in `BENCH_crypto.json`.
 //!
 //! This is a faithful reproduction of a 2004-era design; DES/3DES are not
 //! recommendations for new systems.
 
-/// Initial permutation.
-const IP: [u8; 64] = [
-    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
-    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
-    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
-];
+pub mod reference;
 
-/// Final permutation (inverse of IP).
-const FP: [u8; 64] = [
-    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
-    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
-    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
-];
+/// The eight merged S+P tables: `SP[b][v] = P(S_b(v) << (28 − 4b))`.
+static SP: [[u32; 64]; 8] = build_sp();
 
-/// Expansion.
-const E: [u8; 48] = [
-    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
-    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
-];
-
-/// P permutation.
-const P: [u8; 32] = [
-    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
-    13, 30, 6, 22, 11, 4, 25,
-];
-
-/// S-boxes.
-const SBOX: [[u8; 64]; 8] = [
-    [
-        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
-        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
-        4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
-    ],
-    [
-        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0,
-        1, 10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1,
-        3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
-    ],
-    [
-        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
-        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0,
-        6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
-    ],
-    [
-        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7,
-        2, 12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6,
-        10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
-    ],
-    [
-        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
-        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7,
-        1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
-    ],
-    [
-        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1,
-        13, 14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12,
-        9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
-    ],
-    [
-        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3,
-        5, 12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8,
-        1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
-    ],
-    [
-        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5,
-        6, 11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7,
-        4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
-    ],
-];
-
-/// PC-1 (key schedule).
-const PC1: [u8; 56] = [
-    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
-    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
-    29, 21, 13, 5, 28, 20, 12, 4,
-];
-
-/// PC-2 (key schedule).
-const PC2: [u8; 48] = [
-    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
-    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
-];
-
-/// Left-shift schedule.
-const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
-
-fn permute(input: u64, table: &[u8], in_bits: u32) -> u64 {
-    let mut out = 0u64;
-    for &src in table {
-        out = (out << 1) | ((input >> (in_bits - u32::from(src))) & 1);
+/// Builds the SP tables from the FIPS constants at compile time.
+const fn build_sp() -> [[u32; 64]; 8] {
+    let mut sp = [[0u32; 64]; 8];
+    let mut b = 0;
+    while b < 8 {
+        let mut v = 0;
+        while v < 64 {
+            // FIPS row/column split of the 6-bit input.
+            let row = ((v & 0x20) >> 4) | (v & 1);
+            let col = (v >> 1) & 0xF;
+            let s_out = reference::SBOX[b][row * 16 + col] as u32;
+            // Place the 4-bit output in box b's field, then permute by P.
+            let pre_p = s_out << (28 - 4 * b);
+            let mut out = 0u32;
+            let mut i = 0;
+            while i < 32 {
+                let src = reference::P[i] as u32; // 1-indexed source bit
+                out |= ((pre_p >> (32 - src)) & 1) << (31 - i);
+                i += 1;
+            }
+            sp[b][v] = out;
+            v += 1;
+        }
+        b += 1;
     }
-    out
+    sp
 }
 
-/// A DES key schedule (16 round keys).
+/// One delta-swap step: exchanges the bits of `a` and `b` selected by
+/// `mask` at distance `shift`.
+macro_rules! perm_op {
+    ($a:ident, $b:ident, $shift:expr, $mask:expr) => {
+        let t = (($a >> $shift) ^ $b) & $mask;
+        $b ^= t;
+        $a ^= t << $shift;
+    };
+}
+
+/// The initial permutation as five delta-swaps, returning `(L0, R0)`.
+#[inline]
+fn ip_split(block: u64) -> (u32, u32) {
+    let mut l = (block >> 32) as u32;
+    let mut r = block as u32;
+    perm_op!(l, r, 4, 0x0F0F_0F0F);
+    perm_op!(l, r, 16, 0x0000_FFFF);
+    perm_op!(r, l, 2, 0x3333_3333);
+    perm_op!(r, l, 8, 0x00FF_00FF);
+    perm_op!(l, r, 1, 0x5555_5555);
+    (l, r)
+}
+
+/// The final permutation (inverse butterfly) over `(hi, lo)` halves.
+#[inline]
+fn fp_join(mut l: u32, mut r: u32) -> u64 {
+    perm_op!(l, r, 1, 0x5555_5555);
+    perm_op!(r, l, 8, 0x00FF_00FF);
+    perm_op!(r, l, 2, 0x3333_3333);
+    perm_op!(l, r, 16, 0x0000_FFFF);
+    perm_op!(l, r, 4, 0x0F0F_0F0F);
+    (u64::from(l) << 32) | u64::from(r)
+}
+
+/// A per-round key pre-split into eight 6-bit pieces aligned with the
+/// post-rotate expansion windows.
+type RoundKey = [u32; 8];
+
+/// Splits a 48-bit round key into the eight SP-box pieces.
+fn split_key(k: u64) -> RoundKey {
+    core::array::from_fn(|i| ((k >> (42 - 6 * i)) & 0x3F) as u32)
+}
+
+/// The round function: one rotate, eight masked lookups.
+#[inline(always)]
+fn feistel(r: u32, k: &RoundKey) -> u32 {
+    let s = r.rotate_right(1);
+    SP[0][(((s >> 26) ^ k[0]) & 0x3F) as usize]
+        | SP[1][(((s >> 22) ^ k[1]) & 0x3F) as usize]
+        | SP[2][(((s >> 18) ^ k[2]) & 0x3F) as usize]
+        | SP[3][(((s >> 14) ^ k[3]) & 0x3F) as usize]
+        | SP[4][(((s >> 10) ^ k[4]) & 0x3F) as usize]
+        | SP[5][(((s >> 6) ^ k[5]) & 0x3F) as usize]
+        | SP[6][(((s >> 2) ^ k[6]) & 0x3F) as usize]
+        | SP[7][((s.rotate_left(2) ^ k[7]) & 0x3F) as usize]
+}
+
+/// Sixteen Feistel rounds, two per step with the half-swap folded into
+/// operand order. Returns `(L16, R16)`.
+#[inline(always)]
+fn rounds(mut l: u32, mut r: u32, keys: &[RoundKey; 16]) -> (u32, u32) {
+    for pair in keys.chunks_exact(2) {
+        l ^= feistel(r, &pair[0]);
+        r ^= feistel(l, &pair[1]);
+    }
+    (l, r)
+}
+
+/// A DES key schedule, pre-split for the SP-table round function.
 #[derive(Clone)]
 pub struct Des {
-    round_keys: [u64; 16],
+    enc: [RoundKey; 16],
+    dec: [RoundKey; 16],
 }
 
 impl Des {
     /// Builds the key schedule from an 8-byte key (parity bits ignored).
     pub fn new(key: [u8; 8]) -> Des {
-        let key = u64::from_be_bytes(key);
-        let permuted = permute(key, &PC1, 64);
-        let mut c = (permuted >> 28) & 0x0FFF_FFFF;
-        let mut d = permuted & 0x0FFF_FFFF;
-        let mut round_keys = [0u64; 16];
-        for (i, &shift) in SHIFTS.iter().enumerate() {
-            c = ((c << shift) | (c >> (28 - shift))) & 0x0FFF_FFFF;
-            d = ((d << shift) | (d >> (28 - shift))) & 0x0FFF_FFFF;
-            round_keys[i] = permute((c << 28) | d, &PC2, 56);
-        }
-        Des { round_keys }
-    }
-
-    fn feistel(r: u32, k: u64) -> u32 {
-        let expanded = permute(u64::from(r), &E, 32) ^ k;
-        let mut out = 0u32;
-        for (i, sbox) in SBOX.iter().enumerate() {
-            let chunk = ((expanded >> (42 - 6 * i)) & 0x3F) as usize;
-            let row = ((chunk & 0x20) >> 4) | (chunk & 1);
-            let col = (chunk >> 1) & 0xF;
-            out = (out << 4) | u32::from(sbox[row * 16 + col]);
-        }
-        permute(u64::from(out), &P, 32) as u32
-    }
-
-    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
-        let permuted = permute(block, &IP, 64);
-        let mut l = (permuted >> 32) as u32;
-        let mut r = permuted as u32;
-        for i in 0..16 {
-            let k = if decrypt { self.round_keys[15 - i] } else { self.round_keys[i] };
-            let next = l ^ Self::feistel(r, k);
-            l = r;
-            r = next;
-        }
-        // Note the final swap.
-        permute((u64::from(r) << 32) | u64::from(l), &FP, 64)
+        let rks = reference::round_keys(key);
+        let enc: [RoundKey; 16] = core::array::from_fn(|i| split_key(rks[i]));
+        let dec: [RoundKey; 16] = core::array::from_fn(|i| enc[15 - i]);
+        Des { enc, dec }
     }
 
     /// Encrypts one 64-bit block.
     pub fn encrypt_block(&self, block: u64) -> u64 {
-        self.crypt(block, false)
+        let (l, r) = ip_split(block);
+        let (l, r) = rounds(l, r, &self.enc);
+        fp_join(r, l)
     }
 
     /// Decrypts one 64-bit block.
     pub fn decrypt_block(&self, block: u64) -> u64 {
-        self.crypt(block, true)
+        let (l, r) = ip_split(block);
+        let (l, r) = rounds(l, r, &self.dec);
+        fp_join(r, l)
     }
 }
 
 /// 3DES in EDE mode with a 24-byte key (K1, K2, K3).
+///
+/// The three DES passes are fused: since `FP ∘ IP` is the identity, the
+/// inner permutations cancel and each block costs one IP, 48 rounds and
+/// one FP.
 #[derive(Clone)]
 pub struct TripleDes {
     k1: Des,
@@ -186,15 +206,22 @@ impl TripleDes {
         TripleDes::new(full)
     }
 
-    /// Encrypts one block: `E_{k1}(D_{k2}(E_{k3}^{-1}... )` — EDE:
-    /// `E_{k3}(D_{k2}(E_{k1}(b)))`.
+    /// Encrypts one block (EDE): `E_{k3}(D_{k2}(E_{k1}(b)))`.
     pub fn encrypt_block(&self, block: u64) -> u64 {
-        self.k3.encrypt_block(self.k2.decrypt_block(self.k1.encrypt_block(block)))
+        let (l, r) = ip_split(block);
+        let (l, r) = rounds(l, r, &self.k1.enc);
+        let (l, r) = rounds(r, l, &self.k2.dec);
+        let (l, r) = rounds(r, l, &self.k3.enc);
+        fp_join(r, l)
     }
 
     /// Decrypts one block.
     pub fn decrypt_block(&self, block: u64) -> u64 {
-        self.k1.decrypt_block(self.k2.encrypt_block(self.k3.decrypt_block(block)))
+        let (l, r) = ip_split(block);
+        let (l, r) = rounds(l, r, &self.k3.dec);
+        let (l, r) = rounds(r, l, &self.k2.enc);
+        let (l, r) = rounds(r, l, &self.k1.dec);
+        fp_join(r, l)
     }
 }
 
@@ -202,9 +229,25 @@ impl TripleDes {
 mod tests {
     use super::*;
 
-    /// The classic worked DES example (appears in FIPS validation
-    /// write-ups): key 133457799BBCDFF1, plaintext 0123456789ABCDEF →
-    /// ciphertext 85E813540F0AB405.
+    /// The butterfly IP/FP must agree with the bit-by-bit FIPS tables.
+    #[test]
+    fn butterflies_match_reference_permutations() {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let expect_ip = reference::permute(x, &reference::IP, 64);
+            let (l, r) = ip_split(x);
+            assert_eq!((u64::from(l) << 32) | u64::from(r), expect_ip, "IP of {x:016x}");
+            let expect_fp = reference::permute(x, &reference::FP, 64);
+            assert_eq!(fp_join((x >> 32) as u32, x as u32), expect_fp, "FP of {x:016x}");
+            // Inverse pair.
+            let (l, r) = ip_split(x);
+            assert_eq!(fp_join(l, r), x);
+        }
+    }
+
+    /// The classic worked DES example: key 133457799BBCDFF1, plaintext
+    /// 0123456789ABCDEF → ciphertext 85E813540F0AB405.
     #[test]
     fn des_known_answer() {
         let des = Des::new(0x1334_5779_9BBC_DFF1u64.to_be_bytes());
@@ -268,5 +311,20 @@ mod tests {
         let a = Des::new([1; 8]);
         let b = Des::new([2; 8]);
         assert_ne!(a.encrypt_block(7), b.encrypt_block(7));
+    }
+
+    /// Quick in-module differential check (the exhaustive property test
+    /// lives in `tests/des_differential.rs`).
+    #[test]
+    fn fast_matches_reference_smoke() {
+        let key = *b"smoke-test-24-byte-key!!";
+        let fast = TripleDes::new(key);
+        let slow = reference::TripleDes::new(key);
+        let mut x = 0xDEAD_BEEF_0BAD_F00Du64;
+        for _ in 0..256 {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678);
+            assert_eq!(fast.encrypt_block(x), slow.encrypt_block(x), "encrypt {x:016x}");
+            assert_eq!(fast.decrypt_block(x), slow.decrypt_block(x), "decrypt {x:016x}");
+        }
     }
 }

@@ -1,0 +1,281 @@
+//! The bit-by-bit FIPS 46-3 reference implementation of DES and
+//! 3DES-EDE, retained verbatim from the original module for differential
+//! testing against the fast SP-table implementation in [`super`].
+//!
+//! Every permutation here walks its FIPS table one bit at a time — easy
+//! to audit against the standard, roughly two orders of magnitude slower
+//! than the table-driven path. The fast implementation derives its SP
+//! tables from the `SBOX`/`P` constants below at compile time and shares
+//! [`round_keys`], so the two paths cannot drift apart silently; the
+//! property tests in `crates/crypto/tests/des_differential.rs` prove
+//! block-level equivalence on random keys and blocks.
+
+/// Initial permutation.
+pub(crate) const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3, 61,
+    53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+/// Final permutation (inverse of IP).
+pub(crate) const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+/// Expansion.
+pub(crate) const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18,
+    19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+/// P permutation.
+pub(crate) const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+/// S-boxes.
+pub(crate) const SBOX: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12,
+        11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2, 4, 9,
+        1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1,
+        10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1, 3, 15,
+        4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0, 6,
+        9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2,
+        12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6, 10, 1,
+        13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15,
+        10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7, 1, 14,
+        2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13,
+        14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12, 9, 5,
+        15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5,
+        12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8, 1, 4,
+        10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6,
+        11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7, 4, 10,
+        8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+/// PC-1 (key schedule).
+pub(crate) const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3, 60,
+    52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
+];
+
+/// PC-2 (key schedule).
+pub(crate) const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41, 52,
+    31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+/// Left-shift schedule.
+pub(crate) const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+/// Applies a FIPS permutation table bit by bit.
+pub(crate) fn permute(input: u64, table: &[u8], in_bits: u32) -> u64 {
+    let mut out = 0u64;
+    for &src in table {
+        out = (out << 1) | ((input >> (in_bits - u32::from(src))) & 1);
+    }
+    out
+}
+
+/// The PC-1/PC-2 key schedule: 16 round keys of 48 bits each (in the low
+/// bits of the `u64`s). Shared by the reference and SP-table ciphers.
+pub(crate) fn round_keys(key: [u8; 8]) -> [u64; 16] {
+    let key = u64::from_be_bytes(key);
+    let permuted = permute(key, &PC1, 64);
+    let mut c = (permuted >> 28) & 0x0FFF_FFFF;
+    let mut d = permuted & 0x0FFF_FFFF;
+    let mut round_keys = [0u64; 16];
+    for (i, &shift) in SHIFTS.iter().enumerate() {
+        c = ((c << shift) | (c >> (28 - shift))) & 0x0FFF_FFFF;
+        d = ((d << shift) | (d >> (28 - shift))) & 0x0FFF_FFFF;
+        round_keys[i] = permute((c << 28) | d, &PC2, 56);
+    }
+    round_keys
+}
+
+/// A DES key schedule (16 round keys), bit-by-bit evaluation.
+#[derive(Clone)]
+pub struct Des {
+    round_keys: [u64; 16],
+}
+
+impl Des {
+    /// Builds the key schedule from an 8-byte key (parity bits ignored).
+    pub fn new(key: [u8; 8]) -> Des {
+        Des { round_keys: round_keys(key) }
+    }
+
+    fn feistel(r: u32, k: u64) -> u32 {
+        let expanded = permute(u64::from(r), &E, 32) ^ k;
+        let mut out = 0u32;
+        for (i, sbox) in SBOX.iter().enumerate() {
+            let chunk = ((expanded >> (42 - 6 * i)) & 0x3F) as usize;
+            let row = ((chunk & 0x20) >> 4) | (chunk & 1);
+            let col = (chunk >> 1) & 0xF;
+            out = (out << 4) | u32::from(sbox[row * 16 + col]);
+        }
+        permute(u64::from(out), &P, 32) as u32
+    }
+
+    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
+        let permuted = permute(block, &IP, 64);
+        let mut l = (permuted >> 32) as u32;
+        let mut r = permuted as u32;
+        for i in 0..16 {
+            let k = if decrypt { self.round_keys[15 - i] } else { self.round_keys[i] };
+            let next = l ^ Self::feistel(r, k);
+            l = r;
+            r = next;
+        }
+        // Note the final swap.
+        permute((u64::from(r) << 32) | u64::from(l), &FP, 64)
+    }
+
+    /// Encrypts one 64-bit block.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        self.crypt(block, false)
+    }
+
+    /// Decrypts one 64-bit block.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        self.crypt(block, true)
+    }
+}
+
+/// 3DES in EDE mode with a 24-byte key (K1, K2, K3), reference path.
+#[derive(Clone)]
+pub struct TripleDes {
+    k1: Des,
+    k2: Des,
+    k3: Des,
+}
+
+impl TripleDes {
+    /// Three-key 3DES.
+    pub fn new(key: [u8; 24]) -> TripleDes {
+        TripleDes {
+            k1: Des::new(key[0..8].try_into().expect("8")),
+            k2: Des::new(key[8..16].try_into().expect("8")),
+            k3: Des::new(key[16..24].try_into().expect("8")),
+        }
+    }
+
+    /// Two-key 3DES (K1, K2, K1).
+    pub fn new_2key(key: [u8; 16]) -> TripleDes {
+        let mut full = [0u8; 24];
+        full[0..16].copy_from_slice(&key);
+        full[16..24].copy_from_slice(&key[0..8]);
+        TripleDes::new(full)
+    }
+
+    /// Encrypts one block (EDE): `E_{k3}(D_{k2}(E_{k1}(b)))`.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        self.k3.encrypt_block(self.k2.decrypt_block(self.k1.encrypt_block(block)))
+    }
+
+    /// Decrypts one block.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        self.k1.decrypt_block(self.k2.encrypt_block(self.k3.decrypt_block(block)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic worked DES example (appears in FIPS validation
+    /// write-ups): key 133457799BBCDFF1, plaintext 0123456789ABCDEF →
+    /// ciphertext 85E813540F0AB405.
+    #[test]
+    fn des_known_answer() {
+        let des = Des::new(0x1334_5779_9BBC_DFF1u64.to_be_bytes());
+        assert_eq!(des.encrypt_block(0x0123_4567_89AB_CDEF), 0x85E8_1354_0F0A_B405);
+        assert_eq!(des.decrypt_block(0x85E8_1354_0F0A_B405), 0x0123_4567_89AB_CDEF);
+    }
+
+    /// NBS/NIST vector: all-zero key and plaintext.
+    #[test]
+    fn des_zero_vector() {
+        let des = Des::new([0u8; 8]);
+        assert_eq!(des.encrypt_block(0), 0x8CA6_4DE9_C1B1_23A7);
+    }
+
+    /// Weak-key identity property: E(E(x)) == x for the all-ones weak key.
+    #[test]
+    fn des_weak_key_involution() {
+        let des = Des::new([0xFF; 8]);
+        let x = 0x0011_2233_4455_6677u64;
+        assert_eq!(des.encrypt_block(des.encrypt_block(x)), x);
+    }
+
+    /// 3DES with K1 == K2 == K3 degenerates to single DES.
+    #[test]
+    fn tdes_degenerates_to_des() {
+        let k = 0x1334_5779_9BBC_DFF1u64.to_be_bytes();
+        let mut key = [0u8; 24];
+        key[0..8].copy_from_slice(&k);
+        key[8..16].copy_from_slice(&k);
+        key[16..24].copy_from_slice(&k);
+        let tdes = TripleDes::new(key);
+        assert_eq!(tdes.encrypt_block(0x0123_4567_89AB_CDEF), 0x85E8_1354_0F0A_B405);
+    }
+
+    #[test]
+    fn tdes_roundtrip_many_blocks() {
+        let mut key = [0u8; 24];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let tdes = TripleDes::new(key);
+        for i in 0..100u64 {
+            let p = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(tdes.decrypt_block(tdes.encrypt_block(p)), p);
+        }
+    }
+
+    #[test]
+    fn tdes_2key_matches_explicit() {
+        let k16: [u8; 16] = *b"0123456789abcdef";
+        let mut k24 = [0u8; 24];
+        k24[0..16].copy_from_slice(&k16);
+        k24[16..24].copy_from_slice(&k16[0..8]);
+        let a = TripleDes::new_2key(k16);
+        let b = TripleDes::new(k24);
+        assert_eq!(a.encrypt_block(42), b.encrypt_block(42));
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let a = Des::new([1; 8]);
+        let b = Des::new([2; 8]);
+        assert_ne!(a.encrypt_block(7), b.encrypt_block(7));
+    }
+}

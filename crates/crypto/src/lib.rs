@@ -10,8 +10,10 @@
 //! still allowing the SOE to make forward *and backward* random accesses
 //! with 8-byte alignment.
 //!
-//! * [`des`] — the DES block cipher and 3DES-EDE (validated against
-//!   published test vectors);
+//! * [`des`] — the DES block cipher and 3DES-EDE as a fast SP-table
+//!   implementation, with the bit-by-bit FIPS path retained as
+//!   [`des::reference`] (both validated against published test vectors
+//!   and against each other by differential property tests);
 //! * [`sha1`](mod@crate::sha1) — SHA-1 (validated against FIPS-180 vectors);
 //! * [`modes`] — ECB, CBC and the paper's `E_k(b ⊕ pos)` position-XOR-ECB;
 //! * [`chunk`] — chunk/fragment layout of Appendix A;

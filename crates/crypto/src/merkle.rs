@@ -41,7 +41,12 @@ pub fn range_proof(leaves: &[Digest], range: Range<usize>) -> Vec<Digest> {
     proof
 }
 
-fn collect_proof(leaves: &[Digest], interval: Range<usize>, range: &Range<usize>, out: &mut Vec<Digest>) {
+fn collect_proof(
+    leaves: &[Digest],
+    interval: Range<usize>,
+    range: &Range<usize>,
+    out: &mut Vec<Digest>,
+) {
     if interval.end <= range.start || interval.start >= range.end {
         // Disjoint: the whole subtree is one proof element.
         out.push(subtree_root(leaves, interval));
@@ -60,10 +65,7 @@ fn subtree_root(leaves: &[Digest], interval: Range<usize>) -> Digest {
         return leaves[interval.start];
     }
     let mid = split_point(&interval);
-    combine(
-        &subtree_root(leaves, interval.start..mid),
-        &subtree_root(leaves, mid..interval.end),
-    )
+    combine(&subtree_root(leaves, interval.start..mid), &subtree_root(leaves, mid..interval.end))
 }
 
 /// The left subtree covers the largest power of two < len (a left-complete
@@ -180,6 +182,10 @@ mod tests {
     fn proof_size_logarithmic() {
         let l = leaves(64);
         let proof = range_proof(&l, 17..18);
-        assert!(proof.len() <= 6, "single-leaf proof in a 64-leaf tree is ≤ log2(64): {}", proof.len());
+        assert!(
+            proof.len() <= 6,
+            "single-leaf proof in a 64-leaf tree is ≤ log2(64): {}",
+            proof.len()
+        );
     }
 }

@@ -28,71 +28,114 @@ fn to_block(bytes: &[u8]) -> u64 {
     u64::from_be_bytes(bytes.try_into().expect("8-byte block"))
 }
 
+fn put_block(bytes: &mut [u8], v: u64) {
+    bytes.copy_from_slice(&v.to_be_bytes());
+}
+
+// ---------------------------------------------------------------------
+// In-place primitives — the zero-copy decrypt pipeline's workhorses.
+// Every mode transforms whole blocks inside one caller-provided buffer;
+// the `Vec`-returning wrappers below cost exactly one allocation.
+
+/// Encrypts whole blocks in ECB mode, in place.
+pub fn ecb_encrypt_in_place(cipher: &TripleDes, data: &mut [u8]) {
+    assert_eq!(data.len() % BLOCK, 0);
+    for chunk in data.chunks_exact_mut(BLOCK) {
+        put_block(chunk, cipher.encrypt_block(to_block(chunk)));
+    }
+}
+
+/// Decrypts whole blocks in ECB mode, in place.
+pub fn ecb_decrypt_in_place(cipher: &TripleDes, data: &mut [u8]) {
+    assert_eq!(data.len() % BLOCK, 0);
+    for chunk in data.chunks_exact_mut(BLOCK) {
+        put_block(chunk, cipher.decrypt_block(to_block(chunk)));
+    }
+}
+
+/// Position-XOR ECB encryption in place: block `i` (counting from
+/// `first_block`) becomes `E_k(b_i ⊕ (first_block + i))`.
+pub fn posxor_encrypt_in_place(cipher: &TripleDes, data: &mut [u8], first_block: u64) {
+    assert_eq!(data.len() % BLOCK, 0);
+    for (i, chunk) in data.chunks_exact_mut(BLOCK).enumerate() {
+        let pos = first_block + i as u64;
+        put_block(chunk, cipher.encrypt_block(to_block(chunk) ^ pos));
+    }
+}
+
+/// Position-XOR ECB decryption in place.
+pub fn posxor_decrypt_in_place(cipher: &TripleDes, data: &mut [u8], first_block: u64) {
+    assert_eq!(data.len() % BLOCK, 0);
+    for (i, chunk) in data.chunks_exact_mut(BLOCK).enumerate() {
+        let pos = first_block + i as u64;
+        put_block(chunk, cipher.decrypt_block(to_block(chunk)) ^ pos);
+    }
+}
+
+/// CBC encryption in place (the CBC-SHA / CBC-SHAC baselines).
+pub fn cbc_encrypt_in_place(cipher: &TripleDes, data: &mut [u8], iv: u64) {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut prev = iv;
+    for chunk in data.chunks_exact_mut(BLOCK) {
+        prev = cipher.encrypt_block(to_block(chunk) ^ prev);
+        put_block(chunk, prev);
+    }
+}
+
+/// CBC decryption in place.
+pub fn cbc_decrypt_in_place(cipher: &TripleDes, data: &mut [u8], iv: u64) {
+    assert_eq!(data.len() % BLOCK, 0);
+    let mut prev = iv;
+    for chunk in data.chunks_exact_mut(BLOCK) {
+        let c = to_block(chunk);
+        put_block(chunk, cipher.decrypt_block(c) ^ prev);
+        prev = c;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allocating wrappers (one `Vec` per call).
+
 /// Encrypts whole blocks in ECB mode.
 pub fn ecb_encrypt(cipher: &TripleDes, data: &[u8]) -> Vec<u8> {
-    assert_eq!(data.len() % BLOCK, 0);
-    let mut out = Vec::with_capacity(data.len());
-    for chunk in data.chunks_exact(BLOCK) {
-        out.extend_from_slice(&cipher.encrypt_block(to_block(chunk)).to_be_bytes());
-    }
+    let mut out = data.to_vec();
+    ecb_encrypt_in_place(cipher, &mut out);
     out
 }
 
 /// Decrypts whole blocks in ECB mode.
 pub fn ecb_decrypt(cipher: &TripleDes, data: &[u8]) -> Vec<u8> {
-    assert_eq!(data.len() % BLOCK, 0);
-    let mut out = Vec::with_capacity(data.len());
-    for chunk in data.chunks_exact(BLOCK) {
-        out.extend_from_slice(&cipher.decrypt_block(to_block(chunk)).to_be_bytes());
-    }
+    let mut out = data.to_vec();
+    ecb_decrypt_in_place(cipher, &mut out);
     out
 }
 
 /// Position-XOR ECB encryption: block `i` (counting from `first_block`) is
 /// encrypted as `E_k(b_i ⊕ (first_block + i))`.
 pub fn posxor_encrypt(cipher: &TripleDes, data: &[u8], first_block: u64) -> Vec<u8> {
-    assert_eq!(data.len() % BLOCK, 0);
-    let mut out = Vec::with_capacity(data.len());
-    for (i, chunk) in data.chunks_exact(BLOCK).enumerate() {
-        let pos = first_block + i as u64;
-        out.extend_from_slice(&cipher.encrypt_block(to_block(chunk) ^ pos).to_be_bytes());
-    }
+    let mut out = data.to_vec();
+    posxor_encrypt_in_place(cipher, &mut out, first_block);
     out
 }
 
 /// Position-XOR ECB decryption.
 pub fn posxor_decrypt(cipher: &TripleDes, data: &[u8], first_block: u64) -> Vec<u8> {
-    assert_eq!(data.len() % BLOCK, 0);
-    let mut out = Vec::with_capacity(data.len());
-    for (i, chunk) in data.chunks_exact(BLOCK).enumerate() {
-        let pos = first_block + i as u64;
-        out.extend_from_slice(&(cipher.decrypt_block(to_block(chunk)) ^ pos).to_be_bytes());
-    }
+    let mut out = data.to_vec();
+    posxor_decrypt_in_place(cipher, &mut out, first_block);
     out
 }
 
 /// CBC encryption (used by the CBC-SHA / CBC-SHAC baselines of Figure 11).
 pub fn cbc_encrypt(cipher: &TripleDes, data: &[u8], iv: u64) -> Vec<u8> {
-    assert_eq!(data.len() % BLOCK, 0);
-    let mut out = Vec::with_capacity(data.len());
-    let mut prev = iv;
-    for chunk in data.chunks_exact(BLOCK) {
-        prev = cipher.encrypt_block(to_block(chunk) ^ prev);
-        out.extend_from_slice(&prev.to_be_bytes());
-    }
+    let mut out = data.to_vec();
+    cbc_encrypt_in_place(cipher, &mut out, iv);
     out
 }
 
 /// CBC decryption.
 pub fn cbc_decrypt(cipher: &TripleDes, data: &[u8], iv: u64) -> Vec<u8> {
-    assert_eq!(data.len() % BLOCK, 0);
-    let mut out = Vec::with_capacity(data.len());
-    let mut prev = iv;
-    for chunk in data.chunks_exact(BLOCK) {
-        let c = to_block(chunk);
-        out.extend_from_slice(&(cipher.decrypt_block(c) ^ prev).to_be_bytes());
-        prev = c;
-    }
+    let mut out = data.to_vec();
+    cbc_decrypt_in_place(cipher, &mut out, iv);
     out
 }
 
@@ -164,6 +207,25 @@ mod tests {
         enc.swap(7, 15);
         let dec = posxor_decrypt(&c, &enc, 0);
         assert_ne!(dec, data);
+    }
+
+    #[test]
+    fn in_place_matches_allocating() {
+        let c = cipher();
+        let data: Vec<u8> = (0..64).collect();
+        let mut buf = data.clone();
+        posxor_encrypt_in_place(&c, &mut buf, 7);
+        assert_eq!(buf, posxor_encrypt(&c, &data, 7));
+        posxor_decrypt_in_place(&c, &mut buf, 7);
+        assert_eq!(buf, data);
+        cbc_encrypt_in_place(&c, &mut buf, 99);
+        assert_eq!(buf, cbc_encrypt(&c, &data, 99));
+        cbc_decrypt_in_place(&c, &mut buf, 99);
+        assert_eq!(buf, data);
+        ecb_encrypt_in_place(&c, &mut buf);
+        assert_eq!(buf, ecb_encrypt(&c, &data));
+        ecb_decrypt_in_place(&c, &mut buf);
+        assert_eq!(buf, data);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::chunk::{decrypt_digest, ProtectedDoc, DIGEST_RECORD};
 use crate::des::TripleDes;
 use crate::merkle::{fragment_hashes, range_proof, root_from_range};
-use crate::modes::{cbc_decrypt, posxor_decrypt, BLOCK};
+use crate::modes::{cbc_decrypt_in_place, posxor_decrypt_in_place, BLOCK};
 use crate::sha1::{sha1, Digest};
 use std::fmt;
 
@@ -117,8 +117,14 @@ impl AccessCost {
 pub struct SoeReader<'a> {
     doc: &'a ProtectedDoc,
     key: &'a TripleDes,
-    /// Decrypted working buffer: plaintext of the last fetched unit.
-    cache: Option<(usize, Vec<u8>)>,
+    /// Plaintext offset of the working buffer (meaningful when the
+    /// buffer is non-empty).
+    cache_start: usize,
+    /// Decrypted working buffer: plaintext of the last fetched unit. The
+    /// allocation is reused across fetches — ciphertext is copied in and
+    /// deciphered in place, so a session costs O(units-with-growth)
+    /// allocations, not O(blocks).
+    cache: Vec<u8>,
     /// Chunk digest decrypted last ("one digest per visited chunk in the
     /// worst case, when the chunks accessed are not contiguous").
     digest_cache: Option<(usize, Digest)>,
@@ -129,37 +135,82 @@ pub struct SoeReader<'a> {
 impl<'a> SoeReader<'a> {
     /// New reader session.
     pub fn new(doc: &'a ProtectedDoc, key: &'a TripleDes) -> SoeReader<'a> {
-        SoeReader { doc, key, cache: None, digest_cache: None, cost: AccessCost::default() }
+        SoeReader {
+            doc,
+            key,
+            cache_start: 0,
+            cache: Vec::new(),
+            digest_cache: None,
+            cost: AccessCost::default(),
+        }
     }
 
     /// Reads `len` plaintext bytes at `offset`, verifying integrity per
     /// the document's scheme.
     pub fn read(&mut self, offset: usize, len: usize) -> Result<Vec<u8>, IntegrityError> {
-        self.cost.reads += 1;
         let mut out = Vec::with_capacity(len);
+        self.read_into(offset, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`read`](Self::read), but appends the plaintext to a
+    /// caller-provided buffer — the zero-copy path: one scratch `Vec`
+    /// can serve a whole session.
+    pub fn read_into(
+        &mut self,
+        offset: usize,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), IntegrityError> {
+        self.consume(offset, len, Some(out))
+    }
+
+    /// Transfers, verifies and decrypts the range without copying the
+    /// plaintext out — for callers that only need the metering and the
+    /// integrity check (the session simulator decodes from its own
+    /// plaintext image). The served bytes stay in the working buffer.
+    pub fn touch(&mut self, offset: usize, len: usize) -> Result<(), IntegrityError> {
+        self.consume(offset, len, None)
+    }
+
+    fn consume(
+        &mut self,
+        offset: usize,
+        len: usize,
+        mut out: Option<&mut Vec<u8>>,
+    ) -> Result<(), IntegrityError> {
+        self.cost.reads += 1;
         let end = offset + len;
         let mut pos = offset;
         while pos < end {
-            if let Some((start, plain)) = &self.cache {
-                if pos >= *start && pos < start + plain.len() {
-                    let take = (end - pos).min(start + plain.len() - pos);
-                    out.extend_from_slice(&plain[pos - start..pos - start + take]);
-                    if matches!(
-                        self.doc.scheme,
-                        IntegrityScheme::CbcShac | IntegrityScheme::EcbMht
-                    ) {
-                        // These schemes verify *ciphertext*; decryption
-                        // happens lazily, only for the bytes actually
-                        // consumed.
-                        self.cost.bytes_decrypted += take as u64;
-                    }
-                    pos += take;
-                    continue;
+            let cached = self.cache_start..self.cache_start + self.cache.len();
+            if !self.cache.is_empty() && cached.contains(&pos) {
+                let take = (end - pos).min(cached.end - pos);
+                if let Some(out) = out.as_deref_mut() {
+                    let lo = pos - self.cache_start;
+                    out.extend_from_slice(&self.cache[lo..lo + take]);
                 }
+                if matches!(self.doc.scheme, IntegrityScheme::CbcShac | IntegrityScheme::EcbMht) {
+                    // These schemes verify *ciphertext*; decryption
+                    // happens lazily, only for the bytes actually
+                    // consumed.
+                    self.cost.bytes_decrypted += take as u64;
+                }
+                pos += take;
+                continue;
             }
             self.fetch_unit(pos, end)?;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Replaces the working buffer with the ciphertext range `lo..hi`,
+    /// reusing its allocation, and returns it for in-place decryption.
+    fn stage(&mut self, lo: usize, hi: usize) -> &mut [u8] {
+        self.cache.clear();
+        self.cache.extend_from_slice(&self.doc.ciphertext[lo..hi]);
+        self.cache_start = lo;
+        &mut self.cache
     }
 
     /// Fetches, verifies and decrypts the unit containing `pos` into the
@@ -168,36 +219,39 @@ impl<'a> SoeReader<'a> {
         let layout = self.doc.layout;
         let ci = layout.chunk_of(pos);
         let chunk_range = self.doc.chunk_range(ci);
-        let chunk = &self.doc.ciphertext[chunk_range.clone()];
         match self.doc.scheme {
             IntegrityScheme::Ecb => {
                 // Unit: the blocks covering the request; nothing to
                 // verify (8-byte-aligned random access, Appendix A).
                 let f_lo = pos / BLOCK * BLOCK;
                 let f_hi = (req_end.div_ceil(BLOCK) * BLOCK).min(self.doc.ciphertext.len());
-                let enc = &self.doc.ciphertext[f_lo..f_hi];
-                self.cost.bytes_to_soe += enc.len() as u64;
-                self.cost.bytes_decrypted += enc.len() as u64;
-                let plain = posxor_decrypt(self.key, enc, (f_lo / BLOCK) as u64);
-                self.cache = Some((f_lo, plain));
+                self.cost.bytes_to_soe += (f_hi - f_lo) as u64;
+                self.cost.bytes_decrypted += (f_hi - f_lo) as u64;
+                let key = self.key;
+                let buf = self.stage(f_lo, f_hi);
+                posxor_decrypt_in_place(key, buf, (f_lo / BLOCK) as u64);
             }
             IntegrityScheme::CbcSha => {
                 // Unit: the whole chunk — the digest is over plaintext, so
                 // everything must be transferred, deciphered and hashed.
-                self.cost.bytes_to_soe += (chunk.len() + DIGEST_RECORD) as u64;
-                self.cost.bytes_decrypted += (chunk.len() + DIGEST_RECORD) as u64;
-                self.cost.bytes_hashed += chunk.len() as u64;
+                let chunk_len = chunk_range.len();
+                self.cost.bytes_to_soe += (chunk_len + DIGEST_RECORD) as u64;
+                self.cost.bytes_decrypted += (chunk_len + DIGEST_RECORD) as u64;
+                self.cost.bytes_hashed += chunk_len as u64;
                 self.cost.digests_decrypted += 1;
-                let plain = cbc_decrypt(self.key, chunk, crate::chunk::chunk_iv(ci));
+                let key = self.key;
+                let buf = self.stage(chunk_range.start, chunk_range.end);
+                cbc_decrypt_in_place(key, buf, crate::chunk::chunk_iv(ci));
                 let expect = decrypt_digest(self.key, ci, &self.doc.digests[ci]);
-                if sha1(&plain) != expect {
+                if sha1(&self.cache) != expect {
+                    self.cache.clear();
                     return Err(IntegrityError { chunk: ci });
                 }
-                self.cache = Some((chunk_range.start, plain));
             }
             IntegrityScheme::CbcShac => {
                 // Unit: the whole chunk, hashed as ciphertext (no
                 // decryption needed to verify), then deciphered.
+                let chunk = &self.doc.ciphertext[chunk_range.clone()];
                 self.cost.bytes_to_soe += (chunk.len() + DIGEST_RECORD) as u64;
                 self.cost.bytes_hashed += chunk.len() as u64;
                 self.cost.digests_decrypted += 1;
@@ -209,12 +263,14 @@ impl<'a> SoeReader<'a> {
                 // CBC chaining allows decrypting just the needed blocks;
                 // decryption is charged per byte served (see `read`). The
                 // working buffer holds the verified chunk.
-                let plain = cbc_decrypt(self.key, chunk, crate::chunk::chunk_iv(ci));
-                self.cache = Some((chunk_range.start, plain));
+                let key = self.key;
+                let buf = self.stage(chunk_range.start, chunk_range.end);
+                cbc_decrypt_in_place(key, buf, crate::chunk::chunk_iv(ci));
             }
             IntegrityScheme::EcbMht => {
                 // Unit: one fragment + its Merkle proof; per-fragment
                 // verification against the (cached) chunk digest.
+                let chunk = &self.doc.ciphertext[chunk_range.clone()];
                 let (f_lo, f_hi) = self.fragment_extent(pos);
                 let enc = &self.doc.ciphertext[f_lo..f_hi];
                 self.cost.bytes_to_soe += enc.len() as u64;
@@ -244,8 +300,9 @@ impl<'a> SoeReader<'a> {
                 }
                 // Decryption charged per byte served (position-XOR ECB
                 // deciphers any block independently).
-                let plain = posxor_decrypt(self.key, enc, (f_lo / BLOCK) as u64);
-                self.cache = Some((f_lo, plain));
+                let key = self.key;
+                let buf = self.stage(f_lo, f_hi);
+                posxor_decrypt_in_place(key, buf, (f_lo / BLOCK) as u64);
             }
         }
         Ok(())
@@ -372,6 +429,24 @@ mod tests {
         let d1 = r.cost.digests_decrypted;
         r.read(64, 64).unwrap();
         assert_eq!(r.cost.digests_decrypted, d1, "same chunk: no second digest decryption");
+    }
+
+    #[test]
+    fn touch_meters_like_read_and_verifies() {
+        let (p, _) = doc(IntegrityScheme::EcbMht, 8192);
+        let k = key();
+        let mut reading = SoeReader::new(&p, &k);
+        let mut touching = SoeReader::new(&p, &k);
+        for (off, len) in [(0usize, 100usize), (4096, 512), (3, 5)] {
+            reading.read(off, len).unwrap();
+            touching.touch(off, len).unwrap();
+        }
+        assert_eq!(touching.cost, reading.cost, "touch must meter exactly like read");
+        // And it still performs the real integrity check.
+        let mut bad = p.clone();
+        bad.ciphertext[10] ^= 1;
+        let mut t = SoeReader::new(&bad, &k);
+        assert!(t.touch(8, 8).is_err());
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl Sha1 {
         (self.state, self.len / 64)
     }
 
-    /// Feeds bytes.
+    /// Feeds bytes. Whole 64-byte blocks of `data` are compressed
+    /// directly from the input slice — no intermediate copy; only a
+    /// sub-block tail is staged in the internal buffer.
     pub fn update(&mut self, mut data: &[u8]) {
         self.len += data.len() as u64;
         if self.buf_len > 0 {
@@ -61,8 +63,7 @@ impl Sha1 {
             self.buf_len += take;
             data = &data[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                compress(&mut self.state, &self.buf);
                 self.buf_len = 0;
             }
             if data.is_empty() {
@@ -71,67 +72,70 @@ impl Sha1 {
                 return;
             }
         }
-        while data.len() >= 64 {
-            let block: [u8; 64] = data[..64].try_into().expect("64");
-            self.compress(&block);
-            data = &data[64..];
+        let mut whole = data.chunks_exact(64);
+        for block in whole.by_ref() {
+            compress(&mut self.state, block.try_into().expect("64"));
         }
+        data = whole.remainder();
         self.buf[..data.len()].copy_from_slice(data);
         self.buf_len = data.len();
     }
 
-    /// Finishes, producing the digest.
+    /// Finishes, producing the digest. Padding is laid out directly in
+    /// the internal buffer (at most two compressions, no per-byte loop).
     pub fn finish(mut self) -> Digest {
         let bit_len = self.len * 8;
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        self.buf[self.buf_len] = 0x80;
+        if self.buf_len + 1 > 56 {
+            // No room for the length suffix: pad out this block and
+            // compress, then the length goes in a second, zero block.
+            self.buf[self.buf_len + 1..].fill(0);
+            compress(&mut self.state, &self.buf);
+            self.buf = [0; 64];
+        } else {
+            self.buf[self.buf_len + 1..56].fill(0);
         }
-        // Length is appended manually (not via update, which counts).
-        let mut block = self.buf;
-        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        self.compress(&block);
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        compress(&mut self.state, &self.buf);
         let mut out = [0u8; DIGEST_LEN];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
         }
         out
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4"));
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-                _ => (b ^ c ^ d, 0xCA62_C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+/// The SHA-1 compression function. A free function over disjoint borrows
+/// so callers can compress straight out of input slices or the staging
+/// buffer without copying the block first.
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4"));
     }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
+            20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+            _ => (b ^ c ^ d, 0xCA62_C1D6),
+        };
+        let tmp = a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
 }
 
 /// One-shot SHA-1.

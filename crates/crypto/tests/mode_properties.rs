@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use xsac_crypto::chunk::{ChunkLayout, ProtectedDoc};
 use xsac_crypto::modes::{
-    cbc_decrypt, cbc_encrypt, ecb_decrypt, ecb_encrypt, pad_blocks, posxor_decrypt,
-    posxor_encrypt,
+    cbc_decrypt, cbc_encrypt, ecb_decrypt, ecb_encrypt, pad_blocks, posxor_decrypt, posxor_encrypt,
 };
 use xsac_crypto::sha1::{sha1, Sha1};
 use xsac_crypto::{IntegrityScheme, SoeReader, TripleDes};

@@ -62,8 +62,8 @@ fn pick_physician(n: usize, r: &mut impl Rng) -> usize {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Anna", "Bruno", "Celine", "David", "Elsa", "Farid", "Gisele", "Hugo", "Ines", "Jean",
-    "Karim", "Lea", "Marc", "Nadia", "Olivier", "Paula", "Quentin", "Rosa", "Simon", "Theo",
+    "Anna", "Bruno", "Celine", "David", "Elsa", "Farid", "Gisele", "Hugo", "Ines", "Jean", "Karim",
+    "Lea", "Marc", "Nadia", "Olivier", "Paula", "Quentin", "Rosa", "Simon", "Theo",
 ];
 const LAST_NAMES: &[&str] = &[
     "Martin", "Bernard", "Thomas", "Petit", "Robert", "Richard", "Durand", "Dubois", "Moreau",
@@ -119,11 +119,16 @@ const MEASURES: &[(&str, u32, u32)] = &[
     ("Ferritin", 20, 300),
     ("TSH", 1, 5),
 ];
-const IMMUNO_TESTS: &[&str] =
-    &["HIV", "HBV", "HCV", "Rubella", "Measles", "Tetanus"];
+const IMMUNO_TESTS: &[&str] = &["HIV", "HBV", "HCV", "Rubella", "Measles", "Tetanus"];
 const DRUGS: &[&str] = &[
-    "amoxicillin", "paracetamol", "ibuprofen", "atorvastatin", "metformin", "lisinopril",
-    "omeprazole", "salbutamol",
+    "amoxicillin",
+    "paracetamol",
+    "ibuprofen",
+    "atorvastatin",
+    "metformin",
+    "lisinopril",
+    "omeprazole",
+    "salbutamol",
 ];
 const RELATIONS: &[&str] = &["spouse", "parent", "child", "sibling", "friend"];
 const WARDS: &[&str] = &["cardiology", "pneumology", "oncology", "pediatrics", "general"];
@@ -198,7 +203,16 @@ fn admin(b: &mut DocBuilder<'_>, f: usize, r: &mut impl Rng) {
     b.leaf("City", *CITIES.choose(r).expect("cities"));
     b.leaf("Zip", format!("{:05}", r.random_range(75000..96000)));
     b.close();
-    b.leaf("Phone", format!("+33 1 {:02} {:02} {:02} {:02}", r.random_range(10..99), r.random_range(10..99), r.random_range(10..99), r.random_range(10..99)));
+    b.leaf(
+        "Phone",
+        format!(
+            "+33 1 {:02} {:02} {:02} {:02}",
+            r.random_range(10..99),
+            r.random_range(10..99),
+            r.random_range(10..99),
+            r.random_range(10..99)
+        ),
+    );
     b.leaf("Gender", ["F", "M"].choose(r).expect("g").to_string());
     b.leaf("BloodType", ["O+", "O-", "A+", "A-", "B+", "AB+"].choose(r).expect("bt").to_string());
     b.leaf("Email", format!("patient{f:04}@example.org"));
@@ -209,15 +223,33 @@ fn admin(b: &mut DocBuilder<'_>, f: usize, r: &mut impl Rng) {
     b.close();
     b.open("Emergency");
     b.open("Contact");
-    b.leaf("Name", format!("{} {}", FIRST_NAMES.choose(r).expect("f"), LAST_NAMES.choose(r).expect("l")));
+    b.leaf(
+        "Name",
+        format!("{} {}", FIRST_NAMES.choose(r).expect("f"), LAST_NAMES.choose(r).expect("l")),
+    );
     b.leaf("Relation", *RELATIONS.choose(r).expect("rel"));
-    b.leaf("ContactPhone", format!("+33 6 {:02} {:02} {:02} {:02}", r.random_range(10..99), r.random_range(10..99), r.random_range(10..99), r.random_range(10..99)));
+    b.leaf(
+        "ContactPhone",
+        format!(
+            "+33 6 {:02} {:02} {:02} {:02}",
+            r.random_range(10..99),
+            r.random_range(10..99),
+            r.random_range(10..99),
+            r.random_range(10..99)
+        ),
+    );
     b.close();
     b.close();
     if r.random_bool(0.25) {
         b.open("Allergies");
         for _ in 0..r.random_range(1..=2) {
-            b.leaf("Allergy", ["penicillin", "latex", "pollen", "peanuts", "aspirin"].choose(r).expect("a").to_string());
+            b.leaf(
+                "Allergy",
+                ["penicillin", "latex", "pollen", "peanuts", "aspirin"]
+                    .choose(r)
+                    .expect("a")
+                    .to_string(),
+            );
         }
         b.close();
     }
@@ -231,7 +263,13 @@ fn med_acts(b: &mut DocBuilder<'_>, config: &HospitalConfig, r: &mut impl Rng) {
         b.open("Act");
         b.leaf("Date", date(r));
         b.leaf("RPhys", physician_name(pick_physician(config.physicians, r)));
-        b.leaf("ActType", ["consultation", "surgery", "radiology", "checkup"].choose(r).expect("acts").to_string());
+        b.leaf(
+            "ActType",
+            ["consultation", "surgery", "radiology", "checkup"]
+                .choose(r)
+                .expect("acts")
+                .to_string(),
+        );
         b.open("Details");
         b.open("VitalSigns");
         for &(name, unit, base) in VITALS.iter().take(r.random_range(2..=VITALS.len())) {
@@ -248,7 +286,10 @@ fn med_acts(b: &mut DocBuilder<'_>, config: &HospitalConfig, r: &mut impl Rng) {
             b.open("Treatment");
             b.leaf("Drug", *DRUGS.choose(r).expect("drugs"));
             b.leaf("Dose", format!("{} mg", 50 * r.random_range(1..20)));
-            b.leaf("Frequency", ["once daily", "twice daily", "every 8 hours"].choose(r).expect("freq").to_string());
+            b.leaf(
+                "Frequency",
+                ["once daily", "twice daily", "every 8 hours"].choose(r).expect("freq").to_string(),
+            );
             b.leaf("Duration", format!("{} days", r.random_range(3..30)));
             b.close();
         }
@@ -301,7 +342,10 @@ fn immunology(b: &mut DocBuilder<'_>, r: &mut impl Rng) {
         b.leaf("Antigen", *IMMUNO_TESTS.choose(r).expect("tests"));
         b.open("Result");
         b.leaf("Titer", format!("1:{}", 1 << r.random_range(2..9)));
-        b.leaf("Interpretation", ["immune", "non-immune", "equivocal"].choose(r).expect("interp").to_string());
+        b.leaf(
+            "Interpretation",
+            ["immune", "non-immune", "equivocal"].choose(r).expect("interp").to_string(),
+        );
         b.close();
         b.close();
     }

@@ -55,7 +55,8 @@ pub enum Dataset {
 
 impl Dataset {
     /// All datasets.
-    pub const ALL: [Dataset; 4] = [Dataset::Wsu, Dataset::Sigmod, Dataset::Treebank, Dataset::Hospital];
+    pub const ALL: [Dataset; 4] =
+        [Dataset::Wsu, Dataset::Sigmod, Dataset::Treebank, Dataset::Hospital];
 
     /// Display name.
     pub fn name(self) -> &'static str {

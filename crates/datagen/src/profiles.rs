@@ -69,13 +69,9 @@ pub fn doctor_policy(subject: &str, dict: &mut TagDict) -> Policy {
 /// The Researcher policy R1 + (R2, R3) per group.
 pub fn researcher_policy(subject: &str, groups: usize, dict: &mut TagDict) -> Policy {
     assert!((1..=10).contains(&groups));
-    let mut rules: Vec<(Sign, String)> =
-        vec![(Sign::Permit, "//Folder[Protocol]//Age".to_owned())];
+    let mut rules: Vec<(Sign, String)> = vec![(Sign::Permit, "//Folder[Protocol]//Age".to_owned())];
     for g in 1..=groups {
-        rules.push((
-            Sign::Permit,
-            format!("//Folder[Protocol/Type=G{g}]//LabResults//G{g}"),
-        ));
+        rules.push((Sign::Permit, format!("//Folder[Protocol/Type=G{g}]//LabResults//G{g}")));
         rules.push((Sign::Deny, format!("//G{g}[Cholesterol > 250]")));
     }
     let refs: Vec<(Sign, &str)> = rules.iter().map(|(s, p)| (*s, p.as_str())).collect();
@@ -117,12 +113,7 @@ impl View {
 
     /// Builds the view's policy. `frequent_phys` / `rare_phys` are
     /// physician ids with many / few occurrences in the dataset.
-    pub fn policy(
-        self,
-        dict: &mut TagDict,
-        frequent_phys: &str,
-        rare_phys: &str,
-    ) -> Policy {
+    pub fn policy(self, dict: &mut TagDict, frequent_phys: &str, rare_phys: &str) -> Policy {
         match self {
             View::S => secretary_policy("sec", dict),
             View::Ptd => doctor_policy(rare_phys, dict),

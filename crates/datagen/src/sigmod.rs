@@ -10,17 +10,48 @@ use rand::Rng;
 use xsac_xml::Document;
 
 const TITLE_WORDS: &[&str] = &[
-    "Efficient", "Scalable", "Adaptive", "Distributed", "Parallel", "Incremental", "Secure",
-    "Query", "Processing", "Optimization", "Indexing", "Streams", "XML", "Relational",
-    "Transactions", "Views", "Mining", "Warehouses", "Joins", "Caching", "Replication",
+    "Efficient",
+    "Scalable",
+    "Adaptive",
+    "Distributed",
+    "Parallel",
+    "Incremental",
+    "Secure",
+    "Query",
+    "Processing",
+    "Optimization",
+    "Indexing",
+    "Streams",
+    "XML",
+    "Relational",
+    "Transactions",
+    "Views",
+    "Mining",
+    "Warehouses",
+    "Joins",
+    "Caching",
+    "Replication",
 ];
 const FIRST: &[&str] = &[
     "Michael", "Rakesh", "Serge", "Hector", "Jennifer", "David", "Philip", "Laura", "Umesh",
     "Christos", "Jim", "Pat", "Divesh", "Jeff", "Mary",
 ];
 const LAST: &[&str] = &[
-    "Stonebraker", "Agrawal", "Abiteboul", "Garcia-Molina", "Widom", "DeWitt", "Bernstein",
-    "Haas", "Dayal", "Faloutsos", "Gray", "Selinger", "Srivastava", "Ullman", "Fernandez",
+    "Stonebraker",
+    "Agrawal",
+    "Abiteboul",
+    "Garcia-Molina",
+    "Widom",
+    "DeWitt",
+    "Bernstein",
+    "Haas",
+    "Dayal",
+    "Faloutsos",
+    "Gray",
+    "Selinger",
+    "Srivastava",
+    "Ullman",
+    "Fernandez",
 ];
 
 /// Generates the Sigmod-like document (`scale` 1.0 ≈ Table 2).
@@ -37,9 +68,8 @@ pub fn sigmod_document(scale: f64, seed: u64) -> Document {
             for _ in 0..n {
                 b.open("article");
                 let words = r.random_range(4..=9);
-                let title: Vec<&str> = (0..words)
-                    .map(|_| *TITLE_WORDS.choose(&mut r).expect("words"))
-                    .collect();
+                let title: Vec<&str> =
+                    (0..words).map(|_| *TITLE_WORDS.choose(&mut r).expect("words")).collect();
                 b.leaf("title", format!("{}.", title.join(" ")));
                 let start = r.random_range(1..400);
                 b.leaf("initPage", start.to_string());

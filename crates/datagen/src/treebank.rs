@@ -18,11 +18,11 @@ use xsac_xml::Document;
 /// Core syntactic categories (the remaining tags up to 250 are generated
 /// as numbered variants, mirroring Treebank's long tail of rare labels).
 const CORE: &[&str] = &[
-    "S", "NP", "VP", "PP", "ADJP", "ADVP", "SBAR", "SBARQ", "SINV", "SQ", "WHNP", "WHPP",
-    "WHADVP", "PRT", "INTJ", "CONJP", "FRAG", "UCP", "LST", "X", "NX", "QP", "RRC", "NAC",
-    "DT", "NN", "NNS", "NNP", "NNPS", "VB", "VBD", "VBG", "VBN", "VBP", "VBZ", "JJ", "JJR",
-    "JJS", "RB", "RBR", "RBS", "PRP", "PRP_S", "IN", "TO", "CC", "CD", "EX", "FW", "MD",
-    "POS", "RP", "SYM", "UH", "WDT", "WP", "WRB", "PDT",
+    "S", "NP", "VP", "PP", "ADJP", "ADVP", "SBAR", "SBARQ", "SINV", "SQ", "WHNP", "WHPP", "WHADVP",
+    "PRT", "INTJ", "CONJP", "FRAG", "UCP", "LST", "X", "NX", "QP", "RRC", "NAC", "DT", "NN", "NNS",
+    "NNP", "NNPS", "VB", "VBD", "VBG", "VBN", "VBP", "VBZ", "JJ", "JJR", "JJS", "RB", "RBR", "RBS",
+    "PRP", "PRP_S", "IN", "TO", "CC", "CD", "EX", "FW", "MD", "POS", "RP", "SYM", "UH", "WDT",
+    "WP", "WRB", "PDT",
 ];
 
 fn tag_name(i: usize) -> String {
@@ -37,9 +37,7 @@ fn tag_name(i: usize) -> String {
 /// 33 MB over 1.39M text nodes gives ≈ 24 bytes per node).
 fn word(r: &mut impl Rng) -> String {
     let len = r.random_range(8..40);
-    (0..len)
-        .map(|_| (b'a' + r.random_range(0..26u8)) as char)
-        .collect()
+    (0..len).map(|_| (b'a' + r.random_range(0..26u8)) as char).collect()
 }
 
 /// Generates the Treebank-like document. Scale 1.0 ≈ Table 2 (59 MB);
@@ -130,9 +128,6 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            treebank_document(0.001, 9).events(),
-            treebank_document(0.001, 9).events()
-        );
+        assert_eq!(treebank_document(0.001, 9).events(), treebank_document(0.001, 9).events());
     }
 }

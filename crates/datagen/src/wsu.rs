@@ -10,15 +10,26 @@ use rand::seq::IndexedRandom;
 use rand::Rng;
 use xsac_xml::Document;
 
-const DEPTS: &[&str] = &[
-    "CS", "EE", "ME", "MATH", "PHYS", "CHEM", "BIOL", "HIST", "ENGL", "PHIL", "ECON", "STAT",
-];
+const DEPTS: &[&str] =
+    &["CS", "EE", "ME", "MATH", "PHYS", "CHEM", "BIOL", "HIST", "ENGL", "PHIL", "ECON", "STAT"];
 const BUILDINGS: &[&str] = &["SLOAN", "TODD", "FULMR", "CUE", "HELD", "CARP", "EME"];
 const DAYS: &[&str] = &["MWF", "TTH", "MW", "F", "DAILY", "ARR"];
 const TITLES: &[&str] = &[
-    "INTRO PROGRAMMING", "DATA STRUCTURES", "CIRCUITS I", "THERMODYNAMICS", "CALCULUS II",
-    "QUANTUM MECH", "ORGANIC CHEM", "GENETICS", "WORLD HISTORY", "COMPOSITION", "ETHICS",
-    "MICROECONOMICS", "PROBABILITY", "DATABASES", "OPERATING SYS",
+    "INTRO PROGRAMMING",
+    "DATA STRUCTURES",
+    "CIRCUITS I",
+    "THERMODYNAMICS",
+    "CALCULUS II",
+    "QUANTUM MECH",
+    "ORGANIC CHEM",
+    "GENETICS",
+    "WORLD HISTORY",
+    "COMPOSITION",
+    "ETHICS",
+    "MICROECONOMICS",
+    "PROBABILITY",
+    "DATABASES",
+    "OPERATING SYS",
 ];
 
 /// Generates the WSU-like document (`scale` 1.0 ≈ Table 2).
@@ -47,7 +58,13 @@ pub fn wsu_document(scale: f64, seed: u64) -> Document {
             b.leaf("bldg", *BUILDINGS.choose(&mut r).expect("bldgs"));
             b.leaf("room", r.random_range(100..500).to_string());
             b.close();
-            b.leaf("instructor", format!("{}.", ["SMITH", "JONES", "LEE", "CHEN", "DAVIS", "STAFF"].choose(&mut r).expect("i")));
+            b.leaf(
+                "instructor",
+                format!(
+                    "{}.",
+                    ["SMITH", "JONES", "LEE", "CHEN", "DAVIS", "STAFF"].choose(&mut r).expect("i")
+                ),
+            );
             if r.random_bool(0.15) {
                 b.leaf("footnote", "SEE DEPARTMENT FOR DETAILS");
             }
@@ -77,7 +94,12 @@ mod tests {
         assert!((55_000..95_000).contains(&s.elements), "elements {}", s.elements);
         assert!((2.8..3.5).contains(&s.avg_depth), "avg depth {}", s.avg_depth);
         assert!((900_000..1_700_000).contains(&s.size), "size {}", s.size);
-        assert!(s.text_size < s.size / 3, "flat + small values: text {} size {}", s.text_size, s.size);
+        assert!(
+            s.text_size < s.size / 3,
+            "flat + small values: text {} size {}",
+            s.text_size,
+            s.size
+        );
     }
 
     #[test]

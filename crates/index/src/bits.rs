@@ -31,7 +31,10 @@ impl BitWriter {
     /// Writes the `width` low bits of `value`, MSB first.
     pub fn write(&mut self, value: u64, width: u32) {
         debug_assert!(width <= 64);
-        debug_assert!(width == 64 || value < (1u64 << width), "value {value} overflows {width} bits");
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} overflows {width} bits"
+        );
         for i in (0..width).rev() {
             let bit = (value >> i) & 1;
             if self.used == 0 {

@@ -168,8 +168,8 @@ impl<'a> Decoder<'a> {
         let (tags, bound, level_end) = match self.stack.last() {
             Some(top) => (top.tags.clone(), top.body_bound, top.end),
             None => {
-                let end = 4 + u32::from_be_bytes(self.data[0..4].try_into().expect("header"))
-                    as usize;
+                let end =
+                    4 + u32::from_be_bytes(self.data[0..4].try_into().expect("header")) as usize;
                 (self.root_tags.clone(), u32::MAX as u64, end)
             }
         };
@@ -179,9 +179,7 @@ impl<'a> Decoder<'a> {
         let leaf = r.read_bit().ok_or_else(|| err(record_start, "eof in leaf bit"))?;
         let tagw = width_for(tags.len().saturating_sub(1) as u64);
         let idx = r.read(tagw).ok_or_else(|| err(record_start, "eof in tag index"))? as usize;
-        let tag = *tags
-            .get(idx)
-            .ok_or_else(|| err(record_start, "tag index out of context"))?;
+        let tag = *tags.get(idx).ok_or_else(|| err(record_start, "tag index out of context"))?;
         let sizew = width_for(bound);
         let size = r.read(sizew).ok_or_else(|| err(record_start, "eof in size"))? as usize;
         let mut desc = TagSet::new();
@@ -200,9 +198,7 @@ impl<'a> Decoder<'a> {
         }
         self.bytes_read += body_start - record_start;
         if tag == TagId::TEXT {
-            let bytes = r
-                .read_bytes(size)
-                .ok_or_else(|| err(body_start, "eof in text body"))?;
+            let bytes = r.read_bytes(size).ok_or_else(|| err(body_start, "eof in text body"))?;
             let text = std::str::from_utf8(bytes)
                 .map_err(|_| err(body_start, "invalid UTF-8 text"))?
                 .to_owned();
@@ -302,9 +298,8 @@ impl<'a> Decoder<'a> {
             let body_end = body_start + size;
             if tag == TagId::TEXT {
                 let bytes = r.read_bytes(size).ok_or_else(|| err("eof in text body"))?;
-                let text = std::str::from_utf8(bytes)
-                    .map_err(|_| err("invalid UTF-8 text"))?
-                    .to_owned();
+                let text =
+                    std::str::from_utf8(bytes).map_err(|_| err("invalid UTF-8 text"))?.to_owned();
                 out.push(Event::Text(text.into()));
                 pos = body_end;
             } else {
@@ -389,8 +384,10 @@ mod tests {
 
     #[test]
     fn skipped_bytes_not_counted() {
-        let doc = Document::parse("<a><b><x>0123456789012345678901234567890123456789</x></b><c>c</c></a>")
-            .unwrap();
+        let doc = Document::parse(
+            "<a><b><x>0123456789012345678901234567890123456789</x></b><c>c</c></a>",
+        )
+        .unwrap();
         let enc = encode_document(&doc, Encoding::TCSBR);
         let full = {
             let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();

@@ -230,8 +230,8 @@ fn encode_tcs(doc: &Document, bitmaps: bool) -> EncodedDoc {
                 Node::Element { children, .. } => {
                     let mut body = 0u64;
                     for &c in children {
-                        body += record_len_global(doc, c, tagw, sizew, bitmaps, nt)
-                            + sizes[c.index()];
+                        body +=
+                            record_len_global(doc, c, tagw, sizew, bitmaps, nt) + sizes[c.index()];
                     }
                     sizes[id.index()] = body;
                 }
@@ -358,10 +358,8 @@ pub fn root_ctx(doc: &Document) -> Ctx {
 
 fn compute_tcsbr_facts(doc: &Document) -> Vec<NodeFacts> {
     let desc = desc_sets(doc);
-    let mut facts: Vec<NodeFacts> = desc
-        .into_iter()
-        .map(|d| NodeFacts { desc: d, body: 0, leaf: true })
-        .collect();
+    let mut facts: Vec<NodeFacts> =
+        desc.into_iter().map(|d| NodeFacts { desc: d, body: 0, leaf: true }).collect();
     for &(id, _) in doc.preorder().iter().rev() {
         match doc.node(id) {
             Node::Text(t) => {
@@ -376,8 +374,9 @@ fn compute_tcsbr_facts(doc: &Document) -> Vec<NodeFacts> {
                 loop {
                     let mut next = 0u64;
                     for &c in children {
-                        next += header_len_with(&facts[c.index()], facts[id.index()].desc.len(), body)
-                            + facts[c.index()].body;
+                        next +=
+                            header_len_with(&facts[c.index()], facts[id.index()].desc.len(), body)
+                                + facts[c.index()].body;
                     }
                     if next == body {
                         break;
@@ -442,10 +441,8 @@ mod tests {
     use super::*;
 
     fn doc() -> Document {
-        Document::parse(
-            "<a><b><m>one</m><o>two</o></b><c><e><m>3</m></e><f>ff</f></c><d>4</d></a>",
-        )
-        .unwrap()
+        Document::parse("<a><b><m>one</m><o>two</o></b><c><e><m>3</m></e><f>ff</f></c><d>4</d></a>")
+            .unwrap()
     }
 
     #[test]

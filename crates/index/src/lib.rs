@@ -30,7 +30,7 @@ pub mod encode;
 pub mod overhead;
 pub mod update;
 
-pub use decode::{DecodeError, Decoder, DecoderContext, DecodedNode};
+pub use decode::{DecodeError, DecodedNode, Decoder, DecoderContext};
 pub use encode::{encode_document, EncodedDoc, Encoding};
 pub use overhead::{overhead_row, OverheadReport};
 pub use update::{update_impact, Update, UpdateImpact};

@@ -58,10 +58,9 @@ mod tests {
     #[test]
     fn report_shape() {
         // Enough repetition that tag compression beats the dictionary cost.
-        let doc = Document::parse(
-            "<a><b>hello</b><b>world</b><b>again</b><b>stuff</b><b>here!</b></a>",
-        )
-        .unwrap();
+        let doc =
+            Document::parse("<a><b>hello</b><b>world</b><b>again</b><b>stuff</b><b>here!</b></a>")
+                .unwrap();
         let r = OverheadReport::measure("tiny", &doc);
         assert_eq!(r.rows.len(), 5);
         assert_eq!(r.text_bytes, 25);

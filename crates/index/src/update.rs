@@ -187,8 +187,7 @@ mod tests {
             .preorder()
             .into_iter()
             .find(|(id, _)| {
-                matches!(doc.node(*id), Node::Element { .. })
-                    && doc.dict.name(doc.tag(*id)) == name
+                matches!(doc.node(*id), Node::Element { .. }) && doc.dict.name(doc.tag(*id)) == name
             })
             .expect("element");
         doc.children(elem)
@@ -254,10 +253,7 @@ mod tests {
         // <c> exists under b but not under d: inserting <c> under d
         // rewrites the TagArrays of d... and stops at a (which already
         // sees a c below b).
-        let i = update_impact(
-            &d,
-            &Update::InsertLeaf { parent: b, tag: "c".into(), text_len: 3 },
-        );
+        let i = update_impact(&d, &Update::InsertLeaf { parent: b, tag: "c".into(), text_len: 3 });
         assert!(!i.dictionary_insertion);
         assert_eq!(i.tagarray_rewrites, 1, "{i:?}");
     }

@@ -15,9 +15,8 @@ fn arb_xml() -> impl Strategy<Value = String> {
         proptest::sample::select(TAGS).prop_map(|t| format!("<{t}></{t}>")),
     ];
     let inner = leaf.prop_recursive(5, 40, 4, |elem| {
-        (proptest::sample::select(TAGS), prop::collection::vec(elem, 0..4)).prop_map(
-            |(t, cs)| format!("<{t}>{}</{t}>", cs.concat()),
-        )
+        (proptest::sample::select(TAGS), prop::collection::vec(elem, 0..4))
+            .prop_map(|(t, cs)| format!("<{t}>{}</{t}>", cs.concat()))
     });
     (proptest::sample::select(TAGS), prop::collection::vec(inner, 0..4))
         .prop_map(|(t, cs)| format!("<{t}>{}</{t}>", cs.concat()))

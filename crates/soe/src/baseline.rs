@@ -29,13 +29,7 @@ pub fn brute_force_session(
     query: Option<&Automaton>,
     cost: CostModel,
 ) -> Result<SessionResult, SessionError> {
-    run_session(
-        server,
-        key,
-        policy,
-        query,
-        &SessionConfig { strategy: Strategy::BruteForce, cost },
-    )
+    run_session(server, key, policy, query, &SessionConfig { strategy: Strategy::BruteForce, cost })
 }
 
 /// The LWB estimate for a policy over a document.
@@ -82,7 +76,8 @@ fn lwb_bytes(doc: &Document, policy: &Policy) -> usize {
     // Document-order node list (elements and text).
     let order: Vec<NodeId> = doc.preorder().into_iter().map(|(id, _)| id).collect();
     let mut idx = 0usize;
-    let mut bytes = 4usize; // header
+    // 4 header bytes up front.
+    let mut bytes = 4usize;
     // Parent chain to attribute text keep decisions.
     let mut granted_stack: Vec<bool> = Vec::new();
     loop {
@@ -141,8 +136,7 @@ mod tests {
             ChunkLayout { chunk_size: 512, fragment_size: 64 },
         );
         let mut dict = server.dict.clone();
-        let policy =
-            Policy::parse("u", &[(Sign::Permit, "//keep")], &mut dict).unwrap();
+        let policy = Policy::parse("u", &[(Sign::Permit, "//keep")], &mut dict).unwrap();
         let cost = CostModel::smartcard();
         let lwb = lwb_estimate(&doc, &policy, cost);
         let tcsbr = run_session(&server, &k, &policy, None, &SessionConfig::default()).unwrap();

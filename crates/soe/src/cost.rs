@@ -64,6 +64,18 @@ impl CostModel {
         }
     }
 
+    /// A context with explicit throughputs — e.g. host-measured numbers
+    /// (the `BENCH_crypto.json` emitted by `cargo bench -p xsac-bench`)
+    /// in place of Table 1's 2004 hardware, for "what would this policy
+    /// cost on *this* machine" projections.
+    pub fn custom(comm_bw: f64, decrypt_bw: f64, hash_bw: f64, evaluator_ops: f64) -> CostModel {
+        assert!(
+            comm_bw > 0.0 && decrypt_bw > 0.0 && hash_bw > 0.0 && evaluator_ops > 0.0,
+            "throughputs must be positive"
+        );
+        CostModel { comm_bw, decrypt_bw, hash_bw, evaluator_ops }
+    }
+
     /// Synthesizes the execution time of measured quantities.
     pub fn time(
         &self,
@@ -136,6 +148,20 @@ mod tests {
         let inet = CostModel::software_internet();
         let t = inet.time(1_000_000, 1_000_000, 0, 0);
         assert!(t.comm_s > t.decrypt_s);
+    }
+
+    #[test]
+    fn custom_context() {
+        let m = CostModel::custom(1e6, 2e6, 3e6, 4e6);
+        assert_eq!(m.decrypt_bw, 2e6);
+        let t = m.time(0, 2_000_000, 0, 0);
+        assert!((t.decrypt_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn custom_rejects_zero_bandwidth() {
+        let _ = CostModel::custom(0.0, 1.0, 1.0, 1.0);
     }
 
     #[test]

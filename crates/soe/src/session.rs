@@ -121,9 +121,12 @@ pub fn run_session(
 ) -> Result<SessionResult, SessionError> {
     let mut reader = SoeReader::new(&server.protected, key);
     // Simulation scaffold: the decoder walks the plaintext image; every
-    // range it consumes is *also* read through `reader`, which performs
+    // range it consumes is *also* driven through `reader`, which performs
     // the metered transfer, decryption and verification of the real
-    // ciphertext. A verification failure aborts the session.
+    // ciphertext — `touch` decrypts into the reader's one reusable
+    // working buffer and copies nothing out, so the whole
+    // decode→verify→decrypt→evaluate loop allocates O(chunks), not
+    // O(blocks). A verification failure aborts the session.
     let plain = &server.encoded.bytes;
     let mut decoder = Decoder::new(plain, server.dict.len())?;
 
@@ -139,14 +142,14 @@ pub fn run_session(
     let mut next_handle = 0u64;
 
     // Header transfer.
-    reader.read(0, 4)?;
+    reader.touch(0, 4)?;
 
     loop {
         let before = decoder.position();
         let node = decoder.next()?;
         let consumed = decoder.position() - before;
         if consumed > 0 {
-            reader.read(before, consumed)?;
+            reader.touch(before, consumed)?;
         }
         match node {
             DecodedNode::End => break,
@@ -208,7 +211,7 @@ pub fn run_session(
                         // processed by the evaluator).
                         let body_len = ctx.end - decoder.position();
                         if body_len > 0 {
-                            reader.read(decoder.position(), body_len)?;
+                            reader.touch(decoder.position(), body_len)?;
                             let events = decode_body(plain, &inner, &server.dict)?;
                             for ev in &events {
                                 eval.raw_event(ev);
@@ -230,9 +233,7 @@ pub fn run_session(
         .log
         .iter()
         .map(|item| match &item.node {
-            xsac_core::output::LogNode::Element { tag, .. } => {
-                server.dict.name(*tag).len() * 2 + 5
-            }
+            xsac_core::output::LogNode::Element { tag, .. } => server.dict.name(*tag).len() * 2 + 5,
             xsac_core::output::LogNode::Text(t) => t.len(),
         })
         .sum();
@@ -240,12 +241,8 @@ pub fn run_session(
     // in by (Table 1's "worst case where each data entering the SOE takes
     // part in the result").
     cost.bytes_to_soe += result_bytes as u64;
-    let time = config.cost.time(
-        cost.bytes_to_soe,
-        cost.bytes_decrypted,
-        cost.bytes_hashed,
-        evaluator_ops,
-    );
+    let time =
+        config.cost.time(cost.bytes_to_soe, cost.bytes_decrypted, cost.bytes_hashed, evaluator_ops);
     Ok(SessionResult {
         log: result.log,
         output: result.output,
@@ -283,7 +280,7 @@ fn serve_readbacks(
         }
         for req in reqs {
             let ctx = handles.get(&req.subtree.0).expect("readback handle");
-            reader.read(ctx.start, ctx.end - ctx.start)?;
+            reader.touch(ctx.start, ctx.end - ctx.start)?;
             let events = Decoder::decode_range(plain, ctx)?;
             eval.readback_events(req.entry, &events);
         }
@@ -302,8 +299,8 @@ fn decode_body(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xsac_core::output::reassemble_to_string;
     use xsac_core::oracle::oracle_view_string;
+    use xsac_core::output::reassemble_to_string;
     use xsac_core::Sign;
     use xsac_crypto::chunk::ChunkLayout;
     use xsac_crypto::IntegrityScheme;
@@ -408,8 +405,7 @@ mod tests {
     fn tampering_aborts_session() {
         let doc = Document::parse("<a><b>hello world hello</b></a>").unwrap();
         let k = key();
-        let mut server =
-            ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
+        let mut server = ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
         // Tamper one ciphertext byte.
         let n = server.protected.ciphertext.len();
         server.protected.ciphertext[n / 2] ^= 0x80;

@@ -1,0 +1,364 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The container building this repository has no network access, so
+//! the real crates.io `criterion` cannot be fetched.
+//!
+//! Differences from the real crate, beyond the smaller API surface:
+//!
+//! * measurement is simpler (median of fixed-duration samples, no
+//!   outlier analysis or regression fitting);
+//! * every run appends nothing to `target/criterion` — instead it writes
+//!   one machine-readable `BENCH_<name>.json` next to the repository
+//!   root (override the directory with `XSAC_BENCH_DIR`), so perf
+//!   trajectories live in the repo itself.
+
+use std::fmt::{self, Display};
+use std::hint::black_box;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Group name (e.g. `crypto/primitives`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Declared per-iteration payload, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchRecord {
+    /// Declared per-iteration byte payload, if any.
+    pub fn throughput_bytes(&self) -> Option<u64> {
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Payload throughput in bytes/second, when declared in bytes.
+    pub fn bytes_per_sec(&self) -> Option<f64> {
+        self.throughput_bytes().map(|b| b as f64 / (self.ns_per_iter / 1e9))
+    }
+
+    /// Declared per-iteration element count, if any.
+    pub fn throughput_elements(&self) -> Option<u64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Payload throughput in elements/second, when declared in elements.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.throughput_elements().map(|n| n as f64 / (self.ns_per_iter / 1e9))
+    }
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Declared per-iteration payload for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`: median over `sample_size` samples, each long enough
+    /// to amortize timer overhead.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: how many iterations fit ~25 ms?
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (Duration::from_millis(25).as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration payload of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { sample_size: self.sample_size, result_ns: f64::NAN };
+        f(&mut b);
+        self.record(id, b.result_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { sample_size: self.sample_size, result_ns: f64::NAN };
+        f(&mut b, input);
+        self.record(id, b.result_ns);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; recording is eager).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, id: BenchmarkId, ns: f64) {
+        let rec = BenchRecord {
+            group: self.name.clone(),
+            name: id.0,
+            ns_per_iter: ns,
+            throughput: self.throughput,
+        };
+        if let Some(bps) = rec.bytes_per_sec() {
+            println!(
+                "{:<28} {:<28} {:>12.1} ns/iter {:>10.2} MB/s",
+                rec.group,
+                rec.name,
+                rec.ns_per_iter,
+                bps / 1e6
+            );
+        } else if let Some(eps) = rec.elements_per_sec() {
+            println!(
+                "{:<28} {:<28} {:>12.1} ns/iter {:>10.2} Melem/s",
+                rec.group,
+                rec.name,
+                rec.ns_per_iter,
+                eps / 1e6
+            );
+        } else {
+            println!("{:<28} {:<28} {:>12.1} ns/iter", rec.group, rec.name, rec.ns_per_iter);
+        }
+        let _ = self.criterion;
+        RESULTS.lock().expect("results lock").push(rec);
+    }
+}
+
+/// Benchmark driver (constructed by `criterion_group!`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 20 }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// All records measured so far in this process.
+pub fn take_results() -> Vec<BenchRecord> {
+    RESULTS.lock().expect("results lock").clone()
+}
+
+/// Writes `BENCH_<bench-name>.json` (called by `criterion_main!`).
+pub fn write_report() {
+    let results = take_results();
+    if results.is_empty() {
+        return;
+    }
+    let name = bench_name();
+    let path = output_dir().join(format!("BENCH_{name}.json"));
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"bench\": {:?},\n  \"results\": [\n", name));
+    let opt = |v: Option<String>| v.unwrap_or_else(|| "null".into());
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"group\": {:?}, \"name\": {:?}, \"ns_per_iter\": {:.1}, \"throughput_bytes\": {}, \"bytes_per_sec\": {}, \"throughput_elements\": {}, \"elements_per_sec\": {}}}{}\n",
+            r.group,
+            r.name,
+            r.ns_per_iter,
+            opt(r.throughput_bytes().map(|t| t.to_string())),
+            opt(r.bytes_per_sec().map(|b| format!("{b:.1}"))),
+            opt(r.throughput_elements().map(|t| t.to_string())),
+            opt(r.elements_per_sec().map(|e| format!("{e:.1}"))),
+            sep
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// The bench target's name: executable stem minus cargo's `-<hash>`.
+fn bench_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// `XSAC_BENCH_DIR`, else the enclosing repository root, else `.`.
+fn output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("XSAC_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join(".git").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, then writing the report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::write_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { sample_size: 3, result_ns: f64::NAN };
+        b.iter(|| std::hint::black_box(1u64.wrapping_mul(3)));
+        assert!(b.result_ns.is_finite() && b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = BenchRecord {
+            group: "g".into(),
+            name: "n".into(),
+            ns_per_iter: 1e9,
+            throughput: Some(Throughput::Bytes(1_000_000)),
+        };
+        assert!((r.bytes_per_sec().unwrap() - 1_000_000.0).abs() < 1e-6);
+        assert!(r.elements_per_sec().is_none());
+        let e = BenchRecord { throughput: Some(Throughput::Elements(500)), ..r };
+        assert!((e.elements_per_sec().unwrap() - 500.0).abs() < 1e-9);
+        assert!(e.bytes_per_sec().is_none());
+    }
+}

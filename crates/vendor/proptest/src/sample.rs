@@ -1,0 +1,44 @@
+//! `sample::select` — uniform choice from a fixed slice.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects (and clones) one of `options`.
+pub fn select<T: Clone + 'static>(options: &'static [T]) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty options");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Clone, Copy)]
+pub struct Select<T: 'static> {
+    options: &'static [T],
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_options() {
+        let s = select(&["a", "b", "c"]);
+        let mut r = TestRng::for_case("sel", 1);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match s.generate(&mut r) {
+                "a" => seen[0] = true,
+                "b" => seen[1] = true,
+                _ => seen[2] = true,
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

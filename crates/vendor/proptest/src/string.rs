@@ -1,0 +1,256 @@
+//! `string::string_regex` — string generation from a small regex subset.
+//!
+//! Supported syntax (all the workspace's patterns need):
+//!
+//! * `.` — any char except `\n` (mostly printable ASCII, with occasional
+//!   markup metacharacters, control chars and non-ASCII to keep parser
+//!   robustness tests honest);
+//! * `[...]` — character class with literals and `a-z` ranges, leading
+//!   `^` negation (over printable ASCII), and the regex crate's
+//!   `&&[^...]` subtraction;
+//! * `x{m,n}` / `x{n}` — repetition of the preceding atom;
+//! * plain literal characters, `\` escaping the next one.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Pattern rejected by the subset parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+#[derive(Clone, Debug)]
+enum CharGen {
+    /// `.`
+    Dot,
+    /// Explicit alternatives, already expanded.
+    OneOf(Vec<char>),
+}
+
+#[derive(Clone, Debug)]
+struct Atom {
+    gen: CharGen,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching the pattern.
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+/// Occasional non-alphanumeric output of `.` (markup metacharacters,
+/// controls, non-ASCII) so robustness properties see hostile input.
+const DOT_SPICE: &[char] =
+    &['<', '>', '&', '\'', '"', ';', '\t', '\r', '\u{0}', '\u{7f}', 'é', 'λ', '中', '😀'];
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let span = (atom.max - atom.min + 1) as u64;
+            let n = atom.min + rng.below(span) as usize;
+            for _ in 0..n {
+                out.push(match &atom.gen {
+                    CharGen::OneOf(chars) => chars[rng.below(chars.len() as u64) as usize],
+                    CharGen::Dot => {
+                        if rng.ratio(1, 8) {
+                            DOT_SPICE[rng.below(DOT_SPICE.len() as u64) as usize]
+                        } else {
+                            char::from(0x20 + rng.below(0x5F) as u8)
+                        }
+                    }
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Parses `pattern`, returning a string strategy for it.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let gen = match chars[i] {
+            '.' => {
+                i += 1;
+                CharGen::Dot
+            }
+            '[' => {
+                let (set, next) = parse_class(&chars, i)?;
+                i = next;
+                CharGen::OneOf(set)
+            }
+            '\\' => {
+                let c = *chars.get(i + 1).ok_or_else(|| Error("dangling escape".into()))?;
+                i += 2;
+                CharGen::OneOf(vec![c])
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                return Err(Error(format!("unsupported regex syntax at char {i} in {pattern:?}")));
+            }
+            c => {
+                i += 1;
+                CharGen::OneOf(vec![c])
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i)?;
+        i = next;
+        atoms.push(Atom { gen, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+/// Parses `{n}` / `{m,n}` at `i`, or defaults to exactly-one.
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), Error> {
+    if chars.get(i) != Some(&'{') {
+        return Ok((1, 1, i));
+    }
+    let close =
+        chars[i..].iter().position(|&c| c == '}').ok_or_else(|| Error("unclosed {".into()))? + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let parse =
+        |s: &str| s.trim().parse::<usize>().map_err(|e| Error(format!("bad bound {s:?}: {e}")));
+    let (min, max) = match body.split_once(',') {
+        None => {
+            let n = parse(&body)?;
+            (n, n)
+        }
+        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+    };
+    if min > max {
+        return Err(Error(format!("inverted bounds {{{body}}}")));
+    }
+    Ok((min, max, close + 1))
+}
+
+/// Parses a `[...]` class starting at `open`; returns the expanded
+/// alternatives and the index one past `]`.
+fn parse_class(chars: &[char], open: usize) -> Result<(Vec<char>, usize), Error> {
+    let mut i = open + 1;
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut include = Vec::new();
+    let mut exclude = Vec::new();
+    loop {
+        match chars.get(i) {
+            None => return Err(Error("unclosed [".into())),
+            Some(']') => {
+                i += 1;
+                break;
+            }
+            Some('&') if chars.get(i + 1) == Some(&'&') && chars.get(i + 2) == Some(&'[') => {
+                // Class subtraction `&&[^...]` (the only `&&` form used).
+                if chars.get(i + 3) != Some(&'^') {
+                    return Err(Error("only `&&[^...]` subtraction is supported".into()));
+                }
+                let (sub, next) = parse_class(chars, i + 2)?;
+                // `parse_class` on `[^...]` negates over ASCII; recover the
+                // raw listed chars by re-negating against the same domain.
+                let raw: Vec<char> = printable_ascii().filter(|c| !sub.contains(c)).collect();
+                exclude.extend(raw);
+                i = next;
+                if chars.get(i) != Some(&']') {
+                    return Err(Error("subtraction must end the class".into()));
+                }
+                i += 1;
+                break;
+            }
+            Some('\\') => {
+                let c =
+                    *chars.get(i + 1).ok_or_else(|| Error("dangling escape in class".into()))?;
+                include.push(c);
+                i += 2;
+            }
+            Some(&lo) => {
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                    let hi = chars[i + 2];
+                    if lo > hi {
+                        return Err(Error(format!("inverted range {lo}-{hi}")));
+                    }
+                    include.extend(lo..=hi);
+                    i += 3;
+                } else {
+                    include.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+    let set: Vec<char> = if negated {
+        printable_ascii().filter(|c| !include.contains(c)).collect()
+    } else {
+        include.into_iter().filter(|c| !exclude.contains(c)).collect()
+    };
+    if set.is_empty() {
+        return Err(Error("empty character class".into()));
+    }
+    Ok((set, i))
+}
+
+fn printable_ascii() -> impl Iterator<Item = char> {
+    (0x20u8..0x7F).map(char::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, n: usize) -> Vec<String> {
+        let s = string_regex(pattern).unwrap();
+        let mut rng = TestRng::for_case(pattern, 1);
+        (0..n).map(|_| s.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn dot_repetition() {
+        for s in gen(".{0,16}", 200) {
+            assert!(s.chars().count() <= 16);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        for s in gen("[a-z0-9 ]{0,24}", 200) {
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+            assert!(s.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        for s in gen("[a-z][a-z0-9]{0,6}", 200) {
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn subtraction_class() {
+        // Printable ASCII minus `<` and `&` — the XML-text pattern.
+        for s in gen("[ -~&&[^<&]]{0,16}", 300) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '<' && c != '&'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        for s in gen("ab{3}", 20) {
+            assert_eq!(s, "abbb");
+        }
+    }
+
+    #[test]
+    fn bad_patterns_error() {
+        assert!(string_regex("(group)").is_err());
+        assert!(string_regex("[unclosed").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses (`Rng::random_range` / `random_bool`, `SeedableRng::seed_from_u64`,
+//! `rngs::SmallRng`, `seq::IndexedRandom::choose`).
+//!
+//! The container building this repository has no network access, so the
+//! real crates.io `rand` cannot be fetched; dataset generation only needs
+//! a fast, *deterministic* generator, which this provides (xoshiro256++
+//! seeded via SplitMix64 — the same construction the real `SmallRng`
+//! uses on 64-bit targets, so statistical quality is comparable).
+//!
+//! Not cryptographic. Never used for keys — the workspace's keys are
+//! fixed test constants.
+
+/// Core RNG trait: the methods the workspace calls.
+pub trait Rng {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, as the real rand does.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (the workspace only uses `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, deterministic.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden state; splitmix64 of any
+            // seed cannot produce it across four outputs, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [mut s0, mut s1, mut s2, mut s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+/// What can serve as the argument of [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Uniform sample from `self`.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free (modulo-bias-negligible for test workloads) bounded
+/// sample via 128-bit multiply-shift.
+fn bounded(rng: &mut impl Rng, bound: u64) -> u64 {
+    debug_assert!(bound > 0, "empty range");
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+/// Types uniformly samplable from a bounded interval. The blanket
+/// `SampleRange` impls below mirror the real rand's shape so that
+/// integer-literal fallback resolves `random_range(1..100)` to `i32`
+/// exactly as it does against crates.io rand.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`hi` exclusive) or `[lo, hi]`
+    /// (`hi` inclusive).
+    fn sample_interval<R: Rng>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: Rng>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> $t {
+                // Sign-extending casts make `hi - lo` the correct span for
+                // signed types too.
+                let mut span = (hi as u64).wrapping_sub(lo as u64);
+                if inclusive {
+                    span = span.wrapping_add(1);
+                    if span == 0 {
+                        // Full 64-bit domain.
+                        return rng.next_u64() as $t;
+                    }
+                }
+                lo.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_interval<R: Rng>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range");
+        T::sample_interval(rng, lo, hi, true)
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice sampling (the workspace uses `choose` only).
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+
+        /// Uniformly chooses one element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[super::bounded(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = r.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u8 = r.random_range(0..26u8);
+            assert!(y < 26);
+            let z: u64 = r.random_range(1..=10);
+            assert!((1..=10).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let opts = ["a", "b", "c"];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let c = opts.choose(&mut r).unwrap();
+            seen[opts.iter().position(|o| o == c).unwrap()] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

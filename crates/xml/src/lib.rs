@@ -24,8 +24,8 @@ pub mod tree;
 pub mod writer;
 
 pub use dict::{TagDict, TagId, TEXT_TAG_NAME};
-pub use tagset::TagSet;
 pub use event::Event;
 pub use parser::{ParseError, Parser};
 pub use stats::DocStats;
+pub use tagset::TagSet;
 pub use tree::{Document, Node, NodeId};

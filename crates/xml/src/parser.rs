@@ -71,7 +71,15 @@ impl<'a, 'd> Parser<'a, 'd> {
 
     /// Creates a parser with an explicit configuration.
     pub fn with_config(input: &'a str, dict: &'d mut TagDict, config: ParserConfig) -> Self {
-        Parser { input, pos: 0, dict, config, open: Vec::new(), queued: Vec::new(), finished: false }
+        Parser {
+            input,
+            pos: 0,
+            dict,
+            config,
+            open: Vec::new(),
+            queued: Vec::new(),
+            finished: false,
+        }
     }
 
     /// Current depth (number of open elements).
@@ -155,7 +163,8 @@ impl<'a, 'd> Parser<'a, 'd> {
             }
             if self.pos >= self.input.len() {
                 if !self.open.is_empty() {
-                    return self.err(format!("{} unclosed element(s) at end of input", self.open.len()));
+                    return self
+                        .err(format!("{} unclosed element(s) at end of input", self.open.len()));
                 }
                 self.finished = true;
                 return Ok(None);
@@ -197,7 +206,9 @@ impl<'a, 'd> Parser<'a, 'd> {
                             self.dict.name(top)
                         ))
                     }
-                    (None, _) => return self.err(format!("closing tag </{name}> with no open element")),
+                    (None, _) => {
+                        return self.err(format!("closing tag </{name}> with no open element"))
+                    }
                 }
             }
             if rest.starts_with('<') {
@@ -338,10 +349,7 @@ mod tests {
         let (events, dict) =
             parse("<?xml version=\"1.0\"?><!DOCTYPE a><a><!-- c --><![CDATA[1<2]]></a>");
         let a = dict.get("a").unwrap();
-        assert_eq!(
-            events,
-            vec![Event::Open(a), Event::Text("1<2".into()), Event::Close(a)]
-        );
+        assert_eq!(events, vec![Event::Open(a), Event::Text("1<2".into()), Event::Close(a)]);
     }
 
     #[test]
@@ -354,9 +362,8 @@ mod tests {
     fn whitespace_text_kept_when_configured() {
         let mut dict = TagDict::new();
         let cfg = ParserConfig { skip_whitespace_text: false, ..Default::default() };
-        let events = Parser::with_config("<a> <b>x</b></a>", &mut dict, cfg)
-            .collect_events()
-            .unwrap();
+        let events =
+            Parser::with_config("<a> <b>x</b></a>", &mut dict, cfg).collect_events().unwrap();
         assert_eq!(events.iter().filter(|e| matches!(e, Event::Text(_))).count(), 2);
     }
 

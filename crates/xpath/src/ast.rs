@@ -156,9 +156,7 @@ impl Path {
     pub fn has_descendant_axis(&self) -> bool {
         self.steps.iter().any(|s| {
             s.axis == Axis::Descendant
-                || s.predicates
-                    .iter()
-                    .any(|p| p.steps.iter().any(|ps| ps.axis == Axis::Descendant))
+                || s.predicates.iter().any(|p| p.steps.iter().any(|ps| ps.axis == Axis::Descendant))
         })
     }
 }

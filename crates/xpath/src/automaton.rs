@@ -203,7 +203,9 @@ impl Automaton {
                 // crossed by a token currently resting in `s`.
                 if p.anchor_state > s {
                     ahead.push(p.index);
-                    labels.extend(self.states[p.start_state as usize].remaining_labels.iter().copied());
+                    labels.extend(
+                        self.states[p.start_state as usize].remaining_labels.iter().copied(),
+                    );
                 }
             }
             labels.sort_unstable();
@@ -347,8 +349,7 @@ mod tests {
         // //a[x//y]/b : from the start state, activating a fresh instance
         // needs a, b (nav) and x, y (predicate path).
         let (a, dict) = compile("//a[x//y]/b");
-        let names: Vec<TagId> =
-            ["a", "b", "x", "y"].iter().map(|n| dict.get(n).unwrap()).collect();
+        let names: Vec<TagId> = ["a", "b", "x", "y"].iter().map(|n| dict.get(n).unwrap()).collect();
         let mut expect = names.clone();
         expect.sort_unstable();
         assert_eq!(a.state(a.start).activation_labels, expect);

@@ -98,7 +98,13 @@ pub fn contains(sup: &Path, sub: &Path) -> bool {
 }
 
 /// Memoized check: can `p_id` (and its whole subtree) map onto `q_id`?
-fn can_map(p: &Pattern, q: &Pattern, p_id: usize, q_id: usize, memo: &mut Vec<Option<bool>>) -> bool {
+fn can_map(
+    p: &Pattern,
+    q: &Pattern,
+    p_id: usize,
+    q_id: usize,
+    memo: &mut Vec<Option<bool>>,
+) -> bool {
     let key = p_id * q.nodes.len() + q_id;
     if let Some(v) = memo[key] {
         return v;
@@ -119,9 +125,9 @@ fn can_map(p: &Pattern, q: &Pattern, p_id: usize, q_id: usize, memo: &mut Vec<Op
                     .filter(|&&qc| q.nodes[qc].axis == Axis::Child)
                     .any(|&qc| can_map(p, q, pc, qc, memo)),
                 // A descendant edge maps onto any downward path (≥ 1 edge).
-                Axis::Descendant => descendants(q, q_id)
-                    .into_iter()
-                    .any(|qd| can_map(p, q, pc, qd, memo)),
+                Axis::Descendant => {
+                    descendants(q, q_id).into_iter().any(|qd| can_map(p, q, pc, qd, memo))
+                }
             }
         });
     memo[key] = Some(ok);
@@ -142,9 +148,7 @@ fn node_compatible(pn: &PNode, qn: &PNode) -> bool {
         return false;
     }
     // Every comparison required by P must be implied by one of Q's.
-    pn.comparisons
-        .iter()
-        .all(|pc| qn.comparisons.iter().any(|qc| implies(qc, pc)))
+    pn.comparisons.iter().all(|pc| qn.comparisons.iter().any(|qc| implies(qc, pc)))
 }
 
 fn descendants(q: &Pattern, id: usize) -> Vec<usize> {
@@ -344,10 +348,8 @@ mod tests {
 
     #[test]
     fn redundancy_detection() {
-        let paths = vec![
-            (true, parse_path("//a//*").unwrap()),
-            (true, parse_path("//a/b").unwrap()),
-        ];
+        let paths =
+            vec![(true, parse_path("//a//*").unwrap()), (true, parse_path("//a/b").unwrap())];
         assert_eq!(redundant_paths(&paths), vec![1]);
     }
 
@@ -364,10 +366,7 @@ mod tests {
 
     #[test]
     fn redundant_rules_uses_scopes() {
-        let paths = vec![
-            (true, parse_path("//a").unwrap()),
-            (true, parse_path("//a/b").unwrap()),
-        ];
+        let paths = vec![(true, parse_path("//a").unwrap()), (true, parse_path("//a/b").unwrap())];
         assert_eq!(redundant_rules(&paths), vec![1]);
     }
 
@@ -387,10 +386,8 @@ mod tests {
 
     #[test]
     fn mutual_containment_removes_only_one() {
-        let paths = vec![
-            (true, parse_path("//a/b").unwrap()),
-            (true, parse_path("//a/b").unwrap()),
-        ];
+        let paths =
+            vec![(true, parse_path("//a/b").unwrap()), (true, parse_path("//a/b").unwrap())];
         let r = redundant_paths(&paths);
         assert_eq!(r.len(), 1);
     }

@@ -182,7 +182,9 @@ impl<'a> Cursor<'a> {
         };
         self.skip_ws();
         if !self.eat("]") {
-            return self.err("expected ']' (nested predicates are not part of the linear ARA predicate paths)");
+            return self.err(
+                "expected ']' (nested predicates are not part of the linear ARA predicate paths)",
+            );
         }
         Ok(Predicate { steps, comparison })
     }

@@ -22,9 +22,8 @@ fn arb_doc() -> impl Strategy<Value = String> {
         proptest::sample::select(TAGS).prop_map(|t| format!("<{t}></{t}>")),
     ];
     let inner = leaf.prop_recursive(3, 20, 3, |elem| {
-        (proptest::sample::select(TAGS), prop::collection::vec(elem, 0..3)).prop_map(
-            |(t, cs)| format!("<{t}>{}</{t}>", cs.concat()),
-        )
+        (proptest::sample::select(TAGS), prop::collection::vec(elem, 0..3))
+            .prop_map(|(t, cs)| format!("<{t}>{}</{t}>", cs.concat()))
     });
     (proptest::sample::select(TAGS), prop::collection::vec(inner, 1..4))
         .prop_map(|(t, cs)| format!("<{t}>{}</{t}>", cs.concat()))
@@ -35,8 +34,7 @@ fn arb_path() -> impl Strategy<Value = String> {
         4 => proptest::sample::select(TAGS).prop_map(|t| t.to_string()),
         1 => Just("*".to_string()),
     ];
-    let seg = (proptest::sample::select(&["/", "//"]), step)
-        .prop_map(|(a, s)| format!("{a}{s}"));
+    let seg = (proptest::sample::select(&["/", "//"]), step).prop_map(|(a, s)| format!("{a}{s}"));
     let pred = prop_oneof![
         2 => Just(String::new()),
         1 => (proptest::sample::select(TAGS), proptest::sample::select(&["", " = 1", " > 1"]))

@@ -41,10 +41,7 @@ fn main() {
         ("young child", vec![(Sign::Permit, "//show[rating = G]")]),
         (
             "teenager",
-            vec![
-                (Sign::Permit, "//show[rating = G]"),
-                (Sign::Permit, "//show[rating = PG13]"),
-            ],
+            vec![(Sign::Permit, "//show[rating = G]"), (Sign::Permit, "//show[rating = PG13]")],
         ),
     ];
 
@@ -63,7 +60,8 @@ fn main() {
 
     // Tampering with the feed (e.g. splicing an R-rated block over a G
     // one) is detected before anything is delivered.
-    let mut tampered = ServerDoc::prepare(&feed, &key, IntegrityScheme::EcbMht, ChunkLayout::default());
+    let mut tampered =
+        ServerDoc::prepare(&feed, &key, IntegrityScheme::EcbMht, ChunkLayout::default());
     let n = tampered.protected.ciphertext.len();
     tampered.protected.ciphertext.swap(8, n - 8);
     let mut dict = tampered.dict.clone();

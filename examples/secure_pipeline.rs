@@ -23,7 +23,10 @@ fn main() {
     let server = ServerDoc::prepare(&doc, &key, IntegrityScheme::EcbMht, ChunkLayout::default());
     println!("[publisher] raw XML:        {:>9} bytes", raw.len());
     println!("[publisher] skip-indexed:   {:>9} bytes (TCSBR)", server.encoded.bytes.len());
-    println!("[publisher] on terminal:    {:>9} bytes (encrypted + digests)\n", server.stored_len());
+    println!(
+        "[publisher] on terminal:    {:>9} bytes (encrypted + digests)\n",
+        server.stored_len()
+    );
 
     // --- client side -----------------------------------------------------
     // A researcher-style rule set plus a query over the authorized view.

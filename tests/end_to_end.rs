@@ -11,7 +11,10 @@ use xsac::crypto::chunk::ChunkLayout;
 use xsac::crypto::{IntegrityScheme, TripleDes};
 use xsac::datagen::hospital::{hospital_document, physician_name, HospitalConfig};
 use xsac::datagen::Profile;
-use xsac::soe::{brute_force_session, lwb_estimate, run_session, CostModel, ServerDoc, SessionConfig, SessionError, Strategy};
+use xsac::soe::{
+    brute_force_session, lwb_estimate, run_session, CostModel, ServerDoc, SessionConfig,
+    SessionError, Strategy,
+};
 use xsac::xpath::{parse_path, Automaton};
 
 fn key() -> TripleDes {
@@ -64,14 +67,8 @@ fn query_session_matches_oracle() {
         let q_text = xsac::datagen::profiles::figure10_query(v);
         let q = Automaton::parse(&q_text, &mut dict).expect("query");
         let expected = oracle_query_string(&doc, &policy, &parse_path(&q_text).unwrap());
-        let res = run_session(
-            &server,
-            &key(),
-            &policy,
-            Some(&q),
-            &SessionConfig::default(),
-        )
-        .expect("session");
+        let res = run_session(&server, &key(), &policy, Some(&q), &SessionConfig::default())
+            .expect("session");
         assert_eq!(reassemble_to_string(&dict, &res.log), expected, "v={v}");
     }
 }
@@ -84,7 +81,8 @@ fn tcsbr_never_reads_more_than_brute_force() {
         let mut dict = server.dict.clone();
         let policy = profile.policy(&physician_name(0), &mut dict);
         let t = run_session(&server, &key(), &policy, None, &SessionConfig::default()).unwrap();
-        let b = brute_force_session(&server, &key(), &policy, None, CostModel::smartcard()).unwrap();
+        let b =
+            brute_force_session(&server, &key(), &policy, None, CostModel::smartcard()).unwrap();
         assert!(
             t.cost.bytes_decrypted <= b.cost.bytes_decrypted,
             "{}: {} > {}",
@@ -125,10 +123,7 @@ fn every_scheme_but_ecb_detects_tampering() {
         let mut dict = server.dict.clone();
         let policy = Policy::parse("u", &[(Sign::Permit, "//Folder")], &mut dict).unwrap();
         let res = run_session(&server, &key(), &policy, None, &SessionConfig::default());
-        assert!(
-            matches!(res, Err(SessionError::Integrity(_))),
-            "{scheme:?} must detect the flip"
-        );
+        assert!(matches!(res, Err(SessionError::Integrity(_))), "{scheme:?} must detect the flip");
     }
 }
 
@@ -165,12 +160,9 @@ fn policy_minimization_preserves_views() {
     let doc = small_hospital();
     // Same-signed containment with no opposite rules: minimized.
     let mut dict = doc.dict.clone();
-    let mut policy = Policy::parse(
-        "u",
-        &[(Sign::Permit, "//Admin"), (Sign::Permit, "//Admin/SSN")],
-        &mut dict,
-    )
-    .unwrap();
+    let mut policy =
+        Policy::parse("u", &[(Sign::Permit, "//Admin"), (Sign::Permit, "//Admin/SSN")], &mut dict)
+            .unwrap();
     let before = oracle_view_string(&doc, &policy);
     let removed = policy.minimize();
     assert_eq!(removed, 1, "the contained rule is dropped");
@@ -181,11 +173,7 @@ fn policy_minimization_preserves_views() {
     // untouched either way.
     let mut policy = Policy::parse(
         "u",
-        &[
-            (Sign::Permit, "//Admin"),
-            (Sign::Permit, "//Admin/SSN"),
-            (Sign::Deny, "//MedActs"),
-        ],
+        &[(Sign::Permit, "//Admin"), (Sign::Permit, "//Admin/SSN"), (Sign::Deny, "//MedActs")],
         &mut dict,
     )
     .unwrap();
@@ -208,8 +196,7 @@ fn dynamic_policies_same_ciphertext() {
     .map(|rules| {
         let mut dict = server.dict.clone();
         let policy = Policy::parse("u", &rules, &mut dict).unwrap();
-        let res =
-            run_session(&server, &key(), &policy, None, &SessionConfig::default()).unwrap();
+        let res = run_session(&server, &key(), &policy, None, &SessionConfig::default()).unwrap();
         reassemble_to_string(&dict, &res.log)
     })
     .collect();

@@ -13,12 +13,8 @@ fn figure3_execution() {
     let xml = "<a><b><d>d1</d><c>c1</c><d>d2</d></b><c><b><d>d3</d><c>c2</c></b></c></a>";
     let doc = Document::parse(xml).unwrap();
     let mut dict = doc.dict.clone();
-    let policy = Policy::parse(
-        "u",
-        &[(Sign::Permit, "//b[c]/d"), (Sign::Deny, "//c")],
-        &mut dict,
-    )
-    .unwrap();
+    let policy =
+        Policy::parse("u", &[(Sign::Permit, "//b[c]/d"), (Sign::Deny, "//c")], &mut dict).unwrap();
     let mut eval = Evaluator::new(&policy, None, EvalConfig::default());
     for ev in doc.events() {
         eval.event(&ev);
@@ -120,10 +116,7 @@ fn figure7_skip_saves_bytes() {
         &SessionConfig { strategy: Strategy::BruteForce, cost: CostModel::smartcard() },
     )
     .unwrap();
-    assert_eq!(
-        reassemble_to_string(&dict, &t.log),
-        reassemble_to_string(&dict, &b.log)
-    );
+    assert_eq!(reassemble_to_string(&dict, &t.log), reassemble_to_string(&dict, &b.log));
     assert!(
         t.cost.bytes_to_soe * 2 < b.cost.bytes_to_soe,
         "b's subtree must be skipped: {} vs {}",

@@ -24,9 +24,8 @@ fn arb_doc() -> impl Strategy<Value = String> {
         proptest::sample::select(TAGS).prop_map(|t| format!("<{t}></{t}>")),
     ];
     let inner = leaf.prop_recursive(3, 16, 3, |elem| {
-        (proptest::sample::select(TAGS), prop::collection::vec(elem, 0..3)).prop_map(
-            |(t, cs)| format!("<{t}>{}</{t}>", cs.concat()),
-        )
+        (proptest::sample::select(TAGS), prop::collection::vec(elem, 0..3))
+            .prop_map(|(t, cs)| format!("<{t}>{}</{t}>", cs.concat()))
     });
     (proptest::sample::select(TAGS), prop::collection::vec(inner, 0..3))
         .prop_map(|(t, cs)| format!("<{t}>{}</{t}>", cs.concat()))
@@ -37,14 +36,10 @@ fn arb_rules() -> impl Strategy<Value = Vec<(bool, String)>> {
         3 => proptest::sample::select(TAGS).prop_map(|t| t.to_string()),
         1 => Just("*".to_string()),
     ];
-    let seg = (proptest::sample::select(&["/", "//"]), step)
-        .prop_map(|(a, s)| format!("{a}{s}"));
+    let seg = (proptest::sample::select(&["/", "//"]), step).prop_map(|(a, s)| format!("{a}{s}"));
     let pred = prop_oneof![
         Just(String::new()),
-        (
-            proptest::sample::select(TAGS),
-            proptest::sample::select(&["", " = 1", " != 2"])
-        )
+        (proptest::sample::select(TAGS), proptest::sample::select(&["", " = 1", " != 2"]))
             .prop_map(|(t, c)| format!("[{t}{c}]")),
     ];
     let path = (prop::collection::vec(seg, 1..3), pred)
