@@ -1,6 +1,6 @@
 //! Ablation: which part of the Skip index buys the speedup?
 //!
-//! DESIGN.md calls out two design choices to ablate:
+//! Two design choices of the Skip index are worth ablating:
 //!
 //! 1. **subtree sizes** make skipping *possible* (TCS would already have
 //!    them) — strategy `SizesOnly` skips only when tokens die naturally;

@@ -32,7 +32,7 @@ fn main() {
     println!();
     println!(
         "Calibrated extras (not in Table 1): smartcard SHA-1 {:.2} MB/s, \
-         evaluator {:.1}M ops/s — see EXPERIMENTS.md.",
+         evaluator {:.1}M ops/s — see docs/BENCHMARKS.md.",
         CostModel::smartcard().hash_bw / 1e6,
         CostModel::smartcard().evaluator_ops / 1e6
     );

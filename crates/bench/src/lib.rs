@@ -1,5 +1,5 @@
 //! Shared harness for the experiment binaries (one per table/figure of
-//! the paper — see DESIGN.md §5 for the experiment index).
+//! the paper — see the repo-root README.md for the experiment index).
 //!
 //! Every binary accepts:
 //!
@@ -56,7 +56,7 @@ pub fn demo_key() -> TripleDes {
 }
 
 /// Treebank runs at 1/16 of the other datasets' scale (59 MB full size;
-/// the paper's shape observations hold at this scale — EXPERIMENTS.md).
+/// the paper's shape observations hold at this scale; see README.md).
 pub fn dataset_scale(dataset: Dataset, scale: f64) -> f64 {
     match dataset {
         Dataset::Treebank => scale / 16.0,

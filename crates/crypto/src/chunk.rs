@@ -28,7 +28,7 @@ impl Default for ChunkLayout {
     fn default() -> Self {
         // Chunks as in the paper's example; fragments slightly smaller
         // (the paper gives 256 B as an example — 128 B halves the random-
-        // access over-fetch at one extra proof level; see EXPERIMENTS.md).
+        // access over-fetch at one extra proof level; see docs/BENCHMARKS.md).
         ChunkLayout { chunk_size: 2048, fragment_size: 128 }
     }
 }

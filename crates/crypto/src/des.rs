@@ -16,8 +16,8 @@
 //!   distributes over the concatenation: precompute, for every box `b`
 //!   and 6-bit input `v`, the 32-bit word `P(S_b(v) << (28 − 4b))`. The
 //!   round function becomes eight lookups OR-ed together. The tables are
-//!   built **at compile time** ([`build_sp`]) from the FIPS `SBOX`/`P`
-//!   constants of the retained [`reference`] module, so the fast path is
+//!   built **at compile time** (`build_sp`) from the FIPS `SBOX`/`P`
+//!   constants of the retained [`reference`](mod@reference) module, so the fast path is
 //!   derived from, not parallel to, the audited tables.
 //! * **Expansion.** `E` duplicates edge bits of each 4-bit nibble: the
 //!   6-bit chunk feeding box `b` is bits `4b..4b+5` of `R` cyclically
@@ -26,7 +26,7 @@
 //!   plus shifts — no table at all. The round keys are pre-split into
 //!   eight 6-bit pieces aligned with those windows.
 //! * **IP/FP.** The initial and final permutations are butterflies: five
-//!   delta-swaps on the 32-bit halves ([`ip_split`]/[`fp_join`]) replace
+//!   delta-swaps on the 32-bit halves (`ip_split`/`fp_join`) replace
 //!   128 single-bit moves. Their correctness is pinned against the
 //!   bit-by-bit `reference::permute` in the tests below.
 //! * **Round unrolling.** The 16 rounds run two at a time over
@@ -35,7 +35,7 @@
 //!   permutations cancel and one IP + 48 rounds + one FP process each
 //!   block.
 //!
-//! The bit-by-bit FIPS implementation is retained as [`reference`] for
+//! The bit-by-bit FIPS implementation is retained as [`reference`](mod@reference) for
 //! differential testing (`crates/crypto/tests/des_differential.rs` checks
 //! fast == reference on random keys/blocks and pins both to published
 //! known-answer vectors). `cargo bench -p xsac-bench --bench crypto`

@@ -6,7 +6,7 @@
 //! to audit against the standard, roughly two orders of magnitude slower
 //! than the table-driven path. The fast implementation derives its SP
 //! tables from the `SBOX`/`P` constants below at compile time and shares
-//! [`round_keys`], so the two paths cannot drift apart silently; the
+//! `round_keys`, so the two paths cannot drift apart silently; the
 //! property tests in `crates/crypto/tests/des_differential.rs` prove
 //! block-level equivalence on random keys and blocks.
 

@@ -19,7 +19,9 @@
 //! * [`chunk`] — chunk/fragment layout of Appendix A;
 //! * [`merkle`] — per-chunk Merkle trees over ciphertext fragments;
 //! * [`protocol`] — the four integrity schemes of Figure 11 (ECB,
-//!   CBC-SHA, CBC-SHAC, ECB-MHT) with SOE/terminal cost accounting.
+//!   CBC-SHA, CBC-SHAC, ECB-MHT) with SOE/terminal cost accounting; the
+//!   [`SoeReader`] caches each visited chunk's Merkle leaves so terminal
+//!   hashing is amortized to one chunk-length per visited chunk.
 
 pub mod chunk;
 pub mod des;

@@ -8,6 +8,14 @@
 //! in fragment f, the terminal sends the hashing information computed on
 //! the other fragments following the Merkle hash tree strategy; the SOE
 //! recomputes the root and compares it to the (encrypted) ChunkDigest."
+//!
+//! Division of labour: the *terminal* computes the leaf digests of a chunk
+//! — once per visited chunk, via [`fragment_hashes_into`], after which
+//! [`SoeReader`](crate::SoeReader) serves every intra-chunk proof from its
+//! leaf cache — and derives [`range_proof`]s from them. The *SOE* hashes
+//! only the fragments it actually reads and recombines them with the proof
+//! through [`root_from_range`]; it never trusts a terminal-computed leaf
+//! for bytes it consumed.
 
 use crate::sha1::{sha1, Digest, Sha1};
 use std::ops::Range;
@@ -21,8 +29,23 @@ pub fn combine(left: &Digest, right: &Digest) -> Digest {
 }
 
 /// Leaf digests of a chunk: one SHA-1 per fragment (over ciphertext).
+///
+/// Allocates a fresh vector; the terminal-side cache in
+/// [`SoeReader`](crate::SoeReader) uses [`fragment_hashes_into`] instead so
+/// one allocation serves a whole session.
 pub fn fragment_hashes(chunk: &[u8], fragment_size: usize) -> Vec<Digest> {
-    chunk.chunks(fragment_size).map(sha1).collect()
+    let mut out = Vec::new();
+    fragment_hashes_into(chunk, fragment_size, &mut out);
+    out
+}
+
+/// Like [`fragment_hashes`], but reuses the caller's buffer (cleared
+/// first). This is the terminal's per-chunk leaf computation: it runs once
+/// per *visited chunk*, not once per fragment fetch — the resulting leaves
+/// are cached and every intra-chunk proof is derived from them.
+pub fn fragment_hashes_into(chunk: &[u8], fragment_size: usize, out: &mut Vec<Digest>) {
+    out.clear();
+    out.extend(chunk.chunks(fragment_size).map(sha1));
 }
 
 /// Merkle root of a leaf list. A single leaf is its own root; with an odd

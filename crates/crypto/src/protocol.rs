@@ -12,11 +12,16 @@
 //! communication, every block it deciphers as decryption, every byte it
 //! hashes as hashing — the quantities the cost model of `xsac-soe` turns
 //! into Figure-9/11/12 times. The terminal's own computations (fragment
-//! hashes, Merkle proofs) are free for the SOE but tracked for reporting.
+//! hashes, Merkle proofs) are free for the SOE but tracked for reporting
+//! as [`AccessCost::terminal_bytes_hashed`]; under ECB-MHT the terminal
+//! computes a chunk's leaf hashes *once per visited chunk* and serves
+//! every intra-chunk proof from that cache, so a skip-heavy session's
+//! terminal hashing is linear in the chunks visited, not quadratic in the
+//! fragments fetched per chunk.
 
 use crate::chunk::{decrypt_digest, ProtectedDoc, DIGEST_RECORD};
 use crate::des::TripleDes;
-use crate::merkle::{fragment_hashes, range_proof, root_from_range};
+use crate::merkle::{fragment_hashes_into, range_proof, root_from_range};
 use crate::modes::{cbc_decrypt_in_place, posxor_decrypt_in_place, BLOCK};
 use crate::sha1::{sha1, Digest};
 use std::fmt;
@@ -87,7 +92,10 @@ pub struct AccessCost {
     pub bytes_hashed: u64,
     /// Digest records deciphered inside the SOE.
     pub digests_decrypted: u64,
-    /// Bytes hashed by the (free, untrusted) terminal.
+    /// Bytes hashed by the (free, untrusted) terminal. Under ECB-MHT this
+    /// is amortized by the reader's leaf-hash cache: at most one
+    /// chunk-length per visited chunk, however many fragments of it are
+    /// fetched.
     pub terminal_bytes_hashed: u64,
     /// Number of read requests.
     pub reads: u64,
@@ -128,6 +136,14 @@ pub struct SoeReader<'a> {
     /// Chunk digest decrypted last ("one digest per visited chunk in the
     /// worst case, when the chunks accessed are not contiguous").
     digest_cache: Option<(usize, Digest)>,
+    /// Terminal-side leaf-hash cache (ECB-MHT only), one slot per chunk;
+    /// an empty slot means "not yet computed". The terminal is free,
+    /// untrusted and abundant hardware (§2), so it keeps every visited
+    /// chunk's leaves for the whole session: a chunk's fragments are
+    /// hashed at most once per session, whatever the access pattern —
+    /// including the backward jumps of pending-subtree readbacks. None of
+    /// this occupies SOE memory.
+    leaves: Vec<Vec<Digest>>,
     /// Accumulated costs.
     pub cost: AccessCost,
 }
@@ -141,6 +157,7 @@ impl<'a> SoeReader<'a> {
             cache_start: 0,
             cache: Vec::new(),
             digest_cache: None,
+            leaves: Vec::new(),
             cost: AccessCost::default(),
         }
     }
@@ -274,11 +291,21 @@ impl<'a> SoeReader<'a> {
                 let (f_lo, f_hi) = self.fragment_extent(pos);
                 let enc = &self.doc.ciphertext[f_lo..f_hi];
                 self.cost.bytes_to_soe += enc.len() as u64;
-                // Terminal: leaf hashes of the other fragments + proof.
-                let leaves = fragment_hashes(chunk, layout.fragment_size);
-                self.cost.terminal_bytes_hashed += chunk.len() as u64;
+                // Terminal: leaf hashes of the chunk, computed at most
+                // once per chunk per session and cached — every further
+                // fetch in the chunk (even after jumping away and back,
+                // as pending readbacks do) derives its proof from the
+                // cached leaves.
+                if self.leaves.is_empty() {
+                    self.leaves.resize_with(self.doc.chunk_count(), Vec::new);
+                }
+                if self.leaves[ci].is_empty() {
+                    fragment_hashes_into(chunk, layout.fragment_size, &mut self.leaves[ci]);
+                    self.cost.terminal_bytes_hashed += chunk.len() as u64;
+                }
+                let leaves = &self.leaves[ci];
                 let f_idx = (f_lo - chunk_range.start) / layout.fragment_size;
-                let proof = range_proof(&leaves, f_idx..f_idx + 1);
+                let proof = range_proof(leaves, f_idx..f_idx + 1);
                 self.cost.bytes_to_soe += (proof.len() * 20) as u64;
                 // SOE: hash the fragment, recombine, compare to digest.
                 self.cost.bytes_hashed += enc.len() as u64 + (proof.len() as u64 + 1) * 40;
@@ -358,8 +385,83 @@ mod tests {
                 let mut r = SoeReader::new(&bad, &k);
                 let res = r.read(pos / 8 * 8, 8);
                 assert!(res.is_err(), "{scheme:?}: tamper at {pos} undetected");
+                // Refetching must fail again — for ECB-MHT the second
+                // fetch takes the warm leaf-cache path, whose proofs are
+                // derived from the already-computed (tampered) leaves.
+                let res = r.read(pos / 8 * 8, 8);
+                assert!(res.is_err(), "{scheme:?}: tamper at {pos} undetected on cached path");
+                // A *different* fragment of the same chunk must also fail:
+                // the root covers every leaf, cached or not.
+                let chunk_start = pos / p.layout.chunk_size * p.layout.chunk_size;
+                let other = chunk_start
+                    + (pos % p.layout.chunk_size + p.layout.fragment_size) % p.layout.chunk_size;
+                let res = r.read(other / 8 * 8, 8);
+                assert!(res.is_err(), "{scheme:?}: tamper at {pos} undetected from {other}");
             }
         }
+    }
+
+    #[test]
+    fn mht_leaf_hashes_computed_once_per_visited_chunk() {
+        // Fetching every fragment of a chunk must charge the terminal at
+        // most one chunk-length of hashing (the tentpole of PR 2: leaf
+        // hashes are cached, not recomputed per fragment fetch).
+        let (p, data) = doc(IntegrityScheme::EcbMht, 4096);
+        let k = key();
+        let layout = p.layout;
+        let chunk0_len = p.chunk_range(0).len() as u64;
+        let mut r = SoeReader::new(&p, &k);
+        // Visit the fragments in reverse so every fetch misses the
+        // working buffer and goes through `fetch_unit`.
+        for f in (0..layout.fragments_per_chunk()).rev() {
+            let off = f * layout.fragment_size;
+            let got = r.read(off, 8).unwrap();
+            assert_eq!(got, &data[off..off + 8]);
+        }
+        assert_eq!(
+            r.cost.terminal_bytes_hashed, chunk0_len,
+            "visiting all fragments of one chunk must hash its leaves exactly once"
+        );
+        // Moving to another chunk hashes that chunk's leaves once…
+        let chunk1_len = p.chunk_range(1).len() as u64;
+        r.read(layout.chunk_size, 8).unwrap();
+        assert_eq!(r.cost.terminal_bytes_hashed, chunk0_len + chunk1_len);
+        r.read(layout.chunk_size + layout.fragment_size, 8).unwrap();
+        assert_eq!(r.cost.terminal_bytes_hashed, chunk0_len + chunk1_len, "still cached");
+        // …and returning to the first chunk is free: the terminal
+        // (abundant, untrusted hardware) keeps every visited chunk's
+        // leaves for the session, so the backward jumps of pending
+        // readbacks never re-hash.
+        r.read(0, 8).unwrap();
+        assert_eq!(r.cost.terminal_bytes_hashed, chunk0_len + chunk1_len, "revisit is free");
+    }
+
+    #[test]
+    fn mht_cached_fetches_meter_like_fresh_ones() {
+        // Apart from terminal hashing, a warm-cache fragment fetch charges
+        // exactly what a fresh reader would: the SOE-side costs (transfer,
+        // decryption, hashing) are unchanged by the terminal's cache.
+        let (p, _) = doc(IntegrityScheme::EcbMht, 4096);
+        let k = key();
+        let mut warm = SoeReader::new(&p, &k);
+        warm.read(0, 8).unwrap(); // warms leaf + digest caches of chunk 0
+        let before = warm.cost;
+        warm.read(1024, 8).unwrap(); // distinct fragment, same chunk
+        let mut fresh = SoeReader::new(&p, &k);
+        fresh.read(1024, 8).unwrap();
+        let warm_delta = AccessCost {
+            bytes_to_soe: warm.cost.bytes_to_soe - before.bytes_to_soe,
+            bytes_decrypted: warm.cost.bytes_decrypted - before.bytes_decrypted,
+            bytes_hashed: warm.cost.bytes_hashed - before.bytes_hashed,
+            digests_decrypted: warm.cost.digests_decrypted - before.digests_decrypted,
+            terminal_bytes_hashed: warm.cost.terminal_bytes_hashed - before.terminal_bytes_hashed,
+            reads: warm.cost.reads - before.reads,
+        };
+        assert_eq!(warm_delta.bytes_to_soe, fresh.cost.bytes_to_soe - DIGEST_RECORD as u64);
+        assert_eq!(warm_delta.bytes_decrypted, fresh.cost.bytes_decrypted - DIGEST_RECORD as u64);
+        assert_eq!(warm_delta.bytes_hashed, fresh.cost.bytes_hashed);
+        assert_eq!(warm_delta.digests_decrypted, 0, "digest cache holds");
+        assert_eq!(warm_delta.terminal_bytes_hashed, 0, "leaf cache holds");
     }
 
     #[test]

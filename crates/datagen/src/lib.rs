@@ -20,6 +20,11 @@
 //! [`profiles`] builds the access-control policies of the motivating
 //! example (Secretary / Doctor / Researcher and the five Figure-10 view
 //! variants); [`rulegen`] draws random policies for Figure 12.
+//!
+//! Place in the workspace (see the repo-root `README.md` architecture
+//! map): this crate is the §7 input layer — everything `xsac-bench`'s
+//! figure/table binaries run on comes from here, deterministically
+//! seeded so experiments are reproducible.
 
 pub mod hospital;
 pub mod profiles;

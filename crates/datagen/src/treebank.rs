@@ -7,7 +7,7 @@
 //! scrambled-looking words here are faithful to the original's entropy.
 //!
 //! Scale 1.0 reproduces the full 59 MB / 2.4M elements; benchmarks default
-//! to 1/16 scale, recorded in EXPERIMENTS.md.
+//! to 1/16 scale (see the bench harness `dataset_scale`).
 
 use crate::rng;
 use rand::seq::IndexedRandom;

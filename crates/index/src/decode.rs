@@ -10,6 +10,13 @@
 //! Skipping an open subtree is a byte seek to its body end; pending
 //! subtrees can be re-decoded later from a saved [`DecoderContext`]
 //! (read-back, §5) without re-analyzing anything else.
+//!
+//! The decode loop is allocation-light: text nodes are returned as `&str`
+//! slices borrowing the encoded bytes (no per-node `String`), and readback
+//! decoding can append into a caller-owned event buffer via
+//! [`Decoder::decode_range_into`], so a session's steady-state decode path
+//! allocates per *element record* (its descendant-tag context), never per
+//! text byte.
 
 use crate::bits::{width_for, BitReader};
 use std::fmt;
@@ -34,8 +41,11 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// One decoded node event.
+///
+/// Borrows the encoded input: text nodes are `&str` views of the decoded
+/// byte range, so pulling events never copies text.
 #[derive(Debug, Clone, PartialEq)]
-pub enum DecodedNode {
+pub enum DecodedNode<'a> {
     /// An element opens. `desc` is its descendant-tag set (the decoded
     /// TagArray), `body` the byte extent of its content.
     Element {
@@ -46,8 +56,8 @@ pub enum DecodedNode {
         /// Byte extent `[start, end)` of the body.
         body: (usize, usize),
     },
-    /// A text node.
-    Text(String),
+    /// A text node, borrowed from the encoded bytes.
+    Text(&'a str),
     /// An element closes (synthesized — the encoding has no closing tags).
     Close(TagId),
     /// End of document.
@@ -72,10 +82,6 @@ pub struct DecoderContext {
 struct Level {
     tag: TagId,
     tags: Rc<[TagId]>,
-    /// Decoded TagArray kept for [`Decoder`] clients via the Element
-    /// event; retained per level for potential re-exposure.
-    #[allow(dead_code)]
-    desc: Rc<TagSet>,
     body_bound: u64,
     end: usize,
 }
@@ -143,7 +149,7 @@ impl<'a> Decoder<'a> {
 
     /// Next node in document order.
     #[allow(clippy::should_implement_trait)] // fallible pull-style next()
-    pub fn next(&mut self) -> Result<DecodedNode, DecodeError> {
+    pub fn next(&mut self) -> Result<DecodedNode<'a>, DecodeError> {
         if self.done {
             return Ok(DecodedNode::End);
         }
@@ -199,9 +205,8 @@ impl<'a> Decoder<'a> {
         self.bytes_read += body_start - record_start;
         if tag == TagId::TEXT {
             let bytes = r.read_bytes(size).ok_or_else(|| err(body_start, "eof in text body"))?;
-            let text = std::str::from_utf8(bytes)
-                .map_err(|_| err(body_start, "invalid UTF-8 text"))?
-                .to_owned();
+            let text =
+                std::str::from_utf8(bytes).map_err(|_| err(body_start, "invalid UTF-8 text"))?;
             self.pos = body_end;
             self.bytes_read += size;
             if self.stack.is_empty() {
@@ -218,13 +223,7 @@ impl<'a> Decoder<'a> {
             tags: tags.clone(),
             body_bound: bound,
         });
-        self.stack.push(Level {
-            tag,
-            tags: desc_list,
-            desc: desc.clone(),
-            body_bound: size as u64,
-            end: body_end,
-        });
+        self.stack.push(Level { tag, tags: desc_list, body_bound: size as u64, end: body_end });
         self.pos = body_start;
         Ok(DecodedNode::Element { tag, desc, body: (body_start, body_end) })
     }
@@ -251,12 +250,28 @@ impl<'a> Decoder<'a> {
     }
 
     /// Decodes a saved byte range into events (pending readback). The
-    /// range may contain one subtree or a forest of records.
-    pub fn decode_range(
-        data: &[u8],
+    /// range may contain one subtree or a forest of records. Text events
+    /// borrow from `data`; see [`Decoder::decode_range_into`] to also
+    /// reuse the event buffer across readbacks.
+    pub fn decode_range<'d>(
+        data: &'d [u8],
         ctx: &DecoderContext,
-    ) -> Result<Vec<Event<'static>>, DecodeError> {
+    ) -> Result<Vec<Event<'d>>, DecodeError> {
         let mut out = Vec::new();
+        Decoder::decode_range_into(data, ctx, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Decoder::decode_range`], but clears and fills a
+    /// caller-owned buffer — one buffer (plus the borrowed text slices)
+    /// serves every readback and bulk delivery of a session, so serving a
+    /// pending subtree allocates nothing proportional to its text size.
+    pub fn decode_range_into<'d>(
+        data: &'d [u8],
+        ctx: &DecoderContext,
+        out: &mut Vec<Event<'d>>,
+    ) -> Result<(), DecodeError> {
+        out.clear();
         let mut stack: Vec<(TagId, usize, Rc<[TagId]>, u64)> = Vec::new();
         let mut pos = ctx.start;
         loop {
@@ -298,8 +313,7 @@ impl<'a> Decoder<'a> {
             let body_end = body_start + size;
             if tag == TagId::TEXT {
                 let bytes = r.read_bytes(size).ok_or_else(|| err("eof in text body"))?;
-                let text =
-                    std::str::from_utf8(bytes).map_err(|_| err("invalid UTF-8 text"))?.to_owned();
+                let text = std::str::from_utf8(bytes).map_err(|_| err("invalid UTF-8 text"))?;
                 out.push(Event::Text(text.into()));
                 pos = body_end;
             } else {
@@ -308,11 +322,12 @@ impl<'a> Decoder<'a> {
                 pos = body_start;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Decodes everything into events (no skipping — brute-force mode).
-    pub fn decode_all(data: &[u8], dict_len: usize) -> Result<Vec<Event<'static>>, DecodeError> {
+    /// Text events borrow from `data`.
+    pub fn decode_all(data: &[u8], dict_len: usize) -> Result<Vec<Event<'_>>, DecodeError> {
         let mut d = Decoder::new(data, dict_len)?;
         let mut out = Vec::new();
         loop {

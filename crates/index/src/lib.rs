@@ -16,6 +16,12 @@
 //! | `TCSB` | TCS + a descendant-tag bitmap per internal element |
 //! | `TCSBR` | the recursive variant of TCSB — **the Skip index** |
 //!
+//! Place in the workspace (see the repo-root `README.md` architecture
+//! map): this crate is the §4–§5 layer — it turns a parsed document into
+//! skippable encoded bytes on the server side, and back into events
+//! inside the SOE, where `xsac-soe` meters every consumed byte through
+//! the integrity layer of `xsac-crypto`.
+//!
 //! Modules:
 //! * [`bits`] — bit-level readers/writers;
 //! * [`encode`] — document → encoded bytes for every variant;

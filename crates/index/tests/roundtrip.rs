@@ -43,7 +43,7 @@ proptest! {
         let full = Decoder::decode_all(&enc.bytes, doc.dict.len()).unwrap();
         // Walk again, skipping the `which`-th element at depth 2.
         let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
-        let mut got: Vec<Event<'static>> = Vec::new();
+        let mut got: Vec<Event<'_>> = Vec::new();
         let mut seen = 0usize;
         let mut skipped_any = false;
         loop {
@@ -71,7 +71,7 @@ proptest! {
             return Ok(());
         }
         // Expected: full stream minus the skipped subtree's events.
-        let mut expected: Vec<Event<'static>> = Vec::new();
+        let mut expected: Vec<Event<'_>> = Vec::new();
         let mut seen = 0usize;
         let mut depth = 0usize;
         let mut skipping = 0usize; // depth at which the skip started

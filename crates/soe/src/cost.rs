@@ -15,8 +15,18 @@
 //! Hashing and evaluator-operation rates are not in Table 1; they are
 //! calibrated so that the relative costs reported in §7 hold (integrity
 //! adds 32–38% under ECB-MHT — Figure 11; access control accounts for
-//! 2–15% of execution time — Figure 9). The calibration values are
-//! recorded in EXPERIMENTS.md.
+//! 2–15% of execution time — Figure 9). See `docs/BENCHMARKS.md` for how
+//! host-measured rates (`BENCH_crypto.json`) slot in via
+//! [`CostModel::custom`].
+//!
+//! Only SOE-side work is charged time: the terminal is free (§2 — it is
+//! untrusted, abundant hardware). Terminal hashing under ECB-MHT is still
+//! *metered* (`AccessCost::terminal_bytes_hashed`) for load reporting,
+//! and since the reader's per-chunk leaf-hash cache it is amortized to
+//! one chunk-length per visited chunk regardless of how many fragments of
+//! the chunk are fetched.
+
+use xsac_crypto::AccessCost;
 
 const MB: f64 = 1_000_000.0;
 
@@ -91,6 +101,14 @@ impl CostModel {
             ac_s: evaluator_ops as f64 / self.evaluator_ops,
         }
     }
+
+    /// Synthesizes the execution time of a metered [`AccessCost`]. Only
+    /// SOE-side quantities are charged; `terminal_bytes_hashed` (already
+    /// amortized per visited chunk by the reader's leaf-hash cache) is
+    /// free terminal work and contributes no time.
+    pub fn time_of(&self, cost: &AccessCost, evaluator_ops: u64) -> TimeBreakdown {
+        self.time(cost.bytes_to_soe, cost.bytes_decrypted, cost.bytes_hashed, evaluator_ops)
+    }
 }
 
 /// A synthesized execution-time breakdown (the stacked bars of Figure 9).
@@ -162,6 +180,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn custom_rejects_zero_bandwidth() {
         let _ = CostModel::custom(0.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn time_of_charges_soe_side_only() {
+        let m = CostModel { comm_bw: 100.0, decrypt_bw: 50.0, hash_bw: 200.0, evaluator_ops: 10.0 };
+        let cost = AccessCost {
+            bytes_to_soe: 100,
+            bytes_decrypted: 100,
+            bytes_hashed: 100,
+            digests_decrypted: 3,
+            terminal_bytes_hashed: 1_000_000, // free: terminal work
+            reads: 7,
+        };
+        let t = m.time_of(&cost, 10);
+        assert_eq!(t, m.time(100, 100, 100, 10));
     }
 
     #[test]

@@ -129,6 +129,10 @@ pub fn run_session(
     // O(blocks). A verification failure aborts the session.
     let plain = &server.encoded.bytes;
     let mut decoder = Decoder::new(plain, server.dict.len())?;
+    // One event buffer serves every readback and bulk delivery; decoded
+    // text borrows straight from `plain`, so serving a subtree costs no
+    // per-text-node allocation.
+    let mut events_buf: Vec<xsac_xml::Event<'_>> = Vec::new();
 
     let eval_config = EvalConfig {
         enable_skip_directives: config.strategy != Strategy::BruteForce,
@@ -155,7 +159,7 @@ pub fn run_session(
             DecodedNode::End => break,
             DecodedNode::Close(_) => {
                 let directive = eval.close();
-                serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
                 if directive == Directive::SkipDeny || directive == Directive::SkipPending {
                     // Skip the rest of the parent element.
                     if let Some(ctx) = decoder.rest_context() {
@@ -163,15 +167,21 @@ pub fn run_session(
                             let handle = alloc_handle(&mut next_handle, &mut handles, ctx);
                             decoder.skip_rest();
                             eval.skip_close(Some(SubtreeRef(handle)));
-                            serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                            serve_readbacks(
+                                &mut eval,
+                                &mut reader,
+                                plain,
+                                &handles,
+                                &mut events_buf,
+                            )?;
                             continue;
                         }
                     }
                 }
             }
             DecodedNode::Text(t) => {
-                eval.text(&t);
-                serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                eval.text(t);
+                serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
             }
             DecodedNode::Element { tag, desc, .. } => {
                 let ctx = decoder.last_element_context();
@@ -181,20 +191,20 @@ pub fn run_session(
                     handle: ctx.as_ref().map(|_| SubtreeRef(handle_id)),
                 };
                 let directive = eval.open(tag, Some(&info));
-                serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
                 match directive {
                     Directive::Continue => {}
                     Directive::SkipDeny => {
                         decoder.skip_current();
                         eval.skip_close(None);
-                        serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                        serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
                     }
                     Directive::SkipPending => {
                         let ctx = ctx.expect("element context");
                         let handle = alloc_handle(&mut next_handle, &mut handles, ctx);
                         decoder.skip_current();
                         eval.skip_close(Some(SubtreeRef(handle)));
-                        serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                        serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
                     }
                     Directive::Deliver => {
                         // Bulk delivery: decode the subtree without rule
@@ -212,14 +222,14 @@ pub fn run_session(
                         let body_len = ctx.end - decoder.position();
                         if body_len > 0 {
                             reader.touch(decoder.position(), body_len)?;
-                            let events = decode_body(plain, &inner, &server.dict)?;
-                            for ev in &events {
+                            Decoder::decode_range_into(plain, &inner, &mut events_buf)?;
+                            for ev in &events_buf {
                                 eval.raw_event(ev);
                             }
                         }
                         eval.raw_event(&xsac_xml::Event::Close(tag));
                         decoder.skip_current();
-                        serve_readbacks(&mut eval, &mut reader, plain, &handles)?;
+                        serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
                     }
                 }
             }
@@ -241,8 +251,7 @@ pub fn run_session(
     // in by (Table 1's "worst case where each data entering the SOE takes
     // part in the result").
     cost.bytes_to_soe += result_bytes as u64;
-    let time =
-        config.cost.time(cost.bytes_to_soe, cost.bytes_decrypted, cost.bytes_hashed, evaluator_ops);
+    let time = config.cost.time_of(&cost, evaluator_ops);
     Ok(SessionResult {
         log: result.log,
         output: result.output,
@@ -267,11 +276,13 @@ fn alloc_handle(
 /// Serves the evaluator's readback requests: transfers + verifies +
 /// decodes the saved byte ranges ("pending elements or subtrees are read
 /// back from the terminal", §5 — never re-analyzed, just delivered).
-fn serve_readbacks(
+/// `events_buf` is the session's reusable decode buffer.
+fn serve_readbacks<'p>(
     eval: &mut Evaluator,
     reader: &mut SoeReader<'_>,
-    plain: &[u8],
+    plain: &'p [u8],
     handles: &HashMap<u64, DecoderContext>,
+    events_buf: &mut Vec<xsac_xml::Event<'p>>,
 ) -> Result<(), SessionError> {
     loop {
         let reqs = eval.take_readbacks();
@@ -281,19 +292,10 @@ fn serve_readbacks(
         for req in reqs {
             let ctx = handles.get(&req.subtree.0).expect("readback handle");
             reader.touch(ctx.start, ctx.end - ctx.start)?;
-            let events = Decoder::decode_range(plain, ctx)?;
-            eval.readback_events(req.entry, &events);
+            Decoder::decode_range_into(plain, ctx, events_buf)?;
+            eval.readback_events(req.entry, events_buf);
         }
     }
-}
-
-/// Decodes the *body* of an element (its children forest).
-fn decode_body(
-    plain: &[u8],
-    ctx: &DecoderContext,
-    _dict: &xsac_xml::TagDict,
-) -> Result<Vec<xsac_xml::Event<'static>>, SessionError> {
-    Ok(Decoder::decode_range(plain, ctx)?)
 }
 
 #[cfg(test)]
@@ -399,6 +401,43 @@ mod tests {
         let (got, _) = run(xml, rules, Strategy::Tcsbr, IntegrityScheme::EcbMht);
         assert_eq!(got, expected);
         assert!(got.contains("v1") && got.contains("v2"));
+    }
+
+    #[test]
+    fn mht_terminal_hashing_amortized_per_chunk() {
+        // End-to-end acceptance for the PR-2 leaf cache: however many
+        // fragment fetches a session makes inside a chunk, terminal
+        // hashing stays ≤ one chunk-length per chunk of the document —
+        // even for brute force, which visits every fragment of every
+        // chunk.
+        let mut xml = String::from("<a>");
+        for i in 0..120 {
+            xml.push_str(&format!("<r><k>keep {i}</k><d>drop {i}</d><x>1</x></r>"));
+        }
+        xml.push_str("</a>");
+        let doc = Document::parse(&xml).unwrap();
+        let k = key();
+        let server = ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
+        let ciphertext_len = server.protected.ciphertext.len() as u64;
+        // `//r[x=1]//k` leaves every k subtree pending until its r's x is
+        // seen, forcing a backward readback jump per record — the access
+        // pattern that would thrash a single-chunk cache.
+        for rules in [&[(Sign::Permit, "//k")][..], &[(Sign::Permit, "//r[x=1]//k")][..]] {
+            let mut dict = server.dict.clone();
+            let policy = Policy::parse("u", rules, &mut dict).unwrap();
+            for strategy in [Strategy::Tcsbr, Strategy::BruteForce] {
+                let config = SessionConfig { strategy, cost: CostModel::smartcard() };
+                let res = run_session(&server, &k, &policy, None, &config).unwrap();
+                assert!(
+                    res.cost.terminal_bytes_hashed <= ciphertext_len,
+                    "{strategy:?} {rules:?}: terminal hashed {} > document size {} — \
+                     leaf cache not amortizing",
+                    res.cost.terminal_bytes_hashed,
+                    ciphertext_len
+                );
+                assert!(res.cost.terminal_bytes_hashed > 0, "{strategy:?}: MHT must hash leaves");
+            }
+        }
     }
 
     #[test]

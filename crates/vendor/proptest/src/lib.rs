@@ -3,7 +3,7 @@
 //! the real crates.io `proptest` cannot be fetched.
 //!
 //! What it keeps: the `proptest!` / `prop_assert*` / `prop_assume!` /
-//! `prop_oneof!` macros, the [`Strategy`] trait with `prop_map` and
+//! `prop_oneof!` macros, the [`Strategy`](strategy::Strategy) trait with `prop_map` and
 //! `prop_recursive`, `any::<T>()`, ranges and string literals as
 //! strategies, `prop::collection::vec`, `prop::option::of`,
 //! `sample::select` and `string::string_regex` (a small regex subset —

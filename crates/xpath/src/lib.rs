@@ -5,6 +5,11 @@
 //! the child axis (/), the descendant axis (//), wildcards (*) and
 //! predicates or branches [...]" (§2).
 //!
+//! Place in the workspace (see the repo-root `README.md` architecture
+//! map): this crate is the §2–§3.1 layer — access rules and queries are
+//! parsed here and compiled into the automata that `xsac-core`'s
+//! streaming evaluator executes.
+//!
 //! * [`ast`] — paths, steps, predicates, comparison operators;
 //! * [`parser`] — text → AST;
 //! * [`automaton`] — AST → non-deterministic *Access Rule Automaton* (ARA)
