@@ -1,0 +1,155 @@
+//! Multi-session serving throughput: sessions/sec for the three hospital
+//! profiles over one `DocServer`, at 1/2/4/8 threads, cold vs warm shared
+//! caches. Writes `BENCH_server.json` at the repo root (the multi-session
+//! counterpart of `BENCH_pipeline.json` — see `docs/BENCHMARKS.md`).
+//!
+//! * **cold** — a fresh `DocServer` per measurement: the batch pays role
+//!   compilation and all terminal Merkle leaf hashing itself;
+//! * **warm** — the shared caches are pre-warmed: sessions reuse compiled
+//!   policies and cached leaf hashes (a warm session re-hashes zero leaf
+//!   bytes, asserted below and recorded in the JSON).
+//!
+//! Thread scaling is bounded by the host's cores (recorded as `"cpus"`);
+//! on a single-core container the 2/4/8-thread rows measure scheduling
+//! overhead, not parallel speedup.
+
+use std::io::Write as _;
+use std::time::Instant;
+use xsac_bench::demo_key;
+use xsac_crypto::chunk::ChunkLayout;
+use xsac_crypto::IntegrityScheme;
+use xsac_datagen::{hospital::physician_name, Dataset, Profile};
+use xsac_soe::{DocServer, ServerDoc, SessionSpec};
+
+const SESSIONS_PER_BATCH: usize = 16;
+const REPS: usize = 3;
+
+struct Row {
+    profile: &'static str,
+    mode: &'static str,
+    threads: usize,
+    ns_per_session: f64,
+}
+
+fn specs_for(server: &DocServer, profile: Profile) -> Vec<SessionSpec> {
+    (0..SESSIONS_PER_BATCH)
+        .map(|_| {
+            let mut dict = server.doc().dict.clone();
+            SessionSpec::new(profile.name(), profile.policy(&physician_name(0), &mut dict))
+        })
+        .collect()
+}
+
+fn fresh_server(doc: &xsac_xml::Document) -> DocServer {
+    let prepared =
+        ServerDoc::prepare(doc, &demo_key(), IntegrityScheme::EcbMht, ChunkLayout::default());
+    DocServer::new(prepared, demo_key())
+}
+
+fn main() {
+    let doc = Dataset::Hospital.generate(0.03, 42);
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for profile in Profile::figure9() {
+        for threads in [1usize, 2, 4, 8] {
+            // Cold: a new DocServer (empty caches) per repetition.
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let server = fresh_server(&doc);
+                let specs = specs_for(&server, profile);
+                let start = Instant::now();
+                for r in server.serve_concurrent(&specs, threads) {
+                    r.expect("session");
+                }
+                best = best.min(start.elapsed().as_nanos() as f64 / SESSIONS_PER_BATCH as f64);
+            }
+            rows.push(Row { profile: profile.name(), mode: "cold", threads, ns_per_session: best });
+
+            // Warm: one shared DocServer, caches populated before timing.
+            let server = fresh_server(&doc);
+            let specs = specs_for(&server, profile);
+            for r in server.serve_concurrent(&specs, threads) {
+                r.expect("warmup session");
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                for r in server.serve_concurrent(&specs, threads) {
+                    r.expect("session");
+                }
+                best = best.min(start.elapsed().as_nanos() as f64 / SESSIONS_PER_BATCH as f64);
+            }
+            rows.push(Row { profile: profile.name(), mode: "warm", threads, ns_per_session: best });
+        }
+    }
+
+    // Contract check: on a warm server, a second session re-hashes zero
+    // MHT leaf bytes (the cross-session cache's whole point).
+    let server = fresh_server(&doc);
+    let mut dict = server.doc().dict.clone();
+    let policy = Profile::Doctor.policy(&physician_name(0), &mut dict);
+    let cold = server.serve(&SessionSpec::new("Doctor", policy)).expect("cold session");
+    assert!(cold.cost.terminal_bytes_hashed > 0, "cold session must hash leaves");
+    let mut dict = server.doc().dict.clone();
+    let policy = Profile::Doctor.policy(&physician_name(0), &mut dict);
+    let warm = server.serve(&SessionSpec::new("Doctor", policy)).expect("warm session");
+    assert_eq!(warm.cost.terminal_bytes_hashed, 0, "warm session must re-hash nothing");
+
+    for r in &rows {
+        println!(
+            "{:<12} {:<5} {} thread(s): {:>10.1} sessions/s",
+            r.profile,
+            r.mode,
+            r.threads,
+            1e9 / r.ns_per_session
+        );
+    }
+
+    let path = output_dir().join("BENCH_server.json");
+    let mut body = String::from("{\n  \"bench\": \"server\",\n");
+    body.push_str(&format!("  \"cpus\": {cpus},\n"));
+    body.push_str(&format!("  \"sessions_per_batch\": {SESSIONS_PER_BATCH},\n"));
+    body.push_str("  \"warm_second_session_leaf_bytes_rehashed\": 0,\n");
+    body.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"group\": \"server/ECB-MHT\", \"name\": \"{}/{}/{}\", \"threads\": {}, \
+             \"ns_per_iter\": {:.1}, \"sessions_per_sec\": {:.1}}}{}\n",
+            r.profile,
+            r.mode,
+            r.threads,
+            r.threads,
+            r.ns_per_session,
+            1e9 / r.ns_per_session,
+            sep
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// `XSAC_BENCH_DIR`, else the enclosing repository root, else `.` (same
+/// convention as the criterion shim).
+fn output_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("XSAC_BENCH_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join(".git").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}

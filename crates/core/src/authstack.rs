@@ -21,11 +21,11 @@
 //! rule instances registered at level `d` (an instance is the conjunction
 //! of its predicate-instance variables).
 
-use crate::condition::{Cond, PredInstId, Ternary};
+use crate::condition::{Cond, Ternary};
 use crate::predicate::PredRegistry;
 use crate::rule::Sign;
-use crate::token::RuleRef;
-use std::rc::Rc;
+use crate::token::{Bindings, RuleRef};
+use std::sync::Arc;
 
 /// A rule or query instance whose navigational path completed at a level.
 #[derive(Clone, Debug)]
@@ -36,7 +36,7 @@ pub struct AuthEntry {
     pub sign: Sign,
     /// Conjunction of predicate instances the instance depends on
     /// (empty = unconditionally active).
-    pub bindings: Rc<[(u32, PredInstId)]>,
+    pub bindings: Bindings,
 }
 
 impl AuthEntry {
@@ -54,7 +54,7 @@ impl AuthEntry {
     }
 
     /// The instance as a boolean expression.
-    pub fn cond(&self) -> Rc<Cond> {
+    pub fn cond(&self) -> Arc<Cond> {
         Cond::and(self.bindings.iter().map(|(_, i)| Cond::var(*i)))
     }
 }
@@ -176,11 +176,11 @@ impl AuthStack {
     /// the symbolic counterpart of [`AuthStack::decide_node`], stored with
     /// pending elements (§5). Constant-folds against already-resolved
     /// instances; yields `Const` exactly when `decide_node` is decisive.
-    pub fn delivery_cond(&self, reg: &PredRegistry) -> Rc<Cond> {
+    pub fn delivery_cond(&self, reg: &PredRegistry) -> Arc<Cond> {
         let mut cur = Cond::f(); // closed policy
         for level in self.levels() {
-            let mut grants: Vec<Rc<Cond>> = Vec::new();
-            let mut denies: Vec<Rc<Cond>> = Vec::new();
+            let mut grants: Vec<Arc<Cond>> = Vec::new();
+            let mut denies: Vec<Arc<Cond>> = Vec::new();
             for e in &level.entries {
                 // Fold resolved instances into constants.
                 let c = match e.status(reg) {
@@ -221,8 +221,8 @@ impl AuthStack {
     }
 
     /// Symbolic counterpart of [`AuthStack::query_cover`].
-    pub fn query_cond(&self, reg: &PredRegistry) -> Rc<Cond> {
-        let mut parts: Vec<Rc<Cond>> = Vec::new();
+    pub fn query_cond(&self, reg: &PredRegistry) -> Arc<Cond> {
+        let mut parts: Vec<Arc<Cond>> = Vec::new();
         for level in self.levels() {
             for e in &level.query_entries {
                 match e.status(reg) {
@@ -253,6 +253,7 @@ impl AuthStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::condition::PredInstId;
 
     fn entry(sign: Sign, bindings: &[PredInstId]) -> AuthEntry {
         AuthEntry {

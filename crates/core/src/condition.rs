@@ -2,12 +2,13 @@
 //!
 //! When `DecideNode` cannot decide a node because of pending rules, the node
 //! is buffered together with "the logical expression conditioning the
-//! delivery of the element/subtree" (§5). Expressions are shared (`Rc`) —
+//! delivery of the element/subtree" (§5). Expressions are shared (`Arc`,
+//! so evaluators can cross threads) —
 //! "since several pending elements are likely to depend on the same rule,
 //! logical expressions can be shared among them to gain internal storage".
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifier of one predicate *instance* — one anchoring of a predicate
 /// path at a concrete document element. The paper materializes instances by
@@ -83,42 +84,42 @@ pub enum Cond {
     /// The resolution of a predicate instance.
     Var(PredInstId),
     /// Negation.
-    Not(Rc<Cond>),
+    Not(Arc<Cond>),
     /// Conjunction (empty = true).
-    And(Vec<Rc<Cond>>),
+    And(Vec<Arc<Cond>>),
     /// Disjunction (empty = false).
-    Or(Vec<Rc<Cond>>),
+    Or(Vec<Arc<Cond>>),
 }
 
 impl Cond {
     /// `true`.
-    pub fn t() -> Rc<Cond> {
-        Rc::new(Cond::Const(true))
+    pub fn t() -> Arc<Cond> {
+        Arc::new(Cond::Const(true))
     }
 
     /// `false`.
-    pub fn f() -> Rc<Cond> {
-        Rc::new(Cond::Const(false))
+    pub fn f() -> Arc<Cond> {
+        Arc::new(Cond::Const(false))
     }
 
     /// A single variable.
-    pub fn var(id: PredInstId) -> Rc<Cond> {
-        Rc::new(Cond::Var(id))
+    pub fn var(id: PredInstId) -> Arc<Cond> {
+        Arc::new(Cond::Var(id))
     }
 
     /// Simplifying negation.
     #[allow(clippy::should_implement_trait)]
-    pub fn not(c: Rc<Cond>) -> Rc<Cond> {
+    pub fn not(c: Arc<Cond>) -> Arc<Cond> {
         match &*c {
-            Cond::Const(b) => Rc::new(Cond::Const(!b)),
+            Cond::Const(b) => Arc::new(Cond::Const(!b)),
             Cond::Not(inner) => inner.clone(),
-            _ => Rc::new(Cond::Not(c)),
+            _ => Arc::new(Cond::Not(c)),
         }
     }
 
     /// Simplifying conjunction.
-    pub fn and(parts: impl IntoIterator<Item = Rc<Cond>>) -> Rc<Cond> {
-        let mut out: Vec<Rc<Cond>> = Vec::new();
+    pub fn and(parts: impl IntoIterator<Item = Arc<Cond>>) -> Arc<Cond> {
+        let mut out: Vec<Arc<Cond>> = Vec::new();
         for p in parts {
             match &*p {
                 Cond::Const(true) => {}
@@ -130,13 +131,13 @@ impl Cond {
         match out.len() {
             0 => Cond::t(),
             1 => out.pop().unwrap(),
-            _ => Rc::new(Cond::And(out)),
+            _ => Arc::new(Cond::And(out)),
         }
     }
 
     /// Simplifying disjunction.
-    pub fn or(parts: impl IntoIterator<Item = Rc<Cond>>) -> Rc<Cond> {
-        let mut out: Vec<Rc<Cond>> = Vec::new();
+    pub fn or(parts: impl IntoIterator<Item = Arc<Cond>>) -> Arc<Cond> {
+        let mut out: Vec<Arc<Cond>> = Vec::new();
         for p in parts {
             match &*p {
                 Cond::Const(false) => {}
@@ -148,7 +149,7 @@ impl Cond {
         match out.len() {
             0 => Cond::f(),
             1 => out.pop().unwrap(),
-            _ => Rc::new(Cond::Or(out)),
+            _ => Arc::new(Cond::Or(out)),
         }
     }
 
@@ -224,7 +225,7 @@ pub enum VarState {
     Known(bool),
     /// Resolved to another condition (used by query predicates gated on
     /// the delivery of the node they matched).
-    Expr(Rc<Cond>),
+    Expr(Arc<Cond>),
 }
 
 #[cfg(test)]
@@ -261,8 +262,8 @@ mod tests {
         assert_eq!(*Cond::or([Cond::f(), v.clone()]), *v);
         assert_eq!(*Cond::or([Cond::t(), v.clone()]), Cond::Const(true));
         assert_eq!(*Cond::not(Cond::not(v.clone())), *v);
-        assert_eq!(*Cond::and([] as [Rc<Cond>; 0]), Cond::Const(true));
-        assert_eq!(*Cond::or([] as [Rc<Cond>; 0]), Cond::Const(false));
+        assert_eq!(*Cond::and([] as [Arc<Cond>; 0]), Cond::Const(true));
+        assert_eq!(*Cond::or([] as [Arc<Cond>; 0]), Cond::Const(false));
     }
 
     #[test]

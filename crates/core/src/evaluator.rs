@@ -33,8 +33,8 @@ use crate::output::{
 use crate::predicate::PredRegistry;
 use crate::rule::{Policy, Sign};
 use crate::stats::EvalStats;
-use crate::token::{ArmedCmp, NavToken, PredToken, RuleRef, TokenLevel, TokenStack};
-use std::rc::Rc;
+use crate::token::{ArmedCmp, Bindings, NavToken, PredToken, RuleRef, TokenLevel, TokenStack};
+use std::sync::Arc;
 use xsac_xml::{Event, TagId, TagSet};
 use xsac_xpath::{Automaton, Value};
 
@@ -90,10 +90,88 @@ pub struct EvalResult {
     pub stats: EvalStats,
 }
 
+/// A policy compiled for the evaluator: rule automata plus comparison
+/// literals with `USER` resolved against the policy's subject.
+///
+/// Compilation clones every rule automaton once; sharing the result via
+/// `Arc` lets a multi-session server pay that cost **once per role**
+/// instead of once per session ([`Evaluator::with_compiled`]). The type is
+/// `Send + Sync`, so one compiled policy can serve any number of
+/// concurrent sessions.
+pub struct CompiledPolicy {
+    rules: Vec<CompiledRule>,
+}
+
+struct CompiledRule {
+    sign: Sign,
+    automaton: Automaton,
+    /// Comparison literals with `USER` resolved, indexed by predicate.
+    cmp_values: Vec<Option<Arc<str>>>,
+}
+
+impl CompiledPolicy {
+    /// Compiles a policy (rule automata + `USER`-resolved comparison
+    /// literals) into a shareable form.
+    pub fn compile(policy: &Policy) -> CompiledPolicy {
+        let rules = policy
+            .rules
+            .iter()
+            .map(|r| CompiledRule {
+                sign: r.sign,
+                automaton: r.automaton.clone(),
+                cmp_values: r
+                    .automaton
+                    .preds
+                    .iter()
+                    .map(|p| {
+                        p.comparison.as_ref().map(|(_, v)| Arc::from(v.resolve(&policy.subject)))
+                    })
+                    .collect(),
+            })
+            .collect();
+        CompiledPolicy { rules }
+    }
+
+    /// Number of compiled rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+/// Resolves a token's owning automaton against borrowed policy/query refs
+/// (free function so callers can hold the result across `&mut Evaluator`
+/// state updates).
+fn automaton_of<'a>(
+    policy: &'a CompiledPolicy,
+    query: Option<&'a Automaton>,
+    r: RuleRef,
+) -> &'a Automaton {
+    match r {
+        RuleRef::Rule(i) => &policy.rules[i as usize].automaton,
+        RuleRef::Query => query.expect("query token without query"),
+    }
+}
+
+fn cmp_value_of(
+    policy: &CompiledPolicy,
+    query_cmp: &[Option<Arc<str>>],
+    rule: RuleRef,
+    pred: u32,
+) -> Arc<str> {
+    let slot = match rule {
+        RuleRef::Rule(i) => &policy.rules[i as usize].cmp_values[pred as usize],
+        RuleRef::Query => &query_cmp[pred as usize],
+    };
+    slot.clone().expect("comparison value")
+}
+
 /// The streaming evaluator.
 pub struct Evaluator {
-    automata: Vec<CompiledRule>,
-    query: Option<Automaton>,
+    policy: Arc<CompiledPolicy>,
+    query: Option<Arc<Automaton>>,
+    /// Query comparison literals (`USER` resolves to "" — queries have no
+    /// subject), indexed by predicate.
+    query_cmp: Vec<Option<Arc<str>>>,
     config: EvalConfig,
     tokens: TokenStack,
     auth: AuthStack,
@@ -111,56 +189,83 @@ pub struct Evaluator {
     /// raw subtree.
     raw_depth: u32,
     raw_active: bool,
+    /// Recycled token levels: popped on close, reused by the next open, so
+    /// the steady-state event loop allocates nothing (§ scratch buffers).
+    free_levels: Vec<TokenLevel>,
+    /// Recycled authorization levels (same lifecycle).
+    free_auth: Vec<AuthLevel>,
+    /// Scratch: rule-predicate satisfactions recognized by this event.
+    rule_sats: Vec<crate::condition::PredInstId>,
+    /// Scratch: query-predicate satisfactions recognized by this event.
+    query_sats: Vec<crate::condition::PredInstId>,
+    /// Scratch: binding accumulation for `advance_nav`.
+    bindings_buf: Vec<(u32, crate::condition::PredInstId)>,
 }
 
-struct CompiledRule {
-    sign: Sign,
-    automaton: Automaton,
-    /// Comparison literals with `USER` resolved, indexed by predicate.
-    cmp_values: Vec<Option<Rc<str>>>,
-}
+// The multi-session serving layer fans sessions out over threads; the
+// evaluator, its shared compiled policy and its results must stay `Send`
+// (checked at compile time — an accidental `Rc`/`RefCell` regression
+// anywhere in the token/auth/pending machinery fails here).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<Evaluator>();
+    assert_send::<EvalResult>();
+    assert_send::<CompiledPolicy>();
+    assert_sync::<CompiledPolicy>();
+};
 
 impl Evaluator {
     /// Creates an evaluator for a policy, an optional query, and a config.
+    ///
+    /// Compiles the policy privately; sessions sharing one policy should
+    /// compile once and use [`Evaluator::with_compiled`].
     pub fn new(policy: &Policy, query: Option<&Automaton>, config: EvalConfig) -> Evaluator {
-        let automata: Vec<CompiledRule> = policy
-            .rules
-            .iter()
-            .map(|r| CompiledRule {
-                sign: r.sign,
-                automaton: r.automaton.clone(),
-                cmp_values: r
-                    .automaton
-                    .preds
-                    .iter()
-                    .map(|p| {
-                        p.comparison.as_ref().map(|(_, v)| Rc::from(v.resolve(&policy.subject)))
+        Evaluator::with_compiled(Arc::new(CompiledPolicy::compile(policy)), query, config)
+    }
+
+    /// Creates an evaluator over an already-compiled (shared) policy.
+    pub fn with_compiled(
+        policy: Arc<CompiledPolicy>,
+        query: Option<&Automaton>,
+        config: EvalConfig,
+    ) -> Evaluator {
+        let query: Option<Arc<Automaton>> = query.map(|q| Arc::new(q.clone()));
+        let query_cmp: Vec<Option<Arc<str>>> = match &query {
+            None => Vec::new(),
+            Some(q) => q
+                .preds
+                .iter()
+                .map(|p| {
+                    p.comparison.as_ref().map(|(_, v)| match v {
+                        Value::Literal(s) => Arc::from(s.as_str()),
+                        Value::User => Arc::from(""),
                     })
-                    .collect(),
-            })
-            .collect();
-        let query = query.cloned();
+                })
+                .collect(),
+        };
         // Base token level: start tokens of every automaton.
         let mut base = TokenLevel::default();
-        for (i, r) in automata.iter().enumerate() {
+        for (i, r) in policy.rules.iter().enumerate() {
             base.nav.push(NavToken {
                 rule: RuleRef::Rule(i as u16),
                 state: r.automaton.start,
-                bindings: Rc::from([]),
+                bindings: Bindings::EMPTY,
             });
         }
         if let Some(q) = &query {
             base.nav.push(NavToken {
                 rule: RuleRef::Query,
                 state: q.start,
-                bindings: Rc::from([]),
+                bindings: Bindings::EMPTY,
             });
         }
         let dummy = None; // resolved lazily by the caller via config + dict
         let stats = EvalStats { tokens_created: base.nav.len(), ..Default::default() };
         Evaluator {
-            automata,
+            policy,
             query,
+            query_cmp,
             tokens: TokenStack::new(base),
             auth: AuthStack::new(),
             registry: PredRegistry::new(),
@@ -172,6 +277,11 @@ impl Evaluator {
             raw_depth: 0,
             raw_active: false,
             config,
+            free_levels: Vec::new(),
+            free_auth: Vec::new(),
+            rule_sats: Vec::new(),
+            query_sats: Vec::new(),
+            bindings_buf: Vec::new(),
         }
     }
 
@@ -182,13 +292,6 @@ impl Evaluator {
             self.output = OutputBuilder::new(Some(dummy));
         }
         self
-    }
-
-    fn automaton(&self, r: RuleRef) -> &Automaton {
-        match r {
-            RuleRef::Rule(i) => &self.automata[i as usize].automaton,
-            RuleRef::Query => self.query.as_ref().expect("query token without query"),
-        }
     }
 
     /// Convenience dispatcher without skip metadata.
@@ -212,133 +315,150 @@ impl Evaluator {
         self.depth += 1;
         self.open_tags.push(tag);
 
-        // (1) Token transitions.
-        let mut new_level = TokenLevel::default();
-        let mut rule_entries: Vec<AuthEntry> = Vec::new();
-        let mut query_entries: Vec<AuthEntry> = Vec::new();
-        let mut rule_satisfactions: Vec<crate::condition::PredInstId> = Vec::new();
-        let mut query_satisfactions: Vec<crate::condition::PredInstId> = Vec::new();
+        // Split-borrow the evaluator once: the shared automata (`policy`,
+        // `query`) stay immutably borrowed across the whole event while
+        // the per-session state mutates — no per-event `Arc` bump, no
+        // per-token clone of the top level.
+        let Evaluator {
+            policy,
+            query,
+            query_cmp,
+            config,
+            tokens,
+            auth,
+            registry,
+            output,
+            stats,
+            depth,
+            pending_open,
+            free_levels,
+            free_auth,
+            rule_sats,
+            query_sats,
+            bindings_buf,
+            ..
+        } = self;
+        let policy: &CompiledPolicy = policy;
+        let query: Option<&Automaton> = query.as_deref();
+        let depth = *depth;
 
-        let top_nav: Vec<NavToken> = self.tokens.top().nav.clone();
-        let top_pred: Vec<PredToken> = self.tokens.top().pred.clone();
-        for t in &top_nav {
-            self.stats.token_ops += 1;
-            let (self_loop, transition) = {
-                let st = self.automaton(t.rule).state(t.state);
-                (st.self_loop, st.transition)
-            };
-            if self_loop {
+        // (1) Token transitions — into scratch buffers recycled from
+        // previously popped levels: the steady-state loop allocates
+        // nothing. The top level is *moved* out (and restored below)
+        // instead of cloned.
+        let mut new_level = free_levels.pop().unwrap_or_default();
+        let mut auth_level = free_auth.pop().unwrap_or_default();
+
+        let top = tokens.take_top();
+        for t in &top.nav {
+            stats.token_ops += 1;
+            let st = automaton_of(policy, query, t.rule).state(t.state);
+            if st.self_loop {
                 new_level.nav.push(t.clone());
-                self.stats.tokens_created += 1;
+                stats.tokens_created += 1;
             }
-            if let Some((label, next)) = transition {
+            if let Some((label, next)) = st.transition {
                 if label.matches(tag) {
-                    self.advance_nav(
+                    advance_nav(
+                        policy,
+                        query,
+                        query_cmp,
+                        registry,
+                        stats,
+                        bindings_buf,
+                        depth,
                         t,
                         next,
                         &mut new_level,
-                        &mut rule_entries,
-                        &mut query_entries,
-                        &mut rule_satisfactions,
-                        &mut query_satisfactions,
+                        &mut auth_level,
+                        rule_sats,
+                        query_sats,
                     );
                 }
             }
         }
-        for p in &top_pred {
-            self.stats.token_ops += 1;
-            if self.registry.is_true(p.inst) {
+        for p in &top.pred {
+            stats.token_ops += 1;
+            if registry.is_true(p.inst) {
                 continue; // predicate already satisfied in this scope (§3.3)
             }
-            let (self_loop, transition) = {
-                let st = self.automaton(p.rule).state(p.state);
-                (st.self_loop, st.transition)
-            };
-            if self_loop {
+            let st = automaton_of(policy, query, p.rule).state(p.state);
+            if st.self_loop {
                 new_level.pred.push(p.clone());
-                self.stats.tokens_created += 1;
+                stats.tokens_created += 1;
             }
-            if let Some((label, next)) = transition {
+            if let Some((label, next)) = st.transition {
                 if label.matches(tag) {
-                    self.advance_pred(
+                    advance_pred(
+                        policy,
+                        query,
+                        query_cmp,
+                        stats,
                         p,
                         next,
                         &mut new_level,
-                        &mut rule_satisfactions,
-                        &mut query_satisfactions,
+                        rule_sats,
+                        query_sats,
                     );
                 }
             }
         }
+        tokens.put_top(top);
 
         // (2) Skip-index token filtering (§4.2): kill tokens whose
         // RemainingLabels are not all present below this element.
         if let Some(desc) = skip.and_then(|s| s.desc_tags) {
-            let automata: Vec<(RuleRef, u32)> =
-                new_level.nav.iter().map(|t| (t.rule, t.state)).collect();
-            let mut keep = vec![true; automata.len()];
-            for (i, (r, s)) in automata.iter().enumerate() {
-                let st = self.automaton(*r).state(*s);
-                if !(st.is_final || desc.contains_all(&st.remaining_labels)) {
-                    keep[i] = false;
-                }
-            }
-            let mut it = keep.iter();
             let before = new_level.nav.len();
-            new_level.nav.retain(|_| *it.next().expect("keep len"));
-            self.stats.tokens_filtered += before - new_level.nav.len();
+            new_level.nav.retain(|t| {
+                let st = automaton_of(policy, query, t.rule).state(t.state);
+                st.is_final || desc.contains_all(&st.remaining_labels)
+            });
+            stats.tokens_filtered += before - new_level.nav.len();
 
-            let preds: Vec<(RuleRef, u32)> =
-                new_level.pred.iter().map(|t| (t.rule, t.state)).collect();
-            let mut keep = vec![true; preds.len()];
-            for (i, (r, s)) in preds.iter().enumerate() {
-                let st = self.automaton(*r).state(*s);
-                if !(st.is_final || desc.contains_all(&st.remaining_labels)) {
-                    keep[i] = false;
-                }
-            }
-            let mut it = keep.iter();
             let before = new_level.pred.len();
-            new_level.pred.retain(|_| *it.next().expect("keep len"));
-            self.stats.tokens_filtered += before - new_level.pred.len();
+            new_level.pred.retain(|t| {
+                let st = automaton_of(policy, query, t.rule).state(t.state);
+                st.is_final || desc.contains_all(&st.remaining_labels)
+            });
+            stats.tokens_filtered += before - new_level.pred.len();
         }
 
         // (3) Authorization stack.
-        self.auth.push(AuthLevel { entries: rule_entries, query_entries });
+        auth.push(auth_level);
 
         // (4a) Rule-predicate satisfactions recognized at this very event.
-        for inst in rule_satisfactions {
-            self.registry.satisfy(inst);
+        for inst in rule_sats.drain(..) {
+            registry.satisfy(inst);
         }
 
         // (4b) Query-predicate satisfactions, gated on this node's access
         // condition (query predicates read only authorized content, §2).
-        if !query_satisfactions.is_empty() {
-            let gate = self.access_cond();
-            for inst in query_satisfactions {
-                self.registry.satisfy_with_condition(inst, gate.clone());
+        if !query_sats.is_empty() {
+            let gate = auth.delivery_cond(registry);
+            for inst in query_sats.drain(..) {
+                registry.satisfy_with_condition(inst, gate.clone());
             }
         }
 
         // (4c) Decision for this node — after every satisfaction carried
         // by this very event (a node can complete the query match that
         // puts itself in scope).
-        let disposition = self.disposition();
+        let disposition = disposition_of(auth, registry, query.is_some());
 
         // (5) Subtree-level conclusions (§3.3). Prune rule tokens when the
         // subtree decision is reached and no opposite-signed rule can fire
         // inside.
-        let decision = self.auth.decide_node(&self.registry);
-        if self.config.enable_skip_directives {
+        let decision = auth.decide_node(registry);
+        if config.enable_skip_directives {
             if let Decision::Permit | Decision::Deny = decision {
                 let contrary = match decision {
                     Decision::Permit => Sign::Deny,
                     _ => Sign::Permit,
                 };
                 let any_contrary = new_level.nav.iter().any(|t| match t.rule {
-                    RuleRef::Rule(i) => self.automata[i as usize].sign == contrary,
+                    RuleRef::Rule(i) => policy.rules[i as usize].sign == contrary,
                     RuleRef::Query => false,
-                }) || self.auth.has_pending_of_sign(contrary, &self.registry);
+                }) || auth.has_pending_of_sign(contrary, registry);
                 if !any_contrary {
                     new_level.nav.retain(|t| t.rule == RuleRef::Query);
                 }
@@ -346,30 +466,30 @@ impl Evaluator {
         }
 
         let level_empty = new_level.is_empty();
-        self.tokens.push(new_level);
-        self.stats.peak_tokens = self.stats.peak_tokens.max(self.tokens.peak_tokens);
+        tokens.push(new_level);
+        stats.peak_tokens = stats.peak_tokens.max(tokens.peak_tokens);
 
         // (6) Deferred output action + resolutions.
-        self.pending_open = Some((tag, disposition.clone()));
-        self.flush_resolutions();
-        self.update_peaks();
+        *pending_open = Some((tag, disposition.clone()));
+        flush_resolutions_of(registry, output);
+        stats.peak_pending_entries = stats.peak_pending_entries.max(output.waiting_entries());
 
         // (7) Directive.
-        if !self.config.enable_skip_directives || !level_empty {
+        if !config.enable_skip_directives || !level_empty {
             return Directive::Continue;
         }
         match disposition {
             Disposition::Commit => {
-                self.stats.skips_delivered += 1;
+                stats.skips_delivered += 1;
                 Directive::Deliver
             }
             Disposition::Drop => {
-                self.stats.skips_denied += 1;
+                stats.skips_denied += 1;
                 Directive::SkipDeny
             }
             Disposition::Pend(_) => {
                 if skip.and_then(|s| s.handle).is_some() {
-                    self.stats.skips_pending += 1;
+                    stats.skips_pending += 1;
                     Directive::SkipPending
                 } else {
                     Directive::Continue
@@ -383,10 +503,11 @@ impl Evaluator {
         assert!(!self.raw_active, "feed raw subtree events through raw_event");
         self.flush_pending_open();
         self.stats.text_events += 1;
-        // (a) Armed comparisons at the current level.
-        let armed: Vec<ArmedCmp> = self.tokens.top().armed.clone();
-        let mut gate: Option<Rc<Cond>> = None;
-        for a in &armed {
+        // (a) Armed comparisons at the current level — the level is moved
+        // out (not cloned) for the duration of the walk.
+        let top = self.tokens.take_top();
+        let mut gate: Option<Arc<Cond>> = None;
+        for a in &top.armed {
             self.stats.token_ops += 1;
             if !self.registry.is_unknown(a.inst) {
                 continue;
@@ -400,6 +521,7 @@ impl Evaluator {
                 }
             }
         }
+        self.tokens.put_top(top);
         // (b) Dispose of the text node itself.
         let disposition = self.disposition();
         self.output.text(content, disposition, &self.registry);
@@ -415,8 +537,7 @@ impl Evaluator {
         assert!(!self.raw_active, "feed raw subtree events through raw_event");
         self.flush_pending_open();
         self.stats.close_events += 1;
-        self.tokens.pop();
-        self.auth.pop();
+        self.pop_and_recycle();
         self.registry.close_depth(self.depth);
         self.output.close_element();
         self.open_tags.pop();
@@ -443,9 +564,13 @@ impl Evaluator {
     /// remainder (after a directive from [`Evaluator::close`]).
     ///
     /// `handle` is required when the skipped content is pending: it is the
-    /// driver's readback reference to the still-encrypted bytes.
-    pub fn skip_close(&mut self, handle: Option<SubtreeRef>) {
+    /// driver's readback reference to the still-encrypted bytes. Returns
+    /// `true` when the handle was registered for a later readback — when
+    /// `false`, the driver may free whatever state the handle addressed
+    /// (the skipped content is definitively denied).
+    pub fn skip_close(&mut self, handle: Option<SubtreeRef>) -> bool {
         assert!(!self.raw_active, "cannot skip while bulk-delivering");
+        let mut retained = false;
         if let Some((tag, disp)) = self.pending_open.take() {
             // Whole-subtree skip: the element's open was processed, nothing
             // below it will be.
@@ -457,10 +582,10 @@ impl Evaluator {
                 Disposition::Pend(cond) => {
                     let h = handle.expect("pending skip requires a readback handle");
                     self.output.pend_skipped_subtree(tag, cond, h, &self.registry);
+                    retained = true;
                 }
             }
-            self.tokens.pop();
-            self.auth.pop();
+            self.pop_and_recycle();
             self.registry.close_depth(self.depth);
             self.open_tags.pop();
             self.depth -= 1;
@@ -476,11 +601,11 @@ impl Evaluator {
                 Disposition::Pend(cond) => {
                     let h = handle.expect("pending skip requires a readback handle");
                     self.output.pend_skipped_rest(cond, h, &self.registry);
+                    retained = true;
                 }
             }
             self.stats.close_events += 1;
-            self.tokens.pop();
-            self.auth.pop();
+            self.pop_and_recycle();
             self.registry.close_depth(self.depth);
             self.output.close_element();
             self.open_tags.pop();
@@ -488,6 +613,7 @@ impl Evaluator {
             self.flush_resolutions();
         }
         self.update_peaks();
+        retained
     }
 
     /// Bulk-delivers one event of an authorized subtree (after
@@ -513,8 +639,7 @@ impl Evaluator {
                     // Close of the raw subtree root: resume normal mode.
                     self.raw_active = false;
                     self.stats.close_events += 1;
-                    self.tokens.pop();
-                    self.auth.pop();
+                    self.pop_and_recycle();
                     self.registry.close_depth(self.depth);
                     self.output.close_element();
                     self.open_tags.pop();
@@ -535,6 +660,13 @@ impl Evaluator {
     /// true and whose bytes must be re-read from the terminal).
     pub fn take_readbacks(&mut self) -> Vec<ReadbackRequest> {
         self.output.take_readbacks()
+    }
+
+    /// Drains the handles of skipped subtrees whose condition resolved
+    /// *false*: their bytes will never be requested, so the driver can
+    /// free the readback state it kept for them.
+    pub fn take_released_handles(&mut self) -> Vec<SubtreeRef> {
+        self.output.take_released()
     }
 
     /// Supplies the decoded events of a read-back subtree (or remainder).
@@ -564,47 +696,98 @@ impl Evaluator {
     // ------------------------------------------------------------------
     // internals
 
-    #[allow(clippy::too_many_arguments)]
-    fn advance_nav(
-        &mut self,
-        t: &NavToken,
-        next: u32,
-        new_level: &mut TokenLevel,
-        rule_entries: &mut Vec<AuthEntry>,
-        query_entries: &mut Vec<AuthEntry>,
-        rule_satisfactions: &mut Vec<crate::condition::PredInstId>,
-        query_satisfactions: &mut Vec<crate::condition::PredInstId>,
-    ) {
-        let is_query = t.rule == RuleRef::Query;
-        let (anchors, is_final) = {
-            let a = self.automaton(t.rule);
-            let next_state = a.state(next);
-            let infos: Vec<(u32, xsac_xpath::PredPathInfo)> = next_state
-                .pred_anchors
-                .iter()
-                .map(|&pi| (pi, a.preds[pi as usize].clone()))
-                .collect();
-            (infos, next_state.is_final)
-        };
-        let mut bindings: Vec<(u32, crate::condition::PredInstId)> = t.bindings.to_vec();
-        for (pred_idx, info) in anchors {
-            let inst = self.registry.create(self.depth);
-            bindings.push((pred_idx, inst));
+    /// Pops the token and authorization levels of a closing element and
+    /// recycles their buffers for the next open (the steady-state event
+    /// loop neither allocates nor frees).
+    fn pop_and_recycle(&mut self) {
+        let mut level = self.tokens.pop();
+        level.nav.clear();
+        level.pred.clear();
+        level.armed.clear();
+        self.free_levels.push(level);
+        let mut auth = self.auth.pop();
+        auth.entries.clear();
+        auth.query_entries.clear();
+        self.free_auth.push(auth);
+    }
+
+    /// Access decision combined with query coverage.
+    fn disposition(&self) -> Disposition {
+        disposition_of(&self.auth, &self.registry, self.query.is_some())
+    }
+
+    /// Access condition alone (gates query predicate matches).
+    fn access_cond(&self) -> Arc<Cond> {
+        self.auth.delivery_cond(&self.registry)
+    }
+
+    fn flush_pending_open(&mut self) {
+        if let Some((tag, disp)) = self.pending_open.take() {
+            self.output.open_element(tag, disp, &self.registry);
+        }
+    }
+
+    fn flush_resolutions(&mut self) {
+        flush_resolutions_of(&mut self.registry, &mut self.output);
+    }
+
+    fn update_peaks(&mut self) {
+        self.stats.peak_pending_entries =
+            self.stats.peak_pending_entries.max(self.output.waiting_entries());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Free-function internals: `open()` split-borrows the evaluator (shared
+// automata stay immutably borrowed while session state mutates), so the
+// helpers it calls take the fields they touch explicitly.
+
+#[allow(clippy::too_many_arguments)]
+fn advance_nav(
+    policy: &CompiledPolicy,
+    query: Option<&Automaton>,
+    query_cmp: &[Option<Arc<str>>],
+    registry: &mut PredRegistry,
+    stats: &mut EvalStats,
+    bindings_buf: &mut Vec<(u32, crate::condition::PredInstId)>,
+    depth: u32,
+    t: &NavToken,
+    next: u32,
+    new_level: &mut TokenLevel,
+    auth_level: &mut AuthLevel,
+    rule_sats: &mut Vec<crate::condition::PredInstId>,
+    query_sats: &mut Vec<crate::condition::PredInstId>,
+) {
+    let is_query = t.rule == RuleRef::Query;
+    let a = automaton_of(policy, query, t.rule);
+    let next_state = a.state(next);
+    // Tokens that bind no new predicate instance share their parent's
+    // binding list (`Arc` bump); a fresh list is built only when this
+    // step anchors predicates.
+    let bindings: Bindings = if next_state.pred_anchors.is_empty() {
+        t.bindings.clone()
+    } else {
+        bindings_buf.clear();
+        bindings_buf.extend_from_slice(t.bindings.as_slice());
+        for &pred_idx in &next_state.pred_anchors {
+            let info = &a.preds[pred_idx as usize];
+            let inst = registry.create(depth);
+            bindings_buf.push((pred_idx, inst));
             if info.start_state == info.final_state {
                 // Self predicate `[. op v]` or bare `[.]`.
                 match &info.comparison {
                     None => {
                         if is_query {
-                            query_satisfactions.push(inst);
+                            query_sats.push(inst);
                         } else {
-                            rule_satisfactions.push(inst);
+                            rule_sats.push(inst);
                         }
                     }
                     Some((op, _)) => {
                         new_level.armed.push(ArmedCmp {
                             inst,
                             op: *op,
-                            value: self.cmp_value(t.rule, pred_idx),
+                            value: cmp_value_of(policy, query_cmp, t.rule, pred_idx),
                             query: is_query,
                         });
                     }
@@ -616,136 +799,95 @@ impl Evaluator {
                     state: info.start_state,
                     inst,
                 });
-                self.stats.tokens_created += 1;
+                stats.tokens_created += 1;
             }
         }
-        let bindings: Rc<[(u32, crate::condition::PredInstId)]> = bindings.into();
-        if is_final {
-            let entry = AuthEntry {
-                rule: t.rule,
-                sign: match t.rule {
-                    RuleRef::Rule(i) => self.automata[i as usize].sign,
-                    RuleRef::Query => Sign::Permit,
-                },
-                bindings,
-            };
-            if is_query {
-                query_entries.push(entry);
-            } else {
-                rule_entries.push(entry);
-            }
-        } else {
-            new_level.nav.push(NavToken { rule: t.rule, state: next, bindings });
-            self.stats.tokens_created += 1;
-        }
-    }
-
-    fn advance_pred(
-        &mut self,
-        p: &PredToken,
-        next: u32,
-        new_level: &mut TokenLevel,
-        rule_satisfactions: &mut Vec<crate::condition::PredInstId>,
-        query_satisfactions: &mut Vec<crate::condition::PredInstId>,
-    ) {
-        let is_query = p.rule == RuleRef::Query;
-        let (is_final, comparison) = {
-            let a = self.automaton(p.rule);
-            let f = a.state(next).is_final;
-            let c = if f { a.preds[p.pred as usize].comparison.clone() } else { None };
-            (f, c)
+        Bindings::from(&bindings_buf[..])
+    };
+    if next_state.is_final {
+        let entry = AuthEntry {
+            rule: t.rule,
+            sign: match t.rule {
+                RuleRef::Rule(i) => policy.rules[i as usize].sign,
+                RuleRef::Query => Sign::Permit,
+            },
+            bindings,
         };
-        if is_final {
-            match &comparison {
-                None => {
-                    if is_query {
-                        query_satisfactions.push(p.inst);
-                    } else {
-                        rule_satisfactions.push(p.inst);
-                    }
-                }
-                Some((op, _)) => {
-                    new_level.armed.push(ArmedCmp {
-                        inst: p.inst,
-                        op: *op,
-                        value: self.cmp_value(p.rule, p.pred),
-                        query: is_query,
-                    });
-                }
-            }
+        if is_query {
+            auth_level.query_entries.push(entry);
         } else {
-            new_level.pred.push(PredToken {
-                rule: p.rule,
-                pred: p.pred,
-                state: next,
-                inst: p.inst,
-            });
-            self.stats.tokens_created += 1;
+            auth_level.entries.push(entry);
         }
+    } else {
+        new_level.nav.push(NavToken { rule: t.rule, state: next, bindings });
+        stats.tokens_created += 1;
     }
+}
 
-    fn cmp_value(&self, rule: RuleRef, pred: u32) -> Rc<str> {
-        match rule {
-            RuleRef::Rule(i) => self.automata[i as usize].cmp_values[pred as usize]
-                .clone()
-                .expect("comparison value"),
-            RuleRef::Query => {
-                let q = self.query.as_ref().expect("query");
-                let (_, v) = q.preds[pred as usize].comparison.as_ref().expect("comparison");
-                match v {
-                    Value::Literal(s) => Rc::from(s.as_str()),
-                    Value::User => Rc::from(""),
+#[allow(clippy::too_many_arguments)]
+fn advance_pred(
+    policy: &CompiledPolicy,
+    query: Option<&Automaton>,
+    query_cmp: &[Option<Arc<str>>],
+    stats: &mut EvalStats,
+    p: &PredToken,
+    next: u32,
+    new_level: &mut TokenLevel,
+    rule_sats: &mut Vec<crate::condition::PredInstId>,
+    query_sats: &mut Vec<crate::condition::PredInstId>,
+) {
+    let is_query = p.rule == RuleRef::Query;
+    let a = automaton_of(policy, query, p.rule);
+    if a.state(next).is_final {
+        match &a.preds[p.pred as usize].comparison {
+            None => {
+                if is_query {
+                    query_sats.push(p.inst);
+                } else {
+                    rule_sats.push(p.inst);
                 }
             }
-        }
-    }
-
-    /// Access decision combined with query coverage.
-    fn disposition(&self) -> Disposition {
-        let access = match self.auth.decide_node(&self.registry) {
-            Decision::Permit => Ternary::True,
-            Decision::Deny => Ternary::False,
-            Decision::Pending => Ternary::Unknown,
-        };
-        let qcover = if self.query.is_some() {
-            self.auth.query_cover(&self.registry)
-        } else {
-            Ternary::True
-        };
-        match access.and(qcover) {
-            Ternary::True => Disposition::Commit,
-            Ternary::False => Disposition::Drop,
-            Ternary::Unknown => {
-                let mut parts = vec![self.auth.delivery_cond(&self.registry)];
-                if self.query.is_some() {
-                    parts.push(self.auth.query_cond(&self.registry));
-                }
-                Disposition::Pend(Cond::and(parts))
+            Some((op, _)) => {
+                new_level.armed.push(ArmedCmp {
+                    inst: p.inst,
+                    op: *op,
+                    value: cmp_value_of(policy, query_cmp, p.rule, p.pred),
+                    query: is_query,
+                });
             }
         }
+    } else {
+        new_level.pred.push(PredToken { rule: p.rule, pred: p.pred, state: next, inst: p.inst });
+        stats.tokens_created += 1;
     }
+}
 
-    /// Access condition alone (gates query predicate matches).
-    fn access_cond(&self) -> Rc<Cond> {
-        self.auth.delivery_cond(&self.registry)
-    }
-
-    fn flush_pending_open(&mut self) {
-        if let Some((tag, disp)) = self.pending_open.take() {
-            self.output.open_element(tag, disp, &self.registry);
+/// Access decision combined with query coverage (free-function form for
+/// use under split borrows).
+fn disposition_of(auth: &AuthStack, registry: &PredRegistry, has_query: bool) -> Disposition {
+    let access = match auth.decide_node(registry) {
+        Decision::Permit => Ternary::True,
+        Decision::Deny => Ternary::False,
+        Decision::Pending => Ternary::Unknown,
+    };
+    let qcover = if has_query { auth.query_cover(registry) } else { Ternary::True };
+    match access.and(qcover) {
+        Ternary::True => Disposition::Commit,
+        Ternary::False => Disposition::Drop,
+        Ternary::Unknown => {
+            let mut parts = vec![auth.delivery_cond(registry)];
+            if has_query {
+                parts.push(auth.query_cond(registry));
+            }
+            Disposition::Pend(Cond::and(parts))
         }
     }
+}
 
-    fn flush_resolutions(&mut self) {
-        while self.registry.has_unprocessed_resolutions() {
-            let resolved = self.registry.drain_resolved();
-            self.output.process_resolutions(&resolved, &self.registry);
-        }
-    }
-
-    fn update_peaks(&mut self) {
-        self.stats.peak_pending_entries =
-            self.stats.peak_pending_entries.max(self.output.waiting_entries());
+fn flush_resolutions_of(registry: &mut PredRegistry, output: &mut OutputBuilder) {
+    while registry.has_unprocessed_resolutions() {
+        let resolved = registry.drain_resolved();
+        output.process_resolutions(&resolved, registry);
     }
 }
 

@@ -27,7 +27,7 @@
 use crate::condition::{Cond, PredInstId, Ternary};
 use crate::predicate::PredRegistry;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use xsac_xml::{Document, Event, TagDict, TagId};
 
 /// Placement of a log item in the result document.
@@ -92,7 +92,7 @@ pub enum Disposition {
     /// Decision ⊖ (or outside the query scope) — never deliver.
     Drop,
     /// Decision ? — buffer under the given delivery condition.
-    Pend(Rc<Cond>),
+    Pend(Arc<Cond>),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,7 +144,7 @@ struct PendingEntry {
     /// accounting and diagnostics).
     #[allow(dead_code)]
     level: u32,
-    cond: Rc<Cond>,
+    cond: Arc<Cond>,
     state: EntryState,
     parent: ParentRef,
     prev_sibling: Option<ChildRef>,
@@ -192,6 +192,10 @@ pub struct OutputBuilder {
     live: Vec<LiveElem>,
     watchers: HashMap<PredInstId, Vec<usize>>,
     readbacks: Vec<ReadbackRequest>,
+    /// Skipped-subtree handles whose entries were discarded (condition
+    /// false): their encrypted bytes will never be read back, so the
+    /// driver can drop its decoder context.
+    released: Vec<SubtreeRef>,
     waiting: usize,
     /// Replace the names of non-granted shells with a dummy tag (§2).
     dummy_tag: Option<TagId>,
@@ -208,6 +212,7 @@ impl OutputBuilder {
             live: Vec::new(),
             watchers: HashMap::new(),
             readbacks: Vec::new(),
+            released: Vec::new(),
             waiting: 0,
             dummy_tag,
             stats: OutputStats::default(),
@@ -292,7 +297,7 @@ impl OutputBuilder {
     pub fn pend_skipped_subtree(
         &mut self,
         tag: TagId,
-        cond: Rc<Cond>,
+        cond: Arc<Cond>,
         subtree: SubtreeRef,
         reg: &PredRegistry,
     ) {
@@ -314,7 +319,7 @@ impl OutputBuilder {
     /// Registers the *remaining content* of the current element as a
     /// skipped pending forest (skip-on-close, Figure 7: the rest of the
     /// element is skipped once the decision settles mid-element).
-    pub fn pend_skipped_rest(&mut self, cond: Rc<Cond>, subtree: SubtreeRef, reg: &PredRegistry) {
+    pub fn pend_skipped_rest(&mut self, cond: Arc<Cond>, subtree: SubtreeRef, reg: &PredRegistry) {
         let parent = self.parent_ref_for_new_child();
         let prev = self.live.last().and_then(|l| l.last_child);
         let idx = self.push_entry(PendingEntry {
@@ -350,6 +355,14 @@ impl OutputBuilder {
                             self.entries[idx].state = EntryState::Dead;
                             self.waiting -= 1;
                             self.stats.discarded += 1;
+                            // Skipped content that will never be delivered:
+                            // the driver can forget how to read it back.
+                            match self.entries[idx].payload {
+                                Payload::Subtree(_, h) | Payload::Forest(h) => {
+                                    self.released.push(h)
+                                }
+                                _ => {}
+                            }
                         }
                         // Shells stay: the structure was already required.
                     }
@@ -362,6 +375,15 @@ impl OutputBuilder {
     /// Drains the readback requests issued since the last call.
     pub fn take_readbacks(&mut self) -> Vec<ReadbackRequest> {
         std::mem::take(&mut self.readbacks)
+    }
+
+    /// Drains the handles of skipped subtrees discarded since the last
+    /// call (condition resolved false): the driver can drop whatever
+    /// readback state it kept for them, so a long session's handle table
+    /// stays proportional to the *pending* entries, not to every skip
+    /// ever taken.
+    pub fn take_released(&mut self) -> Vec<SubtreeRef> {
+        std::mem::take(&mut self.released)
     }
 
     /// Delivers the events of a read-back subtree (the driver decrypted,
@@ -610,7 +632,7 @@ impl OutputBuilder {
 
     /// Registers watchers on the unresolved variables of `cond`, expanding
     /// through registry `Expr` resolutions.
-    fn watch(&mut self, idx: usize, cond: &Rc<Cond>, reg: &PredRegistry) {
+    fn watch(&mut self, idx: usize, cond: &Arc<Cond>, reg: &PredRegistry) {
         let mut direct = Vec::new();
         cond.vars(&mut direct);
         let mut seen = Vec::new();

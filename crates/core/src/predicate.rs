@@ -20,7 +20,7 @@
 //! in-scope instances (Predicate-Set equivalent) from archived resolutions.
 
 use crate::condition::{Cond, PredInstId, VarState};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// State of one predicate instance.
 #[derive(Clone, Debug)]
@@ -30,7 +30,7 @@ pub enum InstState {
     /// Definitively resolved.
     Known(bool),
     /// Resolved to a condition (query predicates gated on node delivery).
-    Expr(Rc<Cond>),
+    Expr(Arc<Cond>),
 }
 
 struct Instance {
@@ -102,7 +102,7 @@ impl PredRegistry {
     }
 
     /// Resolves a (query) instance to a gating condition.
-    pub fn satisfy_with_condition(&mut self, id: PredInstId, cond: Rc<Cond>) {
+    pub fn satisfy_with_condition(&mut self, id: PredInstId, cond: Arc<Cond>) {
         if self.is_unknown(id) {
             match &*cond {
                 Cond::Const(b) => {

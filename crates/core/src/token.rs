@@ -8,7 +8,7 @@
 //! event."
 
 use crate::condition::PredInstId;
-use std::rc::Rc;
+use std::sync::Arc;
 use xsac_xpath::{CmpOp, StateId};
 
 /// Identifies the automaton a token belongs to: a policy rule or the query.
@@ -20,6 +20,56 @@ pub enum RuleRef {
     Query,
 }
 
+/// Predicate instances bound by a rule instance so far:
+/// `(pred_index, instance)` pairs, materializing the paper's "rule
+/// instance" depth labels.
+///
+/// The empty list — the common case by far (tokens that never crossed a
+/// predicate anchor) — is represented without any allocation, and cloning
+/// it is free: the evaluator clones one `Bindings` per live token per
+/// open event, so this representation keeps the steady-state loop clear
+/// of refcount traffic.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings(Option<Arc<[(u32, PredInstId)]>>);
+
+impl Bindings {
+    /// No bindings (allocation-free, clone-free).
+    pub const EMPTY: Bindings = Bindings(None);
+
+    /// The bindings as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[(u32, PredInstId)] {
+        self.0.as_deref().unwrap_or(&[])
+    }
+
+    /// Iterates the `(pred_index, instance)` pairs.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, (u32, PredInstId)> {
+        self.as_slice().iter()
+    }
+
+    /// True when no instance is bound.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl From<&[(u32, PredInstId)]> for Bindings {
+    fn from(s: &[(u32, PredInstId)]) -> Bindings {
+        if s.is_empty() {
+            Bindings(None)
+        } else {
+            Bindings(Some(Arc::from(s)))
+        }
+    }
+}
+
+impl From<Vec<(u32, PredInstId)>> for Bindings {
+    fn from(v: Vec<(u32, PredInstId)>) -> Bindings {
+        Bindings::from(&v[..])
+    }
+}
+
 /// A navigational token (NT): progress of one rule instance along the
 /// navigational path.
 #[derive(Clone, Debug)]
@@ -28,9 +78,8 @@ pub struct NavToken {
     pub rule: RuleRef,
     /// Current state.
     pub state: StateId,
-    /// Predicate instances bound so far: `(pred_index, instance)` pairs,
-    /// materializing the paper's "rule instance" depth labels.
-    pub bindings: Rc<[(u32, PredInstId)]>,
+    /// Predicate instances bound so far.
+    pub bindings: Bindings,
 }
 
 /// A predicate token (PT): progress of one predicate instance along its
@@ -56,7 +105,7 @@ pub struct ArmedCmp {
     /// Comparison operator.
     pub op: CmpOp,
     /// Right-hand side with `USER` already resolved.
-    pub value: Rc<str>,
+    pub value: Arc<str>,
     /// Armed for a query predicate (satisfaction is gated on node
     /// delivery, see `evaluator`).
     pub query: bool,
@@ -129,6 +178,24 @@ impl TokenStack {
         level
     }
 
+    /// Moves the top level out (an empty level takes its place) so the
+    /// caller can iterate it while mutating other evaluator state, without
+    /// cloning any token. Pair with [`TokenStack::put_top`].
+    pub fn take_top(&mut self) -> TokenLevel {
+        let top = self.levels.last_mut().expect("token stack never empty");
+        let level = std::mem::take(top);
+        self.total -= level.token_count();
+        level
+    }
+
+    /// Restores a level taken with [`TokenStack::take_top`].
+    pub fn put_top(&mut self, level: TokenLevel) {
+        self.total += level.token_count();
+        let top = self.levels.last_mut().expect("token stack never empty");
+        debug_assert!(top.is_empty(), "put_top over a non-empty level");
+        *top = level;
+    }
+
     /// Depth of the stack (number of levels above the base).
     pub fn depth(&self) -> usize {
         self.levels.len() - 1
@@ -152,7 +219,7 @@ mod tests {
     use super::*;
 
     fn nav(state: StateId) -> NavToken {
-        NavToken { rule: RuleRef::Rule(0), state, bindings: Rc::from([]) }
+        NavToken { rule: RuleRef::Rule(0), state, bindings: Bindings::EMPTY }
     }
 
     #[test]
@@ -181,7 +248,7 @@ mod tests {
         lvl.armed.push(ArmedCmp {
             inst: PredInstId(0),
             op: CmpOp::Eq,
-            value: Rc::from("x"),
+            value: Arc::from("x"),
             query: false,
         });
         assert!(!lvl.is_empty());

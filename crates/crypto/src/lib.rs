@@ -32,5 +32,5 @@ pub mod sha1;
 
 pub use chunk::{ChunkLayout, ProtectedDoc};
 pub use des::TripleDes;
-pub use protocol::{AccessCost, IntegrityError, IntegrityScheme, SoeReader};
+pub use protocol::{AccessCost, IntegrityError, IntegrityScheme, LeafCache, SoeReader};
 pub use sha1::{sha1, Sha1};

@@ -25,6 +25,7 @@ use crate::merkle::{fragment_hashes_into, range_proof, root_from_range};
 use crate::modes::{cbc_decrypt_in_place, posxor_decrypt_in_place, BLOCK};
 use crate::sha1::{sha1, Digest};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Integrity scheme selector (Figure 11).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -93,9 +94,12 @@ pub struct AccessCost {
     /// Digest records deciphered inside the SOE.
     pub digests_decrypted: u64,
     /// Bytes hashed by the (free, untrusted) terminal. Under ECB-MHT this
-    /// is amortized by the reader's leaf-hash cache: at most one
-    /// chunk-length per visited chunk, however many fragments of it are
-    /// fetched.
+    /// is amortized by the leaf-hash cache: at most one chunk-length per
+    /// visited chunk, however many fragments of it are fetched. When
+    /// sessions share a [`LeafCache`], the **first toucher pays**: a
+    /// chunk's hashing is charged to the one session that computed its
+    /// leaves, every later session meters zero for it — so the sum across
+    /// all sessions over one document stays ≤ one document length.
     pub terminal_bytes_hashed: u64,
     /// Number of read requests.
     pub reads: u64,
@@ -110,6 +114,59 @@ impl AccessCost {
         self.digests_decrypted += other.digests_decrypted;
         self.terminal_bytes_hashed += other.terminal_bytes_hashed;
         self.reads += other.reads;
+    }
+}
+
+/// Terminal-side Merkle leaf-hash cache (ECB-MHT), shareable across
+/// sessions serving the same [`ProtectedDoc`].
+///
+/// One lazily-initialized slot per chunk: the first session to fetch any
+/// fragment of a chunk computes (and is metered for) the chunk's leaf
+/// digests; every other fetch — same session or a concurrent one — derives
+/// its Merkle proofs from the cached leaves for free. Reads are lock-free
+/// (`OnceLock::get` on the hot path); the terminal is untrusted, abundant
+/// hardware (§2), so none of this occupies SOE memory, and a poisoned
+/// cache can at worst cause verification *failures*, never forged
+/// acceptance — the SOE still checks every proof against its decrypted
+/// chunk digest.
+pub struct LeafCache {
+    chunks: Vec<OnceLock<Vec<Digest>>>,
+}
+
+impl LeafCache {
+    /// Empty cache with one slot per chunk of `doc`.
+    pub fn for_doc(doc: &ProtectedDoc) -> LeafCache {
+        let mut chunks = Vec::new();
+        chunks.resize_with(doc.chunk_count(), OnceLock::new);
+        LeafCache { chunks }
+    }
+
+    /// The chunk's leaf digests, computed on first touch. `charge` runs
+    /// exactly once per chunk across *all* sharers — in the session that
+    /// actually computes the hashes (first toucher pays).
+    fn get_or_compute(
+        &self,
+        ci: usize,
+        chunk: &[u8],
+        fragment_size: usize,
+        charge: impl FnOnce(u64),
+    ) -> &[Digest] {
+        let mut computed = false;
+        let leaves = self.chunks[ci].get_or_init(|| {
+            let mut v = Vec::new();
+            fragment_hashes_into(chunk, fragment_size, &mut v);
+            computed = true;
+            v
+        });
+        if computed {
+            charge(chunk.len() as u64);
+        }
+        leaves
+    }
+
+    /// Number of chunks whose leaves have been computed (diagnostics).
+    pub fn warmed_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.get().is_some()).count()
     }
 }
 
@@ -136,20 +193,22 @@ pub struct SoeReader<'a> {
     /// Chunk digest decrypted last ("one digest per visited chunk in the
     /// worst case, when the chunks accessed are not contiguous").
     digest_cache: Option<(usize, Digest)>,
-    /// Terminal-side leaf-hash cache (ECB-MHT only), one slot per chunk;
-    /// an empty slot means "not yet computed". The terminal is free,
-    /// untrusted and abundant hardware (§2), so it keeps every visited
-    /// chunk's leaves for the whole session: a chunk's fragments are
-    /// hashed at most once per session, whatever the access pattern —
-    /// including the backward jumps of pending-subtree readbacks. None of
-    /// this occupies SOE memory.
-    leaves: Vec<Vec<Digest>>,
+    /// Terminal-side leaf-hash cache (ECB-MHT only). The terminal is
+    /// free, untrusted and abundant hardware (§2), so it keeps every
+    /// visited chunk's leaves — for the whole session when the reader owns
+    /// the cache (created lazily on first MHT fetch), or across *all*
+    /// sessions over the document when a shared cache was supplied via
+    /// [`SoeReader::with_leaf_cache`]. Either way a chunk's fragments are
+    /// hashed at most once per cache lifetime, whatever the access pattern
+    /// — including the backward jumps of pending-subtree readbacks. None
+    /// of this occupies SOE memory.
+    leaves: Option<Arc<LeafCache>>,
     /// Accumulated costs.
     pub cost: AccessCost,
 }
 
 impl<'a> SoeReader<'a> {
-    /// New reader session.
+    /// New reader session with a private (per-session) leaf cache.
     pub fn new(doc: &'a ProtectedDoc, key: &'a TripleDes) -> SoeReader<'a> {
         SoeReader {
             doc,
@@ -157,9 +216,23 @@ impl<'a> SoeReader<'a> {
             cache_start: 0,
             cache: Vec::new(),
             digest_cache: None,
-            leaves: Vec::new(),
+            leaves: None,
             cost: AccessCost::default(),
         }
+    }
+
+    /// New reader session sharing a cross-session [`LeafCache`] (the
+    /// multi-session serving path: leaf hashing happens once per chunk per
+    /// *document*, not per session).
+    pub fn with_leaf_cache(
+        doc: &'a ProtectedDoc,
+        key: &'a TripleDes,
+        leaves: Arc<LeafCache>,
+    ) -> SoeReader<'a> {
+        assert_eq!(leaves.chunks.len(), doc.chunk_count(), "leaf cache sized for another layout");
+        let mut r = SoeReader::new(doc, key);
+        r.leaves = Some(leaves);
+        r
     }
 
     /// Reads `len` plaintext bytes at `offset`, verifying integrity per
@@ -292,18 +365,23 @@ impl<'a> SoeReader<'a> {
                 let enc = &self.doc.ciphertext[f_lo..f_hi];
                 self.cost.bytes_to_soe += enc.len() as u64;
                 // Terminal: leaf hashes of the chunk, computed at most
-                // once per chunk per session and cached — every further
-                // fetch in the chunk (even after jumping away and back,
-                // as pending readbacks do) derives its proof from the
-                // cached leaves.
-                if self.leaves.is_empty() {
-                    self.leaves.resize_with(self.doc.chunk_count(), Vec::new);
-                }
-                if self.leaves[ci].is_empty() {
-                    fragment_hashes_into(chunk, layout.fragment_size, &mut self.leaves[ci]);
-                    self.cost.terminal_bytes_hashed += chunk.len() as u64;
-                }
-                let leaves = &self.leaves[ci];
+                // once per chunk per cache lifetime — every further fetch
+                // in the chunk (even after jumping away and back, as
+                // pending readbacks do, or from a concurrent session
+                // sharing the cache) derives its proof from the cached
+                // leaves. The computing session alone is charged.
+                let cache = match &self.leaves {
+                    Some(c) => Arc::clone(c),
+                    None => {
+                        let c = Arc::new(LeafCache::for_doc(self.doc));
+                        self.leaves = Some(Arc::clone(&c));
+                        c
+                    }
+                };
+                let cost = &mut self.cost;
+                let leaves = cache.get_or_compute(ci, chunk, layout.fragment_size, |n| {
+                    cost.terminal_bytes_hashed += n
+                });
                 let f_idx = (f_lo - chunk_range.start) / layout.fragment_size;
                 let proof = range_proof(leaves, f_idx..f_idx + 1);
                 self.cost.bytes_to_soe += (proof.len() * 20) as u64;
@@ -462,6 +540,56 @@ mod tests {
         assert_eq!(warm_delta.bytes_hashed, fresh.cost.bytes_hashed);
         assert_eq!(warm_delta.digests_decrypted, 0, "digest cache holds");
         assert_eq!(warm_delta.terminal_bytes_hashed, 0, "leaf cache holds");
+    }
+
+    #[test]
+    fn shared_leaf_cache_first_toucher_pays() {
+        // Two readers over one shared cache: the second session re-hashes
+        // zero leaf bytes, and the sum across sessions stays ≤ one
+        // document length — the warm-cache metering contract of the
+        // multi-session server.
+        let (p, data) = doc(IntegrityScheme::EcbMht, 8192);
+        let k = key();
+        let cache = Arc::new(LeafCache::for_doc(&p));
+        let mut first = SoeReader::with_leaf_cache(&p, &k, Arc::clone(&cache));
+        let mut second = SoeReader::with_leaf_cache(&p, &k, Arc::clone(&cache));
+        for off in (0..8192).step_by(512) {
+            let got = first.read(off, 8).unwrap();
+            assert_eq!(got, &data[off..off + 8]);
+        }
+        assert!(first.cost.terminal_bytes_hashed > 0);
+        for off in (0..8192).step_by(512) {
+            let got = second.read(off, 8).unwrap();
+            assert_eq!(got, &data[off..off + 8]);
+        }
+        assert_eq!(second.cost.terminal_bytes_hashed, 0, "warm session re-hashes nothing");
+        assert!(
+            first.cost.terminal_bytes_hashed + second.cost.terminal_bytes_hashed
+                <= p.ciphertext.len() as u64,
+            "cross-session hashing sum bounded by one document length"
+        );
+        // SOE-side costs are identical: the shared cache only affects
+        // terminal hashing.
+        assert_eq!(first.cost.bytes_to_soe, second.cost.bytes_to_soe);
+        assert_eq!(first.cost.bytes_decrypted, second.cost.bytes_decrypted);
+        assert_eq!(first.cost.bytes_hashed, second.cost.bytes_hashed);
+        assert_eq!(cache.warmed_chunks(), p.chunk_count());
+    }
+
+    #[test]
+    fn shared_leaf_cache_still_detects_tampering() {
+        // A cache warmed by an honest session must not mask tampering
+        // seen by a later session (the SOE re-verifies every proof), and
+        // a cache warmed from tampered bytes must keep failing.
+        let (p, _) = doc(IntegrityScheme::EcbMht, 4096);
+        let k = key();
+        let mut bad = p.clone();
+        bad.ciphertext[100] ^= 1;
+        let cache = Arc::new(LeafCache::for_doc(&bad));
+        let mut r1 = SoeReader::with_leaf_cache(&bad, &k, Arc::clone(&cache));
+        assert!(r1.read(96, 8).is_err());
+        let mut r2 = SoeReader::with_leaf_cache(&bad, &k, Arc::clone(&cache));
+        assert!(r2.read(96, 8).is_err(), "warm cache must not hide tampering");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::bits::{width_for, BitReader};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use xsac_xml::{Event, TagId, TagSet};
 
 /// Decode error.
@@ -43,16 +43,18 @@ impl std::error::Error for DecodeError {}
 /// One decoded node event.
 ///
 /// Borrows the encoded input: text nodes are `&str` views of the decoded
-/// byte range, so pulling events never copies text.
+/// byte range, so pulling events never copies text. An element's
+/// descendant-tag set (the decoded TagArray) is exposed through
+/// [`Decoder::last_desc`] — kept in a buffer the decoder reuses for every
+/// record, so the steady-state element loop performs a single allocation
+/// per record (the shared child-context tag list) instead of four.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DecodedNode<'a> {
-    /// An element opens. `desc` is its descendant-tag set (the decoded
-    /// TagArray), `body` the byte extent of its content.
+    /// An element opens. `body` is the byte extent of its content; its
+    /// descendant tags are in [`Decoder::last_desc`] until the next call.
     Element {
         /// The element tag.
         tag: TagId,
-        /// Descendant tags (strictly below); empty for leaves.
-        desc: Rc<TagSet>,
         /// Byte extent `[start, end)` of the body.
         body: (usize, usize),
     },
@@ -74,14 +76,14 @@ pub struct DecoderContext {
     /// One past the last byte of the range.
     pub end: usize,
     /// `DescTag_parent`: tag list the records are indexed against.
-    pub tags: Rc<[TagId]>,
+    pub tags: Arc<[TagId]>,
     /// `SubtreeSize_parent`: the size bound for the size fields.
     pub body_bound: u64,
 }
 
 struct Level {
     tag: TagId,
-    tags: Rc<[TagId]>,
+    tags: Arc<[TagId]>,
     body_bound: u64,
     end: usize,
 }
@@ -93,7 +95,12 @@ pub struct Decoder<'a> {
     stack: Vec<Level>,
     /// Context of the most recently decoded element record.
     last_element: Option<DecoderContext>,
-    root_tags: Rc<[TagId]>,
+    /// Descendant-tag set of the most recently decoded element (reused
+    /// across records; see [`Decoder::last_desc`]).
+    last_desc: TagSet,
+    /// The same tags as a list (scratch for building child contexts).
+    desc_buf: Vec<TagId>,
+    root_tags: Arc<[TagId]>,
     done: bool,
     /// Total bytes consumed by `next` (for cost accounting; skipped bytes
     /// are *not* counted — that is the point of the index).
@@ -107,16 +114,32 @@ impl<'a> Decoder<'a> {
         if data.len() < 4 {
             return Err(DecodeError { offset: 0, message: "missing header".into() });
         }
-        let root_tags: Rc<[TagId]> = (0..dict_len as u32).map(TagId).collect();
+        let root_tags: Arc<[TagId]> = (0..dict_len as u32).map(TagId).collect();
         Ok(Decoder {
             data,
             pos: 4,
             stack: Vec::new(),
             last_element: None,
+            last_desc: TagSet::new(),
+            desc_buf: Vec::new(),
             root_tags,
             done: false,
             bytes_read: 4,
         })
+    }
+
+    /// Descendant-tag set (`DescTag_e`, the decoded TagArray) of the
+    /// element most recently returned by [`Decoder::next`] — empty for
+    /// leaves. Valid until the next `next` call.
+    pub fn last_desc(&self) -> &TagSet {
+        &self.last_desc
+    }
+
+    /// Tag-list context for decoding the children of the element most
+    /// recently opened by [`Decoder::next`] (shared with the decoder's own
+    /// stack — an `Arc` bump, no copy).
+    pub fn current_tags(&self) -> Arc<[TagId]> {
+        self.stack.last().map(|l| l.tags.clone()).unwrap_or_else(|| self.root_tags.clone())
     }
 
     /// Current absolute byte position.
@@ -188,11 +211,13 @@ impl<'a> Decoder<'a> {
         let tag = *tags.get(idx).ok_or_else(|| err(record_start, "tag index out of context"))?;
         let sizew = width_for(bound);
         let size = r.read(sizew).ok_or_else(|| err(record_start, "eof in size"))? as usize;
-        let mut desc = TagSet::new();
+        self.last_desc.clear();
+        self.desc_buf.clear();
         if !leaf {
             for &t in tags.iter() {
                 if r.read_bit().ok_or_else(|| err(record_start, "eof in tag array"))? {
-                    desc.insert(t);
+                    self.last_desc.insert(t);
+                    self.desc_buf.push(t);
                 }
             }
         }
@@ -214,9 +239,9 @@ impl<'a> Decoder<'a> {
             }
             return Ok(DecodedNode::Text(text));
         }
-        // Element record.
-        let desc_list: Rc<[TagId]> = desc.to_vec().into();
-        let desc = Rc::new(desc);
+        // Element record. The child-context tag list is the only per-record
+        // allocation (it outlives this record via saved `DecoderContext`s).
+        let desc_list: Arc<[TagId]> = self.desc_buf.as_slice().into();
         self.last_element = Some(DecoderContext {
             start: record_start,
             end: body_end,
@@ -225,7 +250,7 @@ impl<'a> Decoder<'a> {
         });
         self.stack.push(Level { tag, tags: desc_list, body_bound: size as u64, end: body_end });
         self.pos = body_start;
-        Ok(DecodedNode::Element { tag, desc, body: (body_start, body_end) })
+        Ok(DecodedNode::Element { tag, body: (body_start, body_end) })
     }
 
     /// Skips the element opened by the last [`DecodedNode::Element`]:
@@ -272,7 +297,7 @@ impl<'a> Decoder<'a> {
         out: &mut Vec<Event<'d>>,
     ) -> Result<(), DecodeError> {
         out.clear();
-        let mut stack: Vec<(TagId, usize, Rc<[TagId]>, u64)> = Vec::new();
+        let mut stack: Vec<(TagId, usize, Arc<[TagId]>, u64)> = Vec::new();
         let mut pos = ctx.start;
         loop {
             // Close exhausted levels.
@@ -482,11 +507,22 @@ mod tests {
         let enc = encode_document(&doc, Encoding::TCSBR);
         let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
         match d.next().unwrap() {
-            DecodedNode::Element { desc, .. } => {
+            DecodedNode::Element { .. } => {
+                let desc = d.last_desc();
                 assert!(desc.contains(doc.dict.get("b").unwrap()));
                 assert!(desc.contains(doc.dict.get("c").unwrap()));
                 assert!(desc.contains(TagId::TEXT));
                 assert!(!desc.contains(doc.dict.get("a").unwrap()));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The buffer is reused: after the next element it holds that
+        // element's descendants.
+        match d.next().unwrap() {
+            DecodedNode::Element { .. } => {
+                let desc = d.last_desc();
+                assert!(desc.contains(doc.dict.get("c").unwrap()));
+                assert!(!desc.contains(doc.dict.get("b").unwrap()));
             }
             other => panic!("{other:?}"),
         }

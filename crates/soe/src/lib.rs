@@ -15,15 +15,21 @@
 //!   encryption + chunk digests);
 //! * [`session`] — the SOE pipeline: stream → decrypt → verify → evaluate
 //!   → deliver, honouring skip directives and pending readbacks;
+//! * [`server`] — multi-session serving: one document, many concurrent
+//!   subjects, with cross-session leaf-hash and compiled-policy caches;
 //! * [`baseline`] — the Brute-Force comparator and the LWB oracle lower
 //!   bound of §7.
 
 pub mod baseline;
 pub mod cost;
 pub mod document;
+pub mod server;
 pub mod session;
 
 pub use baseline::{brute_force_session, lwb_estimate, LwbReport};
 pub use cost::{CostModel, TimeBreakdown};
 pub use document::ServerDoc;
-pub use session::{run_session, SessionConfig, SessionError, SessionResult, Strategy};
+pub use server::{DocServer, SessionSpec};
+pub use session::{
+    run_session, run_session_shared, SessionConfig, SessionError, SessionResult, Strategy,
+};

@@ -18,12 +18,13 @@ use crate::cost::{CostModel, TimeBreakdown};
 use crate::document::ServerDoc;
 use std::collections::HashMap;
 use std::fmt;
-use xsac_core::evaluator::{Directive, EvalConfig, Evaluator, SkipInfo};
+use std::sync::Arc;
+use xsac_core::evaluator::{CompiledPolicy, Directive, EvalConfig, Evaluator, SkipInfo};
 use xsac_core::output::{LogItem, OutputStats, SubtreeRef};
 use xsac_core::stats::EvalStats;
 use xsac_core::Policy;
 use xsac_crypto::protocol::AccessCost;
-use xsac_crypto::{SoeReader, TripleDes};
+use xsac_crypto::{LeafCache, SoeReader, TripleDes};
 use xsac_index::decode::{DecodedNode, Decoder, DecoderContext};
 use xsac_xpath::Automaton;
 
@@ -102,7 +103,22 @@ pub struct SessionResult {
     pub time: TimeBreakdown,
     /// Size of the delivered result (text + tag bytes).
     pub result_bytes: usize,
+    /// Readback contexts registered over the whole session (one per
+    /// pending skip).
+    pub handles_created: usize,
+    /// Peak readback contexts retained at once. Served and discarded
+    /// contexts are dropped eagerly, so this stays proportional to the
+    /// *simultaneously pending* subtrees, not to every skip ever taken.
+    pub handles_peak: usize,
 }
+
+// Sessions fan out over threads in the server layer; their results must
+// cross back (compile-time check).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<SessionResult>();
+    assert_send::<SessionError>();
+};
 
 impl SessionResult {
     /// Throughput in KB of *source document* per second (Figure 12).
@@ -111,7 +127,12 @@ impl SessionResult {
     }
 }
 
-/// Runs one SOE session.
+/// Runs one SOE session, compiling the policy privately.
+///
+/// Sessions sharing a document and role should go through
+/// [`crate::server::DocServer`] (or call [`run_session_shared`] directly)
+/// so rule compilation and terminal leaf hashing happen once, not per
+/// session.
 pub fn run_session(
     server: &ServerDoc,
     key: &TripleDes,
@@ -119,7 +140,52 @@ pub fn run_session(
     query: Option<&Automaton>,
     config: &SessionConfig,
 ) -> Result<SessionResult, SessionError> {
-    let mut reader = SoeReader::new(&server.protected, key);
+    let compiled = Arc::new(CompiledPolicy::compile(policy));
+    run_session_shared(server, key, &compiled, query, config, None)
+}
+
+/// Bookkeeping for pending-subtree readback contexts. Contexts are
+/// dropped as soon as they can no longer be requested (served, or the
+/// pending condition resolved false), keeping a long session's table
+/// O(pending) instead of O(all handles ever).
+#[derive(Default)]
+struct HandleTable {
+    map: HashMap<u64, DecoderContext>,
+    next: u64,
+    created: usize,
+    peak: usize,
+}
+
+impl HandleTable {
+    fn insert(&mut self, ctx: DecoderContext) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(id, ctx);
+        self.created += 1;
+        self.peak = self.peak.max(self.map.len());
+        id
+    }
+
+    fn remove(&mut self, id: u64) {
+        self.map.remove(&id);
+    }
+}
+
+/// Runs one SOE session over a pre-compiled (shareable) policy and, under
+/// ECB-MHT, an optional cross-session terminal leaf-hash cache — the
+/// multi-session serving path.
+pub fn run_session_shared(
+    server: &ServerDoc,
+    key: &TripleDes,
+    policy: &Arc<CompiledPolicy>,
+    query: Option<&Automaton>,
+    config: &SessionConfig,
+    leaves: Option<&Arc<LeafCache>>,
+) -> Result<SessionResult, SessionError> {
+    let mut reader = match leaves {
+        Some(cache) => SoeReader::with_leaf_cache(&server.protected, key, Arc::clone(cache)),
+        None => SoeReader::new(&server.protected, key),
+    };
     // Simulation scaffold: the decoder walks the plaintext image; every
     // range it consumes is *also* driven through `reader`, which performs
     // the metered transfer, decryption and verification of the real
@@ -139,11 +205,10 @@ pub fn run_session(
         ..Default::default()
     };
     let use_desc_filter = config.strategy == Strategy::Tcsbr;
-    let mut eval = Evaluator::new(policy, query, eval_config);
+    let mut eval = Evaluator::with_compiled(Arc::clone(policy), query, eval_config);
 
     // Pending skipped subtrees: handle → saved decoder context.
-    let mut handles: HashMap<u64, DecoderContext> = HashMap::new();
-    let mut next_handle = 0u64;
+    let mut handles = HandleTable::default();
 
     // Header transfer.
     reader.touch(0, 4)?;
@@ -159,19 +224,28 @@ pub fn run_session(
             DecodedNode::End => break,
             DecodedNode::Close(_) => {
                 let directive = eval.close();
-                serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
+                serve_readbacks(&mut eval, &mut reader, plain, &mut handles, &mut events_buf)?;
                 if directive == Directive::SkipDeny || directive == Directive::SkipPending {
-                    // Skip the rest of the parent element.
+                    // Skip the rest of the parent element. A denied rest
+                    // needs no readback context; a pending one registers
+                    // its context only for as long as the evaluator
+                    // actually keeps the handle.
                     if let Some(ctx) = decoder.rest_context() {
                         if ctx.start < ctx.end {
-                            let handle = alloc_handle(&mut next_handle, &mut handles, ctx);
                             decoder.skip_rest();
-                            eval.skip_close(Some(SubtreeRef(handle)));
+                            if directive == Directive::SkipPending {
+                                let handle = handles.insert(ctx);
+                                if !eval.skip_close(Some(SubtreeRef(handle))) {
+                                    handles.remove(handle);
+                                }
+                            } else {
+                                eval.skip_close(None);
+                            }
                             serve_readbacks(
                                 &mut eval,
                                 &mut reader,
                                 plain,
-                                &handles,
+                                &mut handles,
                                 &mut events_buf,
                             )?;
                             continue;
@@ -181,30 +255,44 @@ pub fn run_session(
             }
             DecodedNode::Text(t) => {
                 eval.text(t);
-                serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
+                serve_readbacks(&mut eval, &mut reader, plain, &mut handles, &mut events_buf)?;
             }
-            DecodedNode::Element { tag, desc, .. } => {
+            DecodedNode::Element { tag, .. } => {
                 let ctx = decoder.last_element_context();
-                let handle_id = next_handle;
+                let handle_id = handles.next;
                 let info = SkipInfo {
-                    desc_tags: if use_desc_filter { Some(&desc) } else { None },
+                    desc_tags: if use_desc_filter { Some(decoder.last_desc()) } else { None },
                     handle: ctx.as_ref().map(|_| SubtreeRef(handle_id)),
                 };
                 let directive = eval.open(tag, Some(&info));
-                serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
+                serve_readbacks(&mut eval, &mut reader, plain, &mut handles, &mut events_buf)?;
                 match directive {
                     Directive::Continue => {}
                     Directive::SkipDeny => {
                         decoder.skip_current();
                         eval.skip_close(None);
-                        serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
+                        serve_readbacks(
+                            &mut eval,
+                            &mut reader,
+                            plain,
+                            &mut handles,
+                            &mut events_buf,
+                        )?;
                     }
                     Directive::SkipPending => {
                         let ctx = ctx.expect("element context");
-                        let handle = alloc_handle(&mut next_handle, &mut handles, ctx);
+                        let handle = handles.insert(ctx);
                         decoder.skip_current();
-                        eval.skip_close(Some(SubtreeRef(handle)));
-                        serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
+                        if !eval.skip_close(Some(SubtreeRef(handle))) {
+                            handles.remove(handle);
+                        }
+                        serve_readbacks(
+                            &mut eval,
+                            &mut reader,
+                            plain,
+                            &mut handles,
+                            &mut events_buf,
+                        )?;
                     }
                     Directive::Deliver => {
                         // Bulk delivery: decode the subtree without rule
@@ -214,7 +302,7 @@ pub fn run_session(
                         let inner = DecoderContext {
                             start: decoder.position(),
                             end: ctx.end,
-                            tags: desc.to_vec().into(),
+                            tags: decoder.current_tags(),
                             body_bound: (ctx.end - decoder.position()) as u64,
                         };
                         // Raw subtree contents (the root open was already
@@ -229,7 +317,13 @@ pub fn run_session(
                         }
                         eval.raw_event(&xsac_xml::Event::Close(tag));
                         decoder.skip_current();
-                        serve_readbacks(&mut eval, &mut reader, plain, &handles, &mut events_buf)?;
+                        serve_readbacks(
+                            &mut eval,
+                            &mut reader,
+                            plain,
+                            &mut handles,
+                            &mut events_buf,
+                        )?;
                     }
                 }
             }
@@ -259,41 +353,38 @@ pub fn run_session(
         cost,
         time,
         result_bytes,
+        handles_created: handles.created,
+        handles_peak: handles.peak,
     })
-}
-
-fn alloc_handle(
-    next: &mut u64,
-    handles: &mut HashMap<u64, DecoderContext>,
-    ctx: DecoderContext,
-) -> u64 {
-    let id = *next;
-    *next += 1;
-    handles.insert(id, ctx);
-    id
 }
 
 /// Serves the evaluator's readback requests: transfers + verifies +
 /// decodes the saved byte ranges ("pending elements or subtrees are read
 /// back from the terminal", §5 — never re-analyzed, just delivered).
-/// `events_buf` is the session's reusable decode buffer.
+/// `events_buf` is the session's reusable decode buffer. Served contexts
+/// are dropped from the handle table, as are the contexts of subtrees
+/// whose condition resolved false — the table stays O(pending).
 fn serve_readbacks<'p>(
     eval: &mut Evaluator,
     reader: &mut SoeReader<'_>,
     plain: &'p [u8],
-    handles: &HashMap<u64, DecoderContext>,
+    handles: &mut HandleTable,
     events_buf: &mut Vec<xsac_xml::Event<'p>>,
 ) -> Result<(), SessionError> {
     loop {
+        for released in eval.take_released_handles() {
+            handles.remove(released.0);
+        }
         let reqs = eval.take_readbacks();
         if reqs.is_empty() {
             return Ok(());
         }
         for req in reqs {
-            let ctx = handles.get(&req.subtree.0).expect("readback handle");
+            let ctx = handles.map.get(&req.subtree.0).expect("readback handle");
             reader.touch(ctx.start, ctx.end - ctx.start)?;
             Decoder::decode_range_into(plain, ctx, events_buf)?;
             eval.readback_events(req.entry, events_buf);
+            handles.remove(req.subtree.0);
         }
     }
 }
@@ -438,6 +529,42 @@ mod tests {
                 assert!(res.cost.terminal_bytes_hashed > 0, "{strategy:?}: MHT must hash leaves");
             }
         }
+    }
+
+    #[test]
+    fn readback_contexts_dropped_when_served_or_discarded() {
+        // Readback-heavy session: every record's k subtree pends on its
+        // record's x, resolved (alternately true and false) before the
+        // next record opens. Contexts must be dropped as they are served
+        // (x=1) or discarded (x=2), so the retained peak stays O(pending)
+        // — a handful — while the total created grows with the document.
+        let mut xml = String::from("<a>");
+        for i in 0..150 {
+            let x = 1 + (i % 2);
+            xml.push_str(&format!("<r><k>payload number {i}</k><x>{x}</x></r>"));
+        }
+        xml.push_str("</a>");
+        let rules: &[(Sign, &str)] = &[(Sign::Permit, "//r[x=1]//k")];
+        let doc = Document::parse(&xml).unwrap();
+        let k = key();
+        let server = ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
+        let mut dict = server.dict.clone();
+        let policy = Policy::parse("u", rules, &mut dict).unwrap();
+        let res = run_session(&server, &k, &policy, None, &SessionConfig::default()).unwrap();
+        assert!(
+            res.handles_created >= 100,
+            "expected one pending skip per record, got {}",
+            res.handles_created
+        );
+        assert!(
+            res.handles_peak <= 8,
+            "handle table must stay O(pending): peak {} for {} created",
+            res.handles_peak,
+            res.handles_created
+        );
+        // And the session still delivers the right view.
+        let expected = oracle_view_string(&doc, &policy);
+        assert_eq!(reassemble_to_string(&dict, &res.log), expected);
     }
 
     #[test]

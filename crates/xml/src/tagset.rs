@@ -34,6 +34,12 @@ impl TagSet {
         fresh
     }
 
+    /// Empties the set, keeping its allocation (for reuse in decode
+    /// loops: one `TagSet` can serve every element record of a session).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
     /// Membership test.
     #[inline]
     pub fn contains(&self, tag: TagId) -> bool {

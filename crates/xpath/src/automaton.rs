@@ -108,6 +108,16 @@ pub struct Automaton {
     pub source: String,
 }
 
+// Compiled automata are shared across session threads by the multi-session
+// serving layer (one `Arc`-ed compiled policy per role): they must stay
+// `Send + Sync` — no interior mutability, no `Rc` — which this checks at
+// compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Automaton>();
+    assert_send_sync::<State>();
+};
+
 impl Automaton {
     /// Compiles a parsed [`Path`], interning its names into `dict`.
     ///
