@@ -1,0 +1,157 @@
+//! Out-of-core serving throughput: in-memory vs file-backed sessions for
+//! the three hospital profiles over one `DocServer`, plus the residency
+//! proof. Writes `BENCH_streaming.json` at the repo root (see
+//! `docs/BENCHMARKS.md`).
+//!
+//! Two backends over the *same* document and workload:
+//!
+//! * **mem** — the historical `MemStore` path: whole ciphertext resident;
+//! * **file** — `FileStore` with a small resident window: ciphertext
+//!   encrypted + digested chunk-at-a-time straight to disk by
+//!   `prepare_to_store`, then served through the window.
+//!
+//! The JSON records, besides ns/session for both backends, the metered
+//! `resident_bytes_peak` of the file-backed run against the document
+//! size — the out-of-core claim as a number: peak residency tracks the
+//! window, not the document.
+
+use std::io::Write as _;
+use std::time::Instant;
+use xsac_bench::demo_key;
+use xsac_crypto::chunk::ChunkLayout;
+use xsac_crypto::store::TempPath;
+use xsac_crypto::IntegrityScheme;
+use xsac_datagen::{hospital::physician_name, Dataset, Profile};
+use xsac_soe::{DocServer, ServerDoc, SessionSpec};
+
+const SESSIONS_PER_BATCH: usize = 8;
+const REPS: usize = 3;
+/// Resident window for the file backend (4 default chunks).
+const WINDOW_BYTES: usize = 8 * 1024;
+
+struct Row {
+    profile: &'static str,
+    backend: &'static str,
+    ns_per_session: f64,
+}
+
+fn specs_for(dict: &xsac_xml::TagDict, profile: Profile) -> Vec<SessionSpec> {
+    (0..SESSIONS_PER_BATCH)
+        .map(|_| {
+            let mut dict = dict.clone();
+            SessionSpec::new(profile.name(), profile.policy(&physician_name(0), &mut dict))
+        })
+        .collect()
+}
+
+fn time_batch<S: xsac_crypto::ChunkStore>(server: &DocServer<S>, specs: &[SessionSpec]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for r in server.serve_batch(specs) {
+            r.expect("session");
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / specs.len() as f64);
+    }
+    best
+}
+
+fn main() {
+    let doc = Dataset::Hospital.generate(0.03, 42);
+    let layout = ChunkLayout::default();
+
+    let mem = ServerDoc::prepare(&doc, &demo_key(), IntegrityScheme::EcbMht, layout);
+    let doc_bytes = mem.protected.ciphertext_len();
+    let mem_server = DocServer::new(mem, demo_key());
+
+    let tmp = TempPath::new("bench-streaming");
+    let file = ServerDoc::prepare_to_store(
+        &doc,
+        &demo_key(),
+        IntegrityScheme::EcbMht,
+        layout,
+        tmp.path(),
+        WINDOW_BYTES,
+    )
+    .expect("prepare to store");
+    let file_server = DocServer::new(file, demo_key());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for profile in Profile::figure9() {
+        let specs = specs_for(&mem_server.doc().dict, profile);
+        rows.push(Row {
+            profile: profile.name(),
+            backend: "mem",
+            ns_per_session: time_batch(&mem_server, &specs),
+        });
+        rows.push(Row {
+            profile: profile.name(),
+            backend: "file",
+            ns_per_session: time_batch(&file_server, &specs),
+        });
+    }
+
+    // The residency contract, asserted before it is recorded: the
+    // file-backed run must have stayed O(window), not O(document).
+    let peak = file_server.resident_bytes_peak().expect("metered backend") as usize;
+    assert!(doc_bytes >= 8 * WINDOW_BYTES, "document must dwarf the window");
+    assert!(peak * 4 <= doc_bytes, "peak residency {peak} not ≪ document {doc_bytes}");
+    assert!(mem_server.resident_bytes_peak().is_none(), "mem backend does not meter");
+
+    for r in &rows {
+        println!("{:<12} {:<5}: {:>10.1} sessions/s", r.profile, r.backend, 1e9 / r.ns_per_session);
+    }
+    println!(
+        "\ndocument {doc_bytes} B, window {WINDOW_BYTES} B, resident peak {peak} B \
+         ({:.1}% of document)",
+        100.0 * peak as f64 / doc_bytes as f64
+    );
+
+    let path = output_dir().join("BENCH_streaming.json");
+    let mut body = String::from("{\n  \"bench\": \"streaming\",\n");
+    body.push_str(&format!("  \"doc_bytes\": {doc_bytes},\n"));
+    body.push_str(&format!("  \"window_bytes\": {WINDOW_BYTES},\n"));
+    body.push_str(&format!("  \"resident_bytes_peak\": {peak},\n"));
+    body.push_str(&format!("  \"sessions_per_batch\": {SESSIONS_PER_BATCH},\n"));
+    body.push_str("  \"scheme\": \"ECB-MHT\",\n");
+    body.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"group\": \"streaming/ECB-MHT\", \"name\": \"{}/{}\", \
+             \"backend\": \"{}\", \"ns_per_iter\": {:.1}, \"sessions_per_sec\": {:.1}}}{}\n",
+            r.profile,
+            r.backend,
+            r.backend,
+            r.ns_per_session,
+            1e9 / r.ns_per_session,
+            sep
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// `XSAC_BENCH_DIR`, else the enclosing repository root, else `.` (same
+/// convention as the criterion shim).
+fn output_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("XSAC_BENCH_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join(".git").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}

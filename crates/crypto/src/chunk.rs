@@ -6,14 +6,22 @@
 //! integrity checking compatible with the memory capacity of the SOE,
 //! fragments are introduced to allow random accesses inside a chunk and
 //! the block is the unit of encryption."
+//!
+//! Protection is **chunk-at-a-time**: [`protect_chunks`] encrypts and
+//! digests one chunk buffer per iteration and hands it to a sink, so
+//! neither the padded plaintext nor the ciphertext is ever materialized
+//! as a whole. [`ProtectedDoc::protect`] collects the chunks into a
+//! [`MemStore`]; [`ProtectedDoc::protect_to_file`] streams them straight
+//! to disk for documents larger than RAM (the [`FileStore`] backend).
 
 use crate::des::TripleDes;
 use crate::merkle::{fragment_hashes, merkle_root};
-use crate::modes::{
-    cbc_encrypt_in_place, pad_blocks, posxor_decrypt_in_place, posxor_encrypt_in_place, BLOCK,
-};
+use crate::modes::{cbc_encrypt_in_place, posxor_decrypt_in_place, posxor_encrypt_in_place, BLOCK};
 use crate::protocol::IntegrityScheme;
 use crate::sha1::{sha1, Digest};
+use crate::store::{ChunkStore, FileStore, MemStore};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
 
 /// Geometry of the protected document.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,84 +71,196 @@ pub const DIGEST_RECORD: usize = 24;
 const DIGEST_DOMAIN: u64 = 1 << 40;
 
 /// A protected (encrypted + authenticated) document as stored on the
-/// server / untrusted terminal.
+/// server / untrusted terminal, generic over the ciphertext backend.
+///
+/// The default backend is the in-memory [`MemStore`]; [`FileStore`] keeps
+/// the ciphertext out of core behind a small resident window, and the
+/// test-only [`FaultStore`](crate::store::FaultStore) wraps either to
+/// inject storage failures. Every consumer reads through the
+/// [`ChunkStore`] trait, so the choice is invisible to the protocol —
+/// the `streaming_differential` harness pins byte-identical behaviour.
 #[derive(Clone)]
-pub struct ProtectedDoc {
+pub struct ProtectedDoc<S: ChunkStore = MemStore> {
     /// The integrity scheme in force.
     pub scheme: IntegrityScheme,
     /// Geometry.
     pub layout: ChunkLayout,
-    /// Ciphertext (zero-padded plaintext, block-encrypted).
-    pub ciphertext: Vec<u8>,
+    /// Ciphertext backend (zero-padded plaintext, block-encrypted).
+    pub store: S,
     /// Per-chunk encrypted digests (empty for [`IntegrityScheme::Ecb`]).
     pub digests: Vec<[u8; DIGEST_RECORD]>,
     /// Plaintext length before padding.
     pub plain_len: usize,
 }
 
+/// Encrypts and authenticates `plaintext` chunk-at-a-time, handing each
+/// ciphertext chunk to `emit` in order. One chunk-sized buffer is the
+/// only transient state — neither the padded plaintext nor the ciphertext
+/// is materialized. Returns the digest table and the padded length.
+///
+/// This is the single protection core: the in-memory and file-backed
+/// paths both call it, so their outputs are byte-identical by
+/// construction (and re-checked by the differential tests).
+pub fn protect_chunks<E>(
+    plaintext: &[u8],
+    key: &TripleDes,
+    scheme: IntegrityScheme,
+    layout: ChunkLayout,
+    mut emit: impl FnMut(&[u8]) -> Result<(), E>,
+) -> Result<(Vec<[u8; DIGEST_RECORD]>, usize), E> {
+    layout.validate();
+    let padded_len = plaintext.len().div_ceil(BLOCK) * BLOCK;
+    let n_chunks = padded_len.div_ceil(layout.chunk_size);
+    let mut digests = Vec::with_capacity(if scheme == IntegrityScheme::Ecb { 0 } else { n_chunks });
+    let mut buf = Vec::with_capacity(layout.chunk_size.min(padded_len));
+    for ci in 0..n_chunks {
+        let start = ci * layout.chunk_size;
+        let end = (start + layout.chunk_size).min(padded_len);
+        buf.clear();
+        buf.extend_from_slice(&plaintext[start..end.min(plaintext.len())]);
+        buf.resize(end - start, 0); // zero padding of the final blocks
+                                    // Plaintext digest must be taken before the in-place pass.
+        let plain_digest = if scheme == IntegrityScheme::CbcSha { Some(sha1(&buf)) } else { None };
+        match scheme {
+            IntegrityScheme::Ecb | IntegrityScheme::EcbMht => {
+                posxor_encrypt_in_place(key, &mut buf, (start / BLOCK) as u64);
+            }
+            IntegrityScheme::CbcSha | IntegrityScheme::CbcShac => {
+                // Per-chunk CBC with the chunk index folded into the IV
+                // (random access re-starts at chunk boundaries).
+                cbc_encrypt_in_place(key, &mut buf, iv_for(ci));
+            }
+        }
+        let digest = match scheme {
+            IntegrityScheme::Ecb => None,
+            IntegrityScheme::CbcSha => plain_digest,
+            IntegrityScheme::CbcShac => Some(sha1(&buf)),
+            IntegrityScheme::EcbMht => {
+                Some(merkle_root(&fragment_hashes(&buf, layout.fragment_size)))
+            }
+        };
+        if let Some(d) = digest {
+            digests.push(encrypt_digest(key, ci, &d));
+        }
+        emit(&buf)?;
+    }
+    Ok((digests, padded_len))
+}
+
 impl ProtectedDoc {
-    /// Encrypts and authenticates `plaintext` under `key`. The padded
-    /// plaintext buffer is allocated once and encrypted chunk by chunk in
-    /// place — it *becomes* the ciphertext.
+    /// Encrypts and authenticates `plaintext` under `key` into an
+    /// in-memory store.
     pub fn protect(
         plaintext: &[u8],
         key: &TripleDes,
         scheme: IntegrityScheme,
         layout: ChunkLayout,
     ) -> ProtectedDoc {
-        layout.validate();
-        let mut ciphertext = pad_blocks(plaintext);
-        let mut plain_digests: Vec<Digest> = Vec::new();
-        for (ci, chunk) in ciphertext.chunks_mut(layout.chunk_size).enumerate() {
-            // Plaintext digests must be taken before the in-place pass.
-            if scheme == IntegrityScheme::CbcSha {
-                plain_digests.push(sha1(chunk));
-            }
-            let first_block = (ci * layout.chunk_size / BLOCK) as u64;
-            match scheme {
-                IntegrityScheme::Ecb | IntegrityScheme::EcbMht => {
-                    posxor_encrypt_in_place(key, chunk, first_block);
-                }
-                IntegrityScheme::CbcSha | IntegrityScheme::CbcShac => {
-                    // Per-chunk CBC with the chunk index folded into the IV
-                    // (random access re-starts at chunk boundaries).
-                    cbc_encrypt_in_place(key, chunk, iv_for(ci));
-                }
-            }
+        let mut ciphertext = Vec::with_capacity(plaintext.len().div_ceil(BLOCK) * BLOCK);
+        let (digests, _) =
+            protect_chunks::<std::convert::Infallible>(plaintext, key, scheme, layout, |chunk| {
+                ciphertext.extend_from_slice(chunk);
+                Ok(())
+            })
+            .expect("in-memory emit is infallible");
+        ProtectedDoc {
+            scheme,
+            layout,
+            store: MemStore::new(ciphertext),
+            digests,
+            plain_len: plaintext.len(),
         }
-        let mut digests = Vec::new();
-        let n_chunks = ciphertext.len().div_ceil(layout.chunk_size);
-        #[allow(clippy::needless_range_loop)] // ci also derives offsets
-        for ci in 0..n_chunks {
-            let start = ci * layout.chunk_size;
-            let end = (start + layout.chunk_size).min(ciphertext.len());
-            let digest = match scheme {
-                IntegrityScheme::Ecb => continue,
-                IntegrityScheme::CbcSha => plain_digests[ci],
-                IntegrityScheme::CbcShac => sha1(&ciphertext[start..end]),
-                IntegrityScheme::EcbMht => {
-                    merkle_root(&fragment_hashes(&ciphertext[start..end], layout.fragment_size))
-                }
-            };
-            digests.push(encrypt_digest(key, ci, &digest));
+    }
+
+    /// The stored ciphertext (in-memory backend).
+    pub fn ciphertext(&self) -> &[u8] {
+        &self.store.bytes
+    }
+
+    /// Mutable access to the stored ciphertext — how the tamper tests
+    /// (and examples demonstrating detection) flip bytes.
+    pub fn ciphertext_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.store.bytes
+    }
+
+    /// Re-homes this document's ciphertext (bytes as stored — including
+    /// any tampering) into a file-backed store with the given resident
+    /// window. The differential and fault-injection harnesses use this to
+    /// run the *same* protected bytes through both backends.
+    pub fn to_file_backed(
+        &self,
+        path: &Path,
+        window_bytes: usize,
+    ) -> io::Result<ProtectedDoc<FileStore>> {
+        let store =
+            FileStore::create(path, &self.store.bytes, self.layout.chunk_size, window_bytes)?;
+        Ok(ProtectedDoc {
+            scheme: self.scheme,
+            layout: self.layout,
+            store,
+            digests: self.digests.clone(),
+            plain_len: self.plain_len,
+        })
+    }
+}
+
+impl ProtectedDoc<FileStore> {
+    /// Encrypts and authenticates `plaintext` straight to `path`,
+    /// chunk-at-a-time — the ciphertext is never materialized in memory
+    /// — then opens it behind a [`FileStore`] with the given resident
+    /// window.
+    pub fn protect_to_file(
+        plaintext: &[u8],
+        key: &TripleDes,
+        scheme: IntegrityScheme,
+        layout: ChunkLayout,
+        path: &Path,
+        window_bytes: usize,
+    ) -> io::Result<ProtectedDoc<FileStore>> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        let (digests, _) =
+            protect_chunks(plaintext, key, scheme, layout, |chunk| w.write_all(chunk))?;
+        w.flush()?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        let store = FileStore::open(path, layout.chunk_size, window_bytes)?;
+        Ok(ProtectedDoc { scheme, layout, store, digests, plain_len: plaintext.len() })
+    }
+}
+
+impl<S: ChunkStore> ProtectedDoc<S> {
+    /// Re-homes the document onto a backend built from the current one —
+    /// e.g. `doc.map_store(FaultStore::new)` wraps the ciphertext in the
+    /// fault-injection test store without touching the other fields.
+    pub fn map_store<T: ChunkStore>(self, f: impl FnOnce(S) -> T) -> ProtectedDoc<T> {
+        ProtectedDoc {
+            scheme: self.scheme,
+            layout: self.layout,
+            store: f(self.store),
+            digests: self.digests,
+            plain_len: self.plain_len,
         }
-        ProtectedDoc { scheme, layout, ciphertext, digests, plain_len: plaintext.len() }
+    }
+
+    /// Stored ciphertext length (padded plaintext).
+    pub fn ciphertext_len(&self) -> usize {
+        self.store.len()
     }
 
     /// Number of chunks.
     pub fn chunk_count(&self) -> usize {
-        self.ciphertext.len().div_ceil(self.layout.chunk_size)
+        self.store.len().div_ceil(self.layout.chunk_size)
     }
 
     /// Ciphertext byte range of a chunk.
     pub fn chunk_range(&self, ci: usize) -> std::ops::Range<usize> {
         let start = ci * self.layout.chunk_size;
-        start..(start + self.layout.chunk_size).min(self.ciphertext.len())
+        start..(start + self.layout.chunk_size).min(self.store.len())
     }
 
     /// Total stored size (ciphertext + digest table).
     pub fn stored_len(&self) -> usize {
-        self.ciphertext.len() + self.digests.len() * DIGEST_RECORD
+        self.store.len() + self.digests.len() * DIGEST_RECORD
     }
 }
 
@@ -172,6 +292,7 @@ pub fn chunk_iv(chunk_index: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::TempPath;
 
     fn key() -> TripleDes {
         TripleDes::new(*b"0123456789abcdefghijklmn")
@@ -201,7 +322,7 @@ mod tests {
         let d = data(5000);
         for scheme in IntegrityScheme::ALL {
             let p = ProtectedDoc::protect(&d, &k, scheme, ChunkLayout::default());
-            assert_eq!(p.ciphertext.len(), 5000usize.div_ceil(8) * 8);
+            assert_eq!(p.ciphertext().len(), 5000usize.div_ceil(8) * 8);
             assert_eq!(p.chunk_count(), 3);
             match scheme {
                 IntegrityScheme::Ecb => assert!(p.digests.is_empty()),
@@ -209,6 +330,39 @@ mod tests {
             }
             assert_eq!(p.plain_len, 5000);
         }
+    }
+
+    #[test]
+    fn streaming_protect_matches_in_memory() {
+        // The file-backed path shares the chunk-at-a-time core, and the
+        // bytes on disk prove it: identical ciphertext, identical digest
+        // table, for every scheme and an awkward (padded) length.
+        let k = key();
+        let d = data(4999);
+        let layout = ChunkLayout { chunk_size: 512, fragment_size: 64 };
+        for scheme in IntegrityScheme::ALL {
+            let mem = ProtectedDoc::protect(&d, &k, scheme, layout);
+            let tmp = TempPath::new("protect-stream");
+            let file =
+                ProtectedDoc::protect_to_file(&d, &k, scheme, layout, tmp.path(), 2048).unwrap();
+            assert_eq!(std::fs::read(tmp.path()).unwrap(), mem.ciphertext(), "{scheme:?}");
+            assert_eq!(file.digests, mem.digests, "{scheme:?}");
+            assert_eq!(file.plain_len, mem.plain_len);
+            assert_eq!(file.chunk_count(), mem.chunk_count());
+            assert_eq!(file.stored_len(), mem.stored_len());
+        }
+    }
+
+    #[test]
+    fn to_file_backed_preserves_bytes_and_tampering() {
+        let k = key();
+        let mut p =
+            ProtectedDoc::protect(&data(3000), &k, IntegrityScheme::EcbMht, ChunkLayout::default());
+        p.ciphertext_mut()[100] ^= 0x10; // tampering must survive the move
+        let tmp = TempPath::new("to-file-backed");
+        let f = p.to_file_backed(tmp.path(), 4096).unwrap();
+        assert_eq!(std::fs::read(tmp.path()).unwrap(), p.ciphertext());
+        assert_eq!(f.digests, p.digests);
     }
 
     #[test]
@@ -227,8 +381,8 @@ mod tests {
         let d = vec![0x11u8; 4096];
         let ecb = ProtectedDoc::protect(&d, &k, IntegrityScheme::EcbMht, ChunkLayout::default());
         // Position XOR: equal plaintext blocks yield distinct ciphertext.
-        assert_ne!(ecb.ciphertext[0..8], ecb.ciphertext[8..16]);
+        assert_ne!(ecb.ciphertext()[0..8], ecb.ciphertext()[8..16]);
         let cbc = ProtectedDoc::protect(&d, &k, IntegrityScheme::CbcSha, ChunkLayout::default());
-        assert_ne!(cbc.ciphertext[0..8], ecb.ciphertext[0..8]);
+        assert_ne!(cbc.ciphertext()[0..8], ecb.ciphertext()[0..8]);
     }
 }

@@ -16,12 +16,20 @@
 //!   and against each other by differential property tests);
 //! * [`sha1`](mod@crate::sha1) — SHA-1 (validated against FIPS-180 vectors);
 //! * [`modes`] — ECB, CBC and the paper's `E_k(b ⊕ pos)` position-XOR-ECB;
-//! * [`chunk`] — chunk/fragment layout of Appendix A;
+//! * [`chunk`] — chunk/fragment layout of Appendix A, with a streaming
+//!   chunk-at-a-time protection core shared by the in-memory and
+//!   file-backed paths;
+//! * [`store`] — ciphertext storage backends behind the [`ChunkStore`]
+//!   trait: in-memory ([`MemStore`]), out-of-core file-backed with a
+//!   metered resident window ([`FileStore`]), and a fault-injecting test
+//!   wrapper ([`store::FaultStore`]);
 //! * [`merkle`] — per-chunk Merkle trees over ciphertext fragments;
 //! * [`protocol`] — the four integrity schemes of Figure 11 (ECB,
 //!   CBC-SHA, CBC-SHAC, ECB-MHT) with SOE/terminal cost accounting; the
 //!   [`SoeReader`] caches each visited chunk's Merkle leaves so terminal
-//!   hashing is amortized to one chunk-length per visited chunk.
+//!   hashing is amortized to one chunk-length per visited chunk, and
+//!   pulls every ciphertext byte through the document's store — storage
+//!   failures surface as typed [`ReadError`]s, never panics.
 
 pub mod chunk;
 pub mod des;
@@ -29,8 +37,10 @@ pub mod merkle;
 pub mod modes;
 pub mod protocol;
 pub mod sha1;
+pub mod store;
 
 pub use chunk::{ChunkLayout, ProtectedDoc};
 pub use des::TripleDes;
-pub use protocol::{AccessCost, IntegrityError, IntegrityScheme, LeafCache, SoeReader};
+pub use protocol::{AccessCost, IntegrityError, IntegrityScheme, LeafCache, ReadError, SoeReader};
 pub use sha1::{sha1, Sha1};
+pub use store::{ChunkStore, FileStore, MemStore, ResidencyMeter, StoreError};

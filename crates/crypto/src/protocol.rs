@@ -18,12 +18,28 @@
 //! every intra-chunk proof from that cache, so a skip-heavy session's
 //! terminal hashing is linear in the chunks visited, not quadratic in the
 //! fragments fetched per chunk.
+//!
+//! ## Storage backends and failure
+//!
+//! Every ciphertext byte reaches the reader through the document's
+//! [`ChunkStore`] — in-memory ([`MemStore`]),
+//! file-backed behind a bounded resident window
+//! ([`FileStore`](crate::store::FileStore)), or a fault-injecting test
+//! wrapper ([`FaultStore`](crate::store::FaultStore)). The fetch unit is
+//! bounded for every scheme (covering blocks clipped to one chunk for
+//! ECB, one fragment for ECB-MHT, one chunk for the CBC schemes), so a
+//! session's resident state is O(chunk), whatever the document size.
+//! Storage failures surface as [`ReadError::Store`] next to
+//! [`ReadError::Integrity`] — typed, never a panic — and the working
+//! buffer is discarded on *any* failed fetch, so no partial plaintext
+//! can be served from a failed or unverified unit.
 
 use crate::chunk::{decrypt_digest, ProtectedDoc, DIGEST_RECORD};
 use crate::des::TripleDes;
 use crate::merkle::{fragment_hashes_into, range_proof, root_from_range};
 use crate::modes::{cbc_decrypt_in_place, posxor_decrypt_in_place, BLOCK};
 use crate::sha1::{sha1, Digest};
+use crate::store::{ChunkStore, MemStore, StoreError};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
@@ -82,6 +98,41 @@ impl fmt::Display for IntegrityError {
 
 impl std::error::Error for IntegrityError {}
 
+/// A failed [`SoeReader`] access: either the integrity layer rejected the
+/// bytes, or the storage backend could not produce them. Both abort the
+/// read without delivering partial plaintext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// Tampering detected (digest mismatch).
+    Integrity(IntegrityError),
+    /// The ciphertext store failed (short read, I/O error, out-of-bounds
+    /// request).
+    Store(StoreError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Integrity(e) => e.fmt(f),
+            ReadError::Store(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<IntegrityError> for ReadError {
+    fn from(e: IntegrityError) -> Self {
+        ReadError::Integrity(e)
+    }
+}
+
+impl From<StoreError> for ReadError {
+    fn from(e: StoreError) -> Self {
+        ReadError::Store(e)
+    }
+}
+
 /// Byte-level cost counters accumulated by a reader.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AccessCost {
@@ -135,15 +186,21 @@ pub struct LeafCache {
 
 impl LeafCache {
     /// Empty cache with one slot per chunk of `doc`.
-    pub fn for_doc(doc: &ProtectedDoc) -> LeafCache {
+    pub fn for_doc<S: ChunkStore>(doc: &ProtectedDoc<S>) -> LeafCache {
         let mut chunks = Vec::new();
         chunks.resize_with(doc.chunk_count(), OnceLock::new);
         LeafCache { chunks }
     }
 
-    /// The chunk's leaf digests, computed on first touch. `charge` runs
-    /// exactly once per chunk across *all* sharers — in the session that
-    /// actually computes the hashes (first toucher pays).
+    /// The chunk's cached leaf digests, if already computed.
+    fn get(&self, ci: usize) -> Option<&[Digest]> {
+        self.chunks.get(ci).and_then(|c| c.get()).map(Vec::as_slice)
+    }
+
+    /// The chunk's leaf digests, computed on first touch from `chunk`'s
+    /// ciphertext bytes. `charge` runs exactly once per chunk across
+    /// *all* sharers — in the session that actually computes the hashes
+    /// (first toucher pays).
     fn get_or_compute(
         &self,
         ci: usize,
@@ -175,21 +232,37 @@ impl LeafCache {
 /// ciphertext.
 ///
 /// The reader models a *streaming* SOE with a small working buffer: the
-/// most recently fetched unit (a fragment for the ECB schemes, a chunk for
-/// the CBC ones — both fit the SOE RAM of §2) stays decrypted in secure
-/// memory, so consecutive reads of nearby bytes are free. Random jumps
-/// refetch; that asymmetry is exactly what the paper's Figure 11 measures.
-pub struct SoeReader<'a> {
-    doc: &'a ProtectedDoc,
+/// most recently fetched unit (covering blocks within one chunk for ECB, a
+/// fragment for ECB-MHT, a chunk for the CBC schemes — all fit the SOE RAM
+/// of §2) stays decrypted in secure memory, so consecutive reads of nearby
+/// bytes are free. Random jumps refetch; that asymmetry is exactly what
+/// the paper's Figure 11 measures. The unit bound also bounds *terminal*
+/// residency: over an out-of-core store, a session keeps O(chunk) bytes
+/// in memory, never O(document), and reports its buffers to the store's
+/// [`ResidencyMeter`](crate::store::ResidencyMeter) when it has one.
+pub struct SoeReader<'a, S: ChunkStore = MemStore> {
+    doc: &'a ProtectedDoc<S>,
     key: &'a TripleDes,
     /// Plaintext offset of the working buffer (meaningful when the
     /// buffer is non-empty).
     cache_start: usize,
     /// Decrypted working buffer: plaintext of the last fetched unit. The
-    /// allocation is reused across fetches — ciphertext is copied in and
+    /// allocation is reused across fetches — ciphertext is staged in and
     /// deciphered in place, so a session costs O(units-with-growth)
-    /// allocations, not O(blocks).
+    /// allocations, not O(blocks). Discarded whole on any failed fetch:
+    /// partial or unverified plaintext is never served.
     cache: Vec<u8>,
+    /// Terminal-side chunk staging buffer: used only over stores without
+    /// a borrowed-slice fast path, to hash a cold chunk's Merkle leaves.
+    chunk_scratch: Vec<u8>,
+    /// Which chunk's ciphertext `chunk_scratch` currently holds, when
+    /// valid — lets a cold ECB-MHT fetch serve its fragment from the
+    /// chunk it just read for leaf hashing instead of a second store
+    /// read. The store is read-only, so the copy never goes stale.
+    scratch_chunk: Option<usize>,
+    /// Buffer bytes currently registered with the store's residency
+    /// meter (0 when the store has none).
+    registered_resident: usize,
     /// Chunk digest decrypted last ("one digest per visited chunk in the
     /// worst case, when the chunks accessed are not contiguous").
     digest_cache: Option<(usize, Digest)>,
@@ -207,14 +280,17 @@ pub struct SoeReader<'a> {
     pub cost: AccessCost,
 }
 
-impl<'a> SoeReader<'a> {
+impl<'a, S: ChunkStore> SoeReader<'a, S> {
     /// New reader session with a private (per-session) leaf cache.
-    pub fn new(doc: &'a ProtectedDoc, key: &'a TripleDes) -> SoeReader<'a> {
+    pub fn new(doc: &'a ProtectedDoc<S>, key: &'a TripleDes) -> SoeReader<'a, S> {
         SoeReader {
             doc,
             key,
             cache_start: 0,
             cache: Vec::new(),
+            chunk_scratch: Vec::new(),
+            scratch_chunk: None,
+            registered_resident: 0,
             digest_cache: None,
             leaves: None,
             cost: AccessCost::default(),
@@ -225,10 +301,10 @@ impl<'a> SoeReader<'a> {
     /// multi-session serving path: leaf hashing happens once per chunk per
     /// *document*, not per session).
     pub fn with_leaf_cache(
-        doc: &'a ProtectedDoc,
+        doc: &'a ProtectedDoc<S>,
         key: &'a TripleDes,
         leaves: Arc<LeafCache>,
-    ) -> SoeReader<'a> {
+    ) -> SoeReader<'a, S> {
         assert_eq!(leaves.chunks.len(), doc.chunk_count(), "leaf cache sized for another layout");
         let mut r = SoeReader::new(doc, key);
         r.leaves = Some(leaves);
@@ -237,21 +313,24 @@ impl<'a> SoeReader<'a> {
 
     /// Reads `len` plaintext bytes at `offset`, verifying integrity per
     /// the document's scheme.
-    pub fn read(&mut self, offset: usize, len: usize) -> Result<Vec<u8>, IntegrityError> {
-        let mut out = Vec::with_capacity(len);
+    pub fn read(&mut self, offset: usize, len: usize) -> Result<Vec<u8>, ReadError> {
+        // Clip the pre-allocation: `len` is unvalidated until `consume`
+        // bounds-checks it (an absurd request must error, not abort).
+        let mut out = Vec::with_capacity(len.min(self.doc.store.len()));
         self.read_into(offset, len, &mut out)?;
         Ok(out)
     }
 
     /// Like [`read`](Self::read), but appends the plaintext to a
     /// caller-provided buffer — the zero-copy path: one scratch `Vec`
-    /// can serve a whole session.
+    /// can serve a whole session. On error, nothing is appended: the
+    /// buffer is rolled back to its length at entry.
     pub fn read_into(
         &mut self,
         offset: usize,
         len: usize,
         out: &mut Vec<u8>,
-    ) -> Result<(), IntegrityError> {
+    ) -> Result<(), ReadError> {
         self.consume(offset, len, Some(out))
     }
 
@@ -259,7 +338,7 @@ impl<'a> SoeReader<'a> {
     /// plaintext out — for callers that only need the metering and the
     /// integrity check (the session simulator decodes from its own
     /// plaintext image). The served bytes stay in the working buffer.
-    pub fn touch(&mut self, offset: usize, len: usize) -> Result<(), IntegrityError> {
+    pub fn touch(&mut self, offset: usize, len: usize) -> Result<(), ReadError> {
         self.consume(offset, len, None)
     }
 
@@ -268,9 +347,14 @@ impl<'a> SoeReader<'a> {
         offset: usize,
         len: usize,
         mut out: Option<&mut Vec<u8>>,
-    ) -> Result<(), IntegrityError> {
+    ) -> Result<(), ReadError> {
         self.cost.reads += 1;
+        // A request beyond the store is a storage-level fault (a
+        // malformed or malicious index), reported — never a panic. Same
+        // contract (and error payload) as every backend's `read_at`.
+        crate::store::check_bounds(offset, len, self.doc.store.len())?;
         let end = offset + len;
+        let rollback = out.as_deref().map(Vec::len);
         let mut pos = offset;
         while pos < end {
             let cached = self.cache_start..self.cache_start + self.cache.len();
@@ -289,81 +373,131 @@ impl<'a> SoeReader<'a> {
                 pos += take;
                 continue;
             }
-            self.fetch_unit(pos, end)?;
+            if let Err(e) = self.fetch_unit(pos, end) {
+                // A failed unit — storage fault or integrity violation —
+                // must never be consumable: discard the working buffer
+                // (its contents are unverified ciphertext or garbage)
+                // and roll the output back to its length at entry, so no
+                // partial plaintext is ever delivered. Centralized here
+                // so every error path of `fetch_unit`, present and
+                // future, is covered structurally.
+                self.drop_cache();
+                if let (Some(out), Some(rollback)) = (out.as_deref_mut(), rollback) {
+                    out.truncate(rollback);
+                }
+                return Err(e);
+            }
         }
         Ok(())
     }
 
-    /// Replaces the working buffer with the ciphertext range `lo..hi`,
-    /// reusing its allocation, and returns it for in-place decryption.
-    fn stage(&mut self, lo: usize, hi: usize) -> &mut [u8] {
+    /// Replaces the working buffer with the ciphertext range `lo..hi`
+    /// read from the store, reusing its allocation. Resident stores are
+    /// copied from directly (the zero-copy fast path of PR 1); out-of-
+    /// core stores go through a bounded `read_at`. The caller
+    /// (`consume`) discards the buffer on any failure.
+    fn stage(&mut self, lo: usize, hi: usize) -> Result<(), ReadError> {
         self.cache.clear();
-        self.cache.extend_from_slice(&self.doc.ciphertext[lo..hi]);
         self.cache_start = lo;
-        &mut self.cache
+        if let Some(all) = self.doc.store.as_slice() {
+            self.cache.extend_from_slice(&all[lo..hi]);
+        } else {
+            self.cache.resize(hi - lo, 0);
+            self.doc.store.read_at(lo, &mut self.cache)?;
+        }
+        self.note_residency();
+        Ok(())
+    }
+
+    /// Discards the working buffer (verification or storage failure: its
+    /// contents are unverified ciphertext or garbage).
+    fn drop_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Reports the reader's buffer footprint to the store's residency
+    /// meter, if it has one (the out-of-core accounting: window + every
+    /// reader buffer = total resident bytes).
+    fn note_residency(&mut self) {
+        if let Some(m) = self.doc.store.meter() {
+            let now = self.cache.capacity() + self.chunk_scratch.capacity();
+            match now.cmp(&self.registered_resident) {
+                std::cmp::Ordering::Greater => m.add((now - self.registered_resident) as u64),
+                std::cmp::Ordering::Less => m.sub((self.registered_resident - now) as u64),
+                std::cmp::Ordering::Equal => {}
+            }
+            self.registered_resident = now;
+        }
+    }
+
+    /// The chunk's encrypted digest record, or an integrity error if the
+    /// (untrusted) digest table does not cover it — a truncated table is
+    /// an attack, not a panic.
+    fn digest_record(&self, ci: usize) -> Result<&[u8; DIGEST_RECORD], IntegrityError> {
+        self.doc.digests.get(ci).ok_or(IntegrityError { chunk: ci })
     }
 
     /// Fetches, verifies and decrypts the unit containing `pos` into the
-    /// working buffer.
-    fn fetch_unit(&mut self, pos: usize, req_end: usize) -> Result<(), IntegrityError> {
+    /// working buffer. Costs are charged only after the fallible store
+    /// reads succeed, so a session that retries past a transient fault
+    /// meters exactly like a fault-free one; on any error the caller
+    /// (`consume`) discards the working buffer.
+    fn fetch_unit(&mut self, pos: usize, req_end: usize) -> Result<(), ReadError> {
         let layout = self.doc.layout;
         let ci = layout.chunk_of(pos);
         let chunk_range = self.doc.chunk_range(ci);
         match self.doc.scheme {
             IntegrityScheme::Ecb => {
-                // Unit: the blocks covering the request; nothing to
-                // verify (8-byte-aligned random access, Appendix A).
+                // Unit: the blocks covering the request, clipped to the
+                // current chunk — nothing to verify (8-byte-aligned
+                // random access, Appendix A), but the unit stays bounded
+                // so resident memory is O(chunk) even for bulk delivery
+                // over an out-of-core store. A multi-chunk request simply
+                // fetches one such unit per chunk.
                 let f_lo = pos / BLOCK * BLOCK;
-                let f_hi = (req_end.div_ceil(BLOCK) * BLOCK).min(self.doc.ciphertext.len());
+                let f_hi = (req_end.div_ceil(BLOCK) * BLOCK).min(chunk_range.end);
+                self.stage(f_lo, f_hi)?;
                 self.cost.bytes_to_soe += (f_hi - f_lo) as u64;
                 self.cost.bytes_decrypted += (f_hi - f_lo) as u64;
-                let key = self.key;
-                let buf = self.stage(f_lo, f_hi);
-                posxor_decrypt_in_place(key, buf, (f_lo / BLOCK) as u64);
+                posxor_decrypt_in_place(self.key, &mut self.cache, (f_lo / BLOCK) as u64);
             }
             IntegrityScheme::CbcSha => {
                 // Unit: the whole chunk — the digest is over plaintext, so
                 // everything must be transferred, deciphered and hashed.
+                self.stage(chunk_range.start, chunk_range.end)?;
                 let chunk_len = chunk_range.len();
                 self.cost.bytes_to_soe += (chunk_len + DIGEST_RECORD) as u64;
                 self.cost.bytes_decrypted += (chunk_len + DIGEST_RECORD) as u64;
                 self.cost.bytes_hashed += chunk_len as u64;
                 self.cost.digests_decrypted += 1;
-                let key = self.key;
-                let buf = self.stage(chunk_range.start, chunk_range.end);
-                cbc_decrypt_in_place(key, buf, crate::chunk::chunk_iv(ci));
-                let expect = decrypt_digest(self.key, ci, &self.doc.digests[ci]);
+                cbc_decrypt_in_place(self.key, &mut self.cache, crate::chunk::chunk_iv(ci));
+                let expect = decrypt_digest(self.key, ci, self.digest_record(ci)?);
                 if sha1(&self.cache) != expect {
-                    self.cache.clear();
-                    return Err(IntegrityError { chunk: ci });
+                    return Err(IntegrityError { chunk: ci }.into());
                 }
             }
             IntegrityScheme::CbcShac => {
                 // Unit: the whole chunk, hashed as ciphertext (no
                 // decryption needed to verify), then deciphered.
-                let chunk = &self.doc.ciphertext[chunk_range.clone()];
-                self.cost.bytes_to_soe += (chunk.len() + DIGEST_RECORD) as u64;
-                self.cost.bytes_hashed += chunk.len() as u64;
+                self.stage(chunk_range.start, chunk_range.end)?;
+                let chunk_len = chunk_range.len();
+                self.cost.bytes_to_soe += (chunk_len + DIGEST_RECORD) as u64;
+                self.cost.bytes_hashed += chunk_len as u64;
                 self.cost.digests_decrypted += 1;
                 self.cost.bytes_decrypted += DIGEST_RECORD as u64;
-                let expect = decrypt_digest(self.key, ci, &self.doc.digests[ci]);
-                if sha1(chunk) != expect {
-                    return Err(IntegrityError { chunk: ci });
+                let expect = decrypt_digest(self.key, ci, self.digest_record(ci)?);
+                if sha1(&self.cache) != expect {
+                    return Err(IntegrityError { chunk: ci }.into());
                 }
                 // CBC chaining allows decrypting just the needed blocks;
                 // decryption is charged per byte served (see `read`). The
                 // working buffer holds the verified chunk.
-                let key = self.key;
-                let buf = self.stage(chunk_range.start, chunk_range.end);
-                cbc_decrypt_in_place(key, buf, crate::chunk::chunk_iv(ci));
+                cbc_decrypt_in_place(self.key, &mut self.cache, crate::chunk::chunk_iv(ci));
             }
             IntegrityScheme::EcbMht => {
                 // Unit: one fragment + its Merkle proof; per-fragment
                 // verification against the (cached) chunk digest.
-                let chunk = &self.doc.ciphertext[chunk_range.clone()];
                 let (f_lo, f_hi) = self.fragment_extent(pos);
-                let enc = &self.doc.ciphertext[f_lo..f_hi];
-                self.cost.bytes_to_soe += enc.len() as u64;
                 // Terminal: leaf hashes of the chunk, computed at most
                 // once per chunk per cache lifetime — every further fetch
                 // in the chunk (even after jumping away and back, as
@@ -378,47 +512,104 @@ impl<'a> SoeReader<'a> {
                         c
                     }
                 };
-                let cost = &mut self.cost;
-                let leaves = cache.get_or_compute(ci, chunk, layout.fragment_size, |n| {
-                    cost.terminal_bytes_hashed += n
-                });
+                let leaves = self.chunk_leaves(&cache, ci, chunk_range.clone())?;
+                // Stage the fragment ciphertext into the working buffer.
+                // When the scratch buffer holds this chunk (the cold
+                // out-of-core leaf computation just read it), the
+                // fragment is a subrange of it — no second store read.
+                if self.scratch_chunk == Some(ci) {
+                    self.cache.clear();
+                    self.cache_start = f_lo;
+                    let start = chunk_range.start;
+                    self.cache.extend_from_slice(&self.chunk_scratch[f_lo - start..f_hi - start]);
+                    self.note_residency();
+                } else {
+                    self.stage(f_lo, f_hi)?;
+                }
+                // All fallible store reads are behind us: charge the unit.
+                self.cost.bytes_to_soe += (f_hi - f_lo) as u64;
                 let f_idx = (f_lo - chunk_range.start) / layout.fragment_size;
                 let proof = range_proof(leaves, f_idx..f_idx + 1);
                 self.cost.bytes_to_soe += (proof.len() * 20) as u64;
                 // SOE: hash the fragment, recombine, compare to digest.
-                self.cost.bytes_hashed += enc.len() as u64 + (proof.len() as u64 + 1) * 40;
-                let own = [sha1(enc)];
-                let root = root_from_range(leaves.len(), f_idx..f_idx + 1, &own, &proof);
+                self.cost.bytes_hashed += (f_hi - f_lo) as u64 + (proof.len() as u64 + 1) * 40;
+                let own = [sha1(&self.cache)];
+                let n_leaves = leaves.len();
+                let root = root_from_range(n_leaves, f_idx..f_idx + 1, &own, &proof);
                 let expect = match self.digest_cache {
                     Some((c, d)) if c == ci => d,
                     _ => {
                         self.cost.bytes_to_soe += DIGEST_RECORD as u64;
                         self.cost.digests_decrypted += 1;
                         self.cost.bytes_decrypted += DIGEST_RECORD as u64;
-                        let d = decrypt_digest(self.key, ci, &self.doc.digests[ci]);
+                        let d = decrypt_digest(self.key, ci, self.digest_record(ci)?);
                         self.digest_cache = Some((ci, d));
                         d
                     }
                 };
                 if root != expect {
-                    return Err(IntegrityError { chunk: ci });
+                    return Err(IntegrityError { chunk: ci }.into());
                 }
                 // Decryption charged per byte served (position-XOR ECB
                 // deciphers any block independently).
-                let key = self.key;
-                let buf = self.stage(f_lo, f_hi);
-                posxor_decrypt_in_place(key, buf, (f_lo / BLOCK) as u64);
+                posxor_decrypt_in_place(self.key, &mut self.cache, (f_lo / BLOCK) as u64);
             }
         }
         Ok(())
+    }
+
+    /// The chunk's Merkle leaf digests out of `cache`, computing them on
+    /// first touch. Over a borrowed-slice store the chunk bytes come for
+    /// free; out-of-core stores stage the chunk through the reader's
+    /// scratch buffer (a fallible, bounded read) only while cold.
+    fn chunk_leaves<'c>(
+        &mut self,
+        cache: &'c LeafCache,
+        ci: usize,
+        chunk_range: std::ops::Range<usize>,
+    ) -> Result<&'c [Digest], ReadError> {
+        let fragment_size = self.doc.layout.fragment_size;
+        if let Some(all) = self.doc.store.as_slice() {
+            let cost = &mut self.cost;
+            return Ok(cache.get_or_compute(ci, &all[chunk_range], fragment_size, |n| {
+                cost.terminal_bytes_hashed += n
+            }));
+        }
+        if let Some(leaves) = cache.get(ci) {
+            return Ok(leaves);
+        }
+        // Cold chunk over an out-of-core store: stage its ciphertext in
+        // the scratch buffer to hash the leaves. Two racing sessions may
+        // both stage, but only the one whose init closure runs is charged
+        // (first toucher pays), exactly as on the in-memory path.
+        self.scratch_chunk = None;
+        self.chunk_scratch.clear();
+        self.chunk_scratch.resize(chunk_range.len(), 0);
+        self.doc.store.read_at(chunk_range.start, &mut self.chunk_scratch)?;
+        self.scratch_chunk = Some(ci);
+        self.note_residency();
+        let cost = &mut self.cost;
+        Ok(cache.get_or_compute(ci, &self.chunk_scratch, fragment_size, |n| {
+            cost.terminal_bytes_hashed += n
+        }))
     }
 
     /// Fragment-aligned extent containing `pos`, clipped to the document.
     fn fragment_extent(&self, pos: usize) -> (usize, usize) {
         let fs = self.doc.layout.fragment_size;
         let lo = pos / fs * fs;
-        let hi = (lo + fs).min(self.doc.ciphertext.len());
+        let hi = (lo + fs).min(self.doc.store.len());
         (lo, hi)
+    }
+}
+
+impl<S: ChunkStore> Drop for SoeReader<'_, S> {
+    fn drop(&mut self) {
+        // Release the buffers registered with the store's residency
+        // meter, if any.
+        if let Some(m) = self.doc.store.meter() {
+            m.sub(self.registered_resident as u64);
+        }
     }
 }
 
@@ -426,6 +617,7 @@ impl<'a> SoeReader<'a> {
 mod tests {
     use super::*;
     use crate::chunk::ChunkLayout;
+    use crate::store::{FaultStore, InjectedFault, TempPath};
 
     fn key() -> TripleDes {
         TripleDes::new(*b"abcdefghijklmnopqrstuvwx")
@@ -451,6 +643,71 @@ mod tests {
     }
 
     #[test]
+    fn read_roundtrips_file_backed() {
+        // Same accesses as above, through the out-of-core store, with a
+        // window a fraction of the document.
+        for scheme in IntegrityScheme::ALL {
+            let (p, data) = doc(scheme, 7000);
+            let tmp = TempPath::new("proto-roundtrip");
+            let f = p.to_file_backed(tmp.path(), 2048).unwrap();
+            let k = key();
+            let mut r = SoeReader::new(&f, &k);
+            for (off, len) in [(0usize, 100usize), (2040, 20), (4096, 2048), (6990, 10), (3, 5)] {
+                let got = r.read(off, len).unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+                assert_eq!(got, &data[off..off + len], "{scheme:?} read {off}+{len}");
+            }
+            drop(r);
+            let meter = f.store.meter().unwrap();
+            assert!(
+                meter.resident_bytes_peak() <= (2048 + 2 * p.layout.chunk_size + 64) as u64,
+                "resident peak {} not O(window + chunk)",
+                meter.resident_bytes_peak()
+            );
+            assert_eq!(meter.resident_bytes_now(), 2048, "only the window remains after drop");
+        }
+    }
+
+    #[test]
+    fn read_past_end_is_typed_error_not_panic() {
+        for scheme in IntegrityScheme::ALL {
+            let (p, _) = doc(scheme, 1000);
+            let k = key();
+            let mut r = SoeReader::new(&p, &k);
+            for (off, len) in [(1000usize, 8usize), (999, 2), (usize::MAX, 1), (0, usize::MAX)] {
+                let err = r.read(off, len).unwrap_err();
+                assert!(
+                    matches!(err, ReadError::Store(StoreError::OutOfBounds { .. })),
+                    "{scheme:?} {off}+{len}: {err:?}"
+                );
+            }
+            // The reader survives: a valid read still works.
+            assert!(r.read(0, 8).is_ok());
+        }
+    }
+
+    #[test]
+    fn store_fault_surfaces_and_no_partial_delivery() {
+        for scheme in IntegrityScheme::ALL {
+            let (p, data) = doc(scheme, 8192);
+            let k = key();
+            let faulty = p.map_store(FaultStore::new);
+            let mut r = SoeReader::new(&faulty, &k);
+            r.read(0, 16).unwrap(); // warm: read 0 (+ leaf chunk read for MHT)
+            let n_warm = faulty.store.reads_seen();
+            faulty.store.fail_read(n_warm, InjectedFault::Io);
+            // Spanning request: the first unit comes from the warm working
+            // buffer, the next store read fails — the output must roll
+            // back entirely.
+            let mut out = b"prefix".to_vec();
+            let err = r.read_into(0, 4100, &mut out).unwrap_err();
+            assert!(matches!(err, ReadError::Store(StoreError::Io { .. })), "{scheme:?}: {err:?}");
+            assert_eq!(out, b"prefix", "{scheme:?}: partial plaintext delivered");
+            // The reader recovers once the (transient) fault passes.
+            assert_eq!(r.read(0, 4100).unwrap(), &data[0..4100], "{scheme:?}");
+        }
+    }
+
+    #[test]
     fn every_single_byte_tamper_detected() {
         // Property: for tamper-resistant schemes, flipping any ciphertext
         // byte in a read chunk is detected (sampled stride for speed).
@@ -459,7 +716,7 @@ mod tests {
             let k = key();
             for pos in (0..4096).step_by(97) {
                 let mut bad = p.clone();
-                bad.ciphertext[pos] ^= 0x40;
+                bad.ciphertext_mut()[pos] ^= 0x40;
                 let mut r = SoeReader::new(&bad, &k);
                 let res = r.read(pos / 8 * 8, 8);
                 assert!(res.is_err(), "{scheme:?}: tamper at {pos} undetected");
@@ -565,7 +822,7 @@ mod tests {
         assert_eq!(second.cost.terminal_bytes_hashed, 0, "warm session re-hashes nothing");
         assert!(
             first.cost.terminal_bytes_hashed + second.cost.terminal_bytes_hashed
-                <= p.ciphertext.len() as u64,
+                <= p.ciphertext().len() as u64,
             "cross-session hashing sum bounded by one document length"
         );
         // SOE-side costs are identical: the shared cache only affects
@@ -584,7 +841,7 @@ mod tests {
         let (p, _) = doc(IntegrityScheme::EcbMht, 4096);
         let k = key();
         let mut bad = p.clone();
-        bad.ciphertext[100] ^= 1;
+        bad.ciphertext_mut()[100] ^= 1;
         let cache = Arc::new(LeafCache::for_doc(&bad));
         let mut r1 = SoeReader::with_leaf_cache(&bad, &k, Arc::clone(&cache));
         assert!(r1.read(96, 8).is_err());
@@ -605,11 +862,34 @@ mod tests {
     }
 
     #[test]
+    fn truncated_digest_table_is_error_not_panic() {
+        // A malicious terminal can truncate the digest table; the reader
+        // must refuse (typed integrity error), never index out of bounds.
+        for scheme in [IntegrityScheme::CbcSha, IntegrityScheme::CbcShac, IntegrityScheme::EcbMht] {
+            let (p, _) = doc(scheme, 5000);
+            let k = key();
+            let mut bad = p.clone();
+            bad.digests.truncate(1);
+            let mut r = SoeReader::new(&bad, &k);
+            let err = r.read(4096, 8).unwrap_err();
+            assert!(matches!(err, ReadError::Integrity(_)), "{scheme:?}: {err:?}");
+            // The unverifiable unit must not linger in the working
+            // buffer: a repeat of the same read must fail again, never
+            // serve the staged (unverified) bytes as plaintext.
+            let err = r.read(4096, 8).unwrap_err();
+            assert!(
+                matches!(err, ReadError::Integrity(_)),
+                "{scheme:?}: second read served an unverified unit: {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn ecb_does_not_detect_tampering() {
         let (p, _) = doc(IntegrityScheme::Ecb, 2048);
         let k = key();
         let mut bad = p.clone();
-        bad.ciphertext[0] ^= 1;
+        bad.ciphertext_mut()[0] ^= 1;
         let mut r = SoeReader::new(&bad, &k);
         assert!(r.read(0, 8).is_ok(), "ECB is not tamper resistant by design");
     }
@@ -622,8 +902,8 @@ mod tests {
         let k = key();
         let mut bad = p.clone();
         let (r0, r1) = (p.chunk_range(0), p.chunk_range(1));
-        let chunk1 = p.ciphertext[r1].to_vec();
-        bad.ciphertext[r0].copy_from_slice(&chunk1);
+        let chunk1 = p.ciphertext()[r1].to_vec();
+        bad.ciphertext_mut()[r0].copy_from_slice(&chunk1);
         let mut r = SoeReader::new(&bad, &k);
         assert!(r.read(0, 8).is_err());
     }
@@ -674,9 +954,35 @@ mod tests {
         assert_eq!(touching.cost, reading.cost, "touch must meter exactly like read");
         // And it still performs the real integrity check.
         let mut bad = p.clone();
-        bad.ciphertext[10] ^= 1;
+        bad.ciphertext_mut()[10] ^= 1;
         let mut t = SoeReader::new(&bad, &k);
         assert!(t.touch(8, 8).is_err());
+    }
+
+    #[test]
+    fn file_backed_costs_equal_in_memory_costs() {
+        // The backend is invisible to the metering: the same access
+        // pattern charges byte-identical AccessCost over MemStore and
+        // FileStore, for every scheme — the reader-level differential
+        // that the workspace-level harness scales up to whole sessions.
+        for scheme in IntegrityScheme::ALL {
+            let (p, _) = doc(scheme, 3 * 4096);
+            let tmp = TempPath::new("proto-cost-diff");
+            let f = p.to_file_backed(tmp.path(), 2048).unwrap();
+            let k = key();
+            let mut mem = SoeReader::new(&p, &k);
+            let mut file = SoeReader::new(&f, &k);
+            for (off, len) in
+                [(0usize, 64usize), (8192, 4096), (100, 8), (4000, 200), (0, 12288), (12280, 8)]
+            {
+                assert_eq!(
+                    mem.read(off, len).unwrap(),
+                    file.read(off, len).unwrap(),
+                    "{scheme:?} {off}+{len}"
+                );
+            }
+            assert_eq!(mem.cost, file.cost, "{scheme:?}: metering diverged across backends");
+        }
     }
 
     #[test]

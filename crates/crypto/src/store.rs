@@ -1,0 +1,624 @@
+//! Ciphertext storage backends for [`ProtectedDoc`](crate::ProtectedDoc):
+//! the terminal side of Figure 2 as an abstraction.
+//!
+//! The paper's SOE never materializes the document it serves — the
+//! ciphertext lives on the *terminal* (untrusted, abundant storage) and
+//! crosses into the SOE a bounded unit at a time. [`ChunkStore`] models
+//! that boundary: a fallible, bounded, `Sync` read interface the
+//! [`SoeReader`](crate::SoeReader) pulls every ciphertext byte through.
+//! Three backends:
+//!
+//! * [`MemStore`] — the whole ciphertext in one `Vec<u8>` (the historical
+//!   behaviour; documents that fit in RAM). Exposes a borrowed slice fast
+//!   path so the in-memory pipeline keeps its zero-copy reads.
+//! * [`FileStore`] — out-of-core: the ciphertext lives in a file and only
+//!   a small, metered **resident window** of recently-read chunks is held
+//!   in memory. N concurrent sessions over one shared `FileStore` stay
+//!   O(window), not O(document) — [`ResidencyMeter`] proves it.
+//! * [`FaultStore`] — a test-only wrapper injecting short reads, I/O
+//!   errors and byte corruption on a schedule, so the fault paths of the
+//!   whole read pipeline are exercised deterministically.
+//!
+//! Storage failures surface as typed [`StoreError`]s (never a panic) and
+//! flow through [`ReadError`](crate::protocol::ReadError) next to
+//! integrity violations: a flaky disk aborts a session exactly like a
+//! tampered byte does — without delivering partial plaintext.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::{fmt, io};
+
+/// A storage failure reported by a [`ChunkStore`] backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested range lies (partly) outside the stored ciphertext —
+    /// a malformed request or a truncated store.
+    OutOfBounds {
+        /// Requested start offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Total stored ciphertext length.
+        doc_len: usize,
+    },
+    /// The backend returned fewer bytes than requested (e.g. a truncated
+    /// file — an attack surface in its own right: the terminal is
+    /// untrusted).
+    ShortRead {
+        /// Requested start offset.
+        offset: usize,
+        /// Bytes requested.
+        wanted: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// An I/O error from the backend (message carried as text so the
+    /// error stays `Clone`/`Eq` for differential assertions).
+    Io {
+        /// Offset of the failed read.
+        offset: usize,
+        /// The underlying [`io::ErrorKind`].
+        kind: io::ErrorKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfBounds { offset, len, doc_len } => {
+                write!(f, "read of {len} bytes at {offset} outside stored length {doc_len}")
+            }
+            StoreError::ShortRead { offset, wanted, got } => {
+                write!(f, "short read at {offset}: wanted {wanted} bytes, got {got}")
+            }
+            StoreError::Io { offset, kind, msg } => {
+                write!(f, "storage I/O error at {offset} ({kind:?}): {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    fn from_io(offset: usize, e: &io::Error) -> StoreError {
+        StoreError::Io { offset, kind: e.kind(), msg: e.to_string() }
+    }
+}
+
+/// Resident-byte metering shared by a store and the readers over it: how
+/// many ciphertext-derived bytes are held in memory *right now*, and the
+/// high-water mark. The out-of-core contract ("documents larger than
+/// RAM") is exactly `resident_bytes_peak ≪ document length`, and the
+/// regression tests pin it.
+#[derive(Debug, Default)]
+pub struct ResidencyMeter {
+    now: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ResidencyMeter {
+    /// Registers `n` more resident bytes.
+    pub fn add(&self, n: u64) {
+        let now = self.now.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Releases `n` resident bytes.
+    pub fn sub(&self, n: u64) {
+        self.now.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Bytes resident right now (store window + registered reader
+    /// buffers).
+    pub fn resident_bytes_now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of resident bytes.
+    pub fn resident_bytes_peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounded, fallible, `Sync` access to a protected document's ciphertext
+/// — the terminal side of the Figure-2 channel.
+///
+/// Implementations must be shareable across concurrent sessions
+/// (`&self` reads, `Sync`); every read is bounded by the caller's buffer,
+/// so no method ever requires materializing the document.
+pub trait ChunkStore: Sync {
+    /// Total ciphertext length in bytes.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fills `buf` with the ciphertext bytes starting at `offset`.
+    /// Implementations must either fill the whole buffer or return an
+    /// error — a partially-written `buf` must never be reported as
+    /// success.
+    fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), StoreError>;
+
+    /// Zero-copy fast path: the whole ciphertext as a slice, when the
+    /// backend is resident anyway. Out-of-core backends return `None`
+    /// and callers fall back to bounded [`read_at`](ChunkStore::read_at)
+    /// staging.
+    fn as_slice(&self) -> Option<&[u8]> {
+        None
+    }
+
+    /// The store's residency meter, when the backend bounds (and
+    /// meters) its resident bytes. Readers over a metered store report
+    /// their own staging buffers here too, so the figure covers the
+    /// complete read path.
+    fn meter(&self) -> Option<&ResidencyMeter> {
+        None
+    }
+}
+
+/// Shared bounds check for `read_at` implementations (and the reader's
+/// request pre-check — one definition of the out-of-bounds contract).
+pub(crate) fn check_bounds(offset: usize, len: usize, doc_len: usize) -> Result<(), StoreError> {
+    if offset.checked_add(len).is_none_or(|end| end > doc_len) {
+        return Err(StoreError::OutOfBounds { offset, len, doc_len });
+    }
+    Ok(())
+}
+
+/// The in-memory backend: the whole ciphertext in one `Vec<u8>`.
+#[derive(Clone, Debug, Default)]
+pub struct MemStore {
+    /// The stored ciphertext. Public so tamper tests (and the examples
+    /// demonstrating detection) can flip bytes directly.
+    pub bytes: Vec<u8>,
+}
+
+impl MemStore {
+    /// Wraps a ciphertext buffer.
+    pub fn new(bytes: Vec<u8>) -> MemStore {
+        MemStore { bytes }
+    }
+}
+
+impl ChunkStore for MemStore {
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        check_bounds(offset, buf.len(), self.bytes.len())?;
+        buf.copy_from_slice(&self.bytes[offset..offset + buf.len()]);
+        Ok(())
+    }
+
+    fn as_slice(&self) -> Option<&[u8]> {
+        Some(&self.bytes)
+    }
+}
+
+/// One resident chunk of a [`FileStore`] window. The bytes are behind an
+/// `Arc` so a request can copy from them after releasing the window lock.
+struct WindowSlot {
+    chunk: usize,
+    bytes: Arc<Vec<u8>>,
+}
+
+struct FileInner {
+    file: File,
+    /// LRU window of resident chunks, most recently used at the back.
+    window: VecDeque<WindowSlot>,
+    /// Sum of `bytes.len()` over the window.
+    resident: usize,
+}
+
+/// The out-of-core backend: ciphertext in a file, with a small LRU window
+/// of recently-read chunks resident in memory.
+///
+/// Reads are served chunk-at-a-time through the window; the window is
+/// bounded by `window_bytes` (at least one chunk always fits, so a
+/// pathological configuration degrades to re-reading, never to an error)
+/// and every byte it holds is tracked by the store's [`ResidencyMeter`].
+/// The store is `Sync`: concurrent sessions share one window behind a
+/// mutex — the lock covers only the (cold) file reads and the LRU
+/// bookkeeping; a warm hit merely clones the slot's `Arc` under the
+/// lock and copies outside it, and decryption/verification never hold
+/// it.
+pub struct FileStore {
+    len: usize,
+    chunk_size: usize,
+    window_bytes: usize,
+    inner: Mutex<FileInner>,
+    meter: ResidencyMeter,
+}
+
+impl FileStore {
+    /// Opens an existing ciphertext file. `chunk_size` must match the
+    /// [`ChunkLayout`](crate::ChunkLayout) the document was protected
+    /// with; `window_bytes` bounds the resident window.
+    pub fn open(path: &Path, chunk_size: usize, window_bytes: usize) -> io::Result<FileStore> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Ok(FileStore {
+            len,
+            chunk_size,
+            window_bytes,
+            inner: Mutex::new(FileInner { file, window: VecDeque::new(), resident: 0 }),
+            meter: ResidencyMeter::default(),
+        })
+    }
+
+    /// Writes `bytes` to `path` and opens it as a store — the
+    /// convenience path for converting an in-memory document (tests,
+    /// differential harnesses). Production preparation should stream
+    /// through [`ProtectedDoc::protect_to_file`](crate::ProtectedDoc::protect_to_file)
+    /// instead, which never materializes the ciphertext.
+    pub fn create(
+        path: &Path,
+        bytes: &[u8],
+        chunk_size: usize,
+        window_bytes: usize,
+    ) -> io::Result<FileStore> {
+        let mut f = File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        FileStore::open(path, chunk_size, window_bytes)
+    }
+
+    /// The configured resident-window bound in bytes.
+    pub fn window_bytes(&self) -> usize {
+        self.window_bytes
+    }
+
+    /// Number of chunks currently resident in the window.
+    pub fn resident_chunks(&self) -> usize {
+        self.inner.lock().expect("file store window").window.len()
+    }
+
+    /// The resident bytes of chunk `ci`, from the window or the file.
+    ///
+    /// Warm hits hold the lock only to clone the slot's `Arc` and touch
+    /// the LRU order; cold misses evict *first* (the incoming length is
+    /// known without reading, so metered residency never transiently
+    /// exceeds max(window, one chunk)), then read the file under the
+    /// same lock — the seek/read pair needs exclusivity anyway.
+    fn chunk_bytes(&self, ci: usize) -> Result<Arc<Vec<u8>>, StoreError> {
+        let mut inner = self.inner.lock().expect("file store window");
+        let inner = &mut *inner;
+        if let Some(i) = inner.window.iter().position(|s| s.chunk == ci) {
+            let s = inner.window.remove(i).expect("indexed slot");
+            let bytes = Arc::clone(&s.bytes);
+            inner.window.push_back(s);
+            return Ok(bytes);
+        }
+        let incoming =
+            (ci * self.chunk_size + self.chunk_size).min(self.len) - ci * self.chunk_size;
+        while !inner.window.is_empty() && inner.resident + incoming > self.window_bytes {
+            let evicted = inner.window.pop_front().expect("non-empty window");
+            inner.resident -= evicted.bytes.len();
+            self.meter.sub(evicted.bytes.len() as u64);
+        }
+        let bytes = Arc::new(self.read_chunk_from_file(inner, ci)?);
+        inner.resident += bytes.len();
+        self.meter.add(bytes.len() as u64);
+        inner.window.push_back(WindowSlot { chunk: ci, bytes: Arc::clone(&bytes) });
+        Ok(bytes)
+    }
+
+    /// Reads the chunk containing byte `ci * chunk_size` from the file.
+    fn read_chunk_from_file(
+        &self,
+        inner: &mut FileInner,
+        ci: usize,
+    ) -> Result<Vec<u8>, StoreError> {
+        let start = ci * self.chunk_size;
+        let end = (start + self.chunk_size).min(self.len);
+        let mut bytes = vec![0u8; end - start];
+        inner
+            .file
+            .seek(SeekFrom::Start(start as u64))
+            .map_err(|e| StoreError::from_io(start, &e))?;
+        let mut filled = 0usize;
+        while filled < bytes.len() {
+            match inner.file.read(&mut bytes[filled..]) {
+                Ok(0) => {
+                    return Err(StoreError::ShortRead {
+                        offset: start,
+                        wanted: bytes.len(),
+                        got: filled,
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(StoreError::from_io(start + filled, &e)),
+            }
+        }
+        Ok(bytes)
+    }
+}
+
+impl ChunkStore for FileStore {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        check_bounds(offset, buf.len(), self.len)?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let (first, last) = (offset / self.chunk_size, (offset + buf.len() - 1) / self.chunk_size);
+        for ci in first..=last {
+            let chunk_start = ci * self.chunk_size;
+            let chunk = self.chunk_bytes(ci)?;
+            // Copy the intersection of the request with this chunk —
+            // outside the window lock (the Arc keeps the bytes alive
+            // even if a concurrent miss evicts the slot meanwhile).
+            let lo = offset.max(chunk_start);
+            let hi = (offset + buf.len()).min(chunk_start + chunk.len());
+            buf[lo - offset..hi - offset]
+                .copy_from_slice(&chunk[lo - chunk_start..hi - chunk_start]);
+        }
+        Ok(())
+    }
+
+    fn meter(&self) -> Option<&ResidencyMeter> {
+        Some(&self.meter)
+    }
+}
+
+/// Which failure a [`FaultStore`] injects for a scheduled read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The backend delivers fewer bytes than asked.
+    ShortRead,
+    /// The backend fails with a transient I/O error.
+    Io,
+}
+
+#[derive(Default)]
+struct FaultPlan {
+    /// `(read index, fault)` — fires when the matching read arrives.
+    scheduled: Vec<(u64, InjectedFault)>,
+    /// Persistently corrupted stored bytes: `(offset, xor mask)`.
+    corrupt: Vec<(usize, u8)>,
+}
+
+/// Test-only wrapper injecting storage faults on a deterministic
+/// schedule: short reads, transient I/O errors, and persistent byte
+/// corruption (a flipped bit on the medium, visible to *every* read that
+/// covers it). Wraps any backend.
+pub struct FaultStore<S: ChunkStore> {
+    inner: S,
+    reads: AtomicU64,
+    plan: Mutex<FaultPlan>,
+}
+
+impl<S: ChunkStore> FaultStore<S> {
+    /// Wraps a backend with an empty fault plan (behaves identically to
+    /// the backend until faults are scheduled).
+    pub fn new(inner: S) -> FaultStore<S> {
+        FaultStore { inner, reads: AtomicU64::new(0), plan: Mutex::new(FaultPlan::default()) }
+    }
+
+    /// Schedules `fault` for the `nth` store read (0-based, counted
+    /// across all sessions sharing the store).
+    pub fn fail_read(&self, nth: u64, fault: InjectedFault) {
+        self.plan.lock().expect("fault plan").scheduled.push((nth, fault));
+    }
+
+    /// Corrupts the stored byte at `offset` (XOR `mask`) for every
+    /// subsequent read covering it.
+    pub fn corrupt(&self, offset: usize, mask: u8) {
+        assert!(mask != 0, "a zero mask corrupts nothing");
+        self.plan.lock().expect("fault plan").corrupt.push((offset, mask));
+    }
+
+    /// Number of reads served (or failed) so far.
+    pub fn reads_seen(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ChunkStore> ChunkStore for FaultStore<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        let idx = self.reads.fetch_add(1, Ordering::Relaxed);
+        let fault = {
+            let plan = self.plan.lock().expect("fault plan");
+            plan.scheduled.iter().find(|(n, _)| *n == idx).map(|(_, f)| *f)
+        };
+        match fault {
+            Some(InjectedFault::ShortRead) => {
+                return Err(StoreError::ShortRead { offset, wanted: buf.len(), got: buf.len() / 2 })
+            }
+            Some(InjectedFault::Io) => {
+                return Err(StoreError::Io {
+                    offset,
+                    kind: io::ErrorKind::Other,
+                    msg: "injected transient I/O error".to_owned(),
+                })
+            }
+            None => {}
+        }
+        self.inner.read_at(offset, buf)?;
+        let plan = self.plan.lock().expect("fault plan");
+        for &(pos, mask) in &plan.corrupt {
+            if pos >= offset && pos < offset + buf.len() {
+                buf[pos - offset] ^= mask;
+            }
+        }
+        Ok(())
+    }
+
+    // No `as_slice` fast path: corruption must apply to every read, so
+    // callers are forced through `read_at`.
+
+    fn meter(&self) -> Option<&ResidencyMeter> {
+        self.inner.meter()
+    }
+}
+
+/// A unique path under the system temp directory, removed on drop —
+/// shared cleanup helper for the file-backed tests, benches and
+/// examples (keeps the CI temp-dir hygiene check green without an
+/// external `tempfile` crate).
+pub struct TempPath {
+    path: PathBuf,
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TempPath {
+    /// A fresh `xsac-<label>-<pid>-<n>` path (not yet created).
+    pub fn new(label: &str) -> TempPath {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("xsac-{label}-{}-{n}", std::process::id()));
+        TempPath { path }
+    }
+
+    /// The path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 13 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn mem_store_roundtrip_and_bounds() {
+        let s = MemStore::new(data(100));
+        let mut buf = vec![0u8; 40];
+        s.read_at(30, &mut buf).unwrap();
+        assert_eq!(buf, &data(100)[30..70]);
+        assert!(matches!(s.read_at(90, &mut buf), Err(StoreError::OutOfBounds { .. })));
+        assert!(matches!(s.read_at(usize::MAX, &mut buf), Err(StoreError::OutOfBounds { .. })));
+        assert_eq!(s.as_slice().unwrap().len(), 100);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn file_store_roundtrip_across_chunks() {
+        let tmp = TempPath::new("filestore-roundtrip");
+        let bytes = data(5000);
+        let s = FileStore::create(tmp.path(), &bytes, 512, 1024).unwrap();
+        assert_eq!(s.len(), 5000);
+        assert!(s.as_slice().is_none(), "out-of-core store must not expose a slice");
+        // Reads of every alignment, including chunk-spanning and the
+        // partial tail chunk.
+        for (off, len) in [(0usize, 5000usize), (500, 600), (4990, 10), (511, 2), (0, 0)] {
+            let mut buf = vec![0u8; len];
+            s.read_at(off, &mut buf).unwrap();
+            assert_eq!(buf, &bytes[off..off + len], "{off}+{len}");
+        }
+        assert!(matches!(s.read_at(4999, &mut [0u8; 2]), Err(StoreError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn file_store_window_stays_bounded() {
+        let tmp = TempPath::new("filestore-window");
+        let bytes = data(64 * 512);
+        let s = FileStore::create(tmp.path(), &bytes, 512, 2048).unwrap();
+        let mut buf = [0u8; 8];
+        for off in (0..bytes.len()).step_by(512) {
+            s.read_at(off, &mut buf).unwrap();
+        }
+        let meter = s.meter().unwrap();
+        assert!(meter.resident_bytes_now() <= 2048, "window exceeded");
+        assert!(
+            meter.resident_bytes_peak() <= 2048,
+            "peak {} exceeded window 2048",
+            meter.resident_bytes_peak()
+        );
+        assert!(s.resident_chunks() <= 4);
+        // A warm re-read of the last chunk touches no new residency.
+        let peak = meter.resident_bytes_peak();
+        s.read_at(bytes.len() - 8, &mut buf).unwrap();
+        assert_eq!(meter.resident_bytes_peak(), peak);
+    }
+
+    #[test]
+    fn file_store_tiny_window_still_serves() {
+        // A window smaller than one chunk degrades to re-reading, never
+        // errors: the just-read chunk is immune to eviction.
+        let tmp = TempPath::new("filestore-tiny");
+        let bytes = data(2048);
+        let s = FileStore::create(tmp.path(), &bytes, 512, 1).unwrap();
+        let mut buf = vec![0u8; 2048];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, bytes);
+        assert_eq!(s.resident_chunks(), 1);
+    }
+
+    #[test]
+    fn truncated_file_is_short_read_not_panic() {
+        let tmp = TempPath::new("filestore-truncated");
+        let bytes = data(4096);
+        let s = FileStore::create(tmp.path(), &bytes, 512, 4096).unwrap();
+        // Truncate the file behind the store's back (len was captured at
+        // open): reads past the new end must surface as ShortRead.
+        std::fs::write(tmp.path(), &bytes[..1000]).unwrap();
+        let mut buf = [0u8; 8];
+        let err = s.read_at(2048, &mut buf).unwrap_err();
+        assert!(matches!(err, StoreError::ShortRead { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fault_store_schedule_and_corruption() {
+        let s = FaultStore::new(MemStore::new(data(1000)));
+        s.fail_read(1, InjectedFault::Io);
+        s.fail_read(2, InjectedFault::ShortRead);
+        s.corrupt(500, 0x01);
+        let mut buf = [0u8; 8];
+        s.read_at(0, &mut buf).unwrap(); // read 0: clean
+        assert!(matches!(s.read_at(0, &mut buf), Err(StoreError::Io { .. })));
+        assert!(matches!(s.read_at(0, &mut buf), Err(StoreError::ShortRead { .. })));
+        s.read_at(496, &mut buf).unwrap(); // read 3: corrupted byte visible
+        assert_eq!(buf[4], data(1000)[500] ^ 0x01);
+        // And the corruption is persistent across reads.
+        s.read_at(496, &mut buf).unwrap();
+        assert_eq!(buf[4], data(1000)[500] ^ 0x01);
+        assert_eq!(s.reads_seen(), 5);
+        assert!(s.as_slice().is_none(), "corruption must not be bypassable");
+    }
+
+    #[test]
+    fn temp_path_removed_on_drop() {
+        let path = {
+            let tmp = TempPath::new("droptest");
+            std::fs::write(tmp.path(), b"x").unwrap();
+            assert!(tmp.path().exists());
+            tmp.path().to_path_buf()
+        };
+        assert!(!path.exists(), "TempPath must clean up after itself");
+    }
+}

@@ -1,0 +1,171 @@
+//! Fault-injection suite for the storage layer: every `FaultStore`
+//! failure mode — short read, transient I/O error, flipped byte in any
+//! stored chunk — must surface as a *typed* error from
+//! `SoeReader::read`/`touch` (never a panic), no partial plaintext may
+//! ever be delivered after a failed read, and the single-byte tamper
+//! sweep must hold through the file backend exactly as it does in
+//! memory.
+
+use xsac_crypto::chunk::ChunkLayout;
+use xsac_crypto::store::{FaultStore, InjectedFault, MemStore, StoreError, TempPath};
+use xsac_crypto::{IntegrityScheme, ProtectedDoc, ReadError, SoeReader, TripleDes};
+
+fn key() -> TripleDes {
+    TripleDes::new(*b"fault-injection-key-24ab")
+}
+
+fn layout() -> ChunkLayout {
+    ChunkLayout { chunk_size: 512, fragment_size: 64 }
+}
+
+fn doc(scheme: IntegrityScheme, n: usize) -> (ProtectedDoc, Vec<u8>) {
+    let data: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+    (ProtectedDoc::protect(&data, &key(), scheme, layout()), data)
+}
+
+/// Wraps an in-memory protected document in a `FaultStore`.
+fn faulted(p: &ProtectedDoc) -> ProtectedDoc<FaultStore<MemStore>> {
+    p.clone().map_store(FaultStore::new)
+}
+
+#[test]
+fn every_fault_mode_is_a_typed_error_for_every_scheme() {
+    for scheme in IntegrityScheme::ALL {
+        for fault in [InjectedFault::ShortRead, InjectedFault::Io] {
+            let (p, data) = doc(scheme, 4096);
+            let f = faulted(&p);
+            f.store.fail_read(0, fault);
+            let k = key();
+            let mut r = SoeReader::new(&f, &k);
+            // `read` surfaces the fault as ReadError::Store…
+            let err = r.read(0, 32).unwrap_err();
+            match (fault, &err) {
+                (InjectedFault::ShortRead, ReadError::Store(StoreError::ShortRead { .. })) => {}
+                (InjectedFault::Io, ReadError::Store(StoreError::Io { .. })) => {}
+                _ => panic!("{scheme:?}/{fault:?}: wrong error {err:?}"),
+            }
+            // …and the reader recovers once the transient fault passes.
+            assert_eq!(r.read(0, 32).unwrap(), &data[0..32], "{scheme:?}/{fault:?}");
+
+            // `touch` reports the same typed error.
+            let (p, _) = doc(scheme, 4096);
+            let f = faulted(&p);
+            f.store.fail_read(0, fault);
+            let mut t = SoeReader::new(&f, &k);
+            assert!(
+                matches!(t.touch(0, 32), Err(ReadError::Store(_))),
+                "{scheme:?}/{fault:?}: touch must surface the fault"
+            );
+        }
+    }
+}
+
+#[test]
+fn corruption_in_any_stored_chunk_is_detected_by_tamper_resistant_schemes() {
+    // A flipped byte on the medium (FaultStore corruption — applied on
+    // every read, invisible to any slice fast path) is caught by every
+    // tamper-resistant scheme, in whichever chunk it lands.
+    for scheme in [IntegrityScheme::CbcSha, IntegrityScheme::CbcShac, IntegrityScheme::EcbMht] {
+        let (p, _) = doc(scheme, 4096);
+        let k = key();
+        for pos in (0..4096).step_by(229) {
+            let f = faulted(&p);
+            f.store.corrupt(pos, 0x20);
+            let mut r = SoeReader::new(&f, &k);
+            let res = r.read(pos / 8 * 8, 8);
+            assert!(
+                matches!(res, Err(ReadError::Integrity(_))),
+                "{scheme:?}: corruption at {pos} undetected"
+            );
+        }
+    }
+    // ECB reads the corrupted bytes happily — by design it trades tamper
+    // resistance away; the suite documents that the fault still flows
+    // (wrong plaintext, no error).
+    let (p, data) = doc(IntegrityScheme::Ecb, 4096);
+    let f = faulted(&p);
+    f.store.corrupt(100, 0x20);
+    let k = key();
+    let mut r = SoeReader::new(&f, &k);
+    let got = r.read(96, 16).unwrap();
+    assert_ne!(got, &data[96..112], "ECB cannot detect the corruption");
+}
+
+#[test]
+fn every_single_byte_tamper_detected_through_file_backend() {
+    // The protocol-level tamper sweep, re-run with the tampered bytes
+    // served from disk through the bounded resident window: the backend
+    // must not weaken detection (sampled stride for speed — file I/O per
+    // position).
+    for scheme in [IntegrityScheme::CbcSha, IntegrityScheme::CbcShac, IntegrityScheme::EcbMht] {
+        let (p, _) = doc(scheme, 2048);
+        let k = key();
+        for pos in (0..2048).step_by(173) {
+            let mut bad = p.clone();
+            bad.ciphertext_mut()[pos] ^= 0x40;
+            let tmp = TempPath::new("tamper-sweep");
+            let bad = bad.to_file_backed(tmp.path(), layout().chunk_size).unwrap();
+            let mut r = SoeReader::new(&bad, &k);
+            assert!(
+                matches!(r.read(pos / 8 * 8, 8), Err(ReadError::Integrity(_))),
+                "{scheme:?}: tamper at {pos} undetected through the file backend"
+            );
+            // Warm (cached-leaf / re-staged) path must fail again.
+            assert!(
+                r.read(pos / 8 * 8, 8).is_err(),
+                "{scheme:?}: tamper at {pos} undetected on retry"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_partial_plaintext_after_failed_read() {
+    // A request spanning a good unit and a bad one must deliver nothing:
+    // read_into rolls the output back, read returns Err, and the working
+    // buffer never serves bytes from the failed unit afterwards.
+    for scheme in IntegrityScheme::ALL {
+        let (p, data) = doc(scheme, 4096);
+        let f = faulted(&p);
+        let k = key();
+        let mut r = SoeReader::new(&f, &k);
+        r.read(0, 8).unwrap(); // warm the working buffer with unit 0
+        let fail_at = f.store.reads_seen();
+        f.store.fail_read(fail_at, InjectedFault::Io);
+        let mut out = b"sentinel".to_vec();
+        let err = r.read_into(0, 2048, &mut out).unwrap_err();
+        assert!(matches!(err, ReadError::Store(StoreError::Io { .. })), "{scheme:?}: {err:?}");
+        assert_eq!(out, b"sentinel", "{scheme:?}: partial plaintext leaked into the output");
+        // The next clean read delivers the full, correct range.
+        assert_eq!(r.read(0, 2048).unwrap(), &data[0..2048], "{scheme:?}");
+    }
+
+    // Same contract when the second unit fails *verification* rather
+    // than storage: corrupt a byte in chunk 1 only.
+    for scheme in [IntegrityScheme::CbcSha, IntegrityScheme::CbcShac, IntegrityScheme::EcbMht] {
+        let (p, _) = doc(scheme, 4096);
+        let f = faulted(&p);
+        f.store.corrupt(600, 0x08); // chunk 1 (chunks are 512 B)
+        let k = key();
+        let mut out = Vec::new();
+        let mut r = SoeReader::new(&f, &k);
+        let err = r.read_into(0, 1024, &mut out).unwrap_err();
+        assert!(matches!(err, ReadError::Integrity(_)), "{scheme:?}: {err:?}");
+        assert!(out.is_empty(), "{scheme:?}: partial plaintext delivered before the bad chunk");
+    }
+}
+
+#[test]
+fn faults_through_file_backend_surface_identically() {
+    // FaultStore composes over FileStore: the full out-of-core stack
+    // reports the same typed errors.
+    let (p, data) = doc(IntegrityScheme::EcbMht, 4096);
+    let tmp = TempPath::new("fault-over-file");
+    let file = p.to_file_backed(tmp.path(), 1024).unwrap();
+    let f = file.map_store(FaultStore::new);
+    f.store.fail_read(0, InjectedFault::ShortRead);
+    let k = key();
+    let mut r = SoeReader::new(&f, &k);
+    assert!(matches!(r.read(0, 16), Err(ReadError::Store(StoreError::ShortRead { .. }))));
+    assert_eq!(r.read(0, 16).unwrap(), &data[0..16], "recovers through the window");
+}

@@ -22,8 +22,8 @@ use xsac_xml::{Document, Node, NodeId};
 use xsac_xpath::Automaton;
 
 /// Runs the Brute-Force baseline (same pipeline, no skipping).
-pub fn brute_force_session(
-    server: &ServerDoc,
+pub fn brute_force_session<S: xsac_crypto::ChunkStore>(
+    server: &ServerDoc<S>,
     key: &TripleDes,
     policy: &Policy,
     query: Option<&Automaton>,

@@ -1,25 +1,39 @@
 //! Server-side document preparation: skip-index encoding, encryption and
 //! chunk digests. This is what the (trusted) publisher runs once before
 //! handing the encrypted document to servers and terminals.
+//!
+//! Two preparation paths share one chunk-at-a-time protection core
+//! ([`xsac_crypto::chunk::protect_chunks`]):
+//!
+//! * [`ServerDoc::prepare`] — ciphertext into memory (documents that fit
+//!   in RAM);
+//! * [`ServerDoc::prepare_to_store`] — ciphertext encrypted and digested
+//!   straight to a file, never materialized, then served through a
+//!   [`FileStore`] resident window: the out-of-core path for documents
+//!   larger than RAM.
 
+use std::io;
+use std::path::Path;
 use xsac_crypto::chunk::ChunkLayout;
+use xsac_crypto::store::{ChunkStore, FileStore, MemStore};
 use xsac_crypto::{IntegrityScheme, ProtectedDoc, TripleDes};
 use xsac_index::encode::{encode_document, EncodedDoc, Encoding};
 use xsac_xml::{Document, TagDict};
 
-/// A published document: TCSBR-encoded, encrypted and authenticated.
-pub struct ServerDoc {
+/// A published document: TCSBR-encoded, encrypted and authenticated,
+/// generic over where the ciphertext lives.
+pub struct ServerDoc<S: ChunkStore = MemStore> {
     /// Tag dictionary (shared with the SOE over the secure channel,
     /// like the decryption keys — Figure 2).
     pub dict: TagDict,
     /// The skip-index encoding (plaintext; kept server-side only).
     pub encoded: EncodedDoc,
     /// The encrypted + authenticated form stored on the terminal.
-    pub protected: ProtectedDoc,
+    pub protected: ProtectedDoc<S>,
 }
 
 impl ServerDoc {
-    /// Prepares a document for publication.
+    /// Prepares a document for publication with in-memory ciphertext.
     pub fn prepare(
         doc: &Document,
         key: &TripleDes,
@@ -31,6 +45,43 @@ impl ServerDoc {
         ServerDoc { dict: doc.dict.clone(), encoded, protected }
     }
 
+    /// Re-homes the ciphertext (bytes as stored, tampering included) into
+    /// a file at `path` behind a resident window of `window_bytes` — the
+    /// differential harness's bridge between backends.
+    pub fn to_file_backed(
+        &self,
+        path: &Path,
+        window_bytes: usize,
+    ) -> io::Result<ServerDoc<FileStore>> {
+        Ok(ServerDoc {
+            dict: self.dict.clone(),
+            encoded: self.encoded.clone(),
+            protected: self.protected.to_file_backed(path, window_bytes)?,
+        })
+    }
+}
+
+impl ServerDoc<FileStore> {
+    /// Prepares a document for publication with the ciphertext encrypted
+    /// and digested chunk-at-a-time straight to `path` — it is never
+    /// materialized in memory — then served through a [`FileStore`]
+    /// window of `window_bytes`.
+    pub fn prepare_to_store(
+        doc: &Document,
+        key: &TripleDes,
+        scheme: IntegrityScheme,
+        layout: ChunkLayout,
+        path: &Path,
+        window_bytes: usize,
+    ) -> io::Result<ServerDoc<FileStore>> {
+        let encoded = encode_document(doc, Encoding::TCSBR);
+        let protected =
+            ProtectedDoc::protect_to_file(&encoded.bytes, key, scheme, layout, path, window_bytes)?;
+        Ok(ServerDoc { dict: doc.dict.clone(), encoded, protected })
+    }
+}
+
+impl<S: ChunkStore> ServerDoc<S> {
     /// Size of the encrypted document + digests on the terminal.
     pub fn stored_len(&self) -> usize {
         self.protected.stored_len()
@@ -40,6 +91,7 @@ impl ServerDoc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xsac_crypto::store::TempPath;
 
     fn key() -> TripleDes {
         TripleDes::new(*b"secret-key-secret-key-24")
@@ -52,5 +104,25 @@ mod tests {
         assert!(s.stored_len() >= s.encoded.bytes.len());
         assert_eq!(s.protected.plain_len, s.encoded.bytes.len());
         assert!(s.dict.get("b").is_some());
+    }
+
+    #[test]
+    fn prepare_to_store_matches_prepare() {
+        let doc = Document::parse("<a><b>hello</b><c>world</c></a>").unwrap();
+        let mem = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, ChunkLayout::default());
+        let tmp = TempPath::new("prepare-to-store");
+        let file = ServerDoc::prepare_to_store(
+            &doc,
+            &key(),
+            IntegrityScheme::EcbMht,
+            ChunkLayout::default(),
+            tmp.path(),
+            4096,
+        )
+        .unwrap();
+        assert_eq!(std::fs::read(tmp.path()).unwrap(), mem.protected.ciphertext());
+        assert_eq!(file.protected.digests, mem.protected.digests);
+        assert_eq!(file.encoded.bytes, mem.encoded.bytes);
+        assert_eq!(file.stored_len(), mem.stored_len());
     }
 }

@@ -12,11 +12,17 @@
 //!
 //! * [`cost`] — the Table-1 contexts and time synthesis;
 //! * [`document`] — server-side preparation (skip-index encoding +
-//!   encryption + chunk digests);
+//!   encryption + chunk digests), in memory or streamed chunk-at-a-time
+//!   straight to a file ([`ServerDoc::prepare_to_store`] — the
+//!   out-of-core path for documents larger than RAM);
 //! * [`session`] — the SOE pipeline: stream → decrypt → verify → evaluate
-//!   → deliver, honouring skip directives and pending readbacks;
-//! * [`server`] — multi-session serving: one document, many concurrent
-//!   subjects, with cross-session leaf-hash and compiled-policy caches;
+//!   → deliver, honouring skip directives and pending readbacks; storage
+//!   faults abort as typed [`SessionError::Store`] errors, with nothing
+//!   partially delivered;
+//! * [`server`] — multi-session serving: one document (over any
+//!   `ChunkStore` backend), many concurrent subjects, with cross-session
+//!   leaf-hash and compiled-policy caches and metered peak residency for
+//!   file-backed documents;
 //! * [`baseline`] — the Brute-Force comparator and the LWB oracle lower
 //!   bound of §7.
 

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use xsac_core::{CompiledPolicy, Policy};
+use xsac_crypto::store::{ChunkStore, MemStore};
 use xsac_crypto::{LeafCache, TripleDes};
 use xsac_xpath::Automaton;
 
@@ -72,9 +73,14 @@ impl SessionSpec {
     }
 }
 
-/// A published document plus the state every session over it can share.
-pub struct DocServer {
-    doc: ServerDoc,
+/// A published document plus the state every session over it can share,
+/// generic over where the ciphertext lives: in memory ([`MemStore`], the
+/// default) or out-of-core behind a bounded resident window
+/// ([`xsac_crypto::FileStore`]) — N concurrent sessions over one
+/// file-backed document stay O(window), not O(document), and
+/// [`DocServer::resident_bytes_peak`] proves it.
+pub struct DocServer<S: ChunkStore = MemStore> {
+    doc: ServerDoc<S>,
     key: TripleDes,
     /// Cross-session terminal leaf-hash cache (ECB-MHT; harmless for the
     /// other schemes, which never consult it).
@@ -86,16 +92,25 @@ pub struct DocServer {
     policies: Mutex<HashMap<(String, String), Arc<CompiledPolicy>>>,
 }
 
-impl DocServer {
+impl<S: ChunkStore> DocServer<S> {
     /// Wraps a prepared document for multi-session serving.
-    pub fn new(doc: ServerDoc, key: TripleDes) -> DocServer {
+    pub fn new(doc: ServerDoc<S>, key: TripleDes) -> DocServer<S> {
         let leaves = Arc::new(LeafCache::for_doc(&doc.protected));
         DocServer { doc, key, leaves, policies: Mutex::new(HashMap::new()) }
     }
 
     /// The underlying prepared document.
-    pub fn doc(&self) -> &ServerDoc {
+    pub fn doc(&self) -> &ServerDoc<S> {
         &self.doc
+    }
+
+    /// High-water mark of ciphertext-derived bytes resident in memory
+    /// (store window + every session's staging buffers), when the
+    /// backend meters residency — `None` for in-memory stores, where the
+    /// whole document is resident by construction. The bounded-memory
+    /// regression tests pin `peak ≤ window × sessions ≪ document`.
+    pub fn resident_bytes_peak(&self) -> Option<u64> {
+        self.doc.protected.store.meter().map(|m| m.resident_bytes_peak())
     }
 
     /// The shared terminal leaf-hash cache (diagnostics: how many chunks
@@ -191,6 +206,7 @@ impl DocServer {
 const _: fn() = || {
     fn assert_sync<T: Sync>() {}
     assert_sync::<DocServer>();
+    assert_sync::<DocServer<xsac_crypto::FileStore>>();
 };
 
 #[cfg(test)]

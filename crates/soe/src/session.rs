@@ -24,7 +24,8 @@ use xsac_core::output::{LogItem, OutputStats, SubtreeRef};
 use xsac_core::stats::EvalStats;
 use xsac_core::Policy;
 use xsac_crypto::protocol::AccessCost;
-use xsac_crypto::{LeafCache, SoeReader, TripleDes};
+use xsac_crypto::store::ChunkStore;
+use xsac_crypto::{LeafCache, ReadError, SoeReader, StoreError, TripleDes};
 use xsac_index::decode::{DecodedNode, Decoder, DecoderContext};
 use xsac_xpath::Automaton;
 
@@ -62,6 +63,10 @@ impl Default for SessionConfig {
 pub enum SessionError {
     /// Tampering detected by the integrity layer.
     Integrity(xsac_crypto::IntegrityError),
+    /// The ciphertext store failed (short read, I/O error, truncation) —
+    /// out-of-core backends are fallible; a storage fault aborts the
+    /// session exactly like tampering, with nothing partially delivered.
+    Store(StoreError),
     /// Malformed encoded document.
     Decode(xsac_index::DecodeError),
 }
@@ -70,6 +75,7 @@ impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SessionError::Integrity(e) => write!(f, "session aborted: {e}"),
+            SessionError::Store(e) => write!(f, "session aborted: {e}"),
             SessionError::Decode(e) => write!(f, "session aborted: {e}"),
         }
     }
@@ -80,6 +86,15 @@ impl std::error::Error for SessionError {}
 impl From<xsac_crypto::IntegrityError> for SessionError {
     fn from(e: xsac_crypto::IntegrityError) -> Self {
         SessionError::Integrity(e)
+    }
+}
+
+impl From<ReadError> for SessionError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Integrity(e) => SessionError::Integrity(e),
+            ReadError::Store(e) => SessionError::Store(e),
+        }
     }
 }
 
@@ -133,8 +148,8 @@ impl SessionResult {
 /// [`crate::server::DocServer`] (or call [`run_session_shared`] directly)
 /// so rule compilation and terminal leaf hashing happen once, not per
 /// session.
-pub fn run_session(
-    server: &ServerDoc,
+pub fn run_session<S: ChunkStore>(
+    server: &ServerDoc<S>,
     key: &TripleDes,
     policy: &Policy,
     query: Option<&Automaton>,
@@ -174,8 +189,8 @@ impl HandleTable {
 /// Runs one SOE session over a pre-compiled (shareable) policy and, under
 /// ECB-MHT, an optional cross-session terminal leaf-hash cache — the
 /// multi-session serving path.
-pub fn run_session_shared(
-    server: &ServerDoc,
+pub fn run_session_shared<S: ChunkStore>(
+    server: &ServerDoc<S>,
     key: &TripleDes,
     policy: &Arc<CompiledPolicy>,
     query: Option<&Automaton>,
@@ -364,9 +379,9 @@ pub fn run_session_shared(
 /// `events_buf` is the session's reusable decode buffer. Served contexts
 /// are dropped from the handle table, as are the contexts of subtrees
 /// whose condition resolved false — the table stays O(pending).
-fn serve_readbacks<'p>(
+fn serve_readbacks<'p, S: ChunkStore>(
     eval: &mut Evaluator,
-    reader: &mut SoeReader<'_>,
+    reader: &mut SoeReader<'_, S>,
     plain: &'p [u8],
     handles: &mut HandleTable,
     events_buf: &mut Vec<xsac_xml::Event<'p>>,
@@ -509,7 +524,7 @@ mod tests {
         let doc = Document::parse(&xml).unwrap();
         let k = key();
         let server = ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
-        let ciphertext_len = server.protected.ciphertext.len() as u64;
+        let ciphertext_len = server.protected.ciphertext().len() as u64;
         // `//r[x=1]//k` leaves every k subtree pending until its r's x is
         // seen, forcing a backward readback jump per record — the access
         // pattern that would thrash a single-chunk cache.
@@ -573,8 +588,8 @@ mod tests {
         let k = key();
         let mut server = ServerDoc::prepare(&doc, &k, IntegrityScheme::EcbMht, tiny_layout());
         // Tamper one ciphertext byte.
-        let n = server.protected.ciphertext.len();
-        server.protected.ciphertext[n / 2] ^= 0x80;
+        let n = server.protected.ciphertext().len();
+        server.protected.ciphertext_mut()[n / 2] ^= 0x80;
         let mut dict = server.dict.clone();
         let policy = Policy::parse("u", &[(Sign::Permit, "//a")], &mut dict).unwrap();
         let res = run_session(&server, &k, &policy, None, &SessionConfig::default());

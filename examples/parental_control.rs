@@ -59,11 +59,12 @@ fn main() {
     }
 
     // Tampering with the feed (e.g. splicing an R-rated block over a G
-    // one) is detected before anything is delivered.
+    // one) is detected before anything is delivered. Flip a ciphertext
+    // bit — a swap of two positions can silently no-op when the bytes
+    // happen to coincide, which this very feed demonstrates.
     let mut tampered =
         ServerDoc::prepare(&feed, &key, IntegrityScheme::EcbMht, ChunkLayout::default());
-    let n = tampered.protected.ciphertext.len();
-    tampered.protected.ciphertext.swap(8, n - 8);
+    tampered.protected.ciphertext_mut()[8] ^= 0x01;
     let mut dict = tampered.dict.clone();
     let policy = Policy::parse("parent", &[(Sign::Permit, "//feed")], &mut dict).expect("rules");
     let config = SessionConfig { strategy: Strategy::Tcsbr, cost: CostModel::smartcard() };

@@ -118,8 +118,8 @@ fn every_scheme_but_ecb_detects_tampering() {
     let doc = small_hospital();
     for scheme in [IntegrityScheme::CbcSha, IntegrityScheme::CbcShac, IntegrityScheme::EcbMht] {
         let mut server = ServerDoc::prepare(&doc, &key(), scheme, layout());
-        let n = server.protected.ciphertext.len();
-        server.protected.ciphertext[n / 3] ^= 0x04;
+        let n = server.protected.ciphertext().len();
+        server.protected.ciphertext_mut()[n / 3] ^= 0x04;
         let mut dict = server.dict.clone();
         let policy = Policy::parse("u", &[(Sign::Permit, "//Folder")], &mut dict).unwrap();
         let res = run_session(&server, &key(), &policy, None, &SessionConfig::default());
@@ -133,10 +133,10 @@ fn block_swap_attack_rejected() {
     // access control manager" — swap two ciphertext blocks.
     let doc = small_hospital();
     let mut server = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, layout());
-    let n = server.protected.ciphertext.len();
+    let n = server.protected.ciphertext().len();
     let (a, b) = (n / 4 / 8 * 8, n / 2 / 8 * 8);
     for i in 0..8 {
-        server.protected.ciphertext.swap(a + i, b + i);
+        server.protected.ciphertext_mut().swap(a + i, b + i);
     }
     let mut dict = server.dict.clone();
     let policy = Policy::parse("u", &[(Sign::Permit, "//Folder")], &mut dict).unwrap();

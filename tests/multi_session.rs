@@ -103,7 +103,7 @@ fn warm_cache_metering_sums_to_at_most_one_document() {
     let server = doc_server(IntegrityScheme::EcbMht);
     let specs = workload(&server);
     let results = server.serve_concurrent(&specs, 4);
-    let ciphertext_len = server.doc().protected.ciphertext.len() as u64;
+    let ciphertext_len = server.doc().protected.ciphertext().len() as u64;
     let total: u64 = results.iter().map(|r| r.as_ref().unwrap().cost.terminal_bytes_hashed).sum();
     assert!(total > 0, "somebody must hash the touched chunks");
     assert!(

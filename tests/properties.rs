@@ -100,13 +100,13 @@ proptest! {
         let doc = Document::parse(&xml).unwrap();
         let mut server = xsac::soe::ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, layout());
         let (pos, bit) = flip;
-        let n = server.protected.ciphertext.len();
+        let n = server.protected.ciphertext().len();
         let d = server.protected.digests.len();
         let total = n + d * 24;
         let pos = pos as usize % total;
         let mask = 1u8 << (bit % 8);
         if pos < n {
-            server.protected.ciphertext[pos] ^= mask;
+            server.protected.ciphertext_mut()[pos] ^= mask;
         } else {
             let di = (pos - n) / 24;
             let off = (pos - n) % 24;
