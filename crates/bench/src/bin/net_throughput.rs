@@ -1,0 +1,189 @@
+//! Networked serving throughput: in-process sessions vs sessions whose
+//! ciphertext crosses a loopback socket through `RemoteStore`, across
+//! fetch batch sizes and client window sizes. Writes `BENCH_net.json` at
+//! the repo root (see `docs/BENCHMARKS.md`).
+//!
+//! Two deployments of the *same* document and workload:
+//!
+//! * **local** — the PR-3 path: a `DocServer` over the in-memory store,
+//!   everything in one address space;
+//! * **remote** — a `ChunkServer` publishes the document on 127.0.0.1;
+//!   the client connects, builds a `DocServer` over the `RemoteStore`
+//!   backend, and runs the *same* sessions — every ciphertext byte now
+//!   pays framing + a socket hop, amortized by the client chunk window
+//!   and the batched `GetChunks` read-ahead.
+//!
+//! The interesting ratio is remote/local per profile: with a sane window
+//! and batch ≥ 4 it stays a small constant, because the pipeline is
+//! crypto-bound, not wire-bound, once round trips are batched.
+
+use std::io::Write as _;
+use std::time::Instant;
+use xsac_bench::demo_key;
+use xsac_crypto::chunk::ChunkLayout;
+use xsac_crypto::IntegrityScheme;
+use xsac_datagen::{hospital::physician_name, Dataset, Profile};
+use xsac_net::{connect, ChunkServer, ClientConfig};
+use xsac_soe::{DocServer, ServerDoc, SessionSpec};
+
+const SESSIONS_PER_BATCH: usize = 8;
+const REPS: usize = 3;
+const BATCHES: [usize; 3] = [1, 4, 8];
+const WINDOWS: [usize; 2] = [8 * 1024, 32 * 1024];
+
+struct Row {
+    profile: &'static str,
+    backend: String,
+    batch_chunks: usize,
+    window_bytes: usize,
+    ns_per_session: f64,
+}
+
+fn specs_for(dict: &xsac_xml::TagDict, profile: Profile) -> Vec<SessionSpec> {
+    (0..SESSIONS_PER_BATCH)
+        .map(|_| {
+            let mut dict = dict.clone();
+            SessionSpec::new(profile.name(), profile.policy(&physician_name(0), &mut dict))
+        })
+        .collect()
+}
+
+fn time_batch<S: xsac_crypto::ChunkStore>(server: &DocServer<S>, specs: &[SessionSpec]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for r in server.serve_batch(specs) {
+            r.expect("session");
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / specs.len() as f64);
+    }
+    best
+}
+
+fn main() {
+    let doc = Dataset::Hospital.generate(0.03, 42);
+    let layout = ChunkLayout::default();
+    let scheme = IntegrityScheme::EcbMht;
+
+    let mem = ServerDoc::prepare(&doc, &demo_key(), scheme, layout);
+    let doc_bytes = mem.protected.ciphertext_len();
+    let mem_server = DocServer::new(mem, demo_key());
+
+    let published = ServerDoc::prepare(&doc, &demo_key(), scheme, layout);
+    let handle = ChunkServer::new(published, "bench").spawn("127.0.0.1:0").expect("spawn server");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for profile in Profile::figure9() {
+        let specs = specs_for(&mem_server.doc().dict, profile);
+        rows.push(Row {
+            profile: profile.name(),
+            backend: "local".to_owned(),
+            batch_chunks: 0,
+            window_bytes: 0,
+            ns_per_session: time_batch(&mem_server, &specs),
+        });
+        for window_bytes in WINDOWS {
+            for batch_chunks in BATCHES {
+                let remote = connect(
+                    handle.addr(),
+                    "bench",
+                    ClientConfig { window_bytes, batch_chunks, ..ClientConfig::default() },
+                )
+                .expect("connect");
+                let remote_server = DocServer::new(remote, demo_key());
+                rows.push(Row {
+                    profile: profile.name(),
+                    backend: format!("remote/b{batch_chunks}/w{}k", window_bytes / 1024),
+                    batch_chunks,
+                    window_bytes,
+                    ns_per_session: time_batch(&remote_server, &specs),
+                });
+            }
+        }
+    }
+    handle.shutdown().expect("shutdown");
+
+    // The acceptance contract: batched remote serving stays within a
+    // small constant factor of in-memory (the pipeline is crypto-bound,
+    // not wire-bound). Checked at the friendliest configuration so a
+    // noisy shared host doesn't flake the gate; the full matrix is in
+    // the JSON for the real reading.
+    for profile in Profile::figure9() {
+        let local = rows
+            .iter()
+            .find(|r| r.profile == profile.name() && r.backend == "local")
+            .expect("local row");
+        let best_remote = rows
+            .iter()
+            .filter(|r| r.profile == profile.name() && r.batch_chunks >= 4)
+            .map(|r| r.ns_per_session)
+            .fold(f64::INFINITY, f64::min);
+        let factor = best_remote / local.ns_per_session;
+        assert!(
+            factor < 10.0,
+            "{}: best batched remote is {factor:.1}× local — the wire is dominating",
+            profile.name()
+        );
+    }
+
+    for r in &rows {
+        println!(
+            "{:<12} {:<16}: {:>10.1} sessions/s",
+            r.profile,
+            r.backend,
+            1e9 / r.ns_per_session
+        );
+    }
+
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let path = output_dir().join("BENCH_net.json");
+    let mut body = String::from("{\n  \"bench\": \"net\",\n");
+    body.push_str(&format!("  \"cpus\": {cpus},\n"));
+    body.push_str(&format!("  \"doc_bytes\": {doc_bytes},\n"));
+    body.push_str(&format!("  \"sessions_per_batch\": {SESSIONS_PER_BATCH},\n"));
+    body.push_str("  \"scheme\": \"ECB-MHT\",\n");
+    body.push_str("  \"transport\": \"tcp-loopback\",\n");
+    body.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"group\": \"net/ECB-MHT\", \"name\": \"{}/{}\", \"backend\": \"{}\", \
+             \"batch_chunks\": {}, \"window_bytes\": {}, \"ns_per_iter\": {:.1}, \
+             \"sessions_per_sec\": {:.1}}}{}\n",
+            r.profile,
+            r.backend,
+            r.backend,
+            r.batch_chunks,
+            r.window_bytes,
+            r.ns_per_session,
+            1e9 / r.ns_per_session,
+            sep
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// `XSAC_BENCH_DIR`, else the enclosing repository root, else `.` (same
+/// convention as the criterion shim).
+fn output_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("XSAC_BENCH_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join(".git").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}

@@ -154,6 +154,16 @@ pub struct AccessCost {
     pub terminal_bytes_hashed: u64,
     /// Number of read requests.
     pub reads: u64,
+    /// Bytes transferred to the SOE *more than once*: the working buffer
+    /// holds only the last fetched unit, so revisiting an earlier span
+    /// (e.g. a pending readback over a multi-chunk bulk delivery) pays
+    /// the channel again — and, over a networked store, extra round
+    /// trips. Always ≤ [`bytes_to_soe`](AccessCost::bytes_to_soe) (these
+    /// bytes are part of it); the audit keeps the cost model honest
+    /// about re-transfer, which a per-request view would undercount.
+    /// Tracked block-granular by a terminal-side bitmap (1 bit per
+    /// 8-byte block, ~doc/64 bytes — free, abundant terminal memory).
+    pub bytes_refetched: u64,
 }
 
 impl AccessCost {
@@ -165,6 +175,7 @@ impl AccessCost {
         self.digests_decrypted += other.digests_decrypted;
         self.terminal_bytes_hashed += other.terminal_bytes_hashed;
         self.reads += other.reads;
+        self.bytes_refetched += other.bytes_refetched;
     }
 }
 
@@ -276,6 +287,10 @@ pub struct SoeReader<'a, S: ChunkStore = MemStore> {
     /// — including the backward jumps of pending-subtree readbacks. None
     /// of this occupies SOE memory.
     leaves: Option<Arc<LeafCache>>,
+    /// Terminal-side audit bitmap: one bit per 8-byte block that has
+    /// crossed the channel at least once, so re-transfers are metered
+    /// ([`AccessCost::bytes_refetched`]). Lazily sized on first fetch.
+    fetched_blocks: Vec<u64>,
     /// Accumulated costs.
     pub cost: AccessCost,
 }
@@ -293,6 +308,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
             registered_resident: 0,
             digest_cache: None,
             leaves: None,
+            fetched_blocks: Vec::new(),
             cost: AccessCost::default(),
         }
     }
@@ -430,6 +446,22 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
         }
     }
 
+    /// Meters the unit `lo..hi` (block-aligned, like every fetch unit)
+    /// into the refetch audit: blocks seen before are charged to
+    /// [`AccessCost::bytes_refetched`], then all are marked seen.
+    fn note_unit_fetched(&mut self, lo: usize, hi: usize) {
+        if self.fetched_blocks.is_empty() {
+            self.fetched_blocks = vec![0u64; self.doc.store.len().div_ceil(BLOCK).div_ceil(64)];
+        }
+        for block in lo / BLOCK..hi.div_ceil(BLOCK) {
+            let (word, bit) = (block / 64, 1u64 << (block % 64));
+            if self.fetched_blocks[word] & bit != 0 {
+                self.cost.bytes_refetched += BLOCK as u64;
+            }
+            self.fetched_blocks[word] |= bit;
+        }
+    }
+
     /// The chunk's encrypted digest record, or an integrity error if the
     /// (untrusted) digest table does not cover it — a truncated table is
     /// an attack, not a panic.
@@ -459,6 +491,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 self.stage(f_lo, f_hi)?;
                 self.cost.bytes_to_soe += (f_hi - f_lo) as u64;
                 self.cost.bytes_decrypted += (f_hi - f_lo) as u64;
+                self.note_unit_fetched(f_lo, f_hi);
                 posxor_decrypt_in_place(self.key, &mut self.cache, (f_lo / BLOCK) as u64);
             }
             IntegrityScheme::CbcSha => {
@@ -470,6 +503,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 self.cost.bytes_decrypted += (chunk_len + DIGEST_RECORD) as u64;
                 self.cost.bytes_hashed += chunk_len as u64;
                 self.cost.digests_decrypted += 1;
+                self.note_unit_fetched(chunk_range.start, chunk_range.end);
                 cbc_decrypt_in_place(self.key, &mut self.cache, crate::chunk::chunk_iv(ci));
                 let expect = decrypt_digest(self.key, ci, self.digest_record(ci)?);
                 if sha1(&self.cache) != expect {
@@ -485,6 +519,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 self.cost.bytes_hashed += chunk_len as u64;
                 self.cost.digests_decrypted += 1;
                 self.cost.bytes_decrypted += DIGEST_RECORD as u64;
+                self.note_unit_fetched(chunk_range.start, chunk_range.end);
                 let expect = decrypt_digest(self.key, ci, self.digest_record(ci)?);
                 if sha1(&self.cache) != expect {
                     return Err(IntegrityError { chunk: ci }.into());
@@ -528,6 +563,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 }
                 // All fallible store reads are behind us: charge the unit.
                 self.cost.bytes_to_soe += (f_hi - f_lo) as u64;
+                self.note_unit_fetched(f_lo, f_hi);
                 let f_idx = (f_lo - chunk_range.start) / layout.fragment_size;
                 let proof = range_proof(leaves, f_idx..f_idx + 1);
                 self.cost.bytes_to_soe += (proof.len() * 20) as u64;
@@ -791,6 +827,7 @@ mod tests {
             digests_decrypted: warm.cost.digests_decrypted - before.digests_decrypted,
             terminal_bytes_hashed: warm.cost.terminal_bytes_hashed - before.terminal_bytes_hashed,
             reads: warm.cost.reads - before.reads,
+            bytes_refetched: warm.cost.bytes_refetched - before.bytes_refetched,
         };
         assert_eq!(warm_delta.bytes_to_soe, fresh.cost.bytes_to_soe - DIGEST_RECORD as u64);
         assert_eq!(warm_delta.bytes_decrypted, fresh.cost.bytes_decrypted - DIGEST_RECORD as u64);
@@ -983,6 +1020,45 @@ mod tests {
             }
             assert_eq!(mem.cost, file.cost, "{scheme:?}: metering diverged across backends");
         }
+    }
+
+    #[test]
+    fn revisit_of_multi_chunk_span_is_metered_as_refetch() {
+        // The PR-4 caveat, now audited: the working buffer holds one
+        // unit, so revisiting an earlier span of a multi-chunk bulk read
+        // re-transfers it — `bytes_refetched` pins the exact figure so a
+        // remote store's extra round trips can't be undercounted.
+        let (p, _) = doc(IntegrityScheme::Ecb, 3 * 2048);
+        let k = key();
+        let mut r = SoeReader::new(&p, &k);
+        // Bulk span over three chunks: every unit is fresh.
+        r.read(0, 3 * 2048).unwrap();
+        assert_eq!(r.cost.bytes_refetched, 0, "first pass transfers nothing twice");
+        // Revisit of the first chunk: the working buffer holds only the
+        // last unit, so the covering blocks cross the channel again.
+        r.read(0, 64).unwrap();
+        assert_eq!(r.cost.bytes_refetched, 64, "revisited covering blocks are re-transfers");
+        // A consecutive read inside the fresh working buffer is free.
+        r.read(0, 32).unwrap();
+        assert_eq!(r.cost.bytes_refetched, 64);
+        // And the audit stays ≤ the total channel figure.
+        assert!(r.cost.bytes_refetched <= r.cost.bytes_to_soe);
+
+        // A backward jump into a *never-fetched* region (a skipped
+        // subtree read back later) is not a refetch.
+        let mut fresh = SoeReader::new(&p, &k);
+        fresh.read(2048, 8).unwrap();
+        fresh.read(0, 8).unwrap();
+        assert_eq!(fresh.cost.bytes_refetched, 0, "first touch is never a refetch");
+
+        // Same audit under ECB-MHT: refetching one fragment re-transfers
+        // exactly that fragment.
+        let (p, _) = doc(IntegrityScheme::EcbMht, 2 * 2048);
+        let mut r = SoeReader::new(&p, &k);
+        r.read(0, 8).unwrap(); // fragment 0
+        r.read(2048, 8).unwrap(); // another chunk: working buffer moves on
+        r.read(0, 8).unwrap(); // fragment 0 again
+        assert_eq!(r.cost.bytes_refetched, p.layout.fragment_size as u64);
     }
 
     #[test]

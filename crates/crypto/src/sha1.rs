@@ -108,29 +108,98 @@ impl Sha1 {
 /// The SHA-1 compression function. A free function over disjoint borrows
 /// so callers can compress straight out of input slices or the staging
 /// buffer without copying the block first.
+///
+/// The 80 rounds are fully unrolled with the message schedule kept as a
+/// 16-word circular buffer (`w[t] = w[t & 15]`, expanded in place), and
+/// the five working variables rotate through the round macro's argument
+/// order instead of being shuffled — no 80-word schedule array, no
+/// per-round `match`, no register moves. ECB-MHT sessions are hash-bound
+/// (every fragment fetched is hashed, plus two digests per proof level),
+/// so this loop is the terminal *and* SOE hot path.
+// The ring writes of the final five expansions are never read again; the
+// expansion macro stays uniform (and the optimizer drops the dead stores).
+#[allow(unused_assignments)]
 fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
-    let mut w = [0u32; 80];
+    let mut w = [0u32; 16];
     for (i, chunk) in block.chunks_exact(4).enumerate() {
         w[i] = u32::from_be_bytes(chunk.try_into().expect("4"));
     }
-    for i in 16..80 {
-        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-    }
     let [mut a, mut b, mut c, mut d, mut e] = *state;
-    for (i, &wi) in w.iter().enumerate() {
-        let (f, k) = match i {
-            0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
-            20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-            _ => (b ^ c ^ d, 0xCA62_C1D6),
-        };
-        let tmp = a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wi);
-        e = d;
-        d = c;
-        c = b.rotate_left(30);
-        b = a;
-        a = tmp;
+
+    // Schedule expansion for round `t ≥ 16`, in place in the ring.
+    macro_rules! wexp {
+        ($t:expr) => {{
+            let x = (w[($t + 13) & 15] ^ w[($t + 8) & 15] ^ w[($t + 2) & 15] ^ w[$t & 15])
+                .rotate_left(1);
+            w[$t & 15] = x;
+            x
+        }};
     }
+    // One round: `e += rotl5(a) + f(b,c,d) + k + w`, `b = rotl30(b)`.
+    // Callers pass the working variables rotated one position per round,
+    // so the permutation costs nothing.
+    macro_rules! round {
+        ($a:expr, $b:expr, $c:expr, $d:expr, $e:expr, $f:expr, $k:expr, $w:expr) => {
+            $e = $e
+                .wrapping_add($a.rotate_left(5))
+                .wrapping_add($f)
+                .wrapping_add($k)
+                .wrapping_add($w);
+            $b = $b.rotate_left(30);
+        };
+    }
+    macro_rules! r5 {
+        ($t:expr, $ff:ident, $k:expr, $wi:ident) => {
+            round!(a, b, c, d, e, $ff!(b, c, d), $k, $wi!($t));
+            round!(e, a, b, c, d, $ff!(a, b, c), $k, $wi!($t + 1));
+            round!(d, e, a, b, c, $ff!(e, a, b), $k, $wi!($t + 2));
+            round!(c, d, e, a, b, $ff!(d, e, a), $k, $wi!($t + 3));
+            round!(b, c, d, e, a, $ff!(c, d, e), $k, $wi!($t + 4));
+        };
+    }
+    macro_rules! ch {
+        ($x:expr, $y:expr, $z:expr) => {
+            ($x & $y) | (!$x & $z)
+        };
+    }
+    macro_rules! parity {
+        ($x:expr, $y:expr, $z:expr) => {
+            $x ^ $y ^ $z
+        };
+    }
+    macro_rules! maj {
+        ($x:expr, $y:expr, $z:expr) => {
+            ($x & $y) | ($x & $z) | ($y & $z)
+        };
+    }
+    macro_rules! wload {
+        ($t:expr) => {
+            w[$t]
+        };
+    }
+
+    r5!(0, ch, 0x5A82_7999, wload);
+    r5!(5, ch, 0x5A82_7999, wload);
+    r5!(10, ch, 0x5A82_7999, wload);
+    // Boundary group: round 15 still loads, 16..19 start expanding.
+    round!(a, b, c, d, e, ch!(b, c, d), 0x5A82_7999, wload!(15));
+    round!(e, a, b, c, d, ch!(a, b, c), 0x5A82_7999, wexp!(16));
+    round!(d, e, a, b, c, ch!(e, a, b), 0x5A82_7999, wexp!(17));
+    round!(c, d, e, a, b, ch!(d, e, a), 0x5A82_7999, wexp!(18));
+    round!(b, c, d, e, a, ch!(c, d, e), 0x5A82_7999, wexp!(19));
+    r5!(20, parity, 0x6ED9_EBA1, wexp);
+    r5!(25, parity, 0x6ED9_EBA1, wexp);
+    r5!(30, parity, 0x6ED9_EBA1, wexp);
+    r5!(35, parity, 0x6ED9_EBA1, wexp);
+    r5!(40, maj, 0x8F1B_BCDC, wexp);
+    r5!(45, maj, 0x8F1B_BCDC, wexp);
+    r5!(50, maj, 0x8F1B_BCDC, wexp);
+    r5!(55, maj, 0x8F1B_BCDC, wexp);
+    r5!(60, parity, 0xCA62_C1D6, wexp);
+    r5!(65, parity, 0xCA62_C1D6, wexp);
+    r5!(70, parity, 0xCA62_C1D6, wexp);
+    r5!(75, parity, 0xCA62_C1D6, wexp);
+
     state[0] = state[0].wrapping_add(a);
     state[1] = state[1].wrapping_add(b);
     state[2] = state[2].wrapping_add(c);

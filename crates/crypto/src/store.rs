@@ -205,39 +205,239 @@ impl ChunkStore for MemStore {
     }
 }
 
-/// One resident chunk of a [`FileStore`] window. The bytes are behind an
+/// One resident chunk of a [`ChunkWindow`]. The bytes are behind an
 /// `Arc` so a request can copy from them after releasing the window lock.
 struct WindowSlot {
     chunk: usize,
     bytes: Arc<Vec<u8>>,
 }
 
-struct FileInner {
-    file: File,
+struct WindowInner {
     /// LRU window of resident chunks, most recently used at the back.
     window: VecDeque<WindowSlot>,
     /// Sum of `bytes.len()` over the window.
     resident: usize,
+    /// Bitmap of chunks ever fetched from the backend (refetch stats).
+    ever: Vec<u64>,
 }
 
-/// The out-of-core backend: ciphertext in a file, with a small LRU window
-/// of recently-read chunks resident in memory.
+/// A bounded LRU window of resident ciphertext chunks with metered
+/// residency — the client-side caching core shared by every out-of-core
+/// backend ([`FileStore`] over a local file, `xsac-net`'s `RemoteStore`
+/// over a socket), so the backends cannot drift in their memory
+/// behaviour.
 ///
-/// Reads are served chunk-at-a-time through the window; the window is
-/// bounded by `window_bytes` (at least one chunk always fits, so a
-/// pathological configuration degrades to re-reading, never to an error)
-/// and every byte it holds is tracked by the store's [`ResidencyMeter`].
-/// The store is `Sync`: concurrent sessions share one window behind a
-/// mutex — the lock covers only the (cold) file reads and the LRU
-/// bookkeeping; a warm hit merely clones the slot's `Arc` under the
-/// lock and copies outside it, and decryption/verification never hold
-/// it.
-pub struct FileStore {
-    len: usize,
+/// The window is bounded by `window_bytes` (at least one chunk always
+/// fits, so a pathological configuration degrades to re-fetching, never
+/// to an error) and every byte it holds is tracked by the window's
+/// [`ResidencyMeter`]. The window is `Sync`: concurrent sessions share
+/// it behind a mutex — the lock covers the (cold) backend fetches and
+/// the LRU bookkeeping; a warm hit merely clones the slot's `Arc` under
+/// the lock and copies outside it, and decryption/verification never
+/// hold it. The window also counts backend `fetches`/`refetches`: a
+/// refetch (a chunk fetched again after eviction) is exactly the figure
+/// a remote backend pays an extra round trip for.
+pub struct ChunkWindow {
+    doc_len: usize,
     chunk_size: usize,
     window_bytes: usize,
-    inner: Mutex<FileInner>,
+    inner: Mutex<WindowInner>,
     meter: ResidencyMeter,
+    fetches: AtomicU64,
+    refetches: AtomicU64,
+}
+
+impl ChunkWindow {
+    /// An empty window over a document of `doc_len` ciphertext bytes in
+    /// chunks of `chunk_size`, bounded by `window_bytes`.
+    pub fn new(doc_len: usize, chunk_size: usize, window_bytes: usize) -> ChunkWindow {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let chunks = doc_len.div_ceil(chunk_size);
+        ChunkWindow {
+            doc_len,
+            chunk_size,
+            window_bytes,
+            inner: Mutex::new(WindowInner {
+                window: VecDeque::new(),
+                resident: 0,
+                ever: vec![0; chunks.div_ceil(64)],
+            }),
+            meter: ResidencyMeter::default(),
+            fetches: AtomicU64::new(0),
+            refetches: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured resident-window bound in bytes.
+    pub fn window_bytes(&self) -> usize {
+        self.window_bytes
+    }
+
+    /// The chunk size the window is organized around.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Number of chunks the document spans.
+    pub fn chunk_count(&self) -> usize {
+        self.doc_len.div_ceil(self.chunk_size)
+    }
+
+    /// Stored length of chunk `ci` (the tail chunk may be partial).
+    pub fn chunk_len(&self, ci: usize) -> usize {
+        let start = ci * self.chunk_size;
+        (start + self.chunk_size).min(self.doc_len) - start
+    }
+
+    /// Number of chunks currently resident.
+    pub fn resident_chunks(&self) -> usize {
+        self.inner.lock().expect("chunk window").window.len()
+    }
+
+    /// The window's residency meter.
+    pub fn meter(&self) -> &ResidencyMeter {
+        &self.meter
+    }
+
+    /// Backend fetches performed so far (cache misses).
+    pub fn chunk_fetches(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Backend fetches of a chunk that had already been fetched before
+    /// (evicted and needed again) — for a networked backend, round trips
+    /// the window was too small to save.
+    pub fn chunk_refetches(&self) -> u64 {
+        self.refetches.load(Ordering::Relaxed)
+    }
+
+    /// The resident bytes of chunk `ci`, fetching on a miss.
+    ///
+    /// `fetch` runs under the window lock (backend fetches need
+    /// exclusivity anyway — a file seek/read pair, a socket round trip)
+    /// and returns the chunks to make resident: at least `ci` itself,
+    /// plus any read-ahead the backend chose to bring along. Each must
+    /// be exactly [`chunk_len`](ChunkWindow::chunk_len) long. Eviction
+    /// is LRU, metered, and never evicts `ci` itself (the window always
+    /// serves the chunk it just fetched); read-ahead chunks that would
+    /// evict `ci` are dropped instead.
+    ///
+    /// Warm hits hold the lock only to clone the slot's `Arc` and touch
+    /// the LRU order; cold misses evict *first* (the incoming length is
+    /// known without fetching, so metered residency never transiently
+    /// exceeds max(window, one chunk)).
+    pub fn get_or_fetch<F>(&self, ci: usize, fetch: F) -> Result<Arc<Vec<u8>>, StoreError>
+    where
+        F: FnOnce() -> Result<Vec<(usize, Vec<u8>)>, StoreError>,
+    {
+        let mut inner = self.inner.lock().expect("chunk window");
+        let inner = &mut *inner;
+        if let Some(i) = inner.window.iter().position(|s| s.chunk == ci) {
+            let s = inner.window.remove(i).expect("indexed slot");
+            let bytes = Arc::clone(&s.bytes);
+            inner.window.push_back(s);
+            return Ok(bytes);
+        }
+        let fetched = fetch()?;
+        let mut wanted = None;
+        for (fi, bytes) in fetched {
+            debug_assert_eq!(bytes.len(), self.chunk_len(fi), "fetched chunk {fi} mis-sized");
+            let got = self.insert_locked(inner, fi, bytes, ci);
+            if fi == ci {
+                wanted = got;
+            }
+        }
+        wanted.ok_or(StoreError::ShortRead {
+            offset: ci * self.chunk_size,
+            wanted: self.chunk_len(ci),
+            got: 0,
+        })
+    }
+
+    /// Makes `bytes` resident as chunk `fi`, evicting LRU slots (never
+    /// `pinned`) until it fits; returns the resident bytes, or `None` if
+    /// the chunk was dropped to protect `pinned`. A chunk already
+    /// resident is kept (the copies are identical: stores are
+    /// read-only).
+    fn insert_locked(
+        &self,
+        inner: &mut WindowInner,
+        fi: usize,
+        bytes: Vec<u8>,
+        pinned: usize,
+    ) -> Option<Arc<Vec<u8>>> {
+        if let Some(i) = inner.window.iter().position(|s| s.chunk == fi) {
+            return Some(Arc::clone(&inner.window[i].bytes));
+        }
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        if let Some(word) = inner.ever.get_mut(fi / 64) {
+            if *word >> (fi % 64) & 1 == 1 {
+                self.refetches.fetch_add(1, Ordering::Relaxed);
+            }
+            *word |= 1 << (fi % 64);
+        }
+        let incoming = bytes.len();
+        while !inner.window.is_empty() && inner.resident + incoming > self.window_bytes {
+            // LRU, but never the pinned chunk: the window must keep
+            // serving the chunk this fetch is for. (While inserting the
+            // pinned chunk itself, it is not yet resident, so every slot
+            // is evictable.)
+            let Some(i) = inner.window.iter().position(|s| s.chunk != pinned) else {
+                // Only the pinned chunk is left: drop the incoming
+                // read-ahead chunk rather than the one being served.
+                return None;
+            };
+            let evicted = inner.window.remove(i).expect("indexed slot");
+            inner.resident -= evicted.bytes.len();
+            self.meter.sub(evicted.bytes.len() as u64);
+        }
+        let bytes = Arc::new(bytes);
+        inner.resident += incoming;
+        self.meter.add(incoming as u64);
+        inner.window.push_back(WindowSlot { chunk: fi, bytes: Arc::clone(&bytes) });
+        Some(bytes)
+    }
+
+    /// Shared `read_at` implementation over the window: splits the
+    /// request into chunks, serves each from the window, and calls
+    /// `fetch(ci, last_ci)` on a miss — `last_ci` being the last chunk
+    /// of the request, so a backend can batch the rest of the request
+    /// (and beyond) into one round trip.
+    pub fn read_at<F>(&self, offset: usize, buf: &mut [u8], mut fetch: F) -> Result<(), StoreError>
+    where
+        F: FnMut(usize, usize) -> Result<Vec<(usize, Vec<u8>)>, StoreError>,
+    {
+        check_bounds(offset, buf.len(), self.doc_len)?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let (first, last) = (offset / self.chunk_size, (offset + buf.len() - 1) / self.chunk_size);
+        for ci in first..=last {
+            let chunk_start = ci * self.chunk_size;
+            let chunk = self.get_or_fetch(ci, || fetch(ci, last))?;
+            // Copy the intersection of the request with this chunk —
+            // outside the window lock (the Arc keeps the bytes alive
+            // even if a concurrent miss evicts the slot meanwhile).
+            let lo = offset.max(chunk_start);
+            let hi = (offset + buf.len()).min(chunk_start + chunk.len());
+            buf[lo - offset..hi - offset]
+                .copy_from_slice(&chunk[lo - chunk_start..hi - chunk_start]);
+        }
+        Ok(())
+    }
+}
+
+/// The out-of-core backend: ciphertext in a file, with a small
+/// [`ChunkWindow`] of recently-read chunks resident in memory.
+///
+/// Reads are served chunk-at-a-time through the window (see
+/// [`ChunkWindow`] for the bounding, metering and locking contract); the
+/// file itself sits behind its own mutex, taken only for the cold
+/// seek/read pair.
+pub struct FileStore {
+    len: usize,
+    file: Mutex<File>,
+    window: ChunkWindow,
 }
 
 impl FileStore {
@@ -247,13 +447,10 @@ impl FileStore {
     pub fn open(path: &Path, chunk_size: usize, window_bytes: usize) -> io::Result<FileStore> {
         let file = File::open(path)?;
         let len = file.metadata()?.len() as usize;
-        assert!(chunk_size > 0, "chunk size must be positive");
         Ok(FileStore {
             len,
-            chunk_size,
-            window_bytes,
-            inner: Mutex::new(FileInner { file, window: VecDeque::new(), resident: 0 }),
-            meter: ResidencyMeter::default(),
+            file: Mutex::new(file),
+            window: ChunkWindow::new(len, chunk_size, window_bytes),
         })
     }
 
@@ -276,60 +473,28 @@ impl FileStore {
 
     /// The configured resident-window bound in bytes.
     pub fn window_bytes(&self) -> usize {
-        self.window_bytes
+        self.window.window_bytes()
     }
 
     /// Number of chunks currently resident in the window.
     pub fn resident_chunks(&self) -> usize {
-        self.inner.lock().expect("file store window").window.len()
+        self.window.resident_chunks()
     }
 
-    /// The resident bytes of chunk `ci`, from the window or the file.
-    ///
-    /// Warm hits hold the lock only to clone the slot's `Arc` and touch
-    /// the LRU order; cold misses evict *first* (the incoming length is
-    /// known without reading, so metered residency never transiently
-    /// exceeds max(window, one chunk)), then read the file under the
-    /// same lock — the seek/read pair needs exclusivity anyway.
-    fn chunk_bytes(&self, ci: usize) -> Result<Arc<Vec<u8>>, StoreError> {
-        let mut inner = self.inner.lock().expect("file store window");
-        let inner = &mut *inner;
-        if let Some(i) = inner.window.iter().position(|s| s.chunk == ci) {
-            let s = inner.window.remove(i).expect("indexed slot");
-            let bytes = Arc::clone(&s.bytes);
-            inner.window.push_back(s);
-            return Ok(bytes);
-        }
-        let incoming =
-            (ci * self.chunk_size + self.chunk_size).min(self.len) - ci * self.chunk_size;
-        while !inner.window.is_empty() && inner.resident + incoming > self.window_bytes {
-            let evicted = inner.window.pop_front().expect("non-empty window");
-            inner.resident -= evicted.bytes.len();
-            self.meter.sub(evicted.bytes.len() as u64);
-        }
-        let bytes = Arc::new(self.read_chunk_from_file(inner, ci)?);
-        inner.resident += bytes.len();
-        self.meter.add(bytes.len() as u64);
-        inner.window.push_back(WindowSlot { chunk: ci, bytes: Arc::clone(&bytes) });
-        Ok(bytes)
+    /// The store's resident window (fetch/refetch diagnostics).
+    pub fn window(&self) -> &ChunkWindow {
+        &self.window
     }
 
-    /// Reads the chunk containing byte `ci * chunk_size` from the file.
-    fn read_chunk_from_file(
-        &self,
-        inner: &mut FileInner,
-        ci: usize,
-    ) -> Result<Vec<u8>, StoreError> {
-        let start = ci * self.chunk_size;
-        let end = (start + self.chunk_size).min(self.len);
-        let mut bytes = vec![0u8; end - start];
-        inner
-            .file
-            .seek(SeekFrom::Start(start as u64))
-            .map_err(|e| StoreError::from_io(start, &e))?;
+    /// Reads chunk `ci` from the file.
+    fn read_chunk_from_file(&self, ci: usize) -> Result<Vec<u8>, StoreError> {
+        let start = ci * self.window.chunk_size();
+        let mut bytes = vec![0u8; self.window.chunk_len(ci)];
+        let mut file = self.file.lock().expect("file store file");
+        file.seek(SeekFrom::Start(start as u64)).map_err(|e| StoreError::from_io(start, &e))?;
         let mut filled = 0usize;
         while filled < bytes.len() {
-            match inner.file.read(&mut bytes[filled..]) {
+            match file.read(&mut bytes[filled..]) {
                 Ok(0) => {
                     return Err(StoreError::ShortRead {
                         offset: start,
@@ -352,27 +517,11 @@ impl ChunkStore for FileStore {
     }
 
     fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
-        check_bounds(offset, buf.len(), self.len)?;
-        if buf.is_empty() {
-            return Ok(());
-        }
-        let (first, last) = (offset / self.chunk_size, (offset + buf.len() - 1) / self.chunk_size);
-        for ci in first..=last {
-            let chunk_start = ci * self.chunk_size;
-            let chunk = self.chunk_bytes(ci)?;
-            // Copy the intersection of the request with this chunk —
-            // outside the window lock (the Arc keeps the bytes alive
-            // even if a concurrent miss evicts the slot meanwhile).
-            let lo = offset.max(chunk_start);
-            let hi = (offset + buf.len()).min(chunk_start + chunk.len());
-            buf[lo - offset..hi - offset]
-                .copy_from_slice(&chunk[lo - chunk_start..hi - chunk_start]);
-        }
-        Ok(())
+        self.window.read_at(offset, buf, |ci, _| Ok(vec![(ci, self.read_chunk_from_file(ci)?)]))
     }
 
     fn meter(&self) -> Option<&ResidencyMeter> {
-        Some(&self.meter)
+        Some(self.window.meter())
     }
 }
 
@@ -609,6 +758,51 @@ mod tests {
         assert_eq!(buf[4], data(1000)[500] ^ 0x01);
         assert_eq!(s.reads_seen(), 5);
         assert!(s.as_slice().is_none(), "corruption must not be bypassable");
+    }
+
+    #[test]
+    fn chunk_window_batched_fetch_and_refetch_stats() {
+        // A miss may bring read-ahead chunks along; later reads of those
+        // chunks hit the window (no new fetch). Refetches count only
+        // chunks fetched again after eviction.
+        let bytes = data(4 * 512);
+        let w = ChunkWindow::new(bytes.len(), 512, 2 * 512);
+        let fetch_span = |first: usize, n: usize| {
+            (first..first + n).map(|ci| (ci, bytes[ci * 512..(ci + 1) * 512].to_vec())).collect()
+        };
+        let got = w.get_or_fetch(0, || Ok(fetch_span(0, 2))).unwrap();
+        assert_eq!(&got[..], &bytes[..512]);
+        assert_eq!((w.chunk_fetches(), w.chunk_refetches()), (2, 0));
+        // Chunk 1 came along with the batch: a hit, no new fetch.
+        let got = w.get_or_fetch(1, || panic!("chunk 1 must be resident")).unwrap();
+        assert_eq!(&got[..], &bytes[512..1024]);
+        assert_eq!((w.chunk_fetches(), w.chunk_refetches()), (2, 0));
+        // Fill the window with 2 and 3 (evicts 0 and 1)…
+        w.get_or_fetch(2, || Ok(fetch_span(2, 2))).unwrap();
+        assert_eq!(w.resident_chunks(), 2);
+        // …then chunk 0 again: a refetch the window was too small to save.
+        w.get_or_fetch(0, || Ok(fetch_span(0, 1))).unwrap();
+        assert_eq!((w.chunk_fetches(), w.chunk_refetches()), (5, 1));
+        assert!(w.meter().resident_bytes_peak() <= 2 * 512);
+    }
+
+    #[test]
+    fn chunk_window_read_ahead_never_evicts_the_served_chunk() {
+        // A batch larger than the window must not evict the chunk being
+        // served; the overflowing read-ahead chunks are dropped instead.
+        let bytes = data(8 * 512);
+        let w = ChunkWindow::new(bytes.len(), 512, 2 * 512);
+        let got = w
+            .get_or_fetch(0, || {
+                Ok((0..8).map(|ci| (ci, bytes[ci * 512..(ci + 1) * 512].to_vec())).collect())
+            })
+            .unwrap();
+        assert_eq!(&got[..], &bytes[..512]);
+        assert!(w.resident_chunks() <= 2);
+        assert!(w.meter().resident_bytes_now() <= 2 * 512, "window bound violated by read-ahead");
+        let mut buf = [0u8; 8];
+        w.read_at(0, &mut buf, |_, _| panic!("chunk 0 must still be resident")).unwrap();
+        assert_eq!(buf, bytes[..8]);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The dissemination client: [`connect`] performs the handshake and
+//! returns a [`ServerDoc`]`<`[`RemoteStore`]`>` — a document whose
+//! ciphertext lives on the other end of a socket.
+//!
+//! [`RemoteStore`] implements [`ChunkStore`], so everything above it —
+//! [`SoeReader`](xsac_crypto::SoeReader) decryption and MHT/digest
+//! verification, skip-index navigation, access-control evaluation,
+//! [`DocServer`](xsac_soe::DocServer) multi-session serving — runs
+//! **unchanged** against a remote server: the paper's client-based
+//! enforcement made literal, pinned byte-for-byte by
+//! `tests/network_differential.rs`.
+//!
+//! Fetches go through the same [`ChunkWindow`] as the file backend (one
+//! caching/metering implementation, two transports) plus two
+//! network-only tricks:
+//!
+//! * **request batching** — a read spanning many chunks asks for all of
+//!   them in one `GetChunks` round trip;
+//! * **read-ahead** — on a sequential access pattern (chunk `c` right
+//!   after `c-1`) the client extends the fetch to the next
+//!   [`batch_chunks`](ClientConfig::batch_chunks) chunks, so a scan pays
+//!   one round trip per batch instead of per chunk.
+//!
+//! Transport failures, server-sent faults and framing violations all
+//! surface as the same typed [`StoreError`]s a local backend produces —
+//! a session over a dying server aborts as
+//! `SessionError::Store`, exactly like a session over a dying disk.
+
+use crate::wire::{
+    self, ChunkSpan, Fault, HelloInfo, Request, Response, WireError, DEFAULT_CLIENT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use xsac_crypto::store::{ChunkStore, ChunkWindow, ResidencyMeter, StoreError};
+use xsac_soe::ServerDoc;
+
+/// Client-side configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Resident chunk-cache bound in bytes (the [`ChunkWindow`]).
+    pub window_bytes: usize,
+    /// Most chunks fetched per round trip (batching bound and
+    /// sequential read-ahead depth). 1 disables read-ahead.
+    pub batch_chunks: usize,
+    /// Largest response frame accepted (allocation guard; must cover the
+    /// document's `Meta` frame).
+    pub max_frame: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            window_bytes: 64 << 10,
+            batch_chunks: 4,
+            max_frame: DEFAULT_CLIENT_MAX_FRAME,
+        }
+    }
+}
+
+/// A failed [`connect`] handshake.
+#[derive(Debug)]
+pub enum ConnectError {
+    /// The TCP connection could not be established.
+    Io(io::Error),
+    /// Framing or transport failure during the handshake.
+    Wire(WireError),
+    /// The server answered with a typed fault (unknown doc id, version
+    /// mismatch, …).
+    Rejected(Fault),
+    /// The server's meta payload is inconsistent with its `Hello`
+    /// announcement — a lying or confused server, refused up front.
+    MetaMismatch(&'static str),
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::Io(e) => write!(f, "connect failed: {e}"),
+            ConnectError::Wire(e) => write!(f, "handshake failed: {e}"),
+            ConnectError::Rejected(fault) => write!(f, "server rejected the session: {fault}"),
+            ConnectError::MetaMismatch(what) => {
+                write!(f, "server meta inconsistent with its Hello: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+impl From<io::Error> for ConnectError {
+    fn from(e: io::Error) -> ConnectError {
+        ConnectError::Io(e)
+    }
+}
+
+impl From<WireError> for ConnectError {
+    fn from(e: WireError) -> ConnectError {
+        match e {
+            WireError::Fault(fault) => ConnectError::Rejected(fault),
+            other => ConnectError::Wire(other),
+        }
+    }
+}
+
+/// One connection to a [`ChunkServer`](crate::server::ChunkServer),
+/// behind the lock that also serializes the request/response framing.
+struct Conn {
+    stream: TcpStream,
+    /// Reusable response frame buffer.
+    buf: Vec<u8>,
+    /// Last chunk fetched, for sequential-pattern detection.
+    last_fetched: Option<u64>,
+}
+
+impl Conn {
+    /// One request/response round trip.
+    fn call(&mut self, req: &Request, max_frame: usize) -> Result<Response, WireError> {
+        wire::write_frame(&mut self.stream, &req.encode())?;
+        wire::read_frame(&mut self.stream, max_frame, &mut self.buf)?;
+        Response::decode(&self.buf)
+    }
+}
+
+/// Remote chunk-fetch statistics (the network analogue of the
+/// [`ResidencyMeter`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// `GetChunks` round trips.
+    pub round_trips: u64,
+    /// Chunks received over the wire.
+    pub chunks_fetched: u64,
+    /// Chunks fetched over the wire *again* after window eviction —
+    /// round trips a larger window (or batch) would have saved.
+    pub chunks_refetched: u64,
+    /// Ciphertext payload bytes received.
+    pub wire_bytes: u64,
+}
+
+/// A [`ChunkStore`] whose ciphertext lives on a remote
+/// [`ChunkServer`](crate::server::ChunkServer): bounded reads become
+/// batched `GetChunks` round trips through a local [`ChunkWindow`].
+pub struct RemoteStore {
+    conn: Mutex<Conn>,
+    window: ChunkWindow,
+    doc_len: usize,
+    chunk_count: u64,
+    batch_chunks: usize,
+    max_frame: usize,
+    round_trips: AtomicU64,
+    wire_bytes: AtomicU64,
+}
+
+impl RemoteStore {
+    /// The cache window (fetch/refetch diagnostics).
+    pub fn window(&self) -> &ChunkWindow {
+        &self.window
+    }
+
+    /// Snapshot of the remote-fetch statistics.
+    pub fn stats(&self) -> RemoteStats {
+        RemoteStats {
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            chunks_fetched: self.window.chunk_fetches(),
+            chunks_refetched: self.window.chunk_refetches(),
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetches the span starting at `need_ci` in one round trip: the
+    /// rest of the current request (`req_last_ci`), extended to the full
+    /// batch depth when the access pattern is sequential, clamped to the
+    /// batch bound, the window capacity and the document end.
+    fn fetch_span(
+        &self,
+        need_ci: usize,
+        req_last_ci: usize,
+    ) -> Result<Vec<(usize, Vec<u8>)>, StoreError> {
+        let offset = need_ci * self.window.chunk_size();
+        let mut conn = self.conn.lock().expect("remote connection");
+        let sequential = need_ci > 0 && conn.last_fetched == Some(need_ci as u64 - 1);
+        let mut want = (req_last_ci - need_ci + 1).min(self.batch_chunks);
+        if sequential {
+            want = self.batch_chunks;
+        }
+        let window_cap = (self.window.window_bytes() / self.window.chunk_size()).max(1);
+        let want =
+            want.min(window_cap).min((self.chunk_count as usize).saturating_sub(need_ci)).max(1)
+                as u32;
+        let req =
+            Request::GetChunks { spans: vec![ChunkSpan { first: need_ci as u64, count: want }] };
+        let resp = conn.call(&req, self.max_frame).map_err(|e| wire_to_store(e, offset))?;
+        let chunks = match resp {
+            Response::Chunks(chunks) => chunks,
+            Response::Err(fault) => return Err(fault.into_store_error(offset)),
+            _ => {
+                return Err(StoreError::Io {
+                    offset,
+                    kind: io::ErrorKind::InvalidData,
+                    msg: "server answered GetChunks with a different message".to_owned(),
+                })
+            }
+        };
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        conn.last_fetched = Some(need_ci as u64 + want as u64 - 1);
+        let mut out = Vec::with_capacity(chunks.len());
+        for (ci, bytes) in chunks {
+            self.wire_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            let ci = ci as usize;
+            if ci >= self.chunk_count as usize || bytes.len() != self.window.chunk_len(ci) {
+                return Err(StoreError::Io {
+                    offset,
+                    kind: io::ErrorKind::InvalidData,
+                    msg: format!("server sent a mis-sized or out-of-range chunk {ci}"),
+                });
+            }
+            out.push((ci, bytes));
+        }
+        Ok(out)
+    }
+}
+
+impl ChunkStore for RemoteStore {
+    fn len(&self) -> usize {
+        self.doc_len
+    }
+
+    fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.window.read_at(offset, buf, |ci, req_last| self.fetch_span(ci, req_last))
+    }
+
+    fn meter(&self) -> Option<&ResidencyMeter> {
+        Some(self.window.meter())
+    }
+}
+
+/// Maps a wire-level failure into the typed [`StoreError`] a local
+/// backend would produce, so the read path upstream is transport-blind.
+fn wire_to_store(e: WireError, offset: usize) -> StoreError {
+    match e {
+        WireError::Fault(fault) => fault.into_store_error(offset),
+        WireError::Io { kind, msg } => StoreError::Io { offset, kind, msg },
+        other => {
+            StoreError::Io { offset, kind: io::ErrorKind::InvalidData, msg: other.to_string() }
+        }
+    }
+}
+
+/// Connects to a [`ChunkServer`](crate::server::ChunkServer), negotiates
+/// the protocol, pulls the document metadata, and assembles a servable
+/// [`ServerDoc`] over a [`RemoteStore`] — ready for
+/// [`run_session`](xsac_soe::run_session) or a client-side
+/// [`DocServer`](xsac_soe::DocServer), unchanged.
+pub fn connect(
+    addr: impl ToSocketAddrs,
+    doc_id: &str,
+    config: ClientConfig,
+) -> Result<ServerDoc<RemoteStore>, ConnectError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut conn = Conn { stream, buf: Vec::new(), last_fetched: None };
+
+    let hello = Request::Hello { version: PROTOCOL_VERSION, doc_id: doc_id.to_owned() };
+    let info: HelloInfo = match conn.call(&hello, config.max_frame)? {
+        Response::Hello(info) => info,
+        Response::Err(fault) => return Err(ConnectError::Rejected(fault)),
+        _ => return Err(ConnectError::Wire(WireError::Unexpected("non-Hello reply to Hello"))),
+    };
+    if info.version != PROTOCOL_VERSION {
+        return Err(ConnectError::Rejected(Fault::VersionMismatch { server: info.version }));
+    }
+
+    let meta = match conn.call(&Request::GetMeta, config.max_frame)? {
+        Response::Meta(bytes) => crate::meta::decode_meta(&bytes)?,
+        Response::Err(fault) => return Err(ConnectError::Rejected(fault)),
+        _ => return Err(ConnectError::Wire(WireError::Unexpected("non-Meta reply to GetMeta"))),
+    };
+
+    // The meta must agree with the Hello announcement — both came from
+    // the same (untrusted) server, so this catches confusion, not
+    // malice; malice is caught by the integrity layer during reads.
+    if meta.scheme != info.scheme {
+        return Err(ConnectError::MetaMismatch("integrity scheme"));
+    }
+    if meta.layout.chunk_size != info.chunk_size as usize
+        || meta.layout.fragment_size != info.fragment_size as usize
+    {
+        return Err(ConnectError::MetaMismatch("chunk geometry"));
+    }
+    if meta.ciphertext_len != info.ciphertext_len as usize {
+        return Err(ConnectError::MetaMismatch("ciphertext length"));
+    }
+    let chunk_count = meta.ciphertext_len.div_ceil(meta.layout.chunk_size);
+    if chunk_count != info.chunk_count as usize {
+        return Err(ConnectError::MetaMismatch("chunk count"));
+    }
+    if meta.scheme.tamper_resistant() && meta.digests.len() != chunk_count {
+        return Err(ConnectError::MetaMismatch("digest table length"));
+    }
+
+    // The frame buffer just held the meta payload (proportional to the
+    // document); drop that capacity before the steady state, where
+    // frames are at most a batch of chunks — a window-bounded client
+    // must not carry a handshake-sized allocation for its lifetime.
+    conn.buf = Vec::new();
+
+    let store = RemoteStore {
+        conn: Mutex::new(conn),
+        window: ChunkWindow::new(meta.ciphertext_len, meta.layout.chunk_size, config.window_bytes),
+        doc_len: meta.ciphertext_len,
+        chunk_count: chunk_count as u64,
+        batch_chunks: config.batch_chunks.max(1),
+        max_frame: config.max_frame,
+        round_trips: AtomicU64::new(0),
+        wire_bytes: AtomicU64::new(0),
+    };
+    Ok(ServerDoc::from_meta(meta, store))
+}
+
+// Remote documents are served concurrently by a client-side `DocServer`
+// (compile-time check).
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<RemoteStore>();
+};

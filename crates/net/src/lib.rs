@@ -1,0 +1,279 @@
+//! Networked dissemination front for the xsac pipeline: the paper's
+//! deployment model (§2, Figure 2) as an actual client/server system.
+//!
+//! The paper's architecture *is* dissemination: a server — or any
+//! untrusted third party — stores the encrypted, integrity-protected
+//! document; clients pull ciphertext, decrypt, verify and enforce access
+//! control **locally**, inside their own SOE. Everything below this
+//! crate already speaks that shape ([`ChunkStore`](xsac_crypto::ChunkStore)
+//! made the ciphertext fetch path fallible and backend-generic); this
+//! crate adds the wire:
+//!
+//! * [`wire`] — a small length-prefixed binary protocol (versioned
+//!   `Hello`, `GetMeta`, batched `GetChunks`, typed fault frames) with a
+//!   max-frame guard so a malicious peer can never force unbounded
+//!   allocation;
+//! * [`server`] — [`ChunkServer`]: serves any
+//!   [`ServerDoc`](xsac_soe::ServerDoc)`<S>` (in-memory or file-backed —
+//!   disk → socket without materializing the document) to concurrent
+//!   connections over a `std::thread::scope` accept loop, with
+//!   [`NetMetrics`] serving counters;
+//! * [`client`] — [`connect`] + [`RemoteStore`]: a
+//!   [`ChunkStore`](xsac_crypto::ChunkStore) over a
+//!   connection, with a bounded client-side chunk cache (the same
+//!   [`ChunkWindow`](xsac_crypto::ChunkWindow) as the file backend) and
+//!   sequential read-ahead;
+//! * [`meta`] — serialization of the
+//!   [`DocMeta`](xsac_soe::DocMeta) dissemination payload.
+//!
+//! Because the session layer is store-generic, a complete TCSBR session —
+//! skip-index navigation, 3DES decryption, MHT/digest verification,
+//! access-control evaluation — runs client-side against a remote server
+//! **with zero changes to the session code**; `tests/network_differential.rs`
+//! (workspace root) pins byte-identical delivery logs and `AccessCost`
+//! against the in-memory backend, and typed `SessionError::Store` /
+//! `SessionError::Integrity` aborts for dead servers, truncated frames
+//! and tampered ciphertext.
+
+pub mod client;
+pub mod meta;
+pub mod server;
+pub mod wire;
+
+pub use client::{connect, ClientConfig, ConnectError, RemoteStats, RemoteStore};
+pub use server::{ChunkServer, NetMetrics, ServerHandle, WireLimits};
+pub use wire::{Fault, WireError, PROTOCOL_VERSION};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+    use xsac_core::output::reassemble_to_string;
+    use xsac_core::{Policy, Sign};
+    use xsac_crypto::chunk::ChunkLayout;
+    use xsac_crypto::store::StoreError;
+    use xsac_crypto::{ChunkStore, IntegrityScheme, TripleDes};
+    use xsac_soe::{run_session, ServerDoc, SessionConfig};
+
+    fn key() -> TripleDes {
+        TripleDes::new(*b"net-crate-test-key-24-ab")
+    }
+
+    fn tiny_layout() -> ChunkLayout {
+        ChunkLayout { chunk_size: 256, fragment_size: 32 }
+    }
+
+    fn prepared(xml: &str, scheme: IntegrityScheme) -> ServerDoc {
+        let doc = xsac_xml::Document::parse(xml).unwrap();
+        ServerDoc::prepare(&doc, &key(), scheme, tiny_layout())
+    }
+
+    fn wide_xml() -> String {
+        let mut xml = String::from("<a>");
+        for i in 0..120 {
+            xml.push_str(&format!("<r><k>keep number {i}</k><d>drop number {i}</d></r>"));
+        }
+        xml.push_str("</a>");
+        xml
+    }
+
+    #[test]
+    fn remote_session_equals_local_session() {
+        let xml = wide_xml();
+        let local = prepared(&xml, IntegrityScheme::EcbMht);
+        let handle = ChunkServer::new(prepared(&xml, IntegrityScheme::EcbMht), "doc")
+            .spawn("127.0.0.1:0")
+            .unwrap();
+        let remote = connect(handle.addr(), "doc", ClientConfig::default()).unwrap();
+
+        let mut dict = local.dict.clone();
+        let policy = Policy::parse("u", &[(Sign::Permit, "//k")], &mut dict).unwrap();
+        let a = run_session(&local, &key(), &policy, None, &SessionConfig::default()).unwrap();
+        let b = run_session(&remote, &key(), &policy, None, &SessionConfig::default()).unwrap();
+        assert_eq!(a.log, b.log, "delivery log diverged across the wire");
+        assert_eq!(a.cost, b.cost, "AccessCost diverged across the wire");
+        assert_eq!(reassemble_to_string(&dict, &a.log), reassemble_to_string(&dict, &b.log));
+        let stats = remote.protected.store.stats();
+        assert!(stats.round_trips > 0 && stats.chunks_fetched > 0);
+        assert_eq!(handle.metrics().chunks_served(), stats.chunks_fetched);
+        assert_eq!(handle.metrics().bytes_served(), stats.wire_bytes);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batching_cuts_round_trips_without_changing_results() {
+        let xml = wide_xml();
+        let handle = ChunkServer::new(prepared(&xml, IntegrityScheme::Ecb), "doc")
+            .spawn("127.0.0.1:0")
+            .unwrap();
+        let mut results = Vec::new();
+        let mut trips = Vec::new();
+        for batch in [1usize, 4] {
+            let remote = connect(
+                handle.addr(),
+                "doc",
+                ClientConfig { batch_chunks: batch, ..ClientConfig::default() },
+            )
+            .unwrap();
+            let mut buf = vec![0u8; remote.protected.ciphertext_len()];
+            remote.protected.store.read_at(0, &mut buf).unwrap();
+            results.push(buf);
+            trips.push(remote.protected.store.stats().round_trips);
+        }
+        assert_eq!(results[0], results[1], "batching must not change the bytes");
+        assert!(
+            trips[1] * 2 <= trips[0],
+            "batch=4 should need far fewer round trips: {} vs {}",
+            trips[1],
+            trips[0]
+        );
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn sequential_read_ahead_batches_a_scan() {
+        let xml = wide_xml();
+        let handle = ChunkServer::new(prepared(&xml, IntegrityScheme::Ecb), "doc")
+            .spawn("127.0.0.1:0")
+            .unwrap();
+        let remote = connect(
+            handle.addr(),
+            "doc",
+            ClientConfig { batch_chunks: 4, ..ClientConfig::default() },
+        )
+        .unwrap();
+        let store = &remote.protected.store;
+        let n_chunks = remote.protected.chunk_count();
+        assert!(n_chunks >= 8, "need a multi-chunk document, got {n_chunks}");
+        // Chunk-at-a-time sequential scan: after the first fetch, the
+        // read-ahead keeps the scan at ~1 round trip per 4 chunks.
+        let mut buf = vec![0u8; 8];
+        for ci in 0..n_chunks {
+            store.read_at(ci * 256, &mut buf).unwrap();
+        }
+        let stats = store.stats();
+        assert!(
+            stats.round_trips <= (n_chunks as u64).div_ceil(4) + 1,
+            "sequential scan of {n_chunks} chunks took {} round trips",
+            stats.round_trips
+        );
+        assert_eq!(stats.chunks_refetched, 0);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn handshake_rejections_are_typed() {
+        let xml = "<a><b>x</b></a>";
+        let handle = ChunkServer::new(prepared(xml, IntegrityScheme::Ecb), "right-id")
+            .spawn("127.0.0.1:0")
+            .unwrap();
+        match connect(handle.addr(), "wrong-id", ClientConfig::default()) {
+            Err(ConnectError::Rejected(Fault::UnknownDoc { requested })) => {
+                assert_eq!(requested, "wrong-id")
+            }
+            Err(other) => panic!("expected UnknownDoc, got {other:?}"),
+            Ok(_) => panic!("expected UnknownDoc, got a successful connect"),
+        }
+        // The server survives a rejected client and serves the next one.
+        let ok = connect(handle.addr(), "right-id", ClientConfig::default()).unwrap();
+        assert_eq!(ok.protected.ciphertext_len() % 8, 0);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_announcement_is_refused_without_allocation() {
+        // A rogue "server" announces a frame bigger than the client's
+        // limit: the client must refuse with a typed error (before any
+        // allocation — the length is checked first), not hang or abort.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rogue = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Read the client's Hello frame, then announce u32::MAX bytes.
+            let mut buf = Vec::new();
+            wire::read_frame(&mut s, 1 << 20, &mut buf).unwrap();
+            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            s.write_all(&[0u8; 16]).unwrap();
+        });
+        let Err(err) = connect(addr, "doc", ClientConfig::default()) else {
+            panic!("connect to the rogue server must fail")
+        };
+        match err {
+            ConnectError::Wire(WireError::FrameTooLarge { len, .. }) => {
+                assert_eq!(len, u32::MAX as usize)
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        rogue.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_frame_is_typed_error() {
+        // The "server" sends half a frame and closes: typed Truncated.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rogue = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            wire::read_frame(&mut s, 1 << 20, &mut buf).unwrap();
+            s.write_all(&100u32.to_le_bytes()).unwrap();
+            s.write_all(&[0x81u8; 10]).unwrap(); // 10 of the promised 100
+        });
+        let Err(err) = connect(addr, "doc", ClientConfig::default()) else {
+            panic!("connect to the rogue server must fail")
+        };
+        match err {
+            ConnectError::Wire(WireError::Truncated { wanted: 100, got: 10 }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        rogue.join().unwrap();
+    }
+
+    #[test]
+    fn server_gone_mid_reads_is_typed_store_error() {
+        let xml = wide_xml();
+        let handle = ChunkServer::new(prepared(&xml, IntegrityScheme::Ecb), "doc")
+            .spawn("127.0.0.1:0")
+            .unwrap();
+        // Tiny window: every read past the cache needs the server.
+        let remote = connect(
+            handle.addr(),
+            "doc",
+            ClientConfig { window_bytes: 1, batch_chunks: 1, ..ClientConfig::default() },
+        )
+        .unwrap();
+        let mut buf = [0u8; 8];
+        remote.protected.store.read_at(0, &mut buf).unwrap();
+        handle.shutdown().unwrap();
+        let err = remote.protected.store.read_at(512, &mut buf).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "expected a typed I/O error, got {err:?}");
+    }
+
+    #[test]
+    fn file_backed_server_disk_to_socket() {
+        // The composition the tentpole promises: prepare_to_store writes
+        // ciphertext straight to disk; ChunkServer serves it through the
+        // FileStore window; a remote client reads it back byte-exactly.
+        let xml = wide_xml();
+        let doc = xsac_xml::Document::parse(&xml).unwrap();
+        let mem = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, tiny_layout());
+        let want = mem.protected.ciphertext().to_vec();
+        let tmp = xsac_crypto::store::TempPath::new("net-disk-to-socket");
+        let file = ServerDoc::prepare_to_store(
+            &doc,
+            &key(),
+            IntegrityScheme::EcbMht,
+            tiny_layout(),
+            tmp.path(),
+            1024,
+        )
+        .unwrap();
+        let handle = ChunkServer::new(file, "doc").spawn("127.0.0.1:0").unwrap();
+        let remote = connect(handle.addr(), "doc", ClientConfig::default()).unwrap();
+        let mut got = vec![0u8; remote.protected.ciphertext_len()];
+        remote.protected.store.read_at(0, &mut got).unwrap();
+        assert_eq!(got, want, "disk → socket → client bytes diverged");
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,175 @@
+//! Serialization of [`DocMeta`] — the `GetMeta` payload.
+//!
+//! The format is a straight field-by-field binary layout using the wire
+//! primitives (little-endian integers, length-prefixed strings/byte
+//! strings), decoded through the same bounds-checked cursor as every
+//! other message: a hostile or truncated meta payload surfaces as a
+//! typed [`WireError`], never a panic. The *integrity* of the material
+//! does not rest on this layer — the digest table is encrypted and
+//! position-bound, so a server lying here can only cause verification
+//! failures client-side (the tamper tests pin this).
+
+use crate::wire::{put_bytes, Cursor, WireError};
+use xsac_crypto::chunk::{ChunkLayout, DIGEST_RECORD};
+use xsac_index::encode::{EncodedDoc, Encoding};
+use xsac_soe::DocMeta;
+use xsac_xml::TagDict;
+
+fn encoding_code(e: Encoding) -> u8 {
+    match e {
+        Encoding::NC => 0,
+        Encoding::TC => 1,
+        Encoding::TCS => 2,
+        Encoding::TCSB => 3,
+        Encoding::TCSBR => 4,
+    }
+}
+
+fn encoding_from_code(code: u8) -> Result<Encoding, WireError> {
+    Ok(match code {
+        0 => Encoding::NC,
+        1 => Encoding::TC,
+        2 => Encoding::TCS,
+        3 => Encoding::TCSB,
+        4 => Encoding::TCSBR,
+        _ => return Err(WireError::Malformed("unknown encoding")),
+    })
+}
+
+/// Serializes document metadata for the wire.
+pub fn encode_meta(meta: &DocMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Tag dictionary, in id order (entry 0 is always `#text`).
+    out.extend_from_slice(&(meta.dict.len() as u32).to_le_bytes());
+    for (_, name) in meta.dict.iter() {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    // Skip-index encoding.
+    out.push(encoding_code(meta.encoded.encoding));
+    put_bytes(&mut out, &meta.encoded.bytes);
+    out.extend_from_slice(&(meta.encoded.text_bytes as u64).to_le_bytes());
+    out.extend_from_slice(&(meta.encoded.dict_bytes as u64).to_le_bytes());
+    // Scheme + geometry + lengths.
+    out.push(crate::wire::scheme_code(meta.scheme));
+    out.extend_from_slice(&(meta.layout.chunk_size as u32).to_le_bytes());
+    out.extend_from_slice(&(meta.layout.fragment_size as u32).to_le_bytes());
+    out.extend_from_slice(&(meta.plain_len as u64).to_le_bytes());
+    out.extend_from_slice(&(meta.ciphertext_len as u64).to_le_bytes());
+    // Encrypted digest table.
+    out.extend_from_slice(&(meta.digests.len() as u32).to_le_bytes());
+    for d in &meta.digests {
+        out.extend_from_slice(d);
+    }
+    out
+}
+
+/// Parses a `GetMeta` payload.
+pub fn decode_meta(body: &[u8]) -> Result<DocMeta, WireError> {
+    let mut c = Cursor::new(body);
+    let dict_n = c.u32()? as usize;
+    let mut dict = TagDict::new();
+    for i in 0..dict_n {
+        let name = c.str()?;
+        let id = dict.intern(name);
+        if id.index() != i {
+            // Entry 0 must be `#text` (pre-interned by `TagDict::new`)
+            // and every other entry fresh — duplicates would silently
+            // renumber tags and scramble the decoded document.
+            return Err(WireError::Malformed("dictionary entries out of order"));
+        }
+    }
+    let encoding = encoding_from_code(c.u8()?)?;
+    let bytes = c.bytes()?.to_vec();
+    let text_bytes = c.u64()? as usize;
+    let dict_bytes = c.u64()? as usize;
+    let scheme = crate::wire::scheme_from_code(c.u8()?)?;
+    let layout = ChunkLayout { chunk_size: c.u32()? as usize, fragment_size: c.u32()? as usize };
+    if layout.chunk_size == 0
+        || layout.fragment_size == 0
+        || !layout.fragment_size.is_multiple_of(8)
+        || !layout.chunk_size.is_multiple_of(layout.fragment_size)
+    {
+        // `ChunkLayout::validate` asserts; a hostile geometry must be a
+        // typed error instead.
+        return Err(WireError::Malformed("invalid chunk geometry"));
+    }
+    let plain_len = c.u64()? as usize;
+    let ciphertext_len = c.u64()? as usize;
+    let digest_n = c.u32()? as usize;
+    let mut digests = Vec::with_capacity(digest_n.min(1 << 20));
+    for _ in 0..digest_n {
+        let rec: [u8; DIGEST_RECORD] =
+            c.take(DIGEST_RECORD, "digest record")?.try_into().expect("record length");
+        digests.push(rec);
+    }
+    c.finish("trailing meta bytes")?;
+    Ok(DocMeta {
+        dict,
+        encoded: EncodedDoc { encoding, bytes, text_bytes, dict_bytes },
+        scheme,
+        layout,
+        digests,
+        plain_len,
+        ciphertext_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsac_crypto::chunk::ChunkLayout;
+    use xsac_crypto::{IntegrityScheme, TripleDes};
+    use xsac_soe::ServerDoc;
+    use xsac_xml::Document;
+
+    #[test]
+    fn meta_roundtrips_byte_exactly() {
+        let doc = Document::parse("<a><b>hello</b><c>world</c></a>").unwrap();
+        let key = TripleDes::new(*b"meta-roundtrip-key-24-ab");
+        let prepared = ServerDoc::prepare(
+            &doc,
+            &key,
+            IntegrityScheme::EcbMht,
+            ChunkLayout { chunk_size: 256, fragment_size: 32 },
+        );
+        let meta = prepared.meta();
+        let decoded = decode_meta(&encode_meta(&meta)).unwrap();
+        assert_eq!(decoded.encoded.bytes, meta.encoded.bytes);
+        assert_eq!(decoded.encoded.encoding, meta.encoded.encoding);
+        assert_eq!(decoded.encoded.text_bytes, meta.encoded.text_bytes);
+        assert_eq!(decoded.encoded.dict_bytes, meta.encoded.dict_bytes);
+        assert_eq!(decoded.scheme, meta.scheme);
+        assert_eq!(decoded.layout, meta.layout);
+        assert_eq!(decoded.digests, meta.digests);
+        assert_eq!(decoded.plain_len, meta.plain_len);
+        assert_eq!(decoded.ciphertext_len, meta.ciphertext_len);
+        assert_eq!(decoded.dict.len(), meta.dict.len());
+        for (id, name) in meta.dict.iter() {
+            assert_eq!(decoded.dict.name(id), name);
+        }
+        // Re-encoding the decoded meta is byte-identical (canonical form).
+        assert_eq!(encode_meta(&decoded), encode_meta(&meta));
+    }
+
+    #[test]
+    fn hostile_meta_is_typed_error_not_panic() {
+        let doc = Document::parse("<a><b>x</b></a>").unwrap();
+        let key = TripleDes::new(*b"meta-roundtrip-key-24-ab");
+        let prepared = ServerDoc::prepare(
+            &doc,
+            &key,
+            IntegrityScheme::Ecb,
+            ChunkLayout { chunk_size: 256, fragment_size: 32 },
+        );
+        let good = encode_meta(&prepared.meta());
+        // Truncations at every prefix length parse as errors, never panic.
+        for cut in 0..good.len() {
+            assert!(decode_meta(&good[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+        // A hostile geometry (zero chunk size) is refused.
+        let mut evil = prepared.meta();
+        evil.layout = ChunkLayout { chunk_size: 0, fragment_size: 32 };
+        assert!(matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))));
+    }
+}

@@ -1,0 +1,327 @@
+//! The dissemination server: a [`ChunkServer`] publishes one prepared
+//! [`ServerDoc`] over TCP to any number of concurrent clients.
+//!
+//! The server composes with every [`ChunkStore`] backend: over a
+//! [`FileStore`](xsac_crypto::FileStore)-backed document the ciphertext
+//! flows **disk → resident window → socket** without ever being
+//! materialized, so a box serving a document larger than its RAM is just
+//! `ServerDoc::prepare_to_store` + `ChunkServer::spawn`. The server
+//! holds no keys and sees no plaintext queries or views: it is the
+//! paper's *untrusted* party, shipping ciphertext, encrypted digests and
+//! the (public) skip-index material; access control happens entirely
+//! client-side.
+//!
+//! Concurrency matches the PR-3 idiom: a threaded accept loop over
+//! `std::thread::scope`, one scoped thread per connection, no shared
+//! mutable state beyond the store's own window lock and the
+//! [`NetMetrics`] counters.
+
+use crate::wire::{
+    self, ChunkSpan, Fault, HelloInfo, Request, Response, DEFAULT_SERVER_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use xsac_crypto::store::{ChunkStore, MemStore};
+use xsac_soe::ServerDoc;
+
+/// Per-connection protocol limits enforced by the server.
+#[derive(Clone, Copy, Debug)]
+pub struct WireLimits {
+    /// Largest request frame accepted (requests are tiny; the bound is a
+    /// hostile-peer allocation guard).
+    pub max_frame: usize,
+    /// Most chunks one `GetChunks` batch may request.
+    pub max_chunks_per_request: u64,
+}
+
+impl Default for WireLimits {
+    fn default() -> WireLimits {
+        WireLimits { max_frame: DEFAULT_SERVER_MAX_FRAME, max_chunks_per_request: 256 }
+    }
+}
+
+/// Serving counters, shared between the accept loop, every connection
+/// thread, and the [`ServerHandle`] — the network-side analogue of
+/// [`ResidencyMeter`](xsac_crypto::ResidencyMeter).
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    chunks_served: AtomicU64,
+    bytes_served: AtomicU64,
+    fault_frames: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests served (all kinds), across all connections.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Ciphertext chunks shipped.
+    pub fn chunks_served(&self) -> u64 {
+        self.chunks_served.load(Ordering::Relaxed)
+    }
+
+    /// Ciphertext payload bytes shipped (chunk bodies only, not framing
+    /// or meta).
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served.load(Ordering::Relaxed)
+    }
+
+    /// Typed fault frames sent.
+    pub fn fault_frames(&self) -> u64 {
+        self.fault_frames.load(Ordering::Relaxed)
+    }
+}
+
+/// Serves one prepared document to concurrent network clients.
+pub struct ChunkServer<S: ChunkStore = MemStore> {
+    doc: ServerDoc<S>,
+    doc_id: String,
+    limits: WireLimits,
+    metrics: Arc<NetMetrics>,
+    /// The `GetMeta` payload, encoded once at construction — the
+    /// document is immutable for the server's lifetime, so per-handshake
+    /// cost is one memcpy, not a deep clone + re-serialization.
+    meta_bytes: Vec<u8>,
+    /// Reader-side clones of every *live* connection, so shutdown can
+    /// unblock their (blocking) frame reads deterministically. Entries
+    /// are pruned when their handler exits — a long-running server does
+    /// not accumulate dead fds.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl<S: ChunkStore> ChunkServer<S> {
+    /// Wraps a prepared document for network serving under `doc_id`.
+    pub fn new(doc: ServerDoc<S>, doc_id: impl Into<String>) -> ChunkServer<S> {
+        let meta_bytes = crate::meta::encode_meta(&doc.meta());
+        ChunkServer {
+            doc,
+            doc_id: doc_id.into(),
+            limits: WireLimits::default(),
+            metrics: Arc::new(NetMetrics::default()),
+            meta_bytes,
+            conns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the protocol limits.
+    pub fn with_limits(mut self, limits: WireLimits) -> ChunkServer<S> {
+        self.limits = limits;
+        self
+    }
+
+    /// The served document.
+    pub fn doc(&self) -> &ServerDoc<S> {
+        &self.doc
+    }
+
+    /// The serving counters (shared with any [`ServerHandle`]).
+    pub fn metrics(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Serves `listener` until `stop` is raised: a threaded accept loop
+    /// over `std::thread::scope`, one scoped thread per connection.
+    /// Blocks the calling thread; [`ChunkServer::spawn`] wraps it in a
+    /// background thread with a shutdown handle.
+    pub fn serve(&self, listener: TcpListener, stop: &AtomicBool) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            let mut result = Ok(());
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        self.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            self.conns.lock().expect("connection list").push(clone);
+                        }
+                        scope.spawn(move || {
+                            self.handle_conn(stream);
+                            // Drop this connection's shutdown clone (and
+                            // any entry whose peer is already gone):
+                            // dead sockets must not accumulate fds.
+                            self.conns
+                                .lock()
+                                .expect("connection list")
+                                .retain(|c| c.peer_addr().map(|a| a != peer).unwrap_or(false));
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            // Unblock every connection thread's pending read, then let
+            // the scope join them.
+            for conn in self.conns.lock().expect("connection list").drain(..) {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+            result
+        })
+    }
+
+    /// One connection's request/response loop. Transport and framing
+    /// failures end the connection (the client owns retry policy);
+    /// in-protocol problems are answered with typed fault frames and the
+    /// conversation continues.
+    fn handle_conn(&self, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let mut buf = Vec::new();
+        let mut hello_done = false;
+        loop {
+            match wire::read_frame(&mut stream, self.limits.max_frame, &mut buf) {
+                Ok(()) => {}
+                Err(_) => return, // closed, truncated, oversized or unreadable
+            }
+            self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            let response = match Request::decode(&buf) {
+                Ok(req) => self.dispatch(req, &mut hello_done),
+                Err(_) => {
+                    Response::Err(Fault::BadRequest { reason: "unparseable request".to_owned() })
+                }
+            };
+            if matches!(response, Response::Err(_)) {
+                self.metrics.fault_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            if wire::write_frame(&mut stream, &response.encode()).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&self, req: Request, hello_done: &mut bool) -> Response {
+        match req {
+            Request::Hello { version, doc_id } => {
+                if version != PROTOCOL_VERSION {
+                    return Response::Err(Fault::VersionMismatch { server: PROTOCOL_VERSION });
+                }
+                if doc_id != self.doc_id {
+                    return Response::Err(Fault::UnknownDoc { requested: doc_id });
+                }
+                *hello_done = true;
+                let p = &self.doc.protected;
+                Response::Hello(HelloInfo {
+                    version: PROTOCOL_VERSION,
+                    scheme: p.scheme,
+                    chunk_size: p.layout.chunk_size as u32,
+                    fragment_size: p.layout.fragment_size as u32,
+                    chunk_count: p.chunk_count() as u64,
+                    ciphertext_len: p.ciphertext_len() as u64,
+                })
+            }
+            Request::GetMeta if !*hello_done => out_of_order(),
+            Request::GetChunks { .. } if !*hello_done => out_of_order(),
+            Request::GetMeta => Response::Meta(self.meta_bytes.clone()),
+            Request::GetChunks { spans } => self.get_chunks(&spans),
+        }
+    }
+
+    fn get_chunks(&self, spans: &[ChunkSpan]) -> Response {
+        let p = &self.doc.protected;
+        let chunk_count = p.chunk_count() as u64;
+        let total: u64 = spans.iter().map(|s| s.count as u64).sum();
+        if total == 0 || total > self.limits.max_chunks_per_request {
+            return Response::Err(Fault::BadRequest {
+                reason: format!(
+                    "batch of {total} chunks (limit {})",
+                    self.limits.max_chunks_per_request
+                ),
+            });
+        }
+        let mut chunks = Vec::with_capacity(total as usize);
+        for span in spans {
+            let end = span.first.saturating_add(span.count as u64);
+            if end > chunk_count {
+                // Saturating: a hostile span near u64::MAX must produce
+                // a fault frame, not an overflow panic in this thread.
+                return Response::Err(Fault::OutOfBounds {
+                    offset: span.first.saturating_mul(p.layout.chunk_size as u64),
+                    len: (span.count as u64).saturating_mul(p.layout.chunk_size as u64),
+                    doc_len: p.ciphertext_len() as u64,
+                });
+            }
+            for ci in span.first..end {
+                let range = p.chunk_range(ci as usize);
+                let mut bytes = vec![0u8; range.len()];
+                if let Err(e) = p.store.read_at(range.start, &mut bytes) {
+                    return Response::Err(Fault::from_store(&e));
+                }
+                self.metrics.chunks_served.fetch_add(1, Ordering::Relaxed);
+                self.metrics.bytes_served.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                chunks.push((ci, bytes));
+            }
+        }
+        Response::Chunks(chunks)
+    }
+}
+
+fn out_of_order() -> Response {
+    Response::Err(Fault::BadRequest { reason: "request before Hello".to_owned() })
+}
+
+impl<S: ChunkStore + Send + Sync + 'static> ChunkServer<S> {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port) and
+    /// serves on a background thread; the returned handle exposes the
+    /// bound address, live metrics, and deterministic shutdown.
+    pub fn spawn(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = self.metrics();
+        let join = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || self.serve(listener, &stop)
+        });
+        Ok(ServerHandle { addr, stop, metrics, join })
+    }
+}
+
+/// A running [`ChunkServer`] spawned on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<NetMetrics>,
+    join: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Stops the accept loop, disconnects every client, joins all
+    /// connection threads, and returns the server's I/O outcome.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Release);
+        self.join.join().expect("server thread must not panic")
+    }
+}
+
+// Scoped connection threads share `&ChunkServer` (compile-time check).
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<ChunkServer>();
+    assert_sync::<ChunkServer<xsac_crypto::FileStore>>();
+};

@@ -1,0 +1,704 @@
+//! The dissemination wire protocol: length-prefixed binary frames with
+//! typed request/response messages.
+//!
+//! Every frame is `[len: u32 LE][body]` where `body` starts with a
+//! one-byte message tag. Both peers read frames through
+//! [`read_frame`], which enforces a **maximum frame length** before any
+//! allocation happens — a malicious peer can state an absurd length but
+//! can never make the other side reserve memory for it — and reports a
+//! connection that dies mid-frame as a typed [`WireError::Truncated`],
+//! never a panic or a hang on garbage.
+//!
+//! The protocol is versioned ([`PROTOCOL_VERSION`], negotiated by
+//! [`Request::Hello`]) and deliberately small — the four interactions of
+//! the dissemination model:
+//!
+//! | request | response | paper role |
+//! |---|---|---|
+//! | `Hello` | `Hello` | doc id + scheme/geometry negotiation |
+//! | `GetMeta` | `Meta` | the Figure-2 material: dictionary, skip index, digest table |
+//! | `GetChunks` | `Chunks` | batched ciphertext fetch — one round trip, many chunks |
+//! | — | `Err` | typed faults mirroring [`StoreError`] |
+//!
+//! Responses carry storage faults as structured [`Fault`] frames so the
+//! client can surface them as the *same* typed [`StoreError`]s a local
+//! backend produces: the session layer cannot tell a flaky disk from a
+//! flaky network, and aborts identically on both.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use xsac_crypto::store::StoreError;
+use xsac_crypto::IntegrityScheme;
+
+/// Protocol version spoken by this build (negotiated in `Hello`).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default maximum frame a client accepts (must cover the `Meta` frame
+/// of the largest document it expects to open).
+pub const DEFAULT_CLIENT_MAX_FRAME: usize = 64 << 20;
+
+/// Default maximum frame a server accepts — requests are tiny, so the
+/// bound is tight.
+pub const DEFAULT_SERVER_MAX_FRAME: usize = 64 << 10;
+
+/// A wire-level failure: transport I/O, framing violations, or a typed
+/// fault frame sent by the peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Transport I/O failure (connection reset, refused, …).
+    Io {
+        /// The underlying [`io::ErrorKind`].
+        kind: io::ErrorKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The connection died (or the peer stopped) mid-frame.
+    Truncated {
+        /// Bytes the frame header promised.
+        wanted: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The peer announced a frame longer than this side accepts. The
+    /// frame is rejected *before* any allocation.
+    FrameTooLarge {
+        /// Announced length.
+        len: usize,
+        /// This side's limit.
+        max: usize,
+    },
+    /// The frame's body does not parse as a message.
+    Malformed(&'static str),
+    /// A structurally valid message that is not the one expected here
+    /// (e.g. a `Chunks` response to a `GetMeta`).
+    Unexpected(&'static str),
+    /// A typed fault frame sent by the peer.
+    Fault(Fault),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io { kind, msg } => write!(f, "wire I/O error ({kind:?}): {msg}"),
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Truncated { wanted, got } => {
+                write!(f, "truncated frame: header promised {wanted} bytes, got {got}")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "peer announced a {len}-byte frame, limit is {max}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Unexpected(what) => write!(f, "unexpected message: {what}"),
+            WireError::Fault(fault) => write!(f, "peer fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io { kind: e.kind(), msg: e.to_string() }
+    }
+}
+
+/// A typed fault frame: storage errors crossing the wire (mirroring
+/// [`StoreError`] field for field) plus the protocol-level rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// [`StoreError::OutOfBounds`] on the server.
+    OutOfBounds {
+        /// Requested start offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Server-side stored length.
+        doc_len: u64,
+    },
+    /// [`StoreError::ShortRead`] on the server.
+    ShortRead {
+        /// Requested start offset.
+        offset: u64,
+        /// Bytes requested.
+        wanted: u64,
+        /// Bytes available.
+        got: u64,
+    },
+    /// [`StoreError::Io`] on the server (kind flattened into the text —
+    /// the client re-raises it as [`io::ErrorKind::Other`]).
+    Io {
+        /// Offset of the failed read.
+        offset: u64,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The requested document id is not served here.
+    UnknownDoc {
+        /// The id the client asked for.
+        requested: String,
+    },
+    /// The peers speak different protocol versions.
+    VersionMismatch {
+        /// The server's version.
+        server: u16,
+    },
+    /// A structurally valid request the server refuses (out-of-protocol
+    /// ordering, over-long batch, …).
+    BadRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::OutOfBounds { offset, len, doc_len } => {
+                write!(f, "read of {len} bytes at {offset} outside stored length {doc_len}")
+            }
+            Fault::ShortRead { offset, wanted, got } => {
+                write!(f, "short read at {offset}: wanted {wanted}, got {got}")
+            }
+            Fault::Io { offset, msg } => write!(f, "server storage I/O error at {offset}: {msg}"),
+            Fault::UnknownDoc { requested } => write!(f, "unknown document id {requested:?}"),
+            Fault::VersionMismatch { server } => {
+                write!(f, "server speaks protocol version {server}, client {PROTOCOL_VERSION}")
+            }
+            Fault::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl Fault {
+    /// Wraps a server-side storage error for the wire.
+    pub fn from_store(e: &StoreError) -> Fault {
+        match e {
+            StoreError::OutOfBounds { offset, len, doc_len } => Fault::OutOfBounds {
+                offset: *offset as u64,
+                len: *len as u64,
+                doc_len: *doc_len as u64,
+            },
+            StoreError::ShortRead { offset, wanted, got } => Fault::ShortRead {
+                offset: *offset as u64,
+                wanted: *wanted as u64,
+                got: *got as u64,
+            },
+            StoreError::Io { offset, kind, msg } => {
+                Fault::Io { offset: *offset as u64, msg: format!("{kind:?}: {msg}") }
+            }
+        }
+    }
+
+    /// Re-raises a fault as the typed [`StoreError`] a local backend
+    /// would have produced, so the read path upstream cannot tell the
+    /// difference. Protocol-level faults become I/O errors at `offset`.
+    pub fn into_store_error(self, offset: usize) -> StoreError {
+        match self {
+            Fault::OutOfBounds { offset, len, doc_len } => StoreError::OutOfBounds {
+                offset: offset as usize,
+                len: len as usize,
+                doc_len: doc_len as usize,
+            },
+            Fault::ShortRead { offset, wanted, got } => StoreError::ShortRead {
+                offset: offset as usize,
+                wanted: wanted as usize,
+                got: got as usize,
+            },
+            Fault::Io { offset, msg } => {
+                StoreError::Io { offset: offset as usize, kind: io::ErrorKind::Other, msg }
+            }
+            other => StoreError::Io { offset, kind: io::ErrorKind::Other, msg: other.to_string() },
+        }
+    }
+}
+
+/// One contiguous run of chunks in a [`Request::GetChunks`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// First chunk index.
+    pub first: u64,
+    /// Number of consecutive chunks.
+    pub count: u32,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Opens the conversation: protocol version + requested document.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Which published document the client wants.
+        doc_id: String,
+    },
+    /// Requests the document's [`DocMeta`](xsac_soe::DocMeta).
+    GetMeta,
+    /// Batched ciphertext fetch: any number of chunk runs, one round
+    /// trip.
+    GetChunks {
+        /// The requested chunk runs.
+        spans: Vec<ChunkSpan>,
+    },
+}
+
+/// What a server announces about its document in the `Hello` response —
+/// enough for the client to size its window and sanity-check the meta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// The server's protocol version.
+    pub version: u16,
+    /// Integrity scheme of the served document.
+    pub scheme: IntegrityScheme,
+    /// Chunk size in bytes.
+    pub chunk_size: u32,
+    /// Fragment size in bytes.
+    pub fragment_size: u32,
+    /// Number of ciphertext chunks.
+    pub chunk_count: u64,
+    /// Stored ciphertext length.
+    pub ciphertext_len: u64,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Successful handshake.
+    Hello(HelloInfo),
+    /// The serialized document metadata (decoded by
+    /// [`meta`](crate::meta)).
+    Meta(Vec<u8>),
+    /// Fetched chunks: `(chunk index, ciphertext bytes)` per chunk, in
+    /// request order.
+    Chunks(Vec<(u64, Vec<u8>)>),
+    /// A typed fault.
+    Err(Fault),
+}
+
+// ---- message tags ----
+const REQ_HELLO: u8 = 0x01;
+const REQ_GET_META: u8 = 0x02;
+const REQ_GET_CHUNKS: u8 = 0x03;
+const RESP_HELLO: u8 = 0x81;
+const RESP_META: u8 = 0x82;
+const RESP_CHUNKS: u8 = 0x83;
+const RESP_ERR: u8 = 0xFF;
+
+// ---- fault codes ----
+const FAULT_OOB: u8 = 1;
+const FAULT_SHORT: u8 = 2;
+const FAULT_IO: u8 = 3;
+const FAULT_UNKNOWN_DOC: u8 = 16;
+const FAULT_VERSION: u8 = 17;
+const FAULT_BAD_REQUEST: u8 = 18;
+
+/// Writes one frame: length prefix + body.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len()).expect("frame fits u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body into `buf` (reused across frames). Rejects
+/// frames longer than `max_frame` before allocating, and distinguishes a
+/// clean close between frames ([`WireError::Closed`]) from a connection
+/// dying mid-frame ([`WireError::Truncated`]).
+pub fn read_frame(r: &mut impl Read, max_frame: usize, buf: &mut Vec<u8>) -> Result<(), WireError> {
+    let mut prefix = [0u8; 4];
+    read_exact_or(r, &mut prefix, true)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 {
+        return Err(WireError::Malformed("empty frame"));
+    }
+    if len > max_frame {
+        return Err(WireError::FrameTooLarge { len, max: max_frame });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    read_exact_or(r, buf, false)
+}
+
+/// `read_exact` with typed errors: EOF at byte 0 of the length prefix is
+/// a clean close, anywhere else a truncation.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], start_of_frame: bool) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if start_of_frame && filled == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Truncated { wanted: buf.len(), got: filled })
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+// ---- little put/get primitives ----
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, u32::try_from(s.len()).expect("string fits u32"));
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over a frame body — every under-run is a
+/// typed [`WireError::Malformed`], never a slice panic.
+pub(crate) struct Cursor<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Cursor<'a> {
+        Cursor { b }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        let (&v, rest) = self.b.split_first().ok_or(WireError::Malformed("missing u8"))?;
+        self.b = rest;
+        Ok(v)
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, "missing u16")?.try_into().expect("2")))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "missing u32")?.try_into().expect("4")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "missing u64")?.try_into().expect("8")))
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.b.len() < n {
+            return Err(WireError::Malformed(what));
+        }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Ok(head)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<&'a str, WireError> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n, "string body")?)
+            .map_err(|_| WireError::Malformed("string not UTF-8"))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u32()? as usize;
+        self.take(n, "byte-string body")
+    }
+
+    pub(crate) fn finish(self, what: &'static str) -> Result<(), WireError> {
+        if self.b.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(what))
+        }
+    }
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, u32::try_from(b.len()).expect("bytes fit u32"));
+    out.extend_from_slice(b);
+}
+
+pub(crate) fn scheme_code(s: IntegrityScheme) -> u8 {
+    match s {
+        IntegrityScheme::Ecb => 0,
+        IntegrityScheme::CbcSha => 1,
+        IntegrityScheme::CbcShac => 2,
+        IntegrityScheme::EcbMht => 3,
+    }
+}
+
+pub(crate) fn scheme_from_code(code: u8) -> Result<IntegrityScheme, WireError> {
+    Ok(match code {
+        0 => IntegrityScheme::Ecb,
+        1 => IntegrityScheme::CbcSha,
+        2 => IntegrityScheme::CbcShac,
+        3 => IntegrityScheme::EcbMht,
+        _ => return Err(WireError::Malformed("unknown integrity scheme")),
+    })
+}
+
+impl Request {
+    /// Serializes the request into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { version, doc_id } => {
+                out.push(REQ_HELLO);
+                put_u16(&mut out, *version);
+                put_str(&mut out, doc_id);
+            }
+            Request::GetMeta => out.push(REQ_GET_META),
+            Request::GetChunks { spans } => {
+                out.push(REQ_GET_CHUNKS);
+                put_u16(&mut out, u16::try_from(spans.len()).expect("span count fits u16"));
+                for s in spans {
+                    put_u64(&mut out, s.first);
+                    put_u32(&mut out, s.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a frame body as a request.
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            REQ_HELLO => {
+                let version = c.u16()?;
+                let doc_id = c.str()?.to_owned();
+                Request::Hello { version, doc_id }
+            }
+            REQ_GET_META => Request::GetMeta,
+            REQ_GET_CHUNKS => {
+                let n = c.u16()? as usize;
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spans.push(ChunkSpan { first: c.u64()?, count: c.u32()? });
+                }
+                Request::GetChunks { spans }
+            }
+            _ => return Err(WireError::Malformed("unknown request tag")),
+        };
+        c.finish("trailing request bytes")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Hello(h) => {
+                out.push(RESP_HELLO);
+                put_u16(&mut out, h.version);
+                out.push(scheme_code(h.scheme));
+                put_u32(&mut out, h.chunk_size);
+                put_u32(&mut out, h.fragment_size);
+                put_u64(&mut out, h.chunk_count);
+                put_u64(&mut out, h.ciphertext_len);
+            }
+            Response::Meta(bytes) => {
+                out.push(RESP_META);
+                out.extend_from_slice(bytes);
+            }
+            Response::Chunks(chunks) => {
+                out.push(RESP_CHUNKS);
+                put_u16(&mut out, u16::try_from(chunks.len()).expect("chunk count fits u16"));
+                for (ci, bytes) in chunks {
+                    put_u64(&mut out, *ci);
+                    put_bytes(&mut out, bytes);
+                }
+            }
+            Response::Err(fault) => {
+                out.push(RESP_ERR);
+                let (code, a, b, c, msg): (u8, u64, u64, u64, &str) = match fault {
+                    Fault::OutOfBounds { offset, len, doc_len } => {
+                        (FAULT_OOB, *offset, *len, *doc_len, "")
+                    }
+                    Fault::ShortRead { offset, wanted, got } => {
+                        (FAULT_SHORT, *offset, *wanted, *got, "")
+                    }
+                    Fault::Io { offset, msg } => (FAULT_IO, *offset, 0, 0, msg.as_str()),
+                    Fault::UnknownDoc { requested } => {
+                        (FAULT_UNKNOWN_DOC, 0, 0, 0, requested.as_str())
+                    }
+                    Fault::VersionMismatch { server } => (FAULT_VERSION, *server as u64, 0, 0, ""),
+                    Fault::BadRequest { reason } => (FAULT_BAD_REQUEST, 0, 0, 0, reason.as_str()),
+                };
+                out.push(code);
+                put_u64(&mut out, a);
+                put_u64(&mut out, b);
+                put_u64(&mut out, c);
+                put_str(&mut out, msg);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame body as a response.
+    pub fn decode(body: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(body);
+        let resp = match c.u8()? {
+            RESP_HELLO => {
+                let version = c.u16()?;
+                let scheme = scheme_from_code(c.u8()?)?;
+                let hello = HelloInfo {
+                    version,
+                    scheme,
+                    chunk_size: c.u32()?,
+                    fragment_size: c.u32()?,
+                    chunk_count: c.u64()?,
+                    ciphertext_len: c.u64()?,
+                };
+                Response::Hello(hello)
+            }
+            RESP_META => {
+                // The meta payload is opaque at this layer; `meta`
+                // decodes it.
+                let rest = c.take(body.len() - 1, "meta body")?;
+                return Ok(Response::Meta(rest.to_vec()));
+            }
+            RESP_CHUNKS => {
+                let n = c.u16()? as usize;
+                let mut chunks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ci = c.u64()?;
+                    chunks.push((ci, c.bytes()?.to_vec()));
+                }
+                Response::Chunks(chunks)
+            }
+            RESP_ERR => {
+                let code = c.u8()?;
+                let (a, b, cc) = (c.u64()?, c.u64()?, c.u64()?);
+                let msg = c.str()?.to_owned();
+                let fault = match code {
+                    FAULT_OOB => Fault::OutOfBounds { offset: a, len: b, doc_len: cc },
+                    FAULT_SHORT => Fault::ShortRead { offset: a, wanted: b, got: cc },
+                    FAULT_IO => Fault::Io { offset: a, msg },
+                    FAULT_UNKNOWN_DOC => Fault::UnknownDoc { requested: msg },
+                    FAULT_VERSION => Fault::VersionMismatch {
+                        server: u16::try_from(a)
+                            .map_err(|_| WireError::Malformed("version out of range"))?,
+                    },
+                    FAULT_BAD_REQUEST => Fault::BadRequest { reason: msg },
+                    _ => return Err(WireError::Malformed("unknown fault code")),
+                };
+                Response::Err(fault)
+            }
+            _ => return Err(WireError::Malformed("unknown response tag")),
+        };
+        c.finish("trailing response bytes")?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Hello { version: PROTOCOL_VERSION, doc_id: "hospital".to_owned() },
+            Request::GetMeta,
+            Request::GetChunks {
+                spans: vec![ChunkSpan { first: 0, count: 4 }, ChunkSpan { first: 1000, count: 1 }],
+            },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Hello(HelloInfo {
+                version: 1,
+                scheme: IntegrityScheme::EcbMht,
+                chunk_size: 2048,
+                fragment_size: 128,
+                chunk_count: 34,
+                ciphertext_len: 67992,
+            }),
+            Response::Meta(vec![1, 2, 3]),
+            Response::Chunks(vec![(0, vec![9u8; 16]), (7, vec![1u8; 8])]),
+            Response::Err(Fault::OutOfBounds { offset: 10, len: 20, doc_len: 15 }),
+            Response::Err(Fault::ShortRead { offset: 1, wanted: 2, got: 0 }),
+            Response::Err(Fault::Io { offset: 3, msg: "disk on fire".to_owned() }),
+            Response::Err(Fault::UnknownDoc { requested: "nope".to_owned() }),
+            Response::Err(Fault::VersionMismatch { server: 2 }),
+            Response::Err(Fault::BadRequest { reason: "too many spans".to_owned() }),
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_guards() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello frame").unwrap();
+        let mut buf = Vec::new();
+        let mut r = &wire[..];
+        read_frame(&mut r, 1024, &mut buf).unwrap();
+        assert_eq!(buf, b"hello frame");
+        // Clean close between frames.
+        assert_eq!(read_frame(&mut r, 1024, &mut buf), Err(WireError::Closed));
+        // Truncated mid-frame.
+        let mut r = &wire[..wire.len() - 3];
+        assert!(matches!(read_frame(&mut r, 1024, &mut buf), Err(WireError::Truncated { .. })));
+        // Over-long announcement rejected before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &huge[..];
+        assert_eq!(
+            read_frame(&mut r, 1024, &mut buf),
+            Err(WireError::FrameTooLarge { len: u32::MAX as usize, max: 1024 })
+        );
+        // Zero-length frames are malformed, not an infinite loop.
+        let mut r = &0u32.to_le_bytes()[..];
+        assert!(matches!(read_frame(&mut r, 1024, &mut buf), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors() {
+        assert!(matches!(Request::decode(&[]), Err(WireError::Malformed(_))));
+        assert!(matches!(Request::decode(&[0x42]), Err(WireError::Malformed(_))));
+        assert!(matches!(Response::decode(&[RESP_CHUNKS, 1]), Err(WireError::Malformed(_))));
+        // A string length pointing past the body must not panic.
+        let mut evil = vec![REQ_HELLO, 0, 0];
+        evil.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(Request::decode(&evil), Err(WireError::Malformed(_))));
+        // Trailing garbage is rejected.
+        let mut ok = Request::GetMeta.encode();
+        ok.push(0);
+        assert!(matches!(Request::decode(&ok), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn fault_store_error_mapping_roundtrips() {
+        let errs = [
+            StoreError::OutOfBounds { offset: 1, len: 2, doc_len: 3 },
+            StoreError::ShortRead { offset: 4, wanted: 5, got: 6 },
+        ];
+        for e in errs {
+            assert_eq!(Fault::from_store(&e).into_store_error(0), e);
+        }
+        // Io keeps offset and message, flattening the kind into the text.
+        let io = StoreError::Io {
+            offset: 9,
+            kind: io::ErrorKind::UnexpectedEof,
+            msg: "gone".to_owned(),
+        };
+        match Fault::from_store(&io).into_store_error(0) {
+            StoreError::Io { offset: 9, msg, .. } => assert!(msg.contains("gone")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -81,10 +81,78 @@ impl ServerDoc<FileStore> {
     }
 }
 
+/// Everything a client needs — besides the ciphertext itself — to run
+/// sessions against a published document: the dissemination payload of
+/// `GetMeta` in the networked front (`xsac-net`).
+///
+/// Two kinds of material travel together here, mirroring Figure 2:
+///
+/// * **integrity/layout material** (scheme, chunk geometry, the encrypted
+///   per-chunk digest table, lengths) — safe to obtain from the untrusted
+///   server; every digest is itself encrypted and position-bound, so a
+///   lying server can only cause verification *failures*;
+/// * **secure-channel material** (the tag dictionary and the skip-index
+///   encoding) — in the paper these reach the SOE over the same secure
+///   channel as the decryption keys. The plaintext `encoded` image is the
+///   session simulator's scaffold: the decoder walks it while every
+///   consumed byte is *also* transferred, verified and decrypted through
+///   the (possibly remote) [`ChunkStore`], which is what the metering and
+///   the tamper-detection guarantees are measured on (see the PR-4 note
+///   in `ROADMAP.md`; streaming the decoder off decrypted bytes would
+///   remove this field).
+#[derive(Clone)]
+pub struct DocMeta {
+    /// Tag dictionary (secure channel).
+    pub dict: TagDict,
+    /// Skip-index encoding (secure channel; simulation scaffold).
+    pub encoded: EncodedDoc,
+    /// Integrity scheme in force.
+    pub scheme: IntegrityScheme,
+    /// Chunk/fragment geometry.
+    pub layout: ChunkLayout,
+    /// Per-chunk encrypted digest records.
+    pub digests: Vec<[u8; xsac_crypto::chunk::DIGEST_RECORD]>,
+    /// Plaintext length before padding.
+    pub plain_len: usize,
+    /// Stored ciphertext length (padded).
+    pub ciphertext_len: usize,
+}
+
 impl<S: ChunkStore> ServerDoc<S> {
     /// Size of the encrypted document + digests on the terminal.
     pub fn stored_len(&self) -> usize {
         self.protected.stored_len()
+    }
+
+    /// The document's dissemination metadata (see [`DocMeta`]).
+    pub fn meta(&self) -> DocMeta {
+        DocMeta {
+            dict: self.dict.clone(),
+            encoded: self.encoded.clone(),
+            scheme: self.protected.scheme,
+            layout: self.protected.layout,
+            digests: self.protected.digests.clone(),
+            plain_len: self.protected.plain_len,
+            ciphertext_len: self.protected.ciphertext_len(),
+        }
+    }
+
+    /// Reassembles a servable document from its metadata and a
+    /// ciphertext store — the client side of dissemination. The caller
+    /// is responsible for `store.len() == meta.ciphertext_len` (the
+    /// networked client checks it during the handshake).
+    pub fn from_meta(meta: DocMeta, store: S) -> ServerDoc<S> {
+        ServerDoc {
+            dict: meta.dict,
+            encoded: meta.encoded,
+            protected: xsac_crypto::ProtectedDoc {
+                scheme: meta.scheme,
+                layout: meta.layout,
+                store,
+                digests: meta.digests,
+                plain_len: meta.plain_len,
+            },
+        }
     }
 }
 
@@ -104,6 +172,21 @@ mod tests {
         assert!(s.stored_len() >= s.encoded.bytes.len());
         assert_eq!(s.protected.plain_len, s.encoded.bytes.len());
         assert!(s.dict.get("b").is_some());
+    }
+
+    #[test]
+    fn meta_roundtrip_reassembles_an_equivalent_document() {
+        let doc = Document::parse("<a><b>hello</b><c>world</c></a>").unwrap();
+        let s = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, ChunkLayout::default());
+        let meta = s.meta();
+        assert_eq!(meta.ciphertext_len, s.protected.ciphertext_len());
+        let rebuilt = ServerDoc::from_meta(meta, s.protected.store.clone());
+        assert_eq!(rebuilt.encoded.bytes, s.encoded.bytes);
+        assert_eq!(rebuilt.protected.digests, s.protected.digests);
+        assert_eq!(rebuilt.protected.scheme, s.protected.scheme);
+        assert_eq!(rebuilt.protected.layout, s.protected.layout);
+        assert_eq!(rebuilt.protected.plain_len, s.protected.plain_len);
+        assert_eq!(rebuilt.dict.len(), s.dict.len());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod session;
 
 pub use baseline::{brute_force_session, lwb_estimate, LwbReport};
 pub use cost::{CostModel, TimeBreakdown};
-pub use document::ServerDoc;
+pub use document::{DocMeta, ServerDoc};
 pub use server::{DocServer, SessionSpec};
 pub use session::{
     run_session, run_session_shared, SessionConfig, SessionError, SessionResult, Strategy,
