@@ -16,6 +16,13 @@
 //! The interesting ratio is remote/local per profile: with a sane window
 //! and batch ≥ 4 it stays a small constant, because the pipeline is
 //! crypto-bound, not wire-bound, once round trips are batched.
+//!
+//! With `--features degraded-net` a third deployment is measured:
+//! **degraded** — the same remote sessions through a `FaultTransport`
+//! chaos proxy with a fixed schedule (100 µs added latency per response
+//! frame, connection dropped every 64 frames), pricing the resilience
+//! layer's reconnect/replay machinery under a misbehaving network.
+//! Degraded rows are excluded from the remote/local acceptance gate.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -101,13 +108,18 @@ fn main() {
             }
         }
     }
+
+    #[cfg(feature = "degraded-net")]
+    degraded_rows(&mem_server, handle.addr(), &mut rows);
+
     handle.shutdown().expect("shutdown");
 
     // The acceptance contract: batched remote serving stays within a
     // small constant factor of in-memory (the pipeline is crypto-bound,
     // not wire-bound). Checked at the friendliest configuration so a
     // noisy shared host doesn't flake the gate; the full matrix is in
-    // the JSON for the real reading.
+    // the JSON for the real reading. Degraded rows price injected
+    // latency and reconnect storms, so they are measured, not gated.
     for profile in Profile::figure9() {
         let local = rows
             .iter()
@@ -115,7 +127,11 @@ fn main() {
             .expect("local row");
         let best_remote = rows
             .iter()
-            .filter(|r| r.profile == profile.name() && r.batch_chunks >= 4)
+            .filter(|r| {
+                r.profile == profile.name()
+                    && r.batch_chunks >= 4
+                    && !r.backend.starts_with("degraded")
+            })
             .map(|r| r.ns_per_session)
             .fold(f64::INFINITY, f64::min);
         let factor = best_remote / local.ns_per_session;
@@ -165,6 +181,68 @@ fn main() {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+}
+
+/// Measures the figure-9 session batch through a chaos proxy running a
+/// fixed degraded-link schedule: 100 µs added latency per response
+/// frame, and the connection dropped every 64 frames — every drop costs
+/// the client a reconnect handshake plus the replay of its in-flight
+/// batch. The deterministic schedule makes the rows comparable across
+/// runs; the retry meters are printed so the overhead can be attributed.
+#[cfg(feature = "degraded-net")]
+fn degraded_rows(
+    mem_server: &DocServer<xsac_crypto::MemStore>,
+    addr: std::net::SocketAddr,
+    rows: &mut Vec<Row>,
+) {
+    use xsac_net::{FaultPlan, FaultTransport, NetFault};
+    const DELAY_US: u64 = 100;
+    const DROP_EVERY: u32 = 64;
+    let proxy = FaultTransport::spawn(addr).expect("spawn proxy");
+    let schedule = || FaultPlan {
+        delay_each: Some(std::time::Duration::from_micros(DELAY_US)),
+        fault: NetFault::DropAfter(DROP_EVERY),
+    };
+    for profile in Profile::figure9() {
+        let specs = specs_for(&mem_server.doc().dict, profile);
+        // Enough plans for the whole measurement: each dropped
+        // connection consumes one.
+        for _ in 0..4096 {
+            proxy.push_plan(schedule());
+        }
+        let remote = connect(
+            proxy.addr(),
+            "bench",
+            ClientConfig {
+                window_bytes: 32 * 1024,
+                batch_chunks: 4,
+                retry: xsac_net::RetryConfig {
+                    backoff_base: std::time::Duration::from_millis(1),
+                    backoff_max: std::time::Duration::from_millis(20),
+                    ..xsac_net::RetryConfig::default()
+                },
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect degraded");
+        let remote_server = DocServer::new(remote, demo_key());
+        rows.push(Row {
+            profile: profile.name(),
+            backend: format!("degraded/d{DELAY_US}us/drop{DROP_EVERY}"),
+            batch_chunks: 4,
+            window_bytes: 32 * 1024,
+            ns_per_session: time_batch(&remote_server, &specs),
+        });
+        let stats = remote_server.doc().protected.store.stats();
+        println!(
+            "{:<12} degraded meters: reconnects={} retried_chunks={} backoff_ms={}",
+            profile.name(),
+            stats.reconnects,
+            stats.retried_chunks,
+            stats.backoff_ms
+        );
+    }
+    proxy.shutdown();
 }
 
 /// `XSAC_BENCH_DIR`, else the enclosing repository root, else `.` (same

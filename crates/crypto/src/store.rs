@@ -66,6 +66,15 @@ pub enum StoreError {
         /// Human-readable detail.
         msg: String,
     },
+    /// The backend's content identity changed mid-session — e.g. a
+    /// reconnecting remote store whose re-fetched document metadata is
+    /// no longer byte-identical to the one the session started with.
+    /// Always permanent: a session must never be silently re-synced onto
+    /// different dissemination material.
+    IdentityChanged {
+        /// What diverged (human-readable).
+        what: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -80,6 +89,9 @@ impl fmt::Display for StoreError {
             StoreError::Io { offset, kind, msg } => {
                 write!(f, "storage I/O error at {offset} ({kind:?}): {msg}")
             }
+            StoreError::IdentityChanged { what } => {
+                write!(f, "store identity changed mid-session: {what}")
+            }
         }
     }
 }
@@ -89,6 +101,36 @@ impl std::error::Error for StoreError {}
 impl StoreError {
     fn from_io(offset: usize, e: &io::Error) -> StoreError {
         StoreError::Io { offset, kind: e.kind(), msg: e.to_string() }
+    }
+
+    /// The failure taxonomy of the read path: **transient** failures are
+    /// ones a retry of the same operation could plausibly survive (the
+    /// medium or channel hiccuped — a reset socket, a timed-out read, an
+    /// interrupted syscall); **permanent** failures are properties of
+    /// the stored data or the request itself (out-of-bounds, a truncated
+    /// store, a changed document identity) that no retry can fix.
+    ///
+    /// Retry *policy* lives in the backends (e.g. `xsac-net`'s
+    /// `RemoteStore` reconnects on transient transport failures before
+    /// giving up); by the time a `StoreError` reaches the session layer
+    /// the backend's bounded retries are exhausted, and the session
+    /// aborts either way — this classification tells the operator
+    /// whether running the session again is worth anything.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::OutOfBounds { .. } => false,
+            StoreError::ShortRead { .. } => false,
+            StoreError::IdentityChanged { .. } => false,
+            StoreError::Io { kind, .. } => !matches!(
+                kind,
+                io::ErrorKind::InvalidData
+                    | io::ErrorKind::InvalidInput
+                    | io::ErrorKind::NotFound
+                    | io::ErrorKind::PermissionDenied
+                    | io::ErrorKind::Unsupported
+                    | io::ErrorKind::AlreadyExists
+            ),
+        }
     }
 }
 
@@ -803,6 +845,38 @@ mod tests {
         let mut buf = [0u8; 8];
         w.read_at(0, &mut buf, |_, _| panic!("chunk 0 must still be resident")).unwrap();
         assert_eq!(buf, bytes[..8]);
+    }
+
+    #[test]
+    fn error_taxonomy_transient_vs_permanent() {
+        // Shape-of-the-data failures are permanent; channel failures are
+        // transient. The net client's retry loop and the docs' failure
+        // table both lean on this split.
+        let permanent = [
+            StoreError::OutOfBounds { offset: 0, len: 1, doc_len: 0 },
+            StoreError::ShortRead { offset: 0, wanted: 8, got: 4 },
+            StoreError::IdentityChanged { what: "doc meta".to_owned() },
+            StoreError::Io {
+                offset: 0,
+                kind: io::ErrorKind::InvalidData,
+                msg: "garbage".to_owned(),
+            },
+        ];
+        for e in &permanent {
+            assert!(!e.is_transient(), "{e} must be permanent");
+        }
+        let transient = [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::Other,
+        ];
+        for kind in transient {
+            let e = StoreError::Io { offset: 0, kind, msg: "blip".to_owned() };
+            assert!(e.is_transient(), "{e} must be transient");
+        }
     }
 
     #[test]

@@ -15,9 +15,21 @@
 //! `std::thread::scope`, one scoped thread per connection, no shared
 //! mutable state beyond the store's own window lock and the
 //! [`NetMetrics`] counters.
+//!
+//! # Resilience
+//!
+//! No connection can pin a server thread: every accepted socket carries
+//! **read/write deadlines** ([`ServerConfig`]), so a peer that stalls
+//! mid-request (or stops draining responses) is evicted when its
+//! deadline fires, and every connection has a **frame budget**
+//! (generalizing the per-frame [`WireLimits::max_frame`] guard to the
+//! whole conversation) after which it is closed. Both eviction kinds
+//! are counted in [`NetMetrics`]; a well-behaved client just
+//! reconnects — the `RemoteStore` retry loop makes either eviction
+//! invisible to the session above it.
 
 use crate::wire::{
-    self, ChunkSpan, Fault, HelloInfo, Request, Response, DEFAULT_SERVER_MAX_FRAME,
+    self, ChunkSpan, Fault, HelloInfo, Request, Response, WireError, DEFAULT_SERVER_MAX_FRAME,
     PROTOCOL_VERSION,
 };
 use std::io;
@@ -44,6 +56,40 @@ impl Default for WireLimits {
     }
 }
 
+/// Per-connection resource policy: protocol limits, socket deadlines,
+/// and the lifetime frame budget. The defaults serve patient, legitimate
+/// clients; tighten them for hostile networks.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Frame-level limits (size and batch bounds).
+    pub limits: WireLimits,
+    /// Read deadline per socket: a connection idle (or trickling) longer
+    /// than this between frames is evicted as a slow peer. `None`
+    /// removes the deadline (not recommended: one stalled client then
+    /// pins a connection thread forever).
+    pub read_timeout: Option<Duration>,
+    /// Write deadline per socket: a peer that stops draining its
+    /// responses is evicted rather than blocking the sender.
+    pub write_timeout: Option<Duration>,
+    /// Most request frames one connection may send over its lifetime —
+    /// the whole-conversation generalization of
+    /// [`WireLimits::max_frame`]. Exceeding it closes the connection
+    /// (counted in [`NetMetrics::budget_evictions`]); a legitimate
+    /// long-lived client simply reconnects.
+    pub max_frames_per_conn: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            limits: WireLimits::default(),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_frames_per_conn: 1 << 20,
+        }
+    }
+}
+
 /// Serving counters, shared between the accept loop, every connection
 /// thread, and the [`ServerHandle`] — the network-side analogue of
 /// [`ResidencyMeter`](xsac_crypto::ResidencyMeter).
@@ -54,6 +100,8 @@ pub struct NetMetrics {
     chunks_served: AtomicU64,
     bytes_served: AtomicU64,
     fault_frames: AtomicU64,
+    slow_peer_evictions: AtomicU64,
+    budget_evictions: AtomicU64,
 }
 
 impl NetMetrics {
@@ -82,23 +130,37 @@ impl NetMetrics {
     pub fn fault_frames(&self) -> u64 {
         self.fault_frames.load(Ordering::Relaxed)
     }
+
+    /// Connections evicted because a socket deadline fired — a peer that
+    /// stalled mid-frame, went idle past the read deadline, or stopped
+    /// draining responses.
+    pub fn slow_peer_evictions(&self) -> u64 {
+        self.slow_peer_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed for exhausting their
+    /// [frame budget](ServerConfig::max_frames_per_conn).
+    pub fn budget_evictions(&self) -> u64 {
+        self.budget_evictions.load(Ordering::Relaxed)
+    }
 }
 
 /// Serves one prepared document to concurrent network clients.
 pub struct ChunkServer<S: ChunkStore = MemStore> {
     doc: ServerDoc<S>,
     doc_id: String,
-    limits: WireLimits,
+    config: ServerConfig,
     metrics: Arc<NetMetrics>,
     /// The `GetMeta` payload, encoded once at construction — the
     /// document is immutable for the server's lifetime, so per-handshake
     /// cost is one memcpy, not a deep clone + re-serialization.
     meta_bytes: Vec<u8>,
-    /// Reader-side clones of every *live* connection, so shutdown can
-    /// unblock their (blocking) frame reads deterministically. Entries
-    /// are pruned when their handler exits — a long-running server does
-    /// not accumulate dead fds.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Reader-side clones of every *live* connection keyed by a
+    /// connection id, so shutdown can unblock their (blocking) frame
+    /// reads deterministically. A handler removes its own entry on exit
+    /// — a long-running server does not accumulate dead fds, and
+    /// shutdown never races two peers that look alike.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
 }
 
 impl<S: ChunkStore> ChunkServer<S> {
@@ -108,16 +170,24 @@ impl<S: ChunkStore> ChunkServer<S> {
         ChunkServer {
             doc,
             doc_id: doc_id.into(),
-            limits: WireLimits::default(),
+            config: ServerConfig::default(),
             metrics: Arc::new(NetMetrics::default()),
             meta_bytes,
             conns: Mutex::new(Vec::new()),
         }
     }
 
-    /// Overrides the protocol limits.
+    /// Overrides the protocol limits (deadlines and budget keep their
+    /// [`ServerConfig`] defaults).
     pub fn with_limits(mut self, limits: WireLimits) -> ChunkServer<S> {
-        self.limits = limits;
+        self.config.limits = limits;
+        self
+    }
+
+    /// Overrides the whole per-connection policy: limits, deadlines,
+    /// frame budget.
+    pub fn with_config(mut self, config: ServerConfig) -> ChunkServer<S> {
+        self.config = config;
         self
     }
 
@@ -133,32 +203,44 @@ impl<S: ChunkStore> ChunkServer<S> {
 
     /// Serves `listener` until `stop` is raised: a threaded accept loop
     /// over `std::thread::scope`, one scoped thread per connection.
-    /// Blocks the calling thread; [`ChunkServer::spawn`] wraps it in a
+    ///
+    /// The accept loop **blocks** in `accept` (no poll/sleep cycle); the
+    /// stop flag is observed when the next connection arrives, so a
+    /// stopper must follow the store with a wake-up connection to the
+    /// listener — [`ServerHandle::shutdown`] does exactly that. Blocks
+    /// the calling thread; [`ChunkServer::spawn`] wraps it in a
     /// background thread with a shutdown handle.
     pub fn serve(&self, listener: TcpListener, stop: &AtomicBool) -> io::Result<()> {
-        listener.set_nonblocking(true)?;
         std::thread::scope(|scope| {
             let mut result = Ok(());
-            while !stop.load(Ordering::Acquire) {
+            let mut next_id = 0u64;
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
                 match listener.accept() {
-                    Ok((stream, peer)) => {
+                    Ok((stream, _)) => {
+                        // The wake-up connection that delivered a stop
+                        // (or a client racing the shutdown) is dropped
+                        // unserved and uncounted.
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
                         self.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                        let id = next_id;
+                        next_id += 1;
                         if let Ok(clone) = stream.try_clone() {
-                            self.conns.lock().expect("connection list").push(clone);
+                            self.conns.lock().expect("connection list").push((id, clone));
                         }
                         scope.spawn(move || {
                             self.handle_conn(stream);
-                            // Drop this connection's shutdown clone (and
-                            // any entry whose peer is already gone):
+                            // Drop this connection's shutdown clone:
                             // dead sockets must not accumulate fds.
                             self.conns
                                 .lock()
                                 .expect("connection list")
-                                .retain(|c| c.peer_addr().map(|a| a != peer).unwrap_or(false));
+                                .retain(|(cid, _)| *cid != id);
                         });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                     Err(e) => {
@@ -168,8 +250,9 @@ impl<S: ChunkStore> ChunkServer<S> {
                 }
             }
             // Unblock every connection thread's pending read, then let
-            // the scope join them.
-            for conn in self.conns.lock().expect("connection list").drain(..) {
+            // the scope join them — the drain is deterministic: after
+            // `serve` returns, no handler thread is running.
+            for (_, conn) in self.conns.lock().expect("connection list").drain(..) {
                 let _ = conn.shutdown(Shutdown::Both);
             }
             result
@@ -179,16 +262,32 @@ impl<S: ChunkStore> ChunkServer<S> {
     /// One connection's request/response loop. Transport and framing
     /// failures end the connection (the client owns retry policy);
     /// in-protocol problems are answered with typed fault frames and the
-    /// conversation continues.
+    /// conversation continues — until the socket's deadline fires or the
+    /// connection's frame budget runs out, both of which evict the peer.
     fn handle_conn(&self, mut stream: TcpStream) {
         let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.config.read_timeout);
+        let _ = stream.set_write_timeout(self.config.write_timeout);
         let mut buf = Vec::new();
         let mut hello_done = false;
+        let mut frames = 0u64;
         loop {
-            match wire::read_frame(&mut stream, self.limits.max_frame, &mut buf) {
-                Ok(()) => {}
-                Err(_) => return, // closed, truncated, oversized or unreadable
+            if frames >= self.config.max_frames_per_conn {
+                self.metrics.budget_evictions.fetch_add(1, Ordering::Relaxed);
+                return;
             }
+            match wire::read_frame(&mut stream, self.config.limits.max_frame, &mut buf) {
+                Ok(()) => {}
+                Err(e) => {
+                    // A fired read deadline is a slow-peer eviction; a
+                    // closed/garbled peer is just gone.
+                    if is_deadline(&e) {
+                        self.metrics.slow_peer_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+            }
+            frames += 1;
             self.metrics.requests.fetch_add(1, Ordering::Relaxed);
             let response = match Request::decode(&buf) {
                 Ok(req) => self.dispatch(req, &mut hello_done),
@@ -199,7 +298,10 @@ impl<S: ChunkStore> ChunkServer<S> {
             if matches!(response, Response::Err(_)) {
                 self.metrics.fault_frames.fetch_add(1, Ordering::Relaxed);
             }
-            if wire::write_frame(&mut stream, &response.encode()).is_err() {
+            if let Err(e) = wire::write_frame(&mut stream, &response.encode()) {
+                if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
+                    self.metrics.slow_peer_evictions.fetch_add(1, Ordering::Relaxed);
+                }
                 return;
             }
         }
@@ -236,11 +338,11 @@ impl<S: ChunkStore> ChunkServer<S> {
         let p = &self.doc.protected;
         let chunk_count = p.chunk_count() as u64;
         let total: u64 = spans.iter().map(|s| s.count as u64).sum();
-        if total == 0 || total > self.limits.max_chunks_per_request {
+        if total == 0 || total > self.config.limits.max_chunks_per_request {
             return Response::Err(Fault::BadRequest {
                 reason: format!(
                     "batch of {total} chunks (limit {})",
-                    self.limits.max_chunks_per_request
+                    self.config.limits.max_chunks_per_request
                 ),
             });
         }
@@ -269,6 +371,12 @@ impl<S: ChunkStore> ChunkServer<S> {
         }
         Response::Chunks(chunks)
     }
+}
+
+/// Whether a read-side wire failure is a fired socket deadline (the
+/// slow-peer signature) rather than a dead or hostile peer.
+fn is_deadline(e: &WireError) -> bool {
+    matches!(e, WireError::Io { kind: io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock, .. })
 }
 
 fn out_of_order() -> Response {
@@ -311,10 +419,16 @@ impl ServerHandle {
         &self.metrics
     }
 
-    /// Stops the accept loop, disconnects every client, joins all
-    /// connection threads, and returns the server's I/O outcome.
+    /// Stops the accept loop (raising the flag, then waking the blocked
+    /// `accept` with a throwaway loopback connection), disconnects every
+    /// client, joins all connection threads, and returns the server's
+    /// I/O outcome.
     pub fn shutdown(self) -> io::Result<()> {
         self.stop.store(true, Ordering::Release);
+        // The wake-up connection: accepted, seen as a stop, dropped. If
+        // the accept loop already exited (listener error), this fails —
+        // harmlessly, since nothing is blocked anymore.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5));
         self.join.join().expect("server thread must not panic")
     }
 }

@@ -98,6 +98,30 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+impl WireError {
+    /// Whether this failure is a **transport** hiccup a fresh connection
+    /// could survive (reset/timed-out I/O, a peer gone between or inside
+    /// a frame) rather than a **protocol** answer or violation
+    /// (fault frames, malformed/unexpected/oversized messages), which
+    /// re-asking can never change. The client's reconnect loop retries
+    /// exactly the transient class.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WireError::Closed | WireError::Truncated { .. } => true,
+            WireError::Io { kind, .. } => !matches!(
+                kind,
+                io::ErrorKind::InvalidData
+                    | io::ErrorKind::InvalidInput
+                    | io::ErrorKind::Unsupported
+            ),
+            WireError::FrameTooLarge { .. }
+            | WireError::Malformed(_)
+            | WireError::Unexpected(_)
+            | WireError::Fault(_) => false,
+        }
+    }
+}
+
 impl From<io::Error> for WireError {
     fn from(e: io::Error) -> WireError {
         WireError::Io { kind: e.kind(), msg: e.to_string() }
@@ -187,6 +211,12 @@ impl Fault {
             },
             StoreError::Io { offset, kind, msg } => {
                 Fault::Io { offset: *offset as u64, msg: format!("{kind:?}: {msg}") }
+            }
+            // Client-side only (a reconnecting store refusing changed
+            // metadata); a server never produces it, but the mapping
+            // must stay total.
+            StoreError::IdentityChanged { what } => {
+                Fault::Io { offset: 0, msg: format!("store identity changed: {what}") }
             }
         }
     }

@@ -83,6 +83,22 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+impl SessionError {
+    /// Whether re-running the whole session could plausibly succeed.
+    ///
+    /// Tampering and malformed documents are permanent; storage failures
+    /// delegate to [`StoreError::is_transient`] — by the time one
+    /// surfaces here the backend's own bounded retries (e.g. the remote
+    /// store's reconnect loop) are already exhausted, so this is advice
+    /// for the *caller's* retry policy, not an invitation to loop.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SessionError::Integrity(_) | SessionError::Decode(_) => false,
+            SessionError::Store(e) => e.is_transient(),
+        }
+    }
+}
+
 impl From<xsac_crypto::IntegrityError> for SessionError {
     fn from(e: xsac_crypto::IntegrityError) -> Self {
         SessionError::Integrity(e)

@@ -71,6 +71,10 @@ fn main() {
         stats.chunks_refetched,
         stats.wire_bytes / 1024
     );
+    println!(
+        "client resilience: {} reconnects, {} chunks retried, {} ms backing off",
+        stats.reconnects, stats.retried_chunks, stats.backoff_ms
+    );
     let metrics = handle.metrics();
     println!(
         "server: {} connections, {} requests, {} chunks / {} KB served",
