@@ -43,6 +43,10 @@ struct Row {
     backend: String,
     batch_chunks: usize,
     window_bytes: usize,
+    /// Multi-tenant rows only: documents registered / concurrent
+    /// connections (0 for single-document rows).
+    docs: usize,
+    connections: usize,
     ns_per_session: f64,
 }
 
@@ -87,6 +91,8 @@ fn main() {
             backend: "local".to_owned(),
             batch_chunks: 0,
             window_bytes: 0,
+            docs: 0,
+            connections: 0,
             ns_per_session: time_batch(&mem_server, &specs),
         });
         for window_bytes in WINDOWS {
@@ -103,6 +109,8 @@ fn main() {
                     backend: format!("remote/b{batch_chunks}/w{}k", window_bytes / 1024),
                     batch_chunks,
                     window_bytes,
+                    docs: 0,
+                    connections: 0,
                     ns_per_session: time_batch(&remote_server, &specs),
                 });
             }
@@ -113,6 +121,8 @@ fn main() {
     degraded_rows(&mem_server, handle.addr(), &mut rows);
 
     handle.shutdown().expect("shutdown");
+
+    multi_tenant_rows(&doc, &mut rows);
 
     // The acceptance contract: batched remote serving stays within a
     // small constant factor of in-memory (the pipeline is crypto-bound,
@@ -164,13 +174,15 @@ fn main() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         body.push_str(&format!(
             "    {{\"group\": \"net/ECB-MHT\", \"name\": \"{}/{}\", \"backend\": \"{}\", \
-             \"batch_chunks\": {}, \"window_bytes\": {}, \"ns_per_iter\": {:.1}, \
-             \"sessions_per_sec\": {:.1}}}{}\n",
+             \"batch_chunks\": {}, \"window_bytes\": {}, \"docs\": {}, \"connections\": {}, \
+             \"ns_per_iter\": {:.1}, \"sessions_per_sec\": {:.1}}}{}\n",
             r.profile,
             r.backend,
             r.backend,
             r.batch_chunks,
             r.window_bytes,
+            r.docs,
+            r.connections,
             r.ns_per_session,
             1e9 / r.ns_per_session,
             sep
@@ -180,6 +192,90 @@ fn main() {
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// The multi-tenant grid: one `ChunkServer` over a `DocRegistry` of D
+/// lazy file-backed copies of the hospital document, scanned end-to-end
+/// by C concurrent connections with interleaved doc-ids, under a global
+/// pool budget of half one document — so the service is always under
+/// residency pressure and (past the open cap) close/reopen churn. A row
+/// is the mean wall time of one full-document scan per connection.
+fn multi_tenant_rows(doc: &xsac_xml::Document, rows: &mut Vec<Row>) {
+    use xsac_crypto::store::TempPath;
+    use xsac_crypto::ChunkStore as _;
+    use xsac_net::DocRegistry;
+
+    const GRID: [(usize, usize); 3] = [(1, 2), (4, 8), (8, 16)];
+    const MAX_OPEN: usize = 4;
+    let layout = ChunkLayout::default();
+    let scheme = IntegrityScheme::EcbMht;
+
+    for (n_docs, n_conns) in GRID {
+        let mut tmps = Vec::new();
+        let mut files = Vec::new();
+        for i in 0..n_docs {
+            let tmp = TempPath::new("bench-multi");
+            let file =
+                ServerDoc::prepare_to_store(doc, &demo_key(), scheme, layout, tmp.path(), 1 << 16)
+                    .expect("prepare_to_store");
+            files.push((format!("bench-{i}"), file.meta()));
+            tmps.push(tmp);
+        }
+        let budget = files[0].1.ciphertext_len / 2;
+        let registry = std::sync::Arc::new(DocRegistry::new(budget).with_max_open_docs(MAX_OPEN));
+        for ((id, meta), tmp) in files.into_iter().zip(&tmps) {
+            registry.insert_file(id, meta, tmp.path());
+        }
+        let handle = ChunkServer::with_registry(std::sync::Arc::clone(&registry))
+            .spawn("127.0.0.1:0")
+            .expect("spawn multi server");
+
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for c in 0..n_conns {
+                    let addr = handle.addr();
+                    scope.spawn(move || {
+                        let id = format!("bench-{}", c % n_docs);
+                        let remote = connect(
+                            addr,
+                            &id,
+                            ClientConfig {
+                                window_bytes: 32 * 1024,
+                                batch_chunks: 4,
+                                ..ClientConfig::default()
+                            },
+                        )
+                        .expect("connect multi");
+                        let mut buf = vec![0u8; remote.protected.ciphertext_len()];
+                        remote.protected.store.read_at(0, &mut buf).expect("scan");
+                    });
+                }
+            });
+            best = best.min(start.elapsed().as_nanos() as f64 / n_conns as f64);
+        }
+        let snap = handle.service_snapshot();
+        println!(
+            "multi d{n_docs}/c{n_conns}: budget={budget} peak={} opens={} closes={} \
+             evictions={} refetches={}",
+            snap.registry.resident_bytes_peak,
+            snap.registry.doc_opens,
+            snap.registry.doc_closes,
+            snap.registry.pool_evictions,
+            snap.registry.pool_refetches
+        );
+        rows.push(Row {
+            profile: "multi-tenant",
+            backend: format!("multi/d{n_docs}/c{n_conns}"),
+            batch_chunks: 4,
+            window_bytes: 32 * 1024,
+            docs: n_docs,
+            connections: n_conns,
+            ns_per_session: best,
+        });
+        handle.shutdown().expect("shutdown multi server");
     }
 }
 
@@ -231,6 +327,8 @@ fn degraded_rows(
             backend: format!("degraded/d{DELAY_US}us/drop{DROP_EVERY}"),
             batch_chunks: 4,
             window_bytes: 32 * 1024,
+            docs: 0,
+            connections: 0,
             ns_per_session: time_batch(&remote_server, &specs),
         });
         let stats = remote_server.doc().protected.store.stats();

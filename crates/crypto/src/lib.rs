@@ -43,4 +43,7 @@ pub use chunk::{ChunkLayout, ProtectedDoc};
 pub use des::TripleDes;
 pub use protocol::{AccessCost, IntegrityError, IntegrityScheme, LeafCache, ReadError, SoeReader};
 pub use sha1::{sha1, Sha1};
-pub use store::{ChunkStore, ChunkWindow, FileStore, MemStore, ResidencyMeter, StoreError};
+pub use store::{
+    ChunkStore, ChunkWindow, DynChunkStore, FileStore, MemStore, PoolDoc, ResidencyMeter,
+    StoreError, WindowPool,
+};

@@ -207,6 +207,32 @@ pub trait ChunkStore: Sync {
     }
 }
 
+/// A type-erased, shareable [`ChunkStore`]: the store type of
+/// heterogeneous collections (a registry serving in-memory and
+/// file-backed documents side by side). Boxing is transparent — every
+/// trait method, including the [`as_slice`](ChunkStore::as_slice) and
+/// [`meter`](ChunkStore::meter) fast paths, delegates to the erased
+/// backend.
+pub type DynChunkStore = Box<dyn ChunkStore + Send + Sync>;
+
+impl ChunkStore for DynChunkStore {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn read_at(&self, offset: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn as_slice(&self) -> Option<&[u8]> {
+        (**self).as_slice()
+    }
+
+    fn meter(&self) -> Option<&ResidencyMeter> {
+        (**self).meter()
+    }
+}
+
 /// Shared bounds check for `read_at` implementations (and the reader's
 /// request pre-check — one definition of the out-of-bounds contract).
 pub(crate) fn check_bounds(offset: usize, len: usize, doc_len: usize) -> Result<(), StoreError> {
@@ -247,20 +273,158 @@ impl ChunkStore for MemStore {
     }
 }
 
-/// One resident chunk of a [`ChunkWindow`]. The bytes are behind an
-/// `Arc` so a request can copy from them after releasing the window lock.
-struct WindowSlot {
+/// One resident chunk of a [`WindowPool`]. The bytes are behind an
+/// `Arc` so a request can copy from them after releasing the pool lock.
+struct PoolSlot {
+    doc: u32,
     chunk: usize,
     bytes: Arc<Vec<u8>>,
 }
 
-struct WindowInner {
-    /// LRU window of resident chunks, most recently used at the back.
-    window: VecDeque<WindowSlot>,
-    /// Sum of `bytes.len()` over the window.
-    resident: usize,
-    /// Bitmap of chunks ever fetched from the backend (refetch stats).
+/// Per-document bookkeeping inside a [`WindowPool`]: the ever-fetched
+/// bitmap (refetch accounting survives a [`WindowPool::purge_doc`], so
+/// close/reopen cycles show up as refetches) and per-document
+/// fetch/refetch counters.
+struct DocState {
+    /// Bitmap of chunks ever fetched from the backend.
     ever: Vec<u64>,
+    /// Backend fetches for this document (cache misses).
+    fetches: u64,
+    /// Fetches of a chunk this document had already fetched before.
+    refetches: u64,
+}
+
+struct PoolInner {
+    /// LRU of resident chunks across *all* documents, most recently used
+    /// at the back.
+    lru: VecDeque<PoolSlot>,
+    /// Sum of `bytes.len()` over the resident slots.
+    resident: usize,
+    /// Registered documents, indexed by the id in [`PoolDoc`].
+    docs: Vec<DocState>,
+}
+
+/// An opaque ticket naming one document registered in a [`WindowPool`]
+/// (obtained from [`ChunkWindow::pool_doc`], consumed by
+/// [`WindowPool::purge_doc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolDoc(u32);
+
+/// A **shared residency budget** for resident ciphertext chunks across
+/// any number of documents: the multi-tenant generalization of a single
+/// document's [`ChunkWindow`].
+///
+/// A pool holds one LRU over `(document, chunk)` slots bounded by a
+/// global `budget_bytes` — N documents served through one pool stay
+/// O(budget) resident *in total*, not O(budget × N). Every
+/// [`ChunkWindow`] is a per-document view over some pool: a private one
+/// (the classic single-document window, created by [`ChunkWindow::new`])
+/// or a shared one ([`ChunkWindow::in_pool`]), so the caching, metering
+/// and locking behaviour cannot drift between the two shapes.
+///
+/// The eviction invariant is the window's, globalized: eviction happens
+/// *before* insertion (the incoming length is known without fetching),
+/// so metered residency never transiently exceeds
+/// `max(budget, one chunk)` — the multi-tenant residency-bound tests pin
+/// `resident_bytes_peak() ≤ budget + one chunk` across randomized
+/// workloads. [`purge_doc`](WindowPool::purge_doc) drops a closed
+/// document's resident chunks immediately (a registry closing a cold
+/// tenant) while keeping its ever-fetched bitmap, so the cost of the
+/// close shows up honestly as refetches when the document is reopened.
+pub struct WindowPool {
+    budget: usize,
+    inner: Mutex<PoolInner>,
+    meter: ResidencyMeter,
+    fetches: AtomicU64,
+    refetches: AtomicU64,
+    evictions: AtomicU64,
+    purged: AtomicU64,
+}
+
+impl WindowPool {
+    /// An empty pool with a global residency budget of `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> WindowPool {
+        WindowPool {
+            budget: budget_bytes,
+            inner: Mutex::new(PoolInner { lru: VecDeque::new(), resident: 0, docs: Vec::new() }),
+            meter: ResidencyMeter::default(),
+            fetches: AtomicU64::new(0),
+            refetches: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
+        }
+    }
+
+    /// The global residency budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// The pool's residency meter (all documents combined).
+    pub fn meter(&self) -> &ResidencyMeter {
+        &self.meter
+    }
+
+    /// Backend fetches across all documents (cache misses).
+    pub fn fetches(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Backend fetches of chunks their document had fetched before —
+    /// budget pressure (or a purge) the pool could not absorb.
+    pub fn refetches(&self) -> u64 {
+        self.refetches.load(Ordering::Relaxed)
+    }
+
+    /// Chunks evicted under budget pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Chunks dropped by [`purge_doc`](WindowPool::purge_doc).
+    pub fn purged_chunks(&self) -> u64 {
+        self.purged.load(Ordering::Relaxed)
+    }
+
+    /// Chunks currently resident, across all documents.
+    pub fn resident_chunks(&self) -> usize {
+        self.inner.lock().expect("window pool").lru.len()
+    }
+
+    /// Registers a document of `chunk_count` chunks; the returned id
+    /// keys its slots and bitmap.
+    fn register(&self, chunk_count: usize) -> u32 {
+        let mut inner = self.inner.lock().expect("window pool");
+        inner.docs.push(DocState {
+            ever: vec![0; chunk_count.div_ceil(64)],
+            fetches: 0,
+            refetches: 0,
+        });
+        u32::try_from(inner.docs.len() - 1).expect("pool document count fits u32")
+    }
+
+    /// Drops every resident chunk of `doc` (a registry closing a lazy
+    /// tenant releases its share of the budget immediately). The
+    /// document's ever-fetched bitmap survives, so post-reopen fetches
+    /// count as refetches; in-flight readers holding chunk `Arc`s are
+    /// unaffected.
+    pub fn purge_doc(&self, doc: PoolDoc) {
+        let mut inner = self.inner.lock().expect("window pool");
+        let mut freed = 0usize;
+        let mut dropped = 0u64;
+        inner.lru.retain(|s| {
+            if s.doc == doc.0 {
+                freed += s.bytes.len();
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        inner.resident -= freed;
+        self.meter.sub(freed as u64);
+        self.purged.fetch_add(dropped, Ordering::Relaxed);
+    }
 }
 
 /// A bounded LRU window of resident ciphertext chunks with metered
@@ -269,50 +433,62 @@ struct WindowInner {
 /// over a socket), so the backends cannot drift in their memory
 /// behaviour.
 ///
-/// The window is bounded by `window_bytes` (at least one chunk always
-/// fits, so a pathological configuration degrades to re-fetching, never
-/// to an error) and every byte it holds is tracked by the window's
-/// [`ResidencyMeter`]. The window is `Sync`: concurrent sessions share
-/// it behind a mutex — the lock covers the (cold) backend fetches and
-/// the LRU bookkeeping; a warm hit merely clones the slot's `Arc` under
-/// the lock and copies outside it, and decryption/verification never
-/// hold it. The window also counts backend `fetches`/`refetches`: a
-/// refetch (a chunk fetched again after eviction) is exactly the figure
-/// a remote backend pays an extra round trip for.
+/// A window is a **per-document view over a [`WindowPool`]**:
+/// [`ChunkWindow::new`] creates a private single-document pool (the
+/// historical behaviour — the window bound is the pool budget), while
+/// [`ChunkWindow::in_pool`] joins a shared pool so many documents serve
+/// under one global residency budget (the multi-tenant registry shape).
+///
+/// The budget is never an error source: at least one chunk always fits
+/// (a pathological configuration degrades to re-fetching), and every
+/// byte held is tracked by the pool's [`ResidencyMeter`]. The window is
+/// `Sync`: concurrent sessions share it behind the pool mutex — the lock
+/// covers the (cold) backend fetches and the LRU bookkeeping; a warm hit
+/// merely clones the slot's `Arc` under the lock and copies outside it,
+/// and decryption/verification never hold it. The window also counts
+/// backend `fetches`/`refetches`: a refetch (a chunk fetched again after
+/// eviction) is exactly the figure a remote backend pays an extra round
+/// trip for.
 pub struct ChunkWindow {
+    pool: Arc<WindowPool>,
+    doc: u32,
     doc_len: usize,
     chunk_size: usize,
-    window_bytes: usize,
-    inner: Mutex<WindowInner>,
-    meter: ResidencyMeter,
-    fetches: AtomicU64,
-    refetches: AtomicU64,
 }
 
 impl ChunkWindow {
     /// An empty window over a document of `doc_len` ciphertext bytes in
-    /// chunks of `chunk_size`, bounded by `window_bytes`.
+    /// chunks of `chunk_size`, bounded by a private pool of
+    /// `window_bytes`.
     pub fn new(doc_len: usize, chunk_size: usize, window_bytes: usize) -> ChunkWindow {
-        assert!(chunk_size > 0, "chunk size must be positive");
-        let chunks = doc_len.div_ceil(chunk_size);
-        ChunkWindow {
-            doc_len,
-            chunk_size,
-            window_bytes,
-            inner: Mutex::new(WindowInner {
-                window: VecDeque::new(),
-                resident: 0,
-                ever: vec![0; chunks.div_ceil(64)],
-            }),
-            meter: ResidencyMeter::default(),
-            fetches: AtomicU64::new(0),
-            refetches: AtomicU64::new(0),
-        }
+        ChunkWindow::in_pool(&Arc::new(WindowPool::new(window_bytes)), doc_len, chunk_size)
     }
 
-    /// The configured resident-window bound in bytes.
+    /// A window over a document of `doc_len` ciphertext bytes in chunks
+    /// of `chunk_size`, sharing `pool`'s global residency budget with
+    /// every other document registered there.
+    pub fn in_pool(pool: &Arc<WindowPool>, doc_len: usize, chunk_size: usize) -> ChunkWindow {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let doc = pool.register(doc_len.div_ceil(chunk_size));
+        ChunkWindow { pool: Arc::clone(pool), doc, doc_len, chunk_size }
+    }
+
+    /// The residency bound in bytes — the window's pool budget (global
+    /// across documents when the pool is shared).
     pub fn window_bytes(&self) -> usize {
-        self.window_bytes
+        self.pool.budget
+    }
+
+    /// The pool this window draws residency from.
+    pub fn pool(&self) -> &Arc<WindowPool> {
+        &self.pool
+    }
+
+    /// This document's ticket in the pool (for
+    /// [`WindowPool::purge_doc`] after the window is type-erased or
+    /// dropped from a registry).
+    pub fn pool_doc(&self) -> PoolDoc {
+        PoolDoc(self.doc)
     }
 
     /// The chunk size the window is organized around.
@@ -331,26 +507,35 @@ impl ChunkWindow {
         (start + self.chunk_size).min(self.doc_len) - start
     }
 
-    /// Number of chunks currently resident.
+    /// Number of this document's chunks currently resident.
     pub fn resident_chunks(&self) -> usize {
-        self.inner.lock().expect("chunk window").window.len()
+        self.pool
+            .inner
+            .lock()
+            .expect("window pool")
+            .lru
+            .iter()
+            .filter(|s| s.doc == self.doc)
+            .count()
     }
 
-    /// The window's residency meter.
+    /// The pool's residency meter (covers every document sharing the
+    /// pool; for a private pool, exactly this document).
     pub fn meter(&self) -> &ResidencyMeter {
-        &self.meter
+        &self.pool.meter
     }
 
-    /// Backend fetches performed so far (cache misses).
+    /// Backend fetches performed for this document so far (cache
+    /// misses).
     pub fn chunk_fetches(&self) -> u64 {
-        self.fetches.load(Ordering::Relaxed)
+        self.pool.inner.lock().expect("window pool").docs[self.doc as usize].fetches
     }
 
     /// Backend fetches of a chunk that had already been fetched before
     /// (evicted and needed again) — for a networked backend, round trips
     /// the window was too small to save.
     pub fn chunk_refetches(&self) -> u64 {
-        self.refetches.load(Ordering::Relaxed)
+        self.pool.inner.lock().expect("window pool").docs[self.doc as usize].refetches
     }
 
     /// The resident bytes of chunk `ci`, fetching on a miss.
@@ -372,12 +557,12 @@ impl ChunkWindow {
     where
         F: FnOnce() -> Result<Vec<(usize, Vec<u8>)>, StoreError>,
     {
-        let mut inner = self.inner.lock().expect("chunk window");
+        let mut inner = self.pool.inner.lock().expect("window pool");
         let inner = &mut *inner;
-        if let Some(i) = inner.window.iter().position(|s| s.chunk == ci) {
-            let s = inner.window.remove(i).expect("indexed slot");
+        if let Some(i) = inner.lru.iter().position(|s| s.doc == self.doc && s.chunk == ci) {
+            let s = inner.lru.remove(i).expect("indexed slot");
             let bytes = Arc::clone(&s.bytes);
-            inner.window.push_back(s);
+            inner.lru.push_back(s);
             return Ok(bytes);
         }
         let fetched = fetch()?;
@@ -396,47 +581,53 @@ impl ChunkWindow {
         })
     }
 
-    /// Makes `bytes` resident as chunk `fi`, evicting LRU slots (never
-    /// `pinned`) until it fits; returns the resident bytes, or `None` if
-    /// the chunk was dropped to protect `pinned`. A chunk already
-    /// resident is kept (the copies are identical: stores are
-    /// read-only).
+    /// Makes `bytes` resident as this document's chunk `fi`, evicting
+    /// LRU slots pool-wide (never this document's `pinned` chunk) until
+    /// it fits; returns the resident bytes, or `None` if the chunk was
+    /// dropped to protect `pinned`. A chunk already resident is kept
+    /// (the copies are identical: stores are read-only).
     fn insert_locked(
         &self,
-        inner: &mut WindowInner,
+        inner: &mut PoolInner,
         fi: usize,
         bytes: Vec<u8>,
         pinned: usize,
     ) -> Option<Arc<Vec<u8>>> {
-        if let Some(i) = inner.window.iter().position(|s| s.chunk == fi) {
-            return Some(Arc::clone(&inner.window[i].bytes));
+        if let Some(i) = inner.lru.iter().position(|s| s.doc == self.doc && s.chunk == fi) {
+            return Some(Arc::clone(&inner.lru[i].bytes));
         }
-        self.fetches.fetch_add(1, Ordering::Relaxed);
-        if let Some(word) = inner.ever.get_mut(fi / 64) {
+        let pool = &*self.pool;
+        pool.fetches.fetch_add(1, Ordering::Relaxed);
+        let doc_state = &mut inner.docs[self.doc as usize];
+        doc_state.fetches += 1;
+        if let Some(word) = doc_state.ever.get_mut(fi / 64) {
             if *word >> (fi % 64) & 1 == 1 {
-                self.refetches.fetch_add(1, Ordering::Relaxed);
+                pool.refetches.fetch_add(1, Ordering::Relaxed);
+                doc_state.refetches += 1;
             }
             *word |= 1 << (fi % 64);
         }
         let incoming = bytes.len();
-        while !inner.window.is_empty() && inner.resident + incoming > self.window_bytes {
-            // LRU, but never the pinned chunk: the window must keep
-            // serving the chunk this fetch is for. (While inserting the
-            // pinned chunk itself, it is not yet resident, so every slot
-            // is evictable.)
-            let Some(i) = inner.window.iter().position(|s| s.chunk != pinned) else {
+        while !inner.lru.is_empty() && inner.resident + incoming > pool.budget {
+            // LRU across all documents, but never the pinned chunk: the
+            // pool must keep serving the chunk this fetch is for. (While
+            // inserting the pinned chunk itself, it is not yet resident,
+            // so every slot is evictable.)
+            let Some(i) = inner.lru.iter().position(|s| !(s.doc == self.doc && s.chunk == pinned))
+            else {
                 // Only the pinned chunk is left: drop the incoming
                 // read-ahead chunk rather than the one being served.
                 return None;
             };
-            let evicted = inner.window.remove(i).expect("indexed slot");
+            let evicted = inner.lru.remove(i).expect("indexed slot");
             inner.resident -= evicted.bytes.len();
-            self.meter.sub(evicted.bytes.len() as u64);
+            pool.meter.sub(evicted.bytes.len() as u64);
+            pool.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let bytes = Arc::new(bytes);
         inner.resident += incoming;
-        self.meter.add(incoming as u64);
-        inner.window.push_back(WindowSlot { chunk: fi, bytes: Arc::clone(&bytes) });
+        pool.meter.add(incoming as u64);
+        inner.lru.push_back(PoolSlot { doc: self.doc, chunk: fi, bytes: Arc::clone(&bytes) });
         Some(bytes)
     }
 
@@ -493,6 +684,24 @@ impl FileStore {
             len,
             file: Mutex::new(file),
             window: ChunkWindow::new(len, chunk_size, window_bytes),
+        })
+    }
+
+    /// Opens an existing ciphertext file whose resident chunks draw from
+    /// `pool`'s **shared** budget instead of a private window — the
+    /// multi-tenant registry shape: N file-backed documents served under
+    /// one global residency bound.
+    pub fn open_in_pool(
+        path: &Path,
+        chunk_size: usize,
+        pool: &Arc<WindowPool>,
+    ) -> io::Result<FileStore> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        Ok(FileStore {
+            len,
+            file: Mutex::new(file),
+            window: ChunkWindow::in_pool(pool, len, chunk_size),
         })
     }
 
@@ -845,6 +1054,78 @@ mod tests {
         let mut buf = [0u8; 8];
         w.read_at(0, &mut buf, |_, _| panic!("chunk 0 must still be resident")).unwrap();
         assert_eq!(buf, bytes[..8]);
+    }
+
+    #[test]
+    fn window_pool_budget_is_global_across_documents() {
+        // Two file-backed stores share one pool: total residency obeys
+        // the single global budget, not one budget per document.
+        let pool = Arc::new(WindowPool::new(2 * 512));
+        let (ta, tb) = (TempPath::new("pool-doc-a"), TempPath::new("pool-doc-b"));
+        let (da, db) = (data(8 * 512), data(6 * 512));
+        std::fs::write(ta.path(), &da).unwrap();
+        std::fs::write(tb.path(), &db).unwrap();
+        let a = FileStore::open_in_pool(ta.path(), 512, &pool).unwrap();
+        let b = FileStore::open_in_pool(tb.path(), 512, &pool).unwrap();
+        let mut buf = [0u8; 8];
+        for i in 0..8 {
+            a.read_at(i * 512, &mut buf).unwrap();
+            assert_eq!(buf, da[i * 512..i * 512 + 8], "doc a chunk {i}");
+            if i < 6 {
+                b.read_at(i * 512, &mut buf).unwrap();
+                assert_eq!(buf, db[i * 512..i * 512 + 8], "doc b chunk {i}");
+            }
+        }
+        assert!(
+            pool.meter().resident_bytes_peak() <= 2 * 512,
+            "shared budget exceeded: {}",
+            pool.meter().resident_bytes_peak()
+        );
+        assert!(pool.resident_chunks() <= 2);
+        assert!(pool.evictions() > 0, "interleaved scans over a tiny pool must evict");
+        assert_eq!(pool.fetches(), a.window().chunk_fetches() + b.window().chunk_fetches());
+        // Same-index chunks of different documents never alias.
+        a.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, da[..8]);
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, db[..8]);
+    }
+
+    #[test]
+    fn window_pool_purge_releases_budget_and_counts_refetches() {
+        let pool = Arc::new(WindowPool::new(8 * 512));
+        let tmp = TempPath::new("pool-purge");
+        let bytes = data(4 * 512);
+        std::fs::write(tmp.path(), &bytes).unwrap();
+        let s = FileStore::open_in_pool(tmp.path(), 512, &pool).unwrap();
+        let mut buf = vec![0u8; bytes.len()];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, bytes);
+        assert_eq!(pool.resident_chunks(), 4);
+        let token = s.window().pool_doc();
+        pool.purge_doc(token);
+        assert_eq!(pool.resident_chunks(), 0);
+        assert_eq!(pool.meter().resident_bytes_now(), 0);
+        assert_eq!(pool.purged_chunks(), 4);
+        // The store still serves (chunks re-read from the file), and the
+        // ever-bitmap survived the purge: these are refetches.
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, bytes);
+        assert_eq!(pool.refetches(), 4);
+        assert_eq!(s.window().chunk_refetches(), 4);
+    }
+
+    #[test]
+    fn dyn_chunk_store_delegates_every_method() {
+        let boxed: DynChunkStore = Box::new(MemStore::new(data(100)));
+        assert_eq!(boxed.len(), 100);
+        assert!(!boxed.is_empty());
+        assert_eq!(boxed.as_slice().unwrap(), &data(100)[..]);
+        assert!(boxed.meter().is_none());
+        let mut buf = [0u8; 10];
+        boxed.read_at(5, &mut buf).unwrap();
+        assert_eq!(buf, data(100)[5..15]);
+        assert!(matches!(boxed.read_at(95, &mut buf), Err(StoreError::OutOfBounds { .. })));
     }
 
     #[test]

@@ -13,11 +13,18 @@
 //!   `Hello`, `GetMeta`, batched `GetChunks`, typed fault frames) with a
 //!   max-frame guard so a malicious peer can never force unbounded
 //!   allocation;
-//! * [`server`] — [`ChunkServer`]: serves any
-//!   [`ServerDoc`](xsac_soe::ServerDoc)`<S>` (in-memory or file-backed —
-//!   disk → socket without materializing the document) to concurrent
-//!   connections over a `std::thread::scope` accept loop, with
-//!   [`NetMetrics`] serving counters;
+//! * [`registry`] — [`DocRegistry`]: the multi-tenant routing table
+//!   mapping doc-ids to served documents (resident or lazily opened
+//!   file-backed, all drawing chunk residency from one shared
+//!   [`WindowPool`](xsac_crypto::WindowPool) budget), with per-document
+//!   [`DocMetrics`] that survive close/reopen cycles;
+//! * [`server`] — [`ChunkServer`]: serves every document of a registry
+//!   (in-memory or file-backed — disk → socket without materializing
+//!   the document) to concurrent connections over a
+//!   `std::thread::scope` accept loop, with admission control
+//!   ([`ServerConfig::max_conns`] → typed `Busy` rejections),
+//!   [`NetMetrics`] serving counters and a [`ServiceSnapshot`]
+//!   roll-up;
 //! * [`client`] — [`connect`] + [`RemoteStore`]: a
 //!   [`ChunkStore`](xsac_crypto::ChunkStore) over a
 //!   connection, with a bounded client-side chunk cache (the same
@@ -65,13 +72,17 @@ pub mod client;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod fault;
 pub mod meta;
+pub mod registry;
 pub mod server;
 pub mod wire;
 
 pub use client::{connect, ClientConfig, ConnectError, RemoteStats, RemoteStore, RetryConfig};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{FaultPlan, FaultTransport, NetFault};
-pub use server::{ChunkServer, NetMetrics, ServerConfig, ServerHandle, WireLimits};
+pub use registry::{DocMetrics, DocRegistry, DocRow, OpenError, RegistrySnapshot, ServedDoc};
+pub use server::{
+    ChunkServer, NetMetrics, ServerConfig, ServerHandle, ServiceSnapshot, WireLimits,
+};
 pub use wire::{Fault, WireError, PROTOCOL_VERSION};
 
 #[cfg(test)]
@@ -79,6 +90,7 @@ mod tests {
     use super::*;
     use std::io::Write as _;
     use std::net::TcpListener;
+    use std::sync::Arc;
     use xsac_core::output::reassemble_to_string;
     use xsac_core::{Policy, Sign};
     use xsac_crypto::chunk::ChunkLayout;
@@ -445,6 +457,188 @@ mod tests {
         assert_eq!(stats.reconnects, 1, "exactly one drop was scheduled: {stats:?}");
         assert!(stats.retried_chunks >= 1, "the in-flight batch must be re-issued: {stats:?}");
         proxy.shutdown();
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn one_server_many_tenants_routes_by_doc_id() {
+        // Three resident tenants behind one socket: the Hello doc-id
+        // routes, an unknown id is a typed rejection, and the snapshot
+        // attributes traffic per document.
+        let registry = Arc::new(DocRegistry::new(1 << 16));
+        let bodies = [
+            ("alpha", "<a><b>alpha body</b><c>alpha tail</c></a>".to_owned()),
+            ("beta", wide_xml()),
+            ("gamma", "<a><b>gamma</b></a>".to_owned()),
+        ];
+        for (id, xml) in &bodies {
+            registry.insert(*id, prepared(xml, IntegrityScheme::EcbMht));
+        }
+        let handle =
+            ChunkServer::with_registry(Arc::clone(&registry)).spawn("127.0.0.1:0").unwrap();
+        for (id, xml) in &bodies {
+            let want = prepared(xml, IntegrityScheme::EcbMht).protected.ciphertext().to_vec();
+            let remote = connect(handle.addr(), id, ClientConfig::default()).unwrap();
+            let mut got = vec![0u8; remote.protected.ciphertext_len()];
+            remote.protected.store.read_at(0, &mut got).unwrap();
+            assert_eq!(got, want, "tenant {id} served the wrong bytes");
+        }
+        match connect(handle.addr(), "delta", ClientConfig::default()) {
+            Err(ConnectError::Rejected(Fault::UnknownDoc { requested })) => {
+                assert_eq!(requested, "delta")
+            }
+            Err(other) => panic!("expected UnknownDoc for an unregistered id, got {other:?}"),
+            Ok(_) => panic!("an unregistered id must not connect"),
+        }
+        let snap = handle.service_snapshot();
+        assert_eq!(snap.registry.unknown_doc_rejections, 1);
+        assert_eq!(snap.registry.docs.len(), 3);
+        for row in &snap.registry.docs {
+            assert!(row.chunks_served > 0, "tenant {} served nothing: {row:?}", row.doc_id);
+            assert!(!row.lazy && row.open);
+        }
+        let per_doc: u64 = snap.registry.docs.iter().map(|r| r.chunks_served).sum();
+        assert_eq!(per_doc, snap.chunks_served, "per-doc rows must sum to the service total");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn re_hello_rebinds_a_connection_to_another_tenant() {
+        // One connection, two tenants: a second Hello mid-conversation
+        // switches the binding, and each GetChunks answers from the
+        // document bound *at that moment*.
+        let registry = Arc::new(DocRegistry::new(1 << 16));
+        let xml_a = wide_xml();
+        let xml_b = "<a><b>other tenant entirely</b><c>padding padding</c></a>";
+        registry.insert("a", prepared(&xml_a, IntegrityScheme::Ecb));
+        registry.insert("b", prepared(xml_b, IntegrityScheme::Ecb));
+        let want_a = prepared(&xml_a, IntegrityScheme::Ecb);
+        let want_b = prepared(xml_b, IntegrityScheme::Ecb);
+        let handle =
+            ChunkServer::with_registry(Arc::clone(&registry)).spawn("127.0.0.1:0").unwrap();
+
+        let mut sock = std::net::TcpStream::connect(handle.addr()).unwrap();
+        // Nagle + delayed ACK would put each small frame on a ~40 ms
+        // clock; the typed client sets this too.
+        sock.set_nodelay(true).unwrap();
+        let mut buf = Vec::new();
+        let call = |req: &wire::Request,
+                    sock: &mut std::net::TcpStream,
+                    buf: &mut Vec<u8>|
+         -> wire::Response {
+            wire::write_frame(sock, &req.encode()).unwrap();
+            wire::read_frame(sock, 1 << 20, buf).unwrap();
+            wire::Response::decode(buf).unwrap()
+        };
+        let first_chunk =
+            wire::Request::GetChunks { spans: vec![wire::ChunkSpan { first: 0, count: 1 }] };
+        for (id, want) in [("a", &want_a), ("b", &want_b), ("a", &want_a)] {
+            let hello = wire::Request::Hello { version: PROTOCOL_VERSION, doc_id: id.to_owned() };
+            match call(&hello, &mut sock, &mut buf) {
+                wire::Response::Hello(info) => {
+                    assert_eq!(info.ciphertext_len as usize, want.protected.ciphertext_len())
+                }
+                other => panic!("expected Hello for {id}, got {other:?}"),
+            }
+            match call(&first_chunk, &mut sock, &mut buf) {
+                wire::Response::Chunks(chunks) => {
+                    let range = want.protected.chunk_range(0);
+                    assert_eq!(chunks.len(), 1);
+                    assert_eq!(chunks[0].0, 0);
+                    assert_eq!(
+                        chunks[0].1,
+                        &want.protected.ciphertext()[range],
+                        "chunk 0 after rebinding to {id} came from the wrong tenant"
+                    );
+                }
+                other => panic!("expected Chunks from {id}, got {other:?}"),
+            }
+        }
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn admission_cap_answers_typed_busy_and_recovers() {
+        let xml = wide_xml();
+        let server = ChunkServer::new(prepared(&xml, IntegrityScheme::Ecb), "doc")
+            .with_config(server::ServerConfig { max_conns: 1, ..server::ServerConfig::default() });
+        let handle = server.spawn("127.0.0.1:0").unwrap();
+        // First client occupies the only slot.
+        let held = connect(handle.addr(), "doc", ClientConfig::default()).unwrap();
+        // Second is turned away with the typed, transient Busy fault —
+        // no hang, no silent close.
+        match connect(handle.addr(), "doc", ClientConfig::default()) {
+            Err(ConnectError::Rejected(Fault::Busy { live, max })) => {
+                assert_eq!((live, max), (1, 1))
+            }
+            Err(other) => panic!("expected Busy at the admission cap, got {other:?}"),
+            Ok(_) => panic!("the admission cap must turn the second client away"),
+        }
+        assert!(handle.metrics().admission_rejections() >= 1);
+        // Freeing the slot re-opens admission (poll: the handler notices
+        // the closed peer asynchronously).
+        drop(held);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match connect(handle.addr(), "doc", ClientConfig::default()) {
+                Ok(_) => break,
+                Err(ConnectError::Rejected(Fault::Busy { .. })) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "admission never recovered after the held connection closed"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(other) => panic!("expected recovery or Busy, got {other:?}"),
+            }
+        }
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lazy_file_tenants_share_one_budget_and_reopen_on_demand() {
+        // Two file-backed tenants, a pool budget smaller than either
+        // document, and an open cap of one: routing B closes A, routing
+        // A again reopens it — all invisible to clients, all counted.
+        let xml = wide_xml();
+        let doc = xsac_xml::Document::parse(&xml).unwrap();
+        let mut tmps = Vec::new();
+        let registry = Arc::new(DocRegistry::new(512).with_max_open_docs(1));
+        for id in ["a", "b"] {
+            let tmp = xsac_crypto::store::TempPath::new("net-lazy-tenant");
+            let file = ServerDoc::prepare_to_store(
+                &doc,
+                &key(),
+                IntegrityScheme::EcbMht,
+                tiny_layout(),
+                tmp.path(),
+                1024,
+            )
+            .unwrap();
+            registry.insert_file(id, file.meta(), tmp.path());
+            tmps.push(tmp);
+        }
+        let want = prepared(&xml, IntegrityScheme::EcbMht).protected.ciphertext().to_vec();
+        assert!(want.len() > 512, "the budget must be smaller than one document");
+        let handle =
+            ChunkServer::with_registry(Arc::clone(&registry)).spawn("127.0.0.1:0").unwrap();
+        for id in ["a", "b", "a"] {
+            let remote = connect(handle.addr(), id, ClientConfig::default()).unwrap();
+            let mut got = vec![0u8; remote.protected.ciphertext_len()];
+            remote.protected.store.read_at(0, &mut got).unwrap();
+            assert_eq!(got, want, "lazy tenant {id} served the wrong bytes");
+        }
+        let snap = handle.service_snapshot();
+        assert!(snap.registry.doc_opens >= 3, "expected open,open,reopen: {snap:?}");
+        assert!(snap.registry.doc_closes >= 2, "the open cap of 1 must close tenants: {snap:?}");
+        assert!(
+            snap.registry.resident_bytes_peak <= 512 + 256,
+            "global budget violated: peak {} over budget 512 (+1 chunk)",
+            snap.registry.resident_bytes_peak
+        );
+        assert!(snap.registry.pool_purged_chunks > 0, "closes must purge pooled chunks");
+        let a_row = snap.registry.docs.iter().find(|r| r.doc_id == "a").unwrap();
+        assert!(a_row.lazy && a_row.opens >= 2 && a_row.closes >= 1, "{a_row:?}");
         handle.shutdown().unwrap();
     }
 }

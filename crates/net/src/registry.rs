@@ -1,0 +1,461 @@
+//! The multi-tenant document registry: doc-ids → served documents,
+//! under one global residency budget.
+//!
+//! A [`DocRegistry`] is what turns the one-document demo socket into a
+//! service: the `Hello` frame's doc-id negotiation routes here. Two
+//! kinds of tenants live side by side (type-erased behind
+//! [`DynChunkStore`]):
+//!
+//! * **resident** documents ([`DocRegistry::insert`]) — any prepared
+//!   [`ServerDoc`], always open; the single-tenant
+//!   [`ChunkServer::new`](crate::ChunkServer::new) shape is a registry
+//!   with one resident entry;
+//! * **lazy file-backed** documents ([`DocRegistry::insert_file`]) —
+//!   registered as metadata + a ciphertext path, opened on first route
+//!   through [`FileStore::open_in_pool`] so every tenant's resident
+//!   chunks draw from the registry's one shared [`WindowPool`] budget,
+//!   and closed again (LRU, [`max_open_docs`](DocRegistry::with_max_open_docs))
+//!   when too many lazy tenants are open at once.
+//!
+//! Routing hands out `Arc<ServedDoc>`: a connection that negotiated a
+//! document keeps serving it even if the registry closes the tenant
+//! mid-session (the close only purges pooled chunks — invisible to the
+//! session beyond refetches), and a later `Hello` for the same id
+//! simply reopens it. Per-document counters ([`DocMetrics`]) survive
+//! close/reopen cycles and roll up — together with the pool's residency
+//! figures — into the [`RegistrySnapshot`] half of the server's
+//! [`ServiceSnapshot`](crate::server::ServiceSnapshot).
+//!
+//! The shape follows trustification's registry-over-storage split (an
+//! API layer fronting an object store, with an admin path that can
+//! drop and reopen indexes): storage stays dumb, the registry owns
+//! lifecycle and accounting.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use xsac_crypto::store::{ChunkStore, DynChunkStore, FileStore, PoolDoc, StoreError, WindowPool};
+use xsac_soe::{DocMeta, ServerDoc};
+
+/// Per-document serving counters, shared across every connection bound
+/// to the document and surviving close/reopen cycles — the per-tenant
+/// slice of [`NetMetrics`](crate::NetMetrics).
+#[derive(Debug, Default)]
+pub struct DocMetrics {
+    pub(crate) requests: AtomicU64,
+    pub(crate) chunks_served: AtomicU64,
+    pub(crate) bytes_served: AtomicU64,
+    pub(crate) fault_frames: AtomicU64,
+    opens: AtomicU64,
+    closes: AtomicU64,
+}
+
+impl DocMetrics {
+    /// Requests served for this document (Hello + Meta + Chunks).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Ciphertext chunks shipped for this document.
+    pub fn chunks_served(&self) -> u64 {
+        self.chunks_served.load(Ordering::Relaxed)
+    }
+
+    /// Ciphertext payload bytes shipped for this document.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served.load(Ordering::Relaxed)
+    }
+
+    /// Typed fault frames answered on connections bound to this
+    /// document.
+    pub fn fault_frames(&self) -> u64 {
+        self.fault_frames.load(Ordering::Relaxed)
+    }
+
+    /// Times this (lazy) document was opened. Resident documents count
+    /// one open at registration.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Times this (lazy) document was closed — by LRU pressure or an
+    /// explicit [`DocRegistry::close`].
+    pub fn closes(&self) -> u64 {
+        self.closes.load(Ordering::Relaxed)
+    }
+}
+
+/// One open document as the server serves it: the reassembled
+/// [`ServerDoc`], its pre-encoded `GetMeta` payload, and its metrics.
+/// Connections hold it by `Arc`, so a registry close never invalidates
+/// an in-flight session.
+pub struct ServedDoc {
+    pub(crate) doc: ServerDoc<DynChunkStore>,
+    pub(crate) meta_bytes: Arc<Vec<u8>>,
+    pub(crate) metrics: Arc<DocMetrics>,
+}
+
+impl ServedDoc {
+    /// The served document.
+    pub fn doc(&self) -> &ServerDoc<DynChunkStore> {
+        &self.doc
+    }
+
+    /// This document's serving counters.
+    pub fn metrics(&self) -> &DocMetrics {
+        &self.metrics
+    }
+}
+
+/// Why a doc-id failed to route.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The id is not registered — answered on the wire as the typed
+    /// [`Fault::UnknownDoc`](crate::Fault::UnknownDoc) frame.
+    Unknown,
+    /// The id is registered but its backing store failed to open
+    /// (answered as a typed I/O fault; the registration stays, so a
+    /// later `Hello` retries the open).
+    Store(StoreError),
+}
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenError::Unknown => write!(f, "document id not registered"),
+            OpenError::Store(e) => write!(f, "backing store failed to open: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+enum Backing {
+    /// Always open (in-memory or caller-managed store).
+    Resident(Arc<ServedDoc>),
+    /// Lazy file-backed: opened on first route, closable under LRU
+    /// pressure. `pool_doc` is the open store's pool ticket, kept so a
+    /// close can purge its resident chunks.
+    File {
+        meta: Box<DocMeta>,
+        path: PathBuf,
+        chunk_size: usize,
+        open: Option<Arc<ServedDoc>>,
+        pool_doc: Option<PoolDoc>,
+    },
+}
+
+struct Entry {
+    backing: Backing,
+    meta_bytes: Arc<Vec<u8>>,
+    metrics: Arc<DocMetrics>,
+    /// Registry-clock tick of the last route, for LRU closing.
+    last_used: u64,
+}
+
+/// One row of a [`RegistrySnapshot`]: a registered document and its
+/// lifetime counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocRow {
+    /// The registered id.
+    pub doc_id: String,
+    /// Whether the document is currently open (servable without a
+    /// reopen). Resident documents are always open.
+    pub open: bool,
+    /// Whether the document is a lazy file-backed tenant.
+    pub lazy: bool,
+    /// Requests served.
+    pub requests: u64,
+    /// Chunks shipped.
+    pub chunks_served: u64,
+    /// Ciphertext payload bytes shipped.
+    pub bytes_served: u64,
+    /// Typed fault frames answered while bound to this document.
+    pub fault_frames: u64,
+    /// Open events.
+    pub opens: u64,
+    /// Close events.
+    pub closes: u64,
+}
+
+/// Registry-level half of the service snapshot: per-document rows plus
+/// the shared pool's residency/eviction figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// One row per registered document, sorted by id.
+    pub docs: Vec<DocRow>,
+    /// Document open events across all tenants.
+    pub doc_opens: u64,
+    /// Document close events (LRU + explicit) across all tenants.
+    pub doc_closes: u64,
+    /// `Hello` frames naming an unregistered id.
+    pub unknown_doc_rejections: u64,
+    /// The shared pool's global residency budget.
+    pub budget_bytes: usize,
+    /// Pool bytes resident right now.
+    pub resident_bytes_now: u64,
+    /// Pool residency high-water mark.
+    pub resident_bytes_peak: u64,
+    /// Pool backend fetches.
+    pub pool_fetches: u64,
+    /// Pool refetches (budget pressure + close/reopen cycles).
+    pub pool_refetches: u64,
+    /// Pool chunks evicted under budget pressure.
+    pub pool_evictions: u64,
+    /// Pool chunks dropped by document closes.
+    pub pool_purged_chunks: u64,
+}
+
+/// Maps doc-ids to served documents under one shared residency budget.
+/// See the [module docs](self) for the routing and lifecycle contract.
+pub struct DocRegistry {
+    pool: Arc<WindowPool>,
+    inner: Mutex<HashMap<String, Entry>>,
+    max_open_docs: usize,
+    clock: AtomicU64,
+    unknown_docs: AtomicU64,
+    opens: AtomicU64,
+    closes: AtomicU64,
+}
+
+impl DocRegistry {
+    /// An empty registry whose lazy tenants share a [`WindowPool`] of
+    /// `budget_bytes` (the **global** residency bound across all
+    /// file-backed documents — deliberately allowed to be smaller than
+    /// any single document). Lazy tenants stay open until
+    /// [`with_max_open_docs`](DocRegistry::with_max_open_docs) caps
+    /// them.
+    pub fn new(budget_bytes: usize) -> DocRegistry {
+        DocRegistry {
+            pool: Arc::new(WindowPool::new(budget_bytes)),
+            inner: Mutex::new(HashMap::new()),
+            max_open_docs: usize::MAX,
+            clock: AtomicU64::new(0),
+            unknown_docs: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps how many lazy file-backed documents may be open at once:
+    /// routing a cold tenant past the cap closes the least-recently
+    /// routed open one (resident tenants are exempt — they have no
+    /// close). Bounds per-document overhead (open file handles, meta
+    /// state) the way the pool budget bounds chunk residency.
+    pub fn with_max_open_docs(mut self, max: usize) -> DocRegistry {
+        self.max_open_docs = max.max(1);
+        self
+    }
+
+    /// The shared residency pool (budget, meter, fetch/eviction
+    /// counters).
+    pub fn pool(&self) -> &Arc<WindowPool> {
+        &self.pool
+    }
+
+    /// Registers `doc` under `doc_id` as an always-open resident tenant
+    /// (replacing any previous registration of the id). The store is
+    /// type-erased, so in-memory and file-backed documents mix freely.
+    pub fn insert<S: ChunkStore + Send + Sync + 'static>(
+        &self,
+        doc_id: impl Into<String>,
+        doc: ServerDoc<S>,
+    ) {
+        let metrics = Arc::new(DocMetrics::default());
+        metrics.opens.fetch_add(1, Ordering::Relaxed);
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        let meta_bytes = Arc::new(crate::meta::encode_meta(&doc.meta()));
+        let served = Arc::new(ServedDoc {
+            doc: doc.into_dyn(),
+            meta_bytes: Arc::clone(&meta_bytes),
+            metrics: Arc::clone(&metrics),
+        });
+        self.inner.lock().expect("doc registry").insert(
+            doc_id.into(),
+            Entry { backing: Backing::Resident(served), meta_bytes, metrics, last_used: 0 },
+        );
+    }
+
+    /// Registers a lazy file-backed tenant: `meta` (as produced by
+    /// [`ServerDoc::meta`] after `prepare_to_store`) plus the ciphertext
+    /// `path`. Nothing is opened until the first `Hello` routes here;
+    /// the `GetMeta` payload is encoded once now, so every open — and
+    /// every reconnecting client's identity check — sees byte-identical
+    /// metadata.
+    pub fn insert_file(&self, doc_id: impl Into<String>, meta: DocMeta, path: impl Into<PathBuf>) {
+        let meta_bytes = Arc::new(crate::meta::encode_meta(&meta));
+        let chunk_size = meta.layout.chunk_size;
+        self.inner.lock().expect("doc registry").insert(
+            doc_id.into(),
+            Entry {
+                backing: Backing::File {
+                    meta: Box::new(meta),
+                    path: path.into(),
+                    chunk_size,
+                    open: None,
+                    pool_doc: None,
+                },
+                meta_bytes,
+                metrics: Arc::new(DocMetrics::default()),
+                last_used: 0,
+            },
+        );
+    }
+
+    /// Routes a doc-id: the `Hello` path. Returns the served document,
+    /// opening a lazy tenant (and LRU-closing the coldest open one past
+    /// the cap) as needed.
+    pub fn open(&self, doc_id: &str) -> Result<Arc<ServedDoc>, OpenError> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.inner.lock().expect("doc registry");
+        let Some(entry) = inner.get_mut(doc_id) else {
+            self.unknown_docs.fetch_add(1, Ordering::Relaxed);
+            return Err(OpenError::Unknown);
+        };
+        entry.last_used = tick;
+        let served = match &mut entry.backing {
+            Backing::Resident(doc) => return Ok(Arc::clone(doc)),
+            Backing::File { open: Some(doc), .. } => return Ok(Arc::clone(doc)),
+            Backing::File { meta, path, chunk_size, open, pool_doc } => {
+                let store =
+                    FileStore::open_in_pool(path, *chunk_size, &self.pool).map_err(|e| {
+                        OpenError::Store(StoreError::Io {
+                            offset: 0,
+                            kind: e.kind(),
+                            msg: format!("open {}: {e}", path.display()),
+                        })
+                    })?;
+                *pool_doc = Some(store.window().pool_doc());
+                let served = Arc::new(ServedDoc {
+                    doc: ServerDoc::from_meta((**meta).clone(), store).into_dyn(),
+                    meta_bytes: Arc::clone(&entry.meta_bytes),
+                    metrics: Arc::clone(&entry.metrics),
+                });
+                *open = Some(Arc::clone(&served));
+                entry.metrics.opens.fetch_add(1, Ordering::Relaxed);
+                self.opens.fetch_add(1, Ordering::Relaxed);
+                served
+            }
+        };
+        self.enforce_open_cap(&mut inner, doc_id);
+        Ok(served)
+    }
+
+    /// Closes the least-recently routed open lazy tenants (never
+    /// `just_opened`) until the open count fits the cap.
+    fn enforce_open_cap(&self, inner: &mut HashMap<String, Entry>, just_opened: &str) {
+        loop {
+            let mut open_count = 0usize;
+            let mut victim: Option<(&String, u64)> = None;
+            for (id, entry) in inner.iter() {
+                if let Backing::File { open: Some(_), .. } = entry.backing {
+                    open_count += 1;
+                    if id != just_opened && victim.is_none_or(|(_, best)| entry.last_used < best) {
+                        victim = Some((id, entry.last_used));
+                    }
+                }
+            }
+            if open_count <= self.max_open_docs {
+                return;
+            }
+            let Some((id, _)) = victim else { return };
+            let id = id.clone();
+            self.close_locked(inner, &id);
+        }
+    }
+
+    fn close_locked(&self, inner: &mut HashMap<String, Entry>, doc_id: &str) -> bool {
+        let Some(entry) = inner.get_mut(doc_id) else { return false };
+        let Backing::File { open, pool_doc, .. } = &mut entry.backing else { return false };
+        if open.take().is_none() {
+            return false;
+        }
+        if let Some(token) = pool_doc.take() {
+            self.pool.purge_doc(token);
+        }
+        entry.metrics.closes.fetch_add(1, Ordering::Relaxed);
+        self.closes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Explicitly closes a lazy tenant (the admin path: evict a cold
+    /// document's residency now). Connections already bound to it keep
+    /// serving through their `Arc`; the next `Hello` reopens it.
+    /// Returns whether anything was open to close (resident tenants and
+    /// unknown ids return `false`).
+    pub fn close(&self, doc_id: &str) -> bool {
+        let mut inner = self.inner.lock().expect("doc registry");
+        self.close_locked(&mut inner, doc_id)
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("doc registry").len()
+    }
+
+    /// Whether the registry has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `doc_id` is registered.
+    pub fn contains(&self, doc_id: &str) -> bool {
+        self.inner.lock().expect("doc registry").contains_key(doc_id)
+    }
+
+    /// The registered ids, sorted.
+    pub fn doc_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> =
+            self.inner.lock().expect("doc registry").keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// `Hello` frames that named an unregistered id (each answered with
+    /// a typed unknown-doc fault).
+    pub fn unknown_doc_rejections(&self) -> u64 {
+        self.unknown_docs.load(Ordering::Relaxed)
+    }
+
+    /// A consistent snapshot of every tenant's counters plus the shared
+    /// pool's residency figures.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().expect("doc registry");
+        let mut docs: Vec<DocRow> = inner
+            .iter()
+            .map(|(id, entry)| {
+                let (open, lazy) = match &entry.backing {
+                    Backing::Resident(_) => (true, false),
+                    Backing::File { open, .. } => (open.is_some(), true),
+                };
+                DocRow {
+                    doc_id: id.clone(),
+                    open,
+                    lazy,
+                    requests: entry.metrics.requests(),
+                    chunks_served: entry.metrics.chunks_served(),
+                    bytes_served: entry.metrics.bytes_served(),
+                    fault_frames: entry.metrics.fault_frames(),
+                    opens: entry.metrics.opens(),
+                    closes: entry.metrics.closes(),
+                }
+            })
+            .collect();
+        docs.sort_by(|a, b| a.doc_id.cmp(&b.doc_id));
+        RegistrySnapshot {
+            docs,
+            doc_opens: self.opens.load(Ordering::Relaxed),
+            doc_closes: self.closes.load(Ordering::Relaxed),
+            unknown_doc_rejections: self.unknown_docs.load(Ordering::Relaxed),
+            budget_bytes: self.pool.budget_bytes(),
+            resident_bytes_now: self.pool.meter().resident_bytes_now(),
+            resident_bytes_peak: self.pool.meter().resident_bytes_peak(),
+            pool_fetches: self.pool.fetches(),
+            pool_refetches: self.pool.refetches(),
+            pool_evictions: self.pool.evictions(),
+            pool_purged_chunks: self.pool.purged_chunks(),
+        }
+    }
+}

@@ -1,33 +1,47 @@
-//! The dissemination server: a [`ChunkServer`] publishes one prepared
-//! [`ServerDoc`] over TCP to any number of concurrent clients.
+//! The dissemination server: a [`ChunkServer`] publishes the documents
+//! of a [`DocRegistry`] over TCP to any number of concurrent clients.
 //!
-//! The server composes with every [`ChunkStore`] backend: over a
-//! [`FileStore`](xsac_crypto::FileStore)-backed document the ciphertext
-//! flows **disk → resident window → socket** without ever being
-//! materialized, so a box serving a document larger than its RAM is just
-//! `ServerDoc::prepare_to_store` + `ChunkServer::spawn`. The server
-//! holds no keys and sees no plaintext queries or views: it is the
-//! paper's *untrusted* party, shipping ciphertext, encrypted digests and
-//! the (public) skip-index material; access control happens entirely
-//! client-side.
+//! The `Hello` frame's doc-id routes through the registry, so one
+//! server process is a **multi-tenant service**: resident in-memory
+//! documents and lazy file-backed ones (opened on demand, all drawing
+//! chunk residency from the registry's one shared
+//! [`WindowPool`](xsac_crypto::WindowPool) budget) are served side by
+//! side, and an unknown id is answered with a typed
+//! [`Fault::UnknownDoc`] frame — never a hang or a panic. The
+//! historical one-document shape ([`ChunkServer::new`]) is just a
+//! registry with a single resident entry.
+//!
+//! Over a [`FileStore`](xsac_crypto::FileStore)-backed document the
+//! ciphertext flows **disk → pooled window → socket** without ever
+//! being materialized, so a box serving documents larger than its RAM
+//! is `ServerDoc::prepare_to_store` + [`DocRegistry::insert_file`] +
+//! `ChunkServer::spawn`. The server holds no keys and sees no
+//! plaintext queries or views: it is the paper's *untrusted* party,
+//! shipping ciphertext, encrypted digests and the (public) skip-index
+//! material; access control happens entirely client-side.
 //!
 //! Concurrency matches the PR-3 idiom: a threaded accept loop over
 //! `std::thread::scope`, one scoped thread per connection, no shared
-//! mutable state beyond the store's own window lock and the
-//! [`NetMetrics`] counters.
+//! mutable state beyond the registry/pool locks and the [`NetMetrics`]
+//! counters.
 //!
-//! # Resilience
+//! # Resilience and admission
 //!
 //! No connection can pin a server thread: every accepted socket carries
 //! **read/write deadlines** ([`ServerConfig`]), so a peer that stalls
 //! mid-request (or stops draining responses) is evicted when its
 //! deadline fires, and every connection has a **frame budget**
 //! (generalizing the per-frame [`WireLimits::max_frame`] guard to the
-//! whole conversation) after which it is closed. Both eviction kinds
-//! are counted in [`NetMetrics`]; a well-behaved client just
-//! reconnects — the `RemoteStore` retry loop makes either eviction
-//! invisible to the session above it.
+//! whole conversation) after which it is closed. Past
+//! [`ServerConfig::max_conns`] live connections the server stops
+//! admitting: excess peers are answered with one typed
+//! [`Fault::Busy`] frame and dropped without a handler thread — the
+//! transient fault the client retry loop backs off on. All eviction
+//! and rejection kinds are counted in [`NetMetrics`]; a well-behaved
+//! client just reconnects — the `RemoteStore` retry loop makes any of
+//! them invisible to the session above it.
 
+use crate::registry::{DocRegistry, OpenError, RegistrySnapshot, ServedDoc};
 use crate::wire::{
     self, ChunkSpan, Fault, HelloInfo, Request, Response, WireError, DEFAULT_SERVER_MAX_FRAME,
     PROTOCOL_VERSION,
@@ -37,8 +51,14 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use xsac_crypto::store::{ChunkStore, MemStore};
+use xsac_crypto::store::ChunkStore;
 use xsac_soe::ServerDoc;
+
+/// Pool budget backing the single-document [`ChunkServer::new`]
+/// convenience constructor. Resident documents never draw from the
+/// pool, so the value only matters if such a server later gains lazy
+/// tenants through [`ChunkServer::registry`].
+const SINGLE_DOC_POOL_BUDGET: usize = 8 << 20;
 
 /// Per-connection protocol limits enforced by the server.
 #[derive(Clone, Copy, Debug)]
@@ -57,8 +77,8 @@ impl Default for WireLimits {
 }
 
 /// Per-connection resource policy: protocol limits, socket deadlines,
-/// and the lifetime frame budget. The defaults serve patient, legitimate
-/// clients; tighten them for hostile networks.
+/// the lifetime frame budget, and the admission cap. The defaults serve
+/// patient, legitimate clients; tighten them for hostile networks.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
     /// Frame-level limits (size and batch bounds).
@@ -77,6 +97,13 @@ pub struct ServerConfig {
     /// (counted in [`NetMetrics::budget_evictions`]); a legitimate
     /// long-lived client simply reconnects.
     pub max_frames_per_conn: u64,
+    /// Most connections served concurrently — the accept-side
+    /// generalization of the frame budget. A peer arriving past the cap
+    /// is answered with one typed [`Fault::Busy`] frame (transient: the
+    /// client retry loop backs off and reconnects) and dropped without
+    /// ever getting a handler thread, so a connection flood degrades
+    /// into bounded, counted rejections instead of unbounded threads.
+    pub max_conns: u64,
 }
 
 impl Default for ServerConfig {
@@ -86,13 +113,16 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             max_frames_per_conn: 1 << 20,
+            max_conns: 1024,
         }
     }
 }
 
 /// Serving counters, shared between the accept loop, every connection
 /// thread, and the [`ServerHandle`] — the network-side analogue of
-/// [`ResidencyMeter`](xsac_crypto::ResidencyMeter).
+/// [`ResidencyMeter`](xsac_crypto::ResidencyMeter). Per-document
+/// breakdowns live in the registry's
+/// [`DocMetrics`](crate::registry::DocMetrics).
 #[derive(Debug, Default)]
 pub struct NetMetrics {
     connections: AtomicU64,
@@ -102,10 +132,11 @@ pub struct NetMetrics {
     fault_frames: AtomicU64,
     slow_peer_evictions: AtomicU64,
     budget_evictions: AtomicU64,
+    admission_rejections: AtomicU64,
 }
 
 impl NetMetrics {
-    /// Connections accepted so far.
+    /// Connections accepted (admitted) so far.
     pub fn connections(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
     }
@@ -143,18 +174,49 @@ impl NetMetrics {
     pub fn budget_evictions(&self) -> u64 {
         self.budget_evictions.load(Ordering::Relaxed)
     }
+
+    /// Connections turned away at the
+    /// [admission cap](ServerConfig::max_conns) with a `Busy` frame
+    /// (not counted in [`connections`](NetMetrics::connections)).
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections.load(Ordering::Relaxed)
+    }
 }
 
-/// Serves one prepared document to concurrent network clients.
-pub struct ChunkServer<S: ChunkStore = MemStore> {
-    doc: ServerDoc<S>,
-    doc_id: String,
+/// Service-level roll-up: the server's connection/transport counters
+/// plus the registry's per-document and residency figures, taken
+/// together — the one structure an operator scrapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Per-document rows and shared-pool residency.
+    pub registry: RegistrySnapshot,
+    /// Connections admitted.
+    pub connections: u64,
+    /// Requests served across all tenants.
+    pub requests: u64,
+    /// Chunks shipped across all tenants.
+    pub chunks_served: u64,
+    /// Ciphertext payload bytes shipped across all tenants.
+    pub bytes_served: u64,
+    /// Typed fault frames sent.
+    pub fault_frames: u64,
+    /// Slow-peer (deadline) evictions.
+    pub slow_peer_evictions: u64,
+    /// Frame-budget evictions.
+    pub budget_evictions: u64,
+    /// Connections rejected at the admission cap.
+    pub admission_rejections: u64,
+}
+
+/// Serves the documents of a [`DocRegistry`] to concurrent network
+/// clients.
+pub struct ChunkServer {
+    registry: Arc<DocRegistry>,
     config: ServerConfig,
     metrics: Arc<NetMetrics>,
-    /// The `GetMeta` payload, encoded once at construction — the
-    /// document is immutable for the server's lifetime, so per-handshake
-    /// cost is one memcpy, not a deep clone + re-serialization.
-    meta_bytes: Vec<u8>,
+    /// Connections currently being served — the admission gauge
+    /// compared against [`ServerConfig::max_conns`].
+    live: AtomicU64,
     /// Reader-side clones of every *live* connection keyed by a
     /// connection id, so shutdown can unblock their (blocking) frame
     /// reads deterministically. A handler removes its own entry on exit
@@ -163,42 +225,60 @@ pub struct ChunkServer<S: ChunkStore = MemStore> {
     conns: Mutex<Vec<(u64, TcpStream)>>,
 }
 
-impl<S: ChunkStore> ChunkServer<S> {
-    /// Wraps a prepared document for network serving under `doc_id`.
-    pub fn new(doc: ServerDoc<S>, doc_id: impl Into<String>) -> ChunkServer<S> {
-        let meta_bytes = crate::meta::encode_meta(&doc.meta());
+impl ChunkServer {
+    /// Wraps a single prepared document for network serving under
+    /// `doc_id` — the historic one-tenant shape, now sugar for a
+    /// one-entry registry.
+    pub fn new<S: ChunkStore + Send + Sync + 'static>(
+        doc: ServerDoc<S>,
+        doc_id: impl Into<String>,
+    ) -> ChunkServer {
+        let registry = DocRegistry::new(SINGLE_DOC_POOL_BUDGET);
+        registry.insert(doc_id, doc);
+        ChunkServer::with_registry(Arc::new(registry))
+    }
+
+    /// Serves every document of `registry` — the multi-tenant shape.
+    /// The registry stays shared: documents can be registered or closed
+    /// while the server runs.
+    pub fn with_registry(registry: Arc<DocRegistry>) -> ChunkServer {
         ChunkServer {
-            doc,
-            doc_id: doc_id.into(),
+            registry,
             config: ServerConfig::default(),
             metrics: Arc::new(NetMetrics::default()),
-            meta_bytes,
+            live: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
         }
     }
 
-    /// Overrides the protocol limits (deadlines and budget keep their
-    /// [`ServerConfig`] defaults).
-    pub fn with_limits(mut self, limits: WireLimits) -> ChunkServer<S> {
+    /// Overrides the protocol limits (deadlines, budget and admission
+    /// cap keep their [`ServerConfig`] defaults).
+    pub fn with_limits(mut self, limits: WireLimits) -> ChunkServer {
         self.config.limits = limits;
         self
     }
 
     /// Overrides the whole per-connection policy: limits, deadlines,
-    /// frame budget.
-    pub fn with_config(mut self, config: ServerConfig) -> ChunkServer<S> {
+    /// frame budget, admission cap.
+    pub fn with_config(mut self, config: ServerConfig) -> ChunkServer {
         self.config = config;
         self
     }
 
-    /// The served document.
-    pub fn doc(&self) -> &ServerDoc<S> {
-        &self.doc
+    /// The document registry being served.
+    pub fn registry(&self) -> &Arc<DocRegistry> {
+        &self.registry
     }
 
     /// The serving counters (shared with any [`ServerHandle`]).
     pub fn metrics(&self) -> Arc<NetMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The service-level roll-up: transport counters + registry rows +
+    /// pool residency, in one consistent read.
+    pub fn service_snapshot(&self) -> ServiceSnapshot {
+        service_snapshot(&self.registry, &self.metrics)
     }
 
     /// Serves `listener` until `stop` is raised: a threaded accept loop
@@ -226,6 +306,19 @@ impl<S: ChunkStore> ChunkServer<S> {
                         if stop.load(Ordering::Acquire) {
                             break;
                         }
+                        let live = self.live.load(Ordering::Relaxed);
+                        if live >= self.config.max_conns {
+                            // Admission rejection: answer one Busy frame
+                            // off-thread (the write carries a deadline,
+                            // so a peer that won't read it cannot pin
+                            // the rejector) and drop the socket. No
+                            // handler thread, no conns entry.
+                            self.metrics.admission_rejections.fetch_add(1, Ordering::Relaxed);
+                            let max = self.config.max_conns;
+                            scope.spawn(move || reject_busy(stream, self.config, live, max));
+                            continue;
+                        }
+                        self.live.fetch_add(1, Ordering::Relaxed);
                         self.metrics.connections.fetch_add(1, Ordering::Relaxed);
                         let id = next_id;
                         next_id += 1;
@@ -240,6 +333,7 @@ impl<S: ChunkStore> ChunkServer<S> {
                                 .lock()
                                 .expect("connection list")
                                 .retain(|(cid, _)| *cid != id);
+                            self.live.fetch_sub(1, Ordering::Relaxed);
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -264,12 +358,17 @@ impl<S: ChunkStore> ChunkServer<S> {
     /// in-protocol problems are answered with typed fault frames and the
     /// conversation continues — until the socket's deadline fires or the
     /// connection's frame budget runs out, both of which evict the peer.
+    ///
+    /// `bound` is the document this connection negotiated via `Hello`;
+    /// a later `Hello` may rebind it to another tenant mid-connection.
+    /// The handler holds the document by `Arc`, so a registry close
+    /// never invalidates the session.
     fn handle_conn(&self, mut stream: TcpStream) {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(self.config.read_timeout);
         let _ = stream.set_write_timeout(self.config.write_timeout);
         let mut buf = Vec::new();
-        let mut hello_done = false;
+        let mut bound: Option<Arc<ServedDoc>> = None;
         let mut frames = 0u64;
         loop {
             if frames >= self.config.max_frames_per_conn {
@@ -290,13 +389,19 @@ impl<S: ChunkStore> ChunkServer<S> {
             frames += 1;
             self.metrics.requests.fetch_add(1, Ordering::Relaxed);
             let response = match Request::decode(&buf) {
-                Ok(req) => self.dispatch(req, &mut hello_done),
+                Ok(req) => self.dispatch(req, &mut bound),
                 Err(_) => {
                     Response::Err(Fault::BadRequest { reason: "unparseable request".to_owned() })
                 }
             };
+            if let Some(doc) = &bound {
+                doc.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            }
             if matches!(response, Response::Err(_)) {
                 self.metrics.fault_frames.fetch_add(1, Ordering::Relaxed);
+                if let Some(doc) = &bound {
+                    doc.metrics.fault_frames.fetch_add(1, Ordering::Relaxed);
+                }
             }
             if let Err(e) = wire::write_frame(&mut stream, &response.encode()) {
                 if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
@@ -307,35 +412,47 @@ impl<S: ChunkStore> ChunkServer<S> {
         }
     }
 
-    fn dispatch(&self, req: Request, hello_done: &mut bool) -> Response {
+    fn dispatch(&self, req: Request, bound: &mut Option<Arc<ServedDoc>>) -> Response {
         match req {
             Request::Hello { version, doc_id } => {
                 if version != PROTOCOL_VERSION {
                     return Response::Err(Fault::VersionMismatch { server: PROTOCOL_VERSION });
                 }
-                if doc_id != self.doc_id {
-                    return Response::Err(Fault::UnknownDoc { requested: doc_id });
-                }
-                *hello_done = true;
-                let p = &self.doc.protected;
-                Response::Hello(HelloInfo {
+                let doc = match self.registry.open(&doc_id) {
+                    Ok(doc) => doc,
+                    Err(OpenError::Unknown) => {
+                        return Response::Err(Fault::UnknownDoc { requested: doc_id });
+                    }
+                    Err(OpenError::Store(e)) => return Response::Err(Fault::from_store(&e)),
+                };
+                let p = &doc.doc.protected;
+                let hello = Response::Hello(HelloInfo {
                     version: PROTOCOL_VERSION,
                     scheme: p.scheme,
                     chunk_size: p.layout.chunk_size as u32,
                     fragment_size: p.layout.fragment_size as u32,
                     chunk_count: p.chunk_count() as u64,
                     ciphertext_len: p.ciphertext_len() as u64,
-                })
+                });
+                // Rebinding: a second Hello moves this connection to
+                // another tenant (interleaved doc-ids per connection).
+                *bound = Some(doc);
+                hello
             }
-            Request::GetMeta if !*hello_done => out_of_order(),
-            Request::GetChunks { .. } if !*hello_done => out_of_order(),
-            Request::GetMeta => Response::Meta(self.meta_bytes.clone()),
-            Request::GetChunks { spans } => self.get_chunks(&spans),
+            Request::GetMeta | Request::GetChunks { .. } if bound.is_none() => out_of_order(),
+            Request::GetMeta => {
+                let doc = bound.as_ref().expect("bound checked above");
+                Response::Meta(doc.meta_bytes.as_ref().clone())
+            }
+            Request::GetChunks { spans } => {
+                let doc = Arc::clone(bound.as_ref().expect("bound checked above"));
+                self.get_chunks(&doc, &spans)
+            }
         }
     }
 
-    fn get_chunks(&self, spans: &[ChunkSpan]) -> Response {
-        let p = &self.doc.protected;
+    fn get_chunks(&self, doc: &ServedDoc, spans: &[ChunkSpan]) -> Response {
+        let p = &doc.doc.protected;
         let chunk_count = p.chunk_count() as u64;
         let total: u64 = spans.iter().map(|s| s.count as u64).sum();
         if total == 0 || total > self.config.limits.max_chunks_per_request {
@@ -366,10 +483,52 @@ impl<S: ChunkStore> ChunkServer<S> {
                 }
                 self.metrics.chunks_served.fetch_add(1, Ordering::Relaxed);
                 self.metrics.bytes_served.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                doc.metrics.chunks_served.fetch_add(1, Ordering::Relaxed);
+                doc.metrics.bytes_served.fetch_add(bytes.len() as u64, Ordering::Relaxed);
                 chunks.push((ci, bytes));
             }
         }
         Response::Chunks(chunks)
+    }
+}
+
+/// Answers a connection arriving past the admission cap: one typed
+/// `Busy` frame under a write deadline, then the socket is dropped.
+/// The client finds the frame waiting when it looks for its `Hello`
+/// response.
+fn reject_busy(mut stream: TcpStream, config: ServerConfig, live: u64, max: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(config.write_timeout);
+    let frame = Response::Err(Fault::Busy { live, max }).encode();
+    if wire::write_frame(&mut stream, &frame).is_ok() {
+        // Drain briefly until the peer closes: its Hello bytes sit
+        // unread in our receive queue, and closing over them would RST
+        // the connection — racing the Busy frame out of the peer's
+        // socket before it reads the typed rejection. The deadline
+        // bounds a mute peer; the frame itself is long since in flight.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut sink = [0u8; 256];
+        loop {
+            match io::Read::read(&mut stream, &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn service_snapshot(registry: &DocRegistry, metrics: &NetMetrics) -> ServiceSnapshot {
+    ServiceSnapshot {
+        registry: registry.snapshot(),
+        connections: metrics.connections(),
+        requests: metrics.requests(),
+        chunks_served: metrics.chunks_served(),
+        bytes_served: metrics.bytes_served(),
+        fault_frames: metrics.fault_frames(),
+        slow_peer_evictions: metrics.slow_peer_evictions(),
+        budget_evictions: metrics.budget_evictions(),
+        admission_rejections: metrics.admission_rejections(),
     }
 }
 
@@ -383,20 +542,22 @@ fn out_of_order() -> Response {
     Response::Err(Fault::BadRequest { reason: "request before Hello".to_owned() })
 }
 
-impl<S: ChunkStore + Send + Sync + 'static> ChunkServer<S> {
+impl ChunkServer {
     /// Binds `addr` (use port 0 for an ephemeral loopback port) and
     /// serves on a background thread; the returned handle exposes the
-    /// bound address, live metrics, and deterministic shutdown.
+    /// bound address, live metrics, the registry, and deterministic
+    /// shutdown.
     pub fn spawn(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = self.metrics();
+        let registry = Arc::clone(&self.registry);
         let join = std::thread::spawn({
             let stop = Arc::clone(&stop);
             move || self.serve(listener, &stop)
         });
-        Ok(ServerHandle { addr, stop, metrics, join })
+        Ok(ServerHandle { addr, stop, metrics, registry, join })
     }
 }
 
@@ -405,6 +566,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<NetMetrics>,
+    registry: Arc<DocRegistry>,
     join: std::thread::JoinHandle<io::Result<()>>,
 }
 
@@ -417,6 +579,18 @@ impl ServerHandle {
     /// Live serving counters.
     pub fn metrics(&self) -> &NetMetrics {
         &self.metrics
+    }
+
+    /// The registry being served (register, close or inspect tenants
+    /// while the server runs).
+    pub fn registry(&self) -> &Arc<DocRegistry> {
+        &self.registry
+    }
+
+    /// The service-level roll-up: transport counters + registry rows +
+    /// pool residency, in one consistent read.
+    pub fn service_snapshot(&self) -> ServiceSnapshot {
+        service_snapshot(&self.registry, &self.metrics)
     }
 
     /// Stops the accept loop (raising the flag, then waking the blocked
@@ -437,5 +611,5 @@ impl ServerHandle {
 const _: fn() = || {
     fn assert_sync<T: Sync>() {}
     assert_sync::<ChunkServer>();
-    assert_sync::<ChunkServer<xsac_crypto::FileStore>>();
+    assert_sync::<DocRegistry>();
 };

@@ -168,6 +168,16 @@ pub enum Fault {
         /// The server's version.
         server: u16,
     },
+    /// The server is at its connection-admission cap and refused this
+    /// connection before serving it. Transient by construction: the
+    /// client's reconnect loop retries it with backoff, exactly like a
+    /// reset socket.
+    Busy {
+        /// Live connections when the rejection was issued.
+        live: u64,
+        /// The server's [`max_conns`](crate::server::ServerConfig::max_conns) cap.
+        max: u64,
+    },
     /// A structurally valid request the server refuses (out-of-protocol
     /// ordering, over-long batch, …).
     BadRequest {
@@ -189,6 +199,9 @@ impl fmt::Display for Fault {
             Fault::UnknownDoc { requested } => write!(f, "unknown document id {requested:?}"),
             Fault::VersionMismatch { server } => {
                 write!(f, "server speaks protocol version {server}, client {PROTOCOL_VERSION}")
+            }
+            Fault::Busy { live, max } => {
+                write!(f, "server at its admission cap ({live} live connections, cap {max})")
             }
             Fault::BadRequest { reason } => write!(f, "bad request: {reason}"),
         }
@@ -239,7 +252,20 @@ impl Fault {
             Fault::Io { offset, msg } => {
                 StoreError::Io { offset: offset as usize, kind: io::ErrorKind::Other, msg }
             }
-            other => StoreError::Io { offset, kind: io::ErrorKind::Other, msg: other.to_string() },
+            // An admission rejection is a *transient* condition by the
+            // store taxonomy (WouldBlock): the client's bounded
+            // reconnect loop backs off and retries instead of aborting
+            // the session.
+            busy @ Fault::Busy { .. } => {
+                StoreError::Io { offset, kind: io::ErrorKind::WouldBlock, msg: busy.to_string() }
+            }
+            // The remaining protocol rejections (unknown doc, version
+            // mismatch, bad request) are authoritative answers:
+            // permanent by the store taxonomy, so no retry loop wastes
+            // its budget re-asking the same question.
+            other => {
+                StoreError::Io { offset, kind: io::ErrorKind::InvalidInput, msg: other.to_string() }
+            }
         }
     }
 }
@@ -322,6 +348,7 @@ const FAULT_IO: u8 = 3;
 const FAULT_UNKNOWN_DOC: u8 = 16;
 const FAULT_VERSION: u8 = 17;
 const FAULT_BAD_REQUEST: u8 = 18;
+const FAULT_BUSY: u8 = 19;
 
 /// Writes one frame: length prefix + body.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
@@ -560,6 +587,7 @@ impl Response {
                         (FAULT_UNKNOWN_DOC, 0, 0, 0, requested.as_str())
                     }
                     Fault::VersionMismatch { server } => (FAULT_VERSION, *server as u64, 0, 0, ""),
+                    Fault::Busy { live, max } => (FAULT_BUSY, *live, *max, 0, ""),
                     Fault::BadRequest { reason } => (FAULT_BAD_REQUEST, 0, 0, 0, reason.as_str()),
                 };
                 out.push(code);
@@ -617,6 +645,7 @@ impl Response {
                         server: u16::try_from(a)
                             .map_err(|_| WireError::Malformed("version out of range"))?,
                     },
+                    FAULT_BUSY => Fault::Busy { live: a, max: b },
                     FAULT_BAD_REQUEST => Fault::BadRequest { reason: msg },
                     _ => return Err(WireError::Malformed("unknown fault code")),
                 };
@@ -664,6 +693,7 @@ mod tests {
             Response::Err(Fault::Io { offset: 3, msg: "disk on fire".to_owned() }),
             Response::Err(Fault::UnknownDoc { requested: "nope".to_owned() }),
             Response::Err(Fault::VersionMismatch { server: 2 }),
+            Response::Err(Fault::Busy { live: 1024, max: 1024 }),
             Response::Err(Fault::BadRequest { reason: "too many spans".to_owned() }),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -730,5 +760,12 @@ mod tests {
             StoreError::Io { offset: 9, msg, .. } => assert!(msg.contains("gone")),
             other => panic!("{other:?}"),
         }
+        // Admission rejections must stay transient across the mapping,
+        // or a full server would permanently kill retrying sessions.
+        let busy = Fault::Busy { live: 9, max: 8 }.into_store_error(0);
+        assert!(busy.is_transient(), "Busy must map transient: {busy:?}");
+        // …while protocol rejections stay permanent.
+        let unknown = Fault::UnknownDoc { requested: "x".to_owned() }.into_store_error(0);
+        assert!(!unknown.is_transient(), "UnknownDoc must map permanent: {unknown:?}");
     }
 }

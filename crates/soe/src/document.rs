@@ -156,6 +156,27 @@ impl<S: ChunkStore> ServerDoc<S> {
     }
 }
 
+impl<S: ChunkStore + Send + Sync + 'static> ServerDoc<S> {
+    /// Type-erases the ciphertext store, so documents over different
+    /// backends (in-memory, file-backed, pooled) live side by side in
+    /// one collection — the shape a multi-tenant registry serves.
+    pub fn into_dyn(self) -> ServerDoc<xsac_crypto::DynChunkStore> {
+        let xsac_crypto::ProtectedDoc { scheme, layout, store, digests, plain_len } =
+            self.protected;
+        ServerDoc {
+            dict: self.dict,
+            encoded: self.encoded,
+            protected: xsac_crypto::ProtectedDoc {
+                scheme,
+                layout,
+                store: Box::new(store),
+                digests,
+                plain_len,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

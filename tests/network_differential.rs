@@ -84,6 +84,17 @@ fn remote_sessions_equal_in_memory_sessions_and_oracle() {
                 );
             }
         }
+        // The service snapshot attributes every byte to the one tenant:
+        // the single-doc server is just a one-entry registry.
+        let snap = handle.service_snapshot();
+        assert_eq!(snap.registry.unknown_doc_rejections, 0, "no doc id was ever mistyped");
+        let row = snap.registry.docs.iter().find(|r| r.doc_id == "hospital").expect("tenant row");
+        assert!(row.open && !row.lazy, "an inserted document is resident: {row:?}");
+        assert_eq!(
+            row.chunks_served, snap.chunks_served,
+            "a one-tenant service attributes all chunks to its tenant"
+        );
+        assert_eq!(snap.admission_rejections, 0, "two clients fit the default admission cap");
         handle.shutdown().expect("shutdown");
     }
 }

@@ -267,6 +267,11 @@ fn mid_stream_server_restart_resumes_identically() {
     let stats = remote.protected.store.stats();
     assert!(stats.reconnects >= 1, "the restart must be visible in the meters: {stats:?}");
     assert!(stats.retried_chunks >= 1, "the in-flight batch was replayed: {stats:?}");
+    // The successor's service snapshot shows the resumed session's
+    // traffic under the same tenant id, with no routing accidents.
+    let snap = handle_b.service_snapshot();
+    assert!(snap.chunks_served > 0, "server B must have finished the session: {snap:?}");
+    assert_eq!(snap.registry.unknown_doc_rejections, 0);
     std::sync::Arc::try_unwrap(proxy).ok().expect("assassin joined; sole owner").shutdown();
     handle_b.shutdown().expect("shutdown b");
 }
