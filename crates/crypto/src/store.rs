@@ -403,6 +403,29 @@ impl WindowPool {
         u32::try_from(inner.docs.len() - 1).expect("pool document count fits u32")
     }
 
+    /// Re-attaches an existing registration for a document of
+    /// `chunk_count` chunks: the ever-fetched bitmap (and the
+    /// fetch/refetch counters) survive, growing the bitmap if the
+    /// backing file grew between opens. The close/reopen path —
+    /// repeated cycles must not accumulate `DocState`s the way a fresh
+    /// [`register`](WindowPool::register) per reopen would.
+    fn rebind(&self, doc: PoolDoc, chunk_count: usize) {
+        let mut inner = self.inner.lock().expect("window pool");
+        let state = &mut inner.docs[doc.0 as usize];
+        let words = chunk_count.div_ceil(64);
+        if state.ever.len() < words {
+            state.ever.resize(words, 0);
+        }
+    }
+
+    /// Number of documents ever registered in this pool (registrations
+    /// are permanent; close/reopen cycles reuse their ticket via
+    /// [`ChunkWindow::rejoin_pool`], so this tracks *distinct*
+    /// documents, not open/close churn).
+    pub fn registered_docs(&self) -> usize {
+        self.inner.lock().expect("window pool").docs.len()
+    }
+
     /// Drops every resident chunk of `doc` (a registry closing a lazy
     /// tenant releases its share of the budget immediately). The
     /// document's ever-fetched bitmap survives, so post-reopen fetches
@@ -471,6 +494,26 @@ impl ChunkWindow {
         assert!(chunk_size > 0, "chunk size must be positive");
         let doc = pool.register(doc_len.div_ceil(chunk_size));
         ChunkWindow { pool: Arc::clone(pool), doc, doc_len, chunk_size }
+    }
+
+    /// A window that **rejoins** `pool` under an existing ticket — the
+    /// registry's close/reopen path. The document keeps its ever-fetched
+    /// bitmap and per-document counters, so post-reopen fetches meter as
+    /// refetches (the honest cost of the close) and reopen churn does
+    /// not grow the pool's registration table.
+    ///
+    /// `doc` must have come from a [`ChunkWindow::pool_doc`] of this
+    /// same pool; passing a ticket from another pool corrupts that
+    /// pool's accounting.
+    pub fn rejoin_pool(
+        pool: &Arc<WindowPool>,
+        doc: PoolDoc,
+        doc_len: usize,
+        chunk_size: usize,
+    ) -> ChunkWindow {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        pool.rebind(doc, doc_len.div_ceil(chunk_size));
+        ChunkWindow { pool: Arc::clone(pool), doc: doc.0, doc_len, chunk_size }
     }
 
     /// The residency bound in bytes — the window's pool budget (global
@@ -703,6 +746,15 @@ impl FileStore {
             file: Mutex::new(file),
             window: ChunkWindow::in_pool(pool, len, chunk_size),
         })
+    }
+
+    /// Wraps an already-opened ciphertext `file` with an
+    /// already-constructed `window` (sized for the file's length) — for
+    /// callers that must do the blocking `open`/`stat` outside a lock
+    /// (a registry routing `Hello` frames) and only then commit the
+    /// store. The window's document length is taken as the file length.
+    pub fn from_open_file(file: File, window: ChunkWindow) -> FileStore {
+        FileStore { len: window.doc_len, file: Mutex::new(file), window }
     }
 
     /// Writes `bytes` to `path` and opens it as a store — the
@@ -1113,6 +1165,42 @@ mod tests {
         assert_eq!(buf, bytes);
         assert_eq!(pool.refetches(), 4);
         assert_eq!(s.window().chunk_refetches(), 4);
+    }
+
+    #[test]
+    fn window_pool_rejoin_reuses_ticket_and_bitmap_across_reopen_churn() {
+        // The registry's close/reopen path: purge, then rejoin under the
+        // original ticket. The registration table must not grow with the
+        // churn, and every post-reopen fetch must meter as a refetch —
+        // the honest round-trip cost of the close.
+        let pool = Arc::new(WindowPool::new(8 * 512));
+        let tmp = TempPath::new("pool-rejoin");
+        let bytes = data(4 * 512);
+        std::fs::write(tmp.path(), &bytes).unwrap();
+        let mut buf = vec![0u8; bytes.len()];
+        let s = FileStore::open_in_pool(tmp.path(), 512, &pool).unwrap();
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, bytes);
+        let token = s.window().pool_doc();
+        drop(s);
+        pool.purge_doc(token);
+        assert_eq!(pool.registered_docs(), 1);
+        for cycle in 1..=3u64 {
+            let file = std::fs::File::open(tmp.path()).unwrap();
+            let window = ChunkWindow::rejoin_pool(&pool, token, bytes.len(), 512);
+            let s = FileStore::from_open_file(file, window);
+            s.read_at(0, &mut buf).unwrap();
+            assert_eq!(buf, bytes, "reopen cycle {cycle} served the wrong bytes");
+            assert_eq!(s.window().chunk_refetches(), 4 * cycle, "bitmap lost across rejoin");
+            pool.purge_doc(token);
+        }
+        assert_eq!(
+            pool.registered_docs(),
+            1,
+            "reopen churn must reuse the ticket, not register anew"
+        );
+        assert_eq!(pool.refetches(), 12);
+        assert_eq!(pool.meter().resident_bytes_now(), 0);
     }
 
     #[test]

@@ -639,6 +639,96 @@ mod tests {
         assert!(snap.registry.pool_purged_chunks > 0, "closes must purge pooled chunks");
         let a_row = snap.registry.docs.iter().find(|r| r.doc_id == "a").unwrap();
         assert!(a_row.lazy && a_row.opens >= 2 && a_row.closes >= 1, "{a_row:?}");
+        // Close/reopen churn reuses each tenant's pool ticket: two
+        // tenants mean exactly two registrations no matter how often
+        // the open cap cycles them, and the reopened tenant's fetches
+        // meter as refetches (its ever-fetched bitmap survived).
+        assert_eq!(
+            registry.pool().registered_docs(),
+            2,
+            "reopen churn must not grow the pool's registration table"
+        );
+        assert!(
+            snap.registry.pool_refetches > 0,
+            "post-reopen fetches must count as refetches: {snap:?}"
+        );
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reinserting_over_an_open_lazy_tenant_closes_it_first() {
+        // Re-registering an id whose lazy tenant is open is a close:
+        // the old tenant's pooled residency is released immediately and
+        // the close is counted — it must not squat on the budget until
+        // LRU pressure happens to evict it.
+        let xml = wide_xml();
+        let doc = xsac_xml::Document::parse(&xml).unwrap();
+        let registry = DocRegistry::new(1 << 20);
+        let tmp = xsac_crypto::store::TempPath::new("net-reinsert");
+        let file = ServerDoc::prepare_to_store(
+            &doc,
+            &key(),
+            IntegrityScheme::Ecb,
+            tiny_layout(),
+            tmp.path(),
+            1024,
+        )
+        .unwrap();
+        registry.insert_file("doc", file.meta(), tmp.path());
+        let served = registry.open("doc").unwrap();
+        let mut before = vec![0u8; served.doc().protected.ciphertext_len()];
+        served.doc().protected.store.read_at(0, &mut before).unwrap();
+        assert!(registry.pool().meter().resident_bytes_now() > 0);
+        registry.insert("doc", prepared(&xml, IntegrityScheme::Ecb));
+        assert_eq!(
+            registry.pool().meter().resident_bytes_now(),
+            0,
+            "replacing an open tenant must purge its pooled chunks"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.doc_closes, 1, "the replacement must be counted as a close: {snap:?}");
+        // The displaced session keeps serving through its Arc.
+        let mut after = vec![0u8; before.len()];
+        served.doc().protected.store.read_at(0, &mut after).unwrap();
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn trickling_rejected_peer_cannot_stall_shutdown() {
+        // A peer turned away at the admission cap that trickles a byte
+        // every ~100ms and never closes: the rejection drain is bounded
+        // by a total deadline, so it cannot pin its scoped thread (and
+        // with it ServerHandle::shutdown) indefinitely.
+        let xml = wide_xml();
+        let server = ChunkServer::new(prepared(&xml, IntegrityScheme::Ecb), "doc")
+            .with_config(server::ServerConfig { max_conns: 1, ..server::ServerConfig::default() });
+        let handle = server.spawn("127.0.0.1:0").unwrap();
+        let held = connect(handle.addr(), "doc", ClientConfig::default()).unwrap();
+        let addr = handle.addr();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let trickler = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                let mut s = std::net::TcpStream::connect(addr).unwrap();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if s.write_all(&[0u8]).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            }
+        });
+        // Let the accept loop route the trickler into a rejection.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        assert!(handle.metrics().admission_rejections() >= 1);
+        let t0 = std::time::Instant::now();
+        drop(held);
+        handle.shutdown().unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "shutdown stalled behind a trickling rejected peer"
+        );
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        trickler.join().unwrap();
     }
 }

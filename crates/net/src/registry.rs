@@ -33,10 +33,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fs::File;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use xsac_crypto::store::{ChunkStore, DynChunkStore, FileStore, PoolDoc, StoreError, WindowPool};
+use xsac_crypto::store::{
+    ChunkStore, ChunkWindow, DynChunkStore, FileStore, PoolDoc, StoreError, WindowPool,
+};
 use xsac_soe::{DocMeta, ServerDoc};
 
 /// Per-document serving counters, shared across every connection bound
@@ -136,8 +139,12 @@ enum Backing {
     /// Always open (in-memory or caller-managed store).
     Resident(Arc<ServedDoc>),
     /// Lazy file-backed: opened on first route, closable under LRU
-    /// pressure. `pool_doc` is the open store's pool ticket, kept so a
-    /// close can purge its resident chunks.
+    /// pressure. `pool_doc` is the store's pool ticket: set at first
+    /// open and kept across close/reopen cycles, so a close can purge
+    /// the tenant's resident chunks and a reopen rejoins the pool under
+    /// the same ticket (the ever-fetched bitmap survives — post-reopen
+    /// traffic meters as refetches, and churn does not grow the pool's
+    /// registration table).
     File {
         meta: Box<DocMeta>,
         path: PathBuf,
@@ -272,8 +279,14 @@ impl DocRegistry {
             meta_bytes: Arc::clone(&meta_bytes),
             metrics: Arc::clone(&metrics),
         });
-        self.inner.lock().expect("doc registry").insert(
-            doc_id.into(),
+        let doc_id = doc_id.into();
+        let mut inner = self.inner.lock().expect("doc registry");
+        // Re-registering over an open lazy tenant is a close: purge its
+        // pooled residency and count it, rather than letting the old
+        // entry's chunks squat on the budget until LRU pressure.
+        self.close_locked(&mut inner, &doc_id);
+        inner.insert(
+            doc_id,
             Entry { backing: Backing::Resident(served), meta_bytes, metrics, last_used: 0 },
         );
     }
@@ -287,8 +300,12 @@ impl DocRegistry {
     pub fn insert_file(&self, doc_id: impl Into<String>, meta: DocMeta, path: impl Into<PathBuf>) {
         let meta_bytes = Arc::new(crate::meta::encode_meta(&meta));
         let chunk_size = meta.layout.chunk_size;
-        self.inner.lock().expect("doc registry").insert(
-            doc_id.into(),
+        let doc_id = doc_id.into();
+        let mut inner = self.inner.lock().expect("doc registry");
+        // As in `insert`: replacing an open lazy tenant closes it first.
+        self.close_locked(&mut inner, &doc_id);
+        inner.insert(
+            doc_id,
             Entry {
                 backing: Backing::File {
                     meta: Box::new(meta),
@@ -307,40 +324,81 @@ impl DocRegistry {
     /// Routes a doc-id: the `Hello` path. Returns the served document,
     /// opening a lazy tenant (and LRU-closing the coldest open one past
     /// the cap) as needed.
+    ///
+    /// The blocking file I/O of a cold open happens **outside** the
+    /// registry lock (double-checked: look, release, open, re-acquire,
+    /// install), so one slow disk cannot head-of-line block `Hello`
+    /// routing for already-open or resident tenants.
     pub fn open(&self, doc_id: &str) -> Result<Arc<ServedDoc>, OpenError> {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut inner = self.inner.lock().expect("doc registry");
-        let Some(entry) = inner.get_mut(doc_id) else {
-            self.unknown_docs.fetch_add(1, Ordering::Relaxed);
-            return Err(OpenError::Unknown);
-        };
-        entry.last_used = tick;
-        let served = match &mut entry.backing {
-            Backing::Resident(doc) => return Ok(Arc::clone(doc)),
-            Backing::File { open: Some(doc), .. } => return Ok(Arc::clone(doc)),
-            Backing::File { meta, path, chunk_size, open, pool_doc } => {
-                let store =
-                    FileStore::open_in_pool(path, *chunk_size, &self.pool).map_err(|e| {
-                        OpenError::Store(StoreError::Io {
-                            offset: 0,
-                            kind: e.kind(),
-                            msg: format!("open {}: {e}", path.display()),
-                        })
-                    })?;
-                *pool_doc = Some(store.window().pool_doc());
-                let served = Arc::new(ServedDoc {
-                    doc: ServerDoc::from_meta((**meta).clone(), store).into_dyn(),
-                    meta_bytes: Arc::clone(&entry.meta_bytes),
-                    metrics: Arc::clone(&entry.metrics),
-                });
-                *open = Some(Arc::clone(&served));
-                entry.metrics.opens.fetch_add(1, Ordering::Relaxed);
-                self.opens.fetch_add(1, Ordering::Relaxed);
-                served
-            }
-        };
-        self.enforce_open_cap(&mut inner, doc_id);
-        Ok(served)
+        loop {
+            // Fast path under the lock: resident or already-open tenants
+            // route immediately; otherwise capture what the open needs.
+            let (path, chunk_size) = {
+                let mut inner = self.inner.lock().expect("doc registry");
+                let Some(entry) = inner.get_mut(doc_id) else {
+                    self.unknown_docs.fetch_add(1, Ordering::Relaxed);
+                    return Err(OpenError::Unknown);
+                };
+                entry.last_used = tick;
+                match &entry.backing {
+                    Backing::Resident(doc) => return Ok(Arc::clone(doc)),
+                    Backing::File { open: Some(doc), .. } => return Ok(Arc::clone(doc)),
+                    Backing::File { path, chunk_size, .. } => (path.clone(), *chunk_size),
+                }
+            };
+            // The slow part — open + stat — with the lock released.
+            let opened = File::open(&path).and_then(|f| {
+                let len = f.metadata()?.len() as usize;
+                Ok((f, len))
+            });
+            let (file, len) = opened.map_err(|e| {
+                OpenError::Store(StoreError::Io {
+                    offset: 0,
+                    kind: e.kind(),
+                    msg: format!("open {}: {e}", path.display()),
+                })
+            })?;
+            // Re-acquire and install, unless a racing route beat us to
+            // it (use theirs) or the entry changed under us (retry).
+            let mut inner = self.inner.lock().expect("doc registry");
+            let Some(entry) = inner.get_mut(doc_id) else {
+                self.unknown_docs.fetch_add(1, Ordering::Relaxed);
+                return Err(OpenError::Unknown);
+            };
+            let served = match &mut entry.backing {
+                Backing::Resident(doc) => return Ok(Arc::clone(doc)),
+                Backing::File { open: Some(doc), .. } => return Ok(Arc::clone(doc)),
+                Backing::File { meta, path: cur_path, chunk_size: cur_cs, open, pool_doc } => {
+                    if *cur_path != path || *cur_cs != chunk_size {
+                        // Re-registered while we were opening: our file
+                        // handle is stale — start over.
+                        continue;
+                    }
+                    // Reopens rejoin the pool under the original ticket:
+                    // the ever-fetched bitmap survives the close, so
+                    // post-reopen fetches meter as refetches and reopen
+                    // churn does not grow the pool's registration table.
+                    let window = match *pool_doc {
+                        Some(token) => ChunkWindow::rejoin_pool(&self.pool, token, len, chunk_size),
+                        None => ChunkWindow::in_pool(&self.pool, len, chunk_size),
+                    };
+                    *pool_doc = Some(window.pool_doc());
+                    let store = FileStore::from_open_file(file, window);
+                    let served = Arc::new(ServedDoc {
+                        doc: ServerDoc::from_meta((**meta).clone(), store).into_dyn(),
+                        meta_bytes: Arc::clone(&entry.meta_bytes),
+                        metrics: Arc::clone(&entry.metrics),
+                    });
+                    *open = Some(Arc::clone(&served));
+                    entry.metrics.opens.fetch_add(1, Ordering::Relaxed);
+                    self.opens.fetch_add(1, Ordering::Relaxed);
+                    served
+                }
+            };
+            self.enforce_open_cap(&mut inner, doc_id);
+            return Ok(served);
+        }
     }
 
     /// Closes the least-recently routed open lazy tenants (never
@@ -372,7 +430,9 @@ impl DocRegistry {
         if open.take().is_none() {
             return false;
         }
-        if let Some(token) = pool_doc.take() {
+        // Purge residency but keep the ticket: the reopen path rejoins
+        // the pool under it, preserving refetch accounting.
+        if let Some(token) = *pool_doc {
             self.pool.purge_doc(token);
         }
         entry.metrics.closes.fetch_add(1, Ordering::Relaxed);

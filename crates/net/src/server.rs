@@ -50,7 +50,7 @@ use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xsac_crypto::store::ChunkStore;
 use xsac_soe::ServerDoc;
 
@@ -504,14 +504,28 @@ fn reject_busy(mut stream: TcpStream, config: ServerConfig, live: u64, max: u64)
         // Drain briefly until the peer closes: its Hello bytes sit
         // unread in our receive queue, and closing over them would RST
         // the connection — racing the Busy frame out of the peer's
-        // socket before it reads the typed rejection. The deadline
-        // bounds a mute peer; the frame itself is long since in flight.
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        // socket before it reads the typed rejection. The drain is
+        // bounded by a *total* deadline and a byte cap, not just a
+        // per-read timeout: a hostile peer trickling one byte every few
+        // hundred milliseconds must not pin this thread (rejection
+        // threads are exempt from `max_conns` and are joined by the
+        // serve scope, so an unbounded drain would defeat the admission
+        // cap and stall shutdown). Worst case the peer sees an RST it
+        // earned.
+        const DRAIN_DEADLINE: Duration = Duration::from_millis(500);
+        const DRAIN_MAX_BYTES: usize = 64 * 1024;
+        let start = Instant::now();
+        let mut drained = 0usize;
         let mut sink = [0u8; 256];
         loop {
+            let left = DRAIN_DEADLINE.saturating_sub(start.elapsed());
+            if left.is_zero() || drained >= DRAIN_MAX_BYTES {
+                break;
+            }
+            let _ = stream.set_read_timeout(Some(left.max(Duration::from_millis(10))));
             match io::Read::read(&mut stream, &mut sink) {
                 Ok(0) | Err(_) => break,
-                Ok(_) => {}
+                Ok(n) => drained += n,
             }
         }
     }
