@@ -2,7 +2,8 @@
 //! evaluator — the wall-clock counterpart of Figure 9's simulated times.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use xsac_core::evaluator::{EvalConfig, Evaluator};
+use std::sync::Arc;
+use xsac_core::evaluator::{CompiledPolicy, CompilerMode, EvalConfig, Evaluator};
 use xsac_datagen::{hospital::physician_name, Dataset, Profile};
 use xsac_xml::Event;
 
@@ -32,6 +33,46 @@ fn bench_profiles(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_minimization(c: &mut Criterion) {
+    // A/B: the containment-minimizing policy compiler against the
+    // verbatim compilation, on rule-heavy profiles. "Researcher" is the
+    // already-minimal 21-rule Figure-9 policy (minimization must cost
+    // nothing); "Researcher×4" stacks four verbatim copies (84 rules),
+    // which the compiler folds back to 21 — the redundancy shape real
+    // policies grow when role templates are concatenated per-grant.
+    let doc = Dataset::Hospital.generate(0.05, 42);
+    let events: Vec<Event<'static>> = doc.events();
+    let xml_bytes = xsac_xml::writer::document_to_string(&doc).len() as u64;
+    let mut group = c.benchmark_group("evaluator/minimization");
+    group.throughput(Throughput::Bytes(xml_bytes));
+    let policies = [("Researcher", 1usize), ("Researcherx4", 4usize)];
+    for (name, copies) in policies {
+        let mut dict = doc.dict.clone();
+        let policy = xsac_datagen::profiles::stacked_researcher_policy("r", 10, copies, &mut dict);
+        for (mode, tag) in [(CompilerMode::Minimized, "min"), (CompilerMode::Unminimized, "raw")] {
+            let compiled = Arc::new(CompiledPolicy::with_mode(&policy, mode));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{name}/{tag}")),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        let mut eval = Evaluator::with_compiled(
+                            Arc::clone(compiled),
+                            None,
+                            EvalConfig::default(),
+                        );
+                        for ev in &events {
+                            eval.event(ev);
+                        }
+                        eval.finish().log.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_rule_count_scaling(c: &mut Criterion) {
     // Access-control cost grows with the number of ARA (Figure 9's
     // discussion); sweep the Researcher group count.
@@ -54,5 +95,5 @@ fn bench_rule_count_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_profiles, bench_rule_count_scaling);
+criterion_group!(benches, bench_profiles, bench_minimization, bench_rule_count_scaling);
 criterion_main!(benches);

@@ -36,7 +36,8 @@ use crate::stats::EvalStats;
 use crate::token::{ArmedCmp, Bindings, NavToken, PredToken, RuleRef, TokenLevel, TokenStack};
 use std::sync::Arc;
 use xsac_xml::{Event, TagId, TagSet};
-use xsac_xpath::{Automaton, Value};
+use xsac_xpath::ir::OWNER_QUERY;
+use xsac_xpath::{Automaton, InstrSeq, Value};
 
 /// Advisory returned to the driver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,88 +91,157 @@ pub struct EvalResult {
     pub stats: EvalStats,
 }
 
-/// A policy compiled for the evaluator: rule automata plus comparison
-/// literals with `USER` resolved against the policy's subject.
-///
-/// Compilation clones every rule automaton once; sharing the result via
-/// `Arc` lets a multi-session server pay that cost **once per role**
-/// instead of once per session ([`Evaluator::with_compiled`]). The type is
-/// `Send + Sync`, so one compiled policy can serve any number of
-/// concurrent sessions.
-pub struct CompiledPolicy {
-    rules: Vec<CompiledRule>,
+/// How a [`CompiledPolicy`] was built. Part of any compiled-policy cache
+/// key: a cached unminimized policy must never be served where a minimized
+/// one is expected (and vice versa in differential tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CompilerMode {
+    /// Containment-based rule minimization ran before IR generation (the
+    /// default).
+    #[default]
+    Minimized,
+    /// Every source rule compiled as written (differential baseline).
+    Unminimized,
 }
 
-struct CompiledRule {
-    sign: Sign,
-    automaton: Automaton,
-    /// Comparison literals with `USER` resolved, indexed by predicate.
+/// What the policy compiler did, recorded at build time for observability
+/// (surfaces on `SessionResult` and in the dissemination service
+/// snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Rules in the source policy.
+    pub rules_in: usize,
+    /// Rules surviving minimization (== `rules_in` when unminimized).
+    pub rules_out: usize,
+    /// Same-signed containment pairs proven during minimization.
+    pub containment_pairs: usize,
+    /// Instructions in the flat IR bank.
+    pub ir_instructions: usize,
+    /// Predicate paths in the flat IR bank.
+    pub ir_predicates: usize,
+}
+
+impl MinimizeStats {
+    /// Rules dropped by minimization.
+    pub fn rules_dropped(&self) -> usize {
+        self.rules_in - self.rules_out
+    }
+}
+
+/// A policy compiled for the evaluator by the two-stage policy compiler:
+///
+/// 1. **Minimization** (§3.3): rules proven redundant under the sufficient
+///    containment condition — a deny subsumed by a broader deny, an allow
+///    shadowed next to an ancestor deny-rest, duplicate/mutually-contained
+///    same-signed rules — are dropped before any automaton is laid out,
+///    shrinking the bank every event is run against. Recorded in
+///    [`MinimizeStats`]; disabled by
+///    [`CompiledPolicy::without_minimization`] for differential testing.
+/// 2. **Flat IR**: the surviving automata are merged into one contiguous
+///    [`InstrSeq`] with `USER`-resolved comparison literals indexed by
+///    global predicate id.
+///
+/// Sharing the result via `Arc` lets a multi-session server pay the
+/// compile cost **once per (role, mode)** instead of once per session
+/// ([`Evaluator::with_compiled`]). The type is `Send + Sync`, so one
+/// compiled policy can serve any number of concurrent sessions.
+pub struct CompiledPolicy {
+    /// Merged instruction bank of the surviving rules.
+    ir: InstrSeq,
+    /// Rule signs, indexed by owner (surviving-rule index).
+    signs: Vec<Sign>,
+    /// Comparison literals with `USER` resolved, indexed by *global*
+    /// predicate id.
     cmp_values: Vec<Option<Arc<str>>>,
+    mode: CompilerMode,
+    stats: MinimizeStats,
 }
 
 impl CompiledPolicy {
-    /// Compiles a policy (rule automata + `USER`-resolved comparison
-    /// literals) into a shareable form.
+    /// Compiles a policy with minimization on (the production path).
     pub fn compile(policy: &Policy) -> CompiledPolicy {
-        let rules = policy
-            .rules
-            .iter()
-            .map(|r| CompiledRule {
-                sign: r.sign,
-                automaton: r.automaton.clone(),
-                cmp_values: r
-                    .automaton
-                    .preds
+        Self::with_mode(policy, CompilerMode::Minimized)
+    }
+
+    /// Compiles every rule as written — the escape hatch differential
+    /// tests hold against the minimized build.
+    pub fn without_minimization(policy: &Policy) -> CompiledPolicy {
+        Self::with_mode(policy, CompilerMode::Unminimized)
+    }
+
+    /// Compiles a policy under an explicit [`CompilerMode`].
+    pub fn with_mode(policy: &Policy, mode: CompilerMode) -> CompiledPolicy {
+        let rules_in = policy.rules.len();
+        let (kept, containment_pairs): (Vec<&crate::rule::Rule>, usize) = match mode {
+            CompilerMode::Unminimized => (policy.rules.iter().collect(), 0),
+            CompilerMode::Minimized => {
+                let signed: Vec<(bool, xsac_xpath::Path)> =
+                    policy.rules.iter().map(|r| (r.sign.is_permit(), r.path.clone())).collect();
+                let report = xsac_xpath::redundant_rules_report(&signed);
+                let kept = policy
+                    .rules
                     .iter()
-                    .map(|p| {
-                        p.comparison.as_ref().map(|(_, v)| Arc::from(v.resolve(&policy.subject)))
+                    .enumerate()
+                    .filter(|(i, _)| !report.redundant.contains(i))
+                    .map(|(_, r)| r)
+                    .collect();
+                (kept, report.containment_pairs)
+            }
+        };
+        let ir = InstrSeq::compile(kept.iter().map(|r| &r.automaton));
+        let signs: Vec<Sign> = kept.iter().map(|r| r.sign).collect();
+        let subject = policy.subject.as_str();
+        let cmp_values: Vec<Option<Arc<str>>> =
+            kept.iter()
+                .flat_map(|r| {
+                    r.automaton.preds.iter().map(move |p| {
+                        p.comparison.as_ref().map(|(_, v)| Arc::from(v.resolve(subject)))
                     })
-                    .collect(),
-            })
-            .collect();
-        CompiledPolicy { rules }
+                })
+                .collect();
+        let stats = MinimizeStats {
+            rules_in,
+            rules_out: signs.len(),
+            containment_pairs,
+            ir_instructions: ir.len(),
+            ir_predicates: ir.preds.len(),
+        };
+        CompiledPolicy { ir, signs, cmp_values, mode, stats }
     }
 
-    /// Number of compiled rules.
+    /// Number of compiled (surviving) rules.
     pub fn rule_count(&self) -> usize {
-        self.rules.len()
+        self.signs.len()
+    }
+
+    /// The mode this policy was compiled under.
+    pub fn mode(&self) -> CompilerMode {
+        self.mode
+    }
+
+    /// What the compiler did (minimization + IR size).
+    pub fn minimize_stats(&self) -> &MinimizeStats {
+        &self.stats
     }
 }
 
-/// Resolves a token's owning automaton against borrowed policy/query refs
-/// (free function so callers can hold the result across `&mut Evaluator`
-/// state updates).
-fn automaton_of<'a>(
-    policy: &'a CompiledPolicy,
-    query: Option<&'a Automaton>,
-    r: RuleRef,
-) -> &'a Automaton {
-    match r {
-        RuleRef::Rule(i) => &policy.rules[i as usize].automaton,
-        RuleRef::Query => query.expect("query token without query"),
-    }
-}
-
-fn cmp_value_of(
-    policy: &CompiledPolicy,
-    query_cmp: &[Option<Arc<str>>],
-    rule: RuleRef,
-    pred: u32,
-) -> Arc<str> {
-    let slot = match rule {
-        RuleRef::Rule(i) => &policy.rules[i as usize].cmp_values[pred as usize],
-        RuleRef::Query => &query_cmp[pred as usize],
-    };
-    slot.clone().expect("comparison value")
+/// Per-session instruction bank: the role's shared IR extended with the
+/// session's query automaton (owner [`OWNER_QUERY`]). Built only when a
+/// query exists; query-less sessions evaluate the shared bank directly.
+struct SessionIr {
+    ir: InstrSeq,
+    /// Extended comparison table (rule literals + query literals, by
+    /// global predicate id). Query `USER` resolves to `""` — queries have
+    /// no subject.
+    cmp_values: Vec<Option<Arc<str>>>,
 }
 
 /// The streaming evaluator.
 pub struct Evaluator {
     policy: Arc<CompiledPolicy>,
-    query: Option<Arc<Automaton>>,
-    /// Query comparison literals (`USER` resolves to "" — queries have no
-    /// subject), indexed by predicate.
-    query_cmp: Vec<Option<Arc<str>>>,
+    /// Query-extended instruction bank; `None` when the session has no
+    /// query (the policy's shared bank is used as-is).
+    extended: Option<Box<SessionIr>>,
     config: EvalConfig,
     tokens: TokenStack,
     auth: AuthStack,
@@ -230,42 +300,34 @@ impl Evaluator {
         query: Option<&Automaton>,
         config: EvalConfig,
     ) -> Evaluator {
-        let query: Option<Arc<Automaton>> = query.map(|q| Arc::new(q.clone()));
-        let query_cmp: Vec<Option<Arc<str>>> = match &query {
-            None => Vec::new(),
-            Some(q) => q
-                .preds
-                .iter()
-                .map(|p| {
-                    p.comparison.as_ref().map(|(_, v)| match v {
-                        Value::Literal(s) => Arc::from(s.as_str()),
-                        Value::User => Arc::from(""),
-                    })
+        // A query extends a clone of the role's shared bank; the clone is
+        // per-session setup cost, paid zero times on the per-event path.
+        let mut query_start = None;
+        let extended: Option<Box<SessionIr>> = query.map(|q| {
+            let mut ir = policy.ir.clone();
+            query_start = Some(ir.append(q, OWNER_QUERY));
+            let mut cmp_values = policy.cmp_values.clone();
+            cmp_values.extend(q.preds.iter().map(|p| {
+                p.comparison.as_ref().map(|(_, v)| match v {
+                    Value::Literal(s) => Arc::from(s.as_str()),
+                    Value::User => Arc::from(""),
                 })
-                .collect(),
-        };
+            }));
+            Box::new(SessionIr { ir, cmp_values })
+        });
         // Base token level: start tokens of every automaton.
         let mut base = TokenLevel::default();
-        for (i, r) in policy.rules.iter().enumerate() {
-            base.nav.push(NavToken {
-                rule: RuleRef::Rule(i as u16),
-                state: r.automaton.start,
-                bindings: Bindings::EMPTY,
-            });
+        for &start in &policy.ir.starts {
+            base.nav.push(NavToken { instr: start, bindings: Bindings::EMPTY });
         }
-        if let Some(q) = &query {
-            base.nav.push(NavToken {
-                rule: RuleRef::Query,
-                state: q.start,
-                bindings: Bindings::EMPTY,
-            });
+        if let Some(qs) = query_start {
+            base.nav.push(NavToken { instr: qs, bindings: Bindings::EMPTY });
         }
         let dummy = None; // resolved lazily by the caller via config + dict
         let stats = EvalStats { tokens_created: base.nav.len(), ..Default::default() };
         Evaluator {
             policy,
-            query,
-            query_cmp,
+            extended,
             tokens: TokenStack::new(base),
             auth: AuthStack::new(),
             registry: PredRegistry::new(),
@@ -315,14 +377,14 @@ impl Evaluator {
         self.depth += 1;
         self.open_tags.push(tag);
 
-        // Split-borrow the evaluator once: the shared automata (`policy`,
-        // `query`) stay immutably borrowed across the whole event while
-        // the per-session state mutates — no per-event `Arc` bump, no
-        // per-token clone of the top level.
+        // Split-borrow the evaluator once: the shared instruction bank
+        // stays immutably borrowed across the whole event while the
+        // per-session state mutates — no per-event `Arc` bump, no
+        // per-token clone of the top level. The bank is resolved to one
+        // `&InstrSeq` here; every token then costs a single indexed load.
         let Evaluator {
             policy,
-            query,
-            query_cmp,
+            extended,
             config,
             tokens,
             auth,
@@ -338,8 +400,12 @@ impl Evaluator {
             bindings_buf,
             ..
         } = self;
-        let policy: &CompiledPolicy = policy;
-        let query: Option<&Automaton> = query.as_deref();
+        let has_query = extended.is_some();
+        let (ir, cmp_values): (&InstrSeq, &[Option<Arc<str>>]) = match extended.as_deref() {
+            Some(e) => (&e.ir, &e.cmp_values),
+            None => (&policy.ir, &policy.cmp_values),
+        };
+        let signs: &[Sign] = &policy.signs;
         let depth = *depth;
 
         // (1) Token transitions — into scratch buffers recycled from
@@ -352,29 +418,27 @@ impl Evaluator {
         let top = tokens.take_top();
         for t in &top.nav {
             stats.token_ops += 1;
-            let st = automaton_of(policy, query, t.rule).state(t.state);
-            if st.self_loop {
+            let st = ir.instr(t.instr);
+            if st.self_loop() {
                 new_level.nav.push(t.clone());
                 stats.tokens_created += 1;
             }
-            if let Some((label, next)) = st.transition {
-                if label.matches(tag) {
-                    advance_nav(
-                        policy,
-                        query,
-                        query_cmp,
-                        registry,
-                        stats,
-                        bindings_buf,
-                        depth,
-                        t,
-                        next,
-                        &mut new_level,
-                        &mut auth_level,
-                        rule_sats,
-                        query_sats,
-                    );
-                }
+            if st.matches(tag) {
+                advance_nav(
+                    ir,
+                    signs,
+                    cmp_values,
+                    registry,
+                    stats,
+                    bindings_buf,
+                    depth,
+                    t,
+                    st.next,
+                    &mut new_level,
+                    &mut auth_level,
+                    rule_sats,
+                    query_sats,
+                );
             }
         }
         for p in &top.pred {
@@ -382,25 +446,22 @@ impl Evaluator {
             if registry.is_true(p.inst) {
                 continue; // predicate already satisfied in this scope (§3.3)
             }
-            let st = automaton_of(policy, query, p.rule).state(p.state);
-            if st.self_loop {
+            let st = ir.instr(p.instr);
+            if st.self_loop() {
                 new_level.pred.push(p.clone());
                 stats.tokens_created += 1;
             }
-            if let Some((label, next)) = st.transition {
-                if label.matches(tag) {
-                    advance_pred(
-                        policy,
-                        query,
-                        query_cmp,
-                        stats,
-                        p,
-                        next,
-                        &mut new_level,
-                        rule_sats,
-                        query_sats,
-                    );
-                }
+            if st.matches(tag) {
+                advance_pred(
+                    ir,
+                    cmp_values,
+                    stats,
+                    p,
+                    st.next,
+                    &mut new_level,
+                    rule_sats,
+                    query_sats,
+                );
             }
         }
         tokens.put_top(top);
@@ -410,15 +471,15 @@ impl Evaluator {
         if let Some(desc) = skip.and_then(|s| s.desc_tags) {
             let before = new_level.nav.len();
             new_level.nav.retain(|t| {
-                let st = automaton_of(policy, query, t.rule).state(t.state);
-                st.is_final || desc.contains_all(&st.remaining_labels)
+                let st = ir.instr(t.instr);
+                st.is_final() || desc.contains_all(ir.labels(st.remaining))
             });
             stats.tokens_filtered += before - new_level.nav.len();
 
             let before = new_level.pred.len();
             new_level.pred.retain(|t| {
-                let st = automaton_of(policy, query, t.rule).state(t.state);
-                st.is_final || desc.contains_all(&st.remaining_labels)
+                let st = ir.instr(t.instr);
+                st.is_final() || desc.contains_all(ir.labels(st.remaining))
             });
             stats.tokens_filtered += before - new_level.pred.len();
         }
@@ -443,7 +504,7 @@ impl Evaluator {
         // (4c) Decision for this node — after every satisfaction carried
         // by this very event (a node can complete the query match that
         // puts itself in scope).
-        let disposition = disposition_of(auth, registry, query.is_some());
+        let disposition = disposition_of(auth, registry, has_query);
 
         // (5) Subtree-level conclusions (§3.3). Prune rule tokens when the
         // subtree decision is reached and no opposite-signed rule can fire
@@ -455,12 +516,12 @@ impl Evaluator {
                     Decision::Permit => Sign::Deny,
                     _ => Sign::Permit,
                 };
-                let any_contrary = new_level.nav.iter().any(|t| match t.rule {
-                    RuleRef::Rule(i) => policy.rules[i as usize].sign == contrary,
-                    RuleRef::Query => false,
+                let any_contrary = new_level.nav.iter().any(|t| {
+                    let owner = ir.instr(t.instr).owner;
+                    owner != OWNER_QUERY && signs[owner as usize] == contrary
                 }) || auth.has_pending_of_sign(contrary, registry);
                 if !any_contrary {
-                    new_level.nav.retain(|t| t.rule == RuleRef::Query);
+                    new_level.nav.retain(|t| ir.instr(t.instr).owner == OWNER_QUERY);
                 }
             }
         }
@@ -713,7 +774,7 @@ impl Evaluator {
 
     /// Access decision combined with query coverage.
     fn disposition(&self) -> Disposition {
-        disposition_of(&self.auth, &self.registry, self.query.is_some())
+        disposition_of(&self.auth, &self.registry, self.extended.is_some())
     }
 
     /// Access condition alone (gates query predicate matches).
@@ -744,9 +805,9 @@ impl Evaluator {
 
 #[allow(clippy::too_many_arguments)]
 fn advance_nav(
-    policy: &CompiledPolicy,
-    query: Option<&Automaton>,
-    query_cmp: &[Option<Arc<str>>],
+    ir: &InstrSeq,
+    signs: &[Sign],
+    cmp_values: &[Option<Arc<str>>],
     registry: &mut PredRegistry,
     stats: &mut EvalStats,
     bindings_buf: &mut Vec<(u32, crate::condition::PredInstId)>,
@@ -758,22 +819,22 @@ fn advance_nav(
     rule_sats: &mut Vec<crate::condition::PredInstId>,
     query_sats: &mut Vec<crate::condition::PredInstId>,
 ) {
-    let is_query = t.rule == RuleRef::Query;
-    let a = automaton_of(policy, query, t.rule);
-    let next_state = a.state(next);
+    let next_instr = ir.instr(next);
+    let owner = next_instr.owner;
+    let is_query = owner == OWNER_QUERY;
     // Tokens that bind no new predicate instance share their parent's
     // binding list (`Arc` bump); a fresh list is built only when this
     // step anchors predicates.
-    let bindings: Bindings = if next_state.pred_anchors.is_empty() {
+    let bindings: Bindings = if next_instr.anchors.is_empty() {
         t.bindings.clone()
     } else {
         bindings_buf.clear();
         bindings_buf.extend_from_slice(t.bindings.as_slice());
-        for &pred_idx in &next_state.pred_anchors {
-            let info = &a.preds[pred_idx as usize];
+        for &pred_id in ir.anchors(next_instr.anchors) {
+            let info = &ir.preds[pred_id as usize];
             let inst = registry.create(depth);
-            bindings_buf.push((pred_idx, inst));
-            if info.start_state == info.final_state {
+            bindings_buf.push((pred_id, inst));
+            if info.self_pred {
                 // Self predicate `[. op v]` or bare `[.]`.
                 match &info.comparison {
                     None => {
@@ -787,30 +848,22 @@ fn advance_nav(
                         new_level.armed.push(ArmedCmp {
                             inst,
                             op: *op,
-                            value: cmp_value_of(policy, query_cmp, t.rule, pred_idx),
+                            value: cmp_values[pred_id as usize].clone().expect("comparison value"),
                             query: is_query,
                         });
                     }
                 }
             } else {
-                new_level.pred.push(PredToken {
-                    rule: t.rule,
-                    pred: pred_idx,
-                    state: info.start_state,
-                    inst,
-                });
+                new_level.pred.push(PredToken { pred: pred_id, instr: info.start, inst });
                 stats.tokens_created += 1;
             }
         }
         Bindings::from(&bindings_buf[..])
     };
-    if next_state.is_final {
+    if next_instr.is_final() {
         let entry = AuthEntry {
-            rule: t.rule,
-            sign: match t.rule {
-                RuleRef::Rule(i) => policy.rules[i as usize].sign,
-                RuleRef::Query => Sign::Permit,
-            },
+            rule: RuleRef::from_owner(owner),
+            sign: if is_query { Sign::Permit } else { signs[owner as usize] },
             bindings,
         };
         if is_query {
@@ -819,16 +872,15 @@ fn advance_nav(
             auth_level.entries.push(entry);
         }
     } else {
-        new_level.nav.push(NavToken { rule: t.rule, state: next, bindings });
+        new_level.nav.push(NavToken { instr: next, bindings });
         stats.tokens_created += 1;
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn advance_pred(
-    policy: &CompiledPolicy,
-    query: Option<&Automaton>,
-    query_cmp: &[Option<Arc<str>>],
+    ir: &InstrSeq,
+    cmp_values: &[Option<Arc<str>>],
     stats: &mut EvalStats,
     p: &PredToken,
     next: u32,
@@ -836,10 +888,10 @@ fn advance_pred(
     rule_sats: &mut Vec<crate::condition::PredInstId>,
     query_sats: &mut Vec<crate::condition::PredInstId>,
 ) {
-    let is_query = p.rule == RuleRef::Query;
-    let a = automaton_of(policy, query, p.rule);
-    if a.state(next).is_final {
-        match &a.preds[p.pred as usize].comparison {
+    if ir.instr(next).is_final() {
+        let info = &ir.preds[p.pred as usize];
+        let is_query = info.owner == OWNER_QUERY;
+        match &info.comparison {
             None => {
                 if is_query {
                     query_sats.push(p.inst);
@@ -851,13 +903,13 @@ fn advance_pred(
                 new_level.armed.push(ArmedCmp {
                     inst: p.inst,
                     op: *op,
-                    value: cmp_value_of(policy, query_cmp, p.rule, p.pred),
+                    value: cmp_values[p.pred as usize].clone().expect("comparison value"),
                     query: is_query,
                 });
             }
         }
     } else {
-        new_level.pred.push(PredToken { rule: p.rule, pred: p.pred, state: next, inst: p.inst });
+        new_level.pred.push(PredToken { pred: p.pred, instr: next, inst: p.inst });
         stats.tokens_created += 1;
     }
 }

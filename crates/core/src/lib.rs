@@ -53,7 +53,9 @@ pub mod stats;
 pub mod token;
 
 pub use condition::{Cond, Ternary};
-pub use evaluator::{CompiledPolicy, Directive, EvalConfig, EvalResult, Evaluator};
+pub use evaluator::{
+    CompiledPolicy, CompilerMode, Directive, EvalConfig, EvalResult, Evaluator, MinimizeStats,
+};
 pub use oracle::Oracle;
 pub use rule::{Policy, Rule, Sign};
 pub use stats::EvalStats;

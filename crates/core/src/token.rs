@@ -9,7 +9,7 @@
 
 use crate::condition::PredInstId;
 use std::sync::Arc;
-use xsac_xpath::{CmpOp, StateId};
+use xsac_xpath::{ir, CmpOp};
 
 /// Identifies the automaton a token belongs to: a policy rule or the query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,6 +18,19 @@ pub enum RuleRef {
     Rule(u16),
     /// The (single) query automaton.
     Query,
+}
+
+impl RuleRef {
+    /// Maps a flat-IR owner (rule index or [`ir::OWNER_QUERY`]) to a
+    /// `RuleRef`.
+    #[inline]
+    pub fn from_owner(owner: u16) -> RuleRef {
+        if owner == ir::OWNER_QUERY {
+            RuleRef::Query
+        } else {
+            RuleRef::Rule(owner)
+        }
+    }
 }
 
 /// Predicate instances bound by a rule instance so far:
@@ -72,12 +85,16 @@ impl From<Vec<(u32, PredInstId)>> for Bindings {
 
 /// A navigational token (NT): progress of one rule instance along the
 /// navigational path.
+///
+/// The token addresses its state as a single index into the session's flat
+/// instruction bank ([`xsac_xpath::InstrSeq`]); the owning automaton is
+/// recorded on the instruction itself, so the hot loop reads one
+/// contiguous `Instr` per token instead of chasing an (automaton, state)
+/// pair.
 #[derive(Clone, Debug)]
 pub struct NavToken {
-    /// Owning automaton.
-    pub rule: RuleRef,
-    /// Current state.
-    pub state: StateId,
+    /// Current state: global instruction index.
+    pub instr: u32,
     /// Predicate instances bound so far.
     pub bindings: Bindings,
 }
@@ -86,12 +103,10 @@ pub struct NavToken {
 /// predicate path.
 #[derive(Clone, Debug)]
 pub struct PredToken {
-    /// Owning automaton.
-    pub rule: RuleRef,
-    /// Predicate path index within the automaton.
+    /// Predicate path: *global* id into the bank's predicate table.
     pub pred: u32,
-    /// Current state.
-    pub state: StateId,
+    /// Current state: global instruction index.
+    pub instr: u32,
     /// The instance this token works for.
     pub inst: PredInstId,
 }
@@ -218,8 +233,8 @@ impl TokenStack {
 mod tests {
     use super::*;
 
-    fn nav(state: StateId) -> NavToken {
-        NavToken { rule: RuleRef::Rule(0), state, bindings: Bindings::EMPTY }
+    fn nav(instr: u32) -> NavToken {
+        NavToken { instr, bindings: Bindings::EMPTY }
     }
 
     #[test]
@@ -256,11 +271,18 @@ mod tests {
     }
 
     #[test]
+    fn rule_ref_from_owner() {
+        assert_eq!(RuleRef::from_owner(0), RuleRef::Rule(0));
+        assert_eq!(RuleRef::from_owner(7), RuleRef::Rule(7));
+        assert_eq!(RuleRef::from_owner(ir::OWNER_QUERY), RuleRef::Query);
+    }
+
+    #[test]
     fn clear_top_nav_only_clears_nav() {
         let mut ts = TokenStack::new(TokenLevel::default());
         ts.push(TokenLevel {
             nav: vec![nav(1)],
-            pred: vec![PredToken { rule: RuleRef::Query, pred: 0, state: 5, inst: PredInstId(1) }],
+            pred: vec![PredToken { pred: 0, instr: 5, inst: PredInstId(1) }],
             armed: vec![],
         });
         ts.clear_top_nav();

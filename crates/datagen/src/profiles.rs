@@ -78,6 +78,32 @@ pub fn researcher_policy(subject: &str, groups: usize, dict: &mut TagDict) -> Po
     Policy::parse(subject, &refs, dict).expect("static policy")
 }
 
+/// A synthetic rule-heavy profile: `copies` verbatim repetitions of the
+/// Researcher policy (R1 + R2/R3 per group). Deployed policies grow this
+/// shape when role templates are concatenated per-grant without
+/// dedup; every copy beyond the first is containment-redundant, so the
+/// policy compiler minimizes `copies × (2·groups + 1)` rules back to
+/// `2·groups + 1` — the A/B profile for the minimization benchmarks.
+pub fn stacked_researcher_policy(
+    subject: &str,
+    groups: usize,
+    copies: usize,
+    dict: &mut TagDict,
+) -> Policy {
+    assert!((1..=10).contains(&groups));
+    assert!(copies >= 1);
+    let mut rules: Vec<(Sign, String)> = Vec::new();
+    for _ in 0..copies {
+        rules.push((Sign::Permit, "//Folder[Protocol]//Age".to_owned()));
+        for g in 1..=groups {
+            rules.push((Sign::Permit, format!("//Folder[Protocol/Type=G{g}]//LabResults//G{g}")));
+            rules.push((Sign::Deny, format!("//G{g}[Cholesterol > 250]")));
+        }
+    }
+    let refs: Vec<(Sign, &str)> = rules.iter().map(|(s, p)| (*s, p.as_str())).collect();
+    Policy::parse(subject, &refs, dict).expect("static policy")
+}
+
 /// The five Figure-10 views: Secretary, part-time / full-time doctor
 /// (few / many patients — controlled through how common the physician id
 /// is in the generated data), junior / senior researcher (few / many
@@ -158,6 +184,19 @@ mod tests {
         for v in View::ALL {
             let p = v.policy(&mut dict, "phys000", "phys039");
             assert!(!p.rules.is_empty(), "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn stacked_researcher_repeats_the_base_rules() {
+        let mut dict = TagDict::new();
+        let base = researcher_policy("r", 10, &mut dict);
+        let stacked = stacked_researcher_policy("r", 10, 4, &mut dict);
+        assert_eq!(stacked.rules.len(), 4 * base.rules.len());
+        for (i, rule) in stacked.rules.iter().enumerate() {
+            let b = &base.rules[i % base.rules.len()];
+            assert_eq!(rule.sign, b.sign);
+            assert_eq!(rule.path.to_string(), b.path.to_string());
         }
     }
 

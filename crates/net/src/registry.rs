@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 use xsac_crypto::store::{
     ChunkStore, ChunkWindow, DynChunkStore, FileStore, PoolDoc, StoreError, WindowPool,
 };
-use xsac_soe::{DocMeta, ServerDoc};
+use xsac_soe::{DocMeta, MinimizeStats, ServerDoc};
 
 /// Per-document serving counters, shared across every connection bound
 /// to the document and surviving close/reopen cycles — the per-tenant
@@ -53,6 +53,9 @@ pub struct DocMetrics {
     pub(crate) fault_frames: AtomicU64,
     opens: AtomicU64,
     closes: AtomicU64,
+    policy_compiles: AtomicU64,
+    policy_cache_hits: AtomicU64,
+    rules_minimized: AtomicU64,
 }
 
 impl DocMetrics {
@@ -87,6 +90,38 @@ impl DocMetrics {
     /// explicit [`DocRegistry::close`].
     pub fn closes(&self) -> u64 {
         self.closes.load(Ordering::Relaxed)
+    }
+
+    /// Fresh policy compilations reported for sessions over this
+    /// document.
+    pub fn policy_compiles(&self) -> u64 {
+        self.policy_compiles.load(Ordering::Relaxed)
+    }
+
+    /// Compiled-policy cache hits reported for sessions over this
+    /// document.
+    pub fn policy_cache_hits(&self) -> u64 {
+        self.policy_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Σ rules dropped by containment minimization across all reported
+    /// compilations.
+    pub fn rules_minimized(&self) -> u64 {
+        self.rules_minimized.load(Ordering::Relaxed)
+    }
+
+    /// Records one client-side policy-compiler event. Access control is
+    /// evaluated inside the client's SOE, so the server only ever sees
+    /// these figures when the client (or a co-located [`xsac_soe::DocServer`])
+    /// reports them — the hook the dissemination service uses to fold
+    /// compiler behaviour into its [`RegistrySnapshot`].
+    pub fn record_policy_compile(&self, stats: &MinimizeStats, cache_hit: bool) {
+        if cache_hit {
+            self.policy_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.policy_compiles.fetch_add(1, Ordering::Relaxed);
+            self.rules_minimized.fetch_add(stats.rules_dropped() as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -185,6 +220,12 @@ pub struct DocRow {
     pub opens: u64,
     /// Close events.
     pub closes: u64,
+    /// Policy compilations reported for sessions over this document.
+    pub policy_compiles: u64,
+    /// Compiled-policy cache hits reported for this document.
+    pub policy_cache_hits: u64,
+    /// Σ rules dropped by minimization across reported compilations.
+    pub rules_minimized: u64,
 }
 
 /// Registry-level half of the service snapshot: per-document rows plus
@@ -213,6 +254,12 @@ pub struct RegistrySnapshot {
     pub pool_evictions: u64,
     /// Pool chunks dropped by document closes.
     pub pool_purged_chunks: u64,
+    /// Policy compilations reported across all tenants.
+    pub policy_compiles: u64,
+    /// Compiled-policy cache hits reported across all tenants.
+    pub policy_cache_hits: u64,
+    /// Σ rules dropped by containment minimization across all tenants.
+    pub rules_minimized: u64,
 }
 
 /// Maps doc-ids to served documents under one shared residency budget.
@@ -479,6 +526,26 @@ impl DocRegistry {
         self.unknown_docs.load(Ordering::Relaxed)
     }
 
+    /// Records one client-side policy-compiler event against `doc_id`
+    /// (see [`DocMetrics::record_policy_compile`]). Returns `false` when
+    /// the id is not registered.
+    pub fn record_policy_compile(
+        &self,
+        doc_id: &str,
+        stats: &MinimizeStats,
+        cache_hit: bool,
+    ) -> bool {
+        let metrics = {
+            let inner = self.inner.lock().expect("doc registry");
+            match inner.get(doc_id) {
+                Some(entry) => Arc::clone(&entry.metrics),
+                None => return false,
+            }
+        };
+        metrics.record_policy_compile(stats, cache_hit);
+        true
+    }
+
     /// A consistent snapshot of every tenant's counters plus the shared
     /// pool's residency figures.
     pub fn snapshot(&self) -> RegistrySnapshot {
@@ -500,10 +567,16 @@ impl DocRegistry {
                     fault_frames: entry.metrics.fault_frames(),
                     opens: entry.metrics.opens(),
                     closes: entry.metrics.closes(),
+                    policy_compiles: entry.metrics.policy_compiles(),
+                    policy_cache_hits: entry.metrics.policy_cache_hits(),
+                    rules_minimized: entry.metrics.rules_minimized(),
                 }
             })
             .collect();
         docs.sort_by(|a, b| a.doc_id.cmp(&b.doc_id));
+        let policy_compiles = docs.iter().map(|d| d.policy_compiles).sum();
+        let policy_cache_hits = docs.iter().map(|d| d.policy_cache_hits).sum();
+        let rules_minimized = docs.iter().map(|d| d.rules_minimized).sum();
         RegistrySnapshot {
             docs,
             doc_opens: self.opens.load(Ordering::Relaxed),
@@ -516,6 +589,9 @@ impl DocRegistry {
             pool_refetches: self.pool.refetches(),
             pool_evictions: self.pool.evictions(),
             pool_purged_chunks: self.pool.purged_chunks(),
+            policy_compiles,
+            policy_cache_hits,
+            rules_minimized,
         }
     }
 }

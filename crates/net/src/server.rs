@@ -206,6 +206,14 @@ pub struct ServiceSnapshot {
     pub budget_evictions: u64,
     /// Connections rejected at the admission cap.
     pub admission_rejections: u64,
+    /// Policy compilations reported across all tenants (client-side
+    /// compiler events folded in via
+    /// [`DocRegistry::record_policy_compile`]).
+    pub policy_compiles: u64,
+    /// Compiled-policy cache hits reported across all tenants.
+    pub policy_cache_hits: u64,
+    /// Σ rules dropped by containment minimization across all tenants.
+    pub rules_minimized: u64,
 }
 
 /// Serves the documents of a [`DocRegistry`] to concurrent network
@@ -533,8 +541,12 @@ fn reject_busy(mut stream: TcpStream, config: ServerConfig, live: u64, max: u64)
 }
 
 fn service_snapshot(registry: &DocRegistry, metrics: &NetMetrics) -> ServiceSnapshot {
+    let registry = registry.snapshot();
     ServiceSnapshot {
-        registry: registry.snapshot(),
+        policy_compiles: registry.policy_compiles,
+        policy_cache_hits: registry.policy_cache_hits,
+        rules_minimized: registry.rules_minimized,
+        registry,
         connections: metrics.connections(),
         requests: metrics.requests(),
         chunks_served: metrics.chunks_served(),

@@ -24,10 +24,11 @@
 use crate::cost::CostModel;
 use crate::document::ServerDoc;
 use crate::session::{run_session_shared, SessionConfig, SessionError, SessionResult, Strategy};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use xsac_core::{CompiledPolicy, Policy};
+use xsac_core::{CompiledPolicy, CompilerMode, Policy};
 use xsac_crypto::store::{ChunkStore, MemStore};
 use xsac_crypto::{LeafCache, TripleDes};
 use xsac_xpath::Automaton;
@@ -47,6 +48,11 @@ pub struct SessionSpec {
     pub query: Option<Automaton>,
     /// Session configuration.
     pub config: SessionConfig,
+    /// Policy-compiler mode. [`CompilerMode::Minimized`] (the default)
+    /// drops containment-redundant rules at compile time;
+    /// [`CompilerMode::Unminimized`] keeps the policy verbatim (the A/B
+    /// escape hatch used by the differential tests and benchmarks).
+    pub mode: CompilerMode,
 }
 
 impl SessionSpec {
@@ -57,6 +63,7 @@ impl SessionSpec {
             policy,
             query: None,
             config: SessionConfig { strategy: Strategy::Tcsbr, cost: CostModel::smartcard() },
+            mode: CompilerMode::default(),
         }
     }
 
@@ -71,6 +78,29 @@ impl SessionSpec {
         self.query = Some(query);
         self
     }
+
+    /// Sets the policy-compiler mode.
+    pub fn compiler_mode(mut self, mode: CompilerMode) -> SessionSpec {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Aggregate policy-compiler activity across a [`DocServer`]'s lifetime:
+/// how often compilation ran versus hit the cache, and how much the
+/// minimizer shrank the rule sets it saw. Hit/miss accounting is what
+/// catches cache-key regressions (a key missing the compiler mode would
+/// show hits where compiles belong — and serve the wrong automata).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompilerSnapshot {
+    /// Fresh compilations (cache misses).
+    pub compiles: usize,
+    /// Requests served from the compiled-policy cache.
+    pub cache_hits: usize,
+    /// Total rules fed to the compiler across all fresh compilations.
+    pub rules_in: usize,
+    /// Total rules dropped as containment-redundant.
+    pub rules_dropped: usize,
 }
 
 /// A published document plus the state every session over it can share,
@@ -85,18 +115,38 @@ pub struct DocServer<S: ChunkStore = MemStore> {
     /// Cross-session terminal leaf-hash cache (ECB-MHT; harmless for the
     /// other schemes, which never consult it).
     leaves: Arc<LeafCache>,
-    /// Compiled rule automata, one entry per `(role, subject)`. The
+    /// Compiled rule automata, one entry per `(role, subject, mode)`. The
     /// subject is part of the key because compilation resolves `USER`
     /// against it: two subjects sharing a role name must never share the
-    /// other's resolved comparisons.
-    policies: Mutex<HashMap<(String, String), Arc<CompiledPolicy>>>,
+    /// other's resolved comparisons. The compiler mode is part of the key
+    /// because minimized and unminimized compilations of one policy are
+    /// different artifacts — an A/B session asking for the unminimized
+    /// build must never be handed the minimized one (or vice versa).
+    policies: Mutex<HashMap<(String, String, CompilerMode), Arc<CompiledPolicy>>>,
+    /// Fresh compilations performed (compiler observability).
+    compiles: AtomicUsize,
+    /// Compiled-policy cache hits.
+    cache_hits: AtomicUsize,
+    /// Σ rules fed to the compiler over all fresh compilations.
+    rules_in: AtomicUsize,
+    /// Σ rules dropped by minimization over all fresh compilations.
+    rules_dropped: AtomicUsize,
 }
 
 impl<S: ChunkStore> DocServer<S> {
     /// Wraps a prepared document for multi-session serving.
     pub fn new(doc: ServerDoc<S>, key: TripleDes) -> DocServer<S> {
         let leaves = Arc::new(LeafCache::for_doc(&doc.protected));
-        DocServer { doc, key, leaves, policies: Mutex::new(HashMap::new()) }
+        DocServer {
+            doc,
+            key,
+            leaves,
+            policies: Mutex::new(HashMap::new()),
+            compiles: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            rules_in: AtomicUsize::new(0),
+            rules_dropped: AtomicUsize::new(0),
+        }
     }
 
     /// The underlying prepared document.
@@ -119,31 +169,71 @@ impl<S: ChunkStore> DocServer<S> {
         &self.leaves
     }
 
-    /// The compiled policy for a `(role, subject)` pair, compiling (and
-    /// caching) on first use. The subject comes from `policy.subject` —
-    /// `USER` comparisons are resolved against it at compile time, so
-    /// each subject gets its own compilation even within one role. The
-    /// lock guards only the map — compilation of a novel pair happens
-    /// outside any session's hot path.
+    /// The compiled policy for a `(role, subject)` pair under the default
+    /// compiler mode ([`CompilerMode::Minimized`]), compiling (and
+    /// caching) on first use.
     pub fn compiled_policy(&self, role: &str, policy: &Policy) -> Arc<CompiledPolicy> {
-        let key = (role.to_owned(), policy.subject.clone());
-        if let Some(hit) = self.policies.lock().expect("policy cache").get(&key) {
-            return Arc::clone(hit);
-        }
-        let compiled = Arc::new(CompiledPolicy::compile(policy));
-        let mut cache = self.policies.lock().expect("policy cache");
-        Arc::clone(cache.entry(key).or_insert(compiled))
+        self.compiled_policy_mode(role, policy, CompilerMode::default())
     }
 
-    /// Number of `(role, subject)` pairs whose policies are compiled and
-    /// cached.
+    /// The compiled policy for a `(role, subject, mode)` triple, compiling
+    /// (and caching) on first use. The subject comes from
+    /// `policy.subject` — `USER` comparisons are resolved against it at
+    /// compile time, so each subject gets its own compilation even within
+    /// one role; the mode is part of the key so minimized and unminimized
+    /// builds of one policy never shadow each other. The lock guards only
+    /// the map — compilation of a novel triple happens outside any
+    /// session's hot path.
+    pub fn compiled_policy_mode(
+        &self,
+        role: &str,
+        policy: &Policy,
+        mode: CompilerMode,
+    ) -> Arc<CompiledPolicy> {
+        let key = (role.to_owned(), policy.subject.clone(), mode);
+        if let Some(hit) = self.policies.lock().expect("policy cache").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let compiled = Arc::new(CompiledPolicy::with_mode(policy, mode));
+        let mut cache = self.policies.lock().expect("policy cache");
+        match cache.entry(key) {
+            Entry::Occupied(e) => {
+                // Another thread compiled the same triple while we did;
+                // its artifact wins so every session of the triple shares
+                // one Arc, and our duplicate work counts as a hit.
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.get())
+            }
+            Entry::Vacant(v) => {
+                let stats = compiled.minimize_stats();
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                self.rules_in.fetch_add(stats.rules_in, Ordering::Relaxed);
+                self.rules_dropped.fetch_add(stats.rules_dropped(), Ordering::Relaxed);
+                Arc::clone(v.insert(compiled))
+            }
+        }
+    }
+
+    /// Number of `(role, subject, mode)` triples whose policies are
+    /// compiled and cached.
     pub fn cached_roles(&self) -> usize {
         self.policies.lock().expect("policy cache").len()
     }
 
+    /// Aggregate policy-compiler activity since the server was created.
+    pub fn compiler_snapshot(&self) -> CompilerSnapshot {
+        CompilerSnapshot {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            rules_in: self.rules_in.load(Ordering::Relaxed),
+            rules_dropped: self.rules_dropped.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs one session against the shared caches.
     pub fn serve(&self, spec: &SessionSpec) -> Result<SessionResult, SessionError> {
-        let compiled = self.compiled_policy(&spec.role, &spec.policy);
+        let compiled = self.compiled_policy_mode(&spec.role, &spec.policy, spec.mode);
         run_session_shared(
             &self.doc,
             &self.key,
@@ -177,7 +267,7 @@ impl<S: ChunkStore> DocServer<S> {
         // Pre-compile every role up front so workers never contend on the
         // policy-cache lock mid-stream.
         for spec in specs {
-            self.compiled_policy(&spec.role, &spec.policy);
+            self.compiled_policy_mode(&spec.role, &spec.policy, spec.mode);
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<SessionResult, SessionError>>>> =
@@ -267,6 +357,52 @@ mod tests {
         let c3 = s.compiled_policy(&other.role, &other.policy);
         assert!(!Arc::ptr_eq(&c1, &c3));
         assert_eq!(s.cached_roles(), 2);
+    }
+
+    #[test]
+    fn compiler_mode_is_part_of_the_cache_key() {
+        // Minimized and unminimized builds of one (role, subject) must be
+        // distinct cache entries: ⊕//b ⊇ ⊕//b/c, so the minimized build
+        // drops a rule the unminimized one keeps.
+        let s = server("<a><b><c>x</c></b></a>", IntegrityScheme::Ecb);
+        let sp = spec("doctor", &[(Sign::Permit, "//b"), (Sign::Permit, "//b/c")], &s);
+        let min = s.compiled_policy_mode(&sp.role, &sp.policy, CompilerMode::Minimized);
+        let raw = s.compiled_policy_mode(&sp.role, &sp.policy, CompilerMode::Unminimized);
+        assert!(!Arc::ptr_eq(&min, &raw), "modes must not share a cache slot");
+        assert_eq!(min.rule_count(), 1);
+        assert_eq!(raw.rule_count(), 2);
+        assert_eq!(s.cached_roles(), 2);
+        // And each mode still hits its own entry.
+        let min2 = s.compiled_policy_mode(&sp.role, &sp.policy, CompilerMode::Minimized);
+        assert!(Arc::ptr_eq(&min, &min2));
+        let snap = s.compiler_snapshot();
+        assert_eq!(snap.compiles, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.rules_in, 4);
+        assert_eq!(snap.rules_dropped, 1);
+    }
+
+    #[test]
+    fn session_result_carries_minimize_stats() {
+        let s = server("<a><b><c>x</c></b></a>", IntegrityScheme::Ecb);
+        let sp = spec("doctor", &[(Sign::Permit, "//b"), (Sign::Permit, "//b/c")], &s);
+        let res = s.serve(&sp).unwrap();
+        assert_eq!(res.compiler.rules_in, 2);
+        assert_eq!(res.compiler.rules_out, 1);
+        assert!(res.compiler.ir_instructions > 0);
+        let raw = s
+            .serve(
+                &spec("doctor", &[(Sign::Permit, "//b"), (Sign::Permit, "//b/c")], &s)
+                    .compiler_mode(CompilerMode::Unminimized),
+            )
+            .unwrap();
+        assert_eq!(raw.compiler.rules_dropped(), 0);
+        let dict = s.doc().dict.clone();
+        assert_eq!(
+            reassemble_to_string(&dict, &res.log),
+            reassemble_to_string(&dict, &raw.log),
+            "minimization must not change the view"
+        );
     }
 
     #[test]

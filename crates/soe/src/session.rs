@@ -19,7 +19,9 @@ use crate::document::ServerDoc;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use xsac_core::evaluator::{CompiledPolicy, Directive, EvalConfig, Evaluator, SkipInfo};
+use xsac_core::evaluator::{
+    CompiledPolicy, Directive, EvalConfig, Evaluator, MinimizeStats, SkipInfo,
+};
 use xsac_core::output::{LogItem, OutputStats, SubtreeRef};
 use xsac_core::stats::EvalStats;
 use xsac_core::Policy;
@@ -141,6 +143,10 @@ pub struct SessionResult {
     /// contexts are dropped eagerly, so this stays proportional to the
     /// *simultaneously pending* subtrees, not to every skip ever taken.
     pub handles_peak: usize,
+    /// Policy-compiler observability: how much the containment-based
+    /// minimization pass shrank the rule set this session ran under, and
+    /// how big the resulting flat instruction bank is.
+    pub compiler: MinimizeStats,
 }
 
 // Sessions fan out over threads in the server layer; their results must
@@ -386,6 +392,7 @@ pub fn run_session_shared<S: ChunkStore>(
         result_bytes,
         handles_created: handles.created,
         handles_peak: handles.peak,
+        compiler: *policy.minimize_stats(),
     })
 }
 

@@ -250,8 +250,9 @@ pub fn write_report() {
     }
     let name = bench_name();
     let path = output_dir().join(format!("BENCH_{name}.json"));
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str(&format!("  \"bench\": {:?},\n  \"results\": [\n", name));
+    body.push_str(&format!("  \"bench\": {:?},\n  \"cpus\": {},\n  \"results\": [\n", name, cpus));
     let opt = |v: Option<String>| v.unwrap_or_else(|| "null".into());
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };

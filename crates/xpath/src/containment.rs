@@ -232,45 +232,100 @@ fn extend_descendants(p: &Path) -> Path {
 /// sufficient but not necessary"), we only eliminate `S` when there are no
 /// opposite-signed rules at all, or every opposite-signed rule `T`
 /// satisfies `T ⊇ R` (so the exception applies equally with or without S).
+///
+/// One case needs no guard at all: *mutually* contained same-signed rules
+/// have identical match sets on every document, so duplicates beyond the
+/// first are idempotent under the conflict-resolution policies and are
+/// always dropped.
 pub fn redundant_paths(paths: &[(bool, Path)]) -> Vec<usize> {
-    redundant_by(paths, contains)
+    redundant_by(paths, contains).redundant
 }
 
 /// Same as [`redundant_paths`] but comparing rule *scopes* (propagation
 /// included) — the variant used by policy minimization.
 pub fn redundant_rules(paths: &[(bool, Path)]) -> Vec<usize> {
+    redundant_by(paths, scope_contains).redundant
+}
+
+/// Full minimization report: what [`redundant_rules`] returns, plus the
+/// containment structure found along the way (policy-compiler
+/// observability).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RedundancyReport {
+    /// Indexes of paths proven redundant (droppable without changing any
+    /// authorized view).
+    pub redundant: Vec<usize>,
+    /// Number of ordered same-signed pairs `(R, S)`, `R ≠ S`, with
+    /// `R ⊇ S` proven — the raw containment structure the elimination
+    /// worked from (mutual containments count twice).
+    pub containment_pairs: usize,
+}
+
+/// Scope-containment variant of [`redundant_paths`] returning the full
+/// [`RedundancyReport`] — the entry point used by `CompiledPolicy`.
+pub fn redundant_rules_report(paths: &[(bool, Path)]) -> RedundancyReport {
     redundant_by(paths, scope_contains)
 }
 
-fn redundant_by(paths: &[(bool, Path)], le: impl Fn(&Path, &Path) -> bool) -> Vec<usize> {
-    let mut out = Vec::new();
-    for (i, (sign_s, s)) in paths.iter().enumerate() {
-        for (j, (sign_r, r)) in paths.iter().enumerate() {
+fn redundant_by(paths: &[(bool, Path)], le: impl Fn(&Path, &Path) -> bool) -> RedundancyReport {
+    let n = paths.len();
+    // Containment matrix: m[r][s] ⇔ le(paths[r], paths[s]) — computed once
+    // so the elimination scan below costs no further homomorphism tests.
+    let mut m = vec![false; n * n];
+    let mut containment_pairs = 0usize;
+    for (r, (sign_r, pr)) in paths.iter().enumerate() {
+        for (s, (sign_s, ps)) in paths.iter().enumerate() {
+            if r == s {
+                continue;
+            }
+            let c = le(pr, ps);
+            m[r * n + s] = c;
+            if c && sign_r == sign_s {
+                containment_pairs += 1;
+            }
+        }
+    }
+    let mut out: Vec<usize> = Vec::new();
+    for (i, (sign_s, _)) in paths.iter().enumerate() {
+        for (j, (sign_r, _)) in paths.iter().enumerate() {
             if i == j || sign_s != sign_r {
                 continue;
             }
             if out.contains(&j) {
                 continue; // do not justify elimination by an eliminated rule
             }
-            if !le(r, s) {
-                continue;
+            if !m[j * n + i] {
+                continue; // need R ⊇ S
             }
-            // Tie-break mutual containment by index to avoid removing both.
-            if le(s, r) && j > i {
-                continue;
+            if m[i * n + j] {
+                // Mutual same-signed containment: identical match sets on
+                // every document, so the duplicates are idempotent under
+                // Denial-Takes-Precedence / Most-Specific-Object — drop all
+                // but the lowest-indexed representative unconditionally
+                // (no opposite-signed rule can distinguish two rules with
+                // the same sign and the same scope).
+                if j > i {
+                    continue; // keep the earliest copy
+                }
+                out.push(i);
+                break;
             }
+            // Strict containment: §3.3's strong elimination condition —
+            // safe only when every opposite-signed rule T also contains
+            // the container R (the exception applies equally with or
+            // without S).
             let safe = paths
                 .iter()
                 .enumerate()
                 .filter(|(k, (sign_t, _))| *k != i && *k != j && sign_t != sign_s)
-                .all(|(_, (_, t))| le(t, r));
+                .all(|(k, _)| m[k * n + j]);
             if safe {
                 out.push(i);
                 break;
             }
         }
     }
-    out
+    RedundancyReport { redundant: out, containment_pairs }
 }
 
 #[cfg(test)]
@@ -390,5 +445,39 @@ mod tests {
             vec![(true, parse_path("//a/b").unwrap()), (true, parse_path("//a/b").unwrap())];
         let r = redundant_paths(&paths);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_dropped_even_under_opposite_rules() {
+        // The strong condition would keep the duplicate (⊖ //a/b/c does
+        // not contain //a/b), but identical match sets make it safe.
+        let paths = vec![
+            (true, parse_path("//a/b").unwrap()),
+            (true, parse_path("//a/b").unwrap()),
+            (true, parse_path("//a/b").unwrap()),
+            (false, parse_path("//a/b/c").unwrap()),
+        ];
+        assert_eq!(redundant_paths(&paths), vec![1, 2], "keep only the first copy");
+    }
+
+    #[test]
+    fn report_counts_containment_pairs() {
+        let paths = vec![(true, parse_path("//a").unwrap()), (true, parse_path("//a/b").unwrap())];
+        let report = redundant_rules_report(&paths);
+        assert_eq!(report.redundant, vec![1], "//a/b's scope sits inside //a's");
+        assert_eq!(report.containment_pairs, 1);
+        // An opposite-signed rule blocks the elimination (strong condition)
+        // but the containment pair is still reported.
+        let guarded = vec![
+            (true, parse_path("//a").unwrap()),
+            (true, parse_path("//a/b").unwrap()),
+            (false, parse_path("//c").unwrap()),
+        ];
+        let report = redundant_rules_report(&guarded);
+        assert!(report.redundant.is_empty(), "conservative under the deny");
+        assert_eq!(report.containment_pairs, 1);
+        // Mutual containment counts both directions.
+        let dupes = vec![(true, parse_path("//x").unwrap()), (true, parse_path("//x").unwrap())];
+        assert_eq!(redundant_rules_report(&dupes).containment_pairs, 2);
     }
 }

@@ -1,0 +1,405 @@
+//! Flat evaluation IR: N rule automata merged into one instruction bank.
+//!
+//! The streaming evaluator of §3 runs every SAX event against every rule
+//! automaton of the policy. With per-rule [`Automaton`]s that walk is a
+//! pointer chase across N heap-allocated state vectors; rule-heavy roles
+//! (the paper's Researcher-class policies) pay it on every event. This
+//! module compiles the whole bank into **one contiguous instruction
+//! sequence** — the style of a bytecode IR — so the hot loop touches a
+//! single `Vec<Instr>` with branch-predictable dispatch and zero per-event
+//! allocation:
+//!
+//! ```text
+//!   rule 0: ⊕ //b[c]/d      rule 1: ⊖ //c          query: //d
+//!   ┌──────────────────────────────────────────────────────────┐
+//!   │ i0 ─b→ i1 ─d→ i2│ i3 ─c→ i4 │ i5 ─c→ i6 │ i7 ─d→ i8 │    │ instrs
+//!   └──────────────────────────────────────────────────────────┘
+//!      owner 0  (nav + pred chain)   owner 1      OWNER_QUERY
+//!   starts: [i0, i5]        preds: [{owner 0, start i3}]
+//!   label_pool / anchor_pool: shared side tables (range-addressed)
+//! ```
+//!
+//! An instruction is the flat image of one automaton state: its chain
+//! transition (label + target index), self-loop and final bits, its
+//! `RemainingLabels` set (§4.2) as a range into a deduplicated shared
+//! pool, and the predicate paths anchored on arrival as a range of
+//! *global* predicate ids. Tokens then carry a single `u32` instruction
+//! index instead of an (automaton, state) pair.
+
+use crate::ast::{CmpOp, Value};
+use crate::automaton::{Automaton, Label};
+use std::collections::HashMap;
+use xsac_xml::TagId;
+
+/// Label sentinel: the instruction has no outgoing chain transition.
+pub const NO_TRANSITION: u32 = u32::MAX;
+/// Label sentinel: the transition matches any tag (`*`).
+pub const WILDCARD: u32 = u32::MAX - 1;
+/// Owner sentinel: the instruction belongs to the (single) query automaton
+/// appended to a session's instruction bank, not to a policy rule.
+pub const OWNER_QUERY: u16 = u16::MAX;
+
+/// Instruction flag: the state carries a `*` self-transition (descendant
+/// axis pending).
+pub const FLAG_SELF_LOOP: u8 = 1;
+/// Instruction flag: final state of its (navigational or predicate) chain.
+pub const FLAG_FINAL: u8 = 1 << 1;
+
+/// A `(start, len)` range into one of the shared side pools.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolRange {
+    /// First element index.
+    pub start: u32,
+    /// Number of elements.
+    pub len: u32,
+}
+
+impl PoolRange {
+    /// True when the range is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One flat instruction: the image of one automaton state.
+///
+/// 20 bytes, `Copy`, no heap indirection — the per-event token walk reads
+/// exactly one of these per live token.
+#[derive(Clone, Copy, Debug)]
+pub struct Instr {
+    /// Chain transition label: a `TagId` value, [`WILDCARD`], or
+    /// [`NO_TRANSITION`].
+    pub label: u32,
+    /// Global index of the transition target (meaningful only when `label`
+    /// is not [`NO_TRANSITION`]).
+    pub next: u32,
+    /// `RemainingLabels` of §4.2 as a range into
+    /// [`InstrSeq::label_pool`].
+    pub remaining: PoolRange,
+    /// Predicate paths anchored when a token *arrives* here: a range into
+    /// [`InstrSeq::anchor_pool`] of global predicate ids.
+    pub anchors: PoolRange,
+    /// Owning automaton: policy-rule index or [`OWNER_QUERY`].
+    pub owner: u16,
+    /// [`FLAG_SELF_LOOP`] | [`FLAG_FINAL`].
+    pub flags: u8,
+}
+
+impl Instr {
+    /// True when the state has a `*` self-transition.
+    #[inline]
+    pub fn self_loop(&self) -> bool {
+        self.flags & FLAG_SELF_LOOP != 0
+    }
+
+    /// True for the final state of its chain.
+    #[inline]
+    pub fn is_final(&self) -> bool {
+        self.flags & FLAG_FINAL != 0
+    }
+
+    /// True when an `open(tag)` event triggers the chain transition.
+    /// (Real tag ids are always below [`WILDCARD`], so [`NO_TRANSITION`]
+    /// can never match.)
+    #[inline]
+    pub fn matches(&self, tag: TagId) -> bool {
+        self.label == tag.0 || self.label == WILDCARD
+    }
+}
+
+/// One predicate path of the merged bank, addressed by *global* id.
+#[derive(Clone, Debug)]
+pub struct IrPred {
+    /// Owning automaton: policy-rule index or [`OWNER_QUERY`].
+    pub owner: u16,
+    /// Global index of the predicate chain's first instruction.
+    pub start: u32,
+    /// Self predicate `[. op v]` / bare `[.]`: the chain start *is* the
+    /// final state, so the predicate resolves at its anchor.
+    pub self_pred: bool,
+    /// Optional comparison on the matched element's immediate text.
+    pub comparison: Option<(CmpOp, Value)>,
+}
+
+/// The merged instruction bank of a compiled policy (plus, per session,
+/// an appended query automaton).
+#[derive(Clone, Debug, Default)]
+pub struct InstrSeq {
+    /// All instructions, automaton by automaton, chains contiguous.
+    pub instrs: Vec<Instr>,
+    /// Navigational start instruction of each policy rule (indexed by
+    /// owner; the query start is returned by [`InstrSeq::append`]).
+    pub starts: Vec<u32>,
+    /// All predicate paths, by global predicate id.
+    pub preds: Vec<IrPred>,
+    /// Deduplicated `RemainingLabels` storage.
+    pub label_pool: Vec<TagId>,
+    /// Global predicate ids anchored per instruction.
+    pub anchor_pool: Vec<u32>,
+}
+
+impl InstrSeq {
+    /// Compiles a bank of rule automata into one flat sequence. The i-th
+    /// automaton becomes owner `i`.
+    pub fn compile<'a, I>(automata: I) -> InstrSeq
+    where
+        I: IntoIterator<Item = &'a Automaton>,
+    {
+        let mut seq = InstrSeq::default();
+        let mut pool_index = HashMap::new();
+        for (owner, a) in automata.into_iter().enumerate() {
+            let owner = u16::try_from(owner).expect("more than u16::MAX - 1 rules");
+            assert!(owner != OWNER_QUERY, "rule owner collides with OWNER_QUERY");
+            let start = seq.append_automaton(a, owner, &mut pool_index);
+            seq.starts.push(start);
+        }
+        seq
+    }
+
+    /// Appends one more automaton (used for the per-session query, which
+    /// extends a clone of the role's shared bank). Returns the global
+    /// index of its navigational start instruction.
+    pub fn append(&mut self, a: &Automaton, owner: u16) -> u32 {
+        // A fresh dedup map: labels are still pooled within this append,
+        // merely not re-shared with earlier automata.
+        let mut pool_index = HashMap::new();
+        self.append_automaton(a, owner, &mut pool_index)
+    }
+
+    fn append_automaton(
+        &mut self,
+        a: &Automaton,
+        owner: u16,
+        pool_index: &mut HashMap<Vec<TagId>, PoolRange>,
+    ) -> u32 {
+        let base = self.instrs.len() as u32;
+        let pred_base = self.preds.len() as u32;
+        for st in &a.states {
+            let (label, next) = match st.transition {
+                Some((Label::Tag(t), n)) => {
+                    debug_assert!(t.0 < WILDCARD, "tag id collides with a label sentinel");
+                    (t.0, base + n)
+                }
+                Some((Label::Wildcard, n)) => (WILDCARD, base + n),
+                None => (NO_TRANSITION, 0),
+            };
+            let remaining = self.intern_labels(&st.remaining_labels, pool_index);
+            let anchors = if st.pred_anchors.is_empty() {
+                PoolRange::default()
+            } else {
+                let start = self.anchor_pool.len() as u32;
+                self.anchor_pool.extend(st.pred_anchors.iter().map(|&p| pred_base + p));
+                PoolRange { start, len: st.pred_anchors.len() as u32 }
+            };
+            let mut flags = 0u8;
+            if st.self_loop {
+                flags |= FLAG_SELF_LOOP;
+            }
+            if st.is_final {
+                flags |= FLAG_FINAL;
+            }
+            self.instrs.push(Instr { label, next, remaining, anchors, owner, flags });
+        }
+        for p in &a.preds {
+            self.preds.push(IrPred {
+                owner,
+                start: base + p.start_state,
+                self_pred: p.start_state == p.final_state,
+                comparison: p.comparison.clone(),
+            });
+        }
+        base + a.start
+    }
+
+    fn intern_labels(
+        &mut self,
+        labels: &[TagId],
+        pool_index: &mut HashMap<Vec<TagId>, PoolRange>,
+    ) -> PoolRange {
+        if labels.is_empty() {
+            return PoolRange::default();
+        }
+        if let Some(&r) = pool_index.get(labels) {
+            return r;
+        }
+        let start = self.label_pool.len() as u32;
+        self.label_pool.extend_from_slice(labels);
+        let r = PoolRange { start, len: labels.len() as u32 };
+        pool_index.insert(labels.to_vec(), r);
+        r
+    }
+
+    /// Instruction accessor.
+    #[inline]
+    pub fn instr(&self, i: u32) -> &Instr {
+        &self.instrs[i as usize]
+    }
+
+    /// Resolves a range into the `RemainingLabels` pool.
+    #[inline]
+    pub fn labels(&self, r: PoolRange) -> &[TagId] {
+        &self.label_pool[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Resolves a range into the anchored-predicate pool.
+    #[inline]
+    pub fn anchors(&self, r: PoolRange) -> &[u32] {
+        &self.anchor_pool[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Number of instructions in the bank.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the bank holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+// The bank is shared across session threads via `Arc` (one per role).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<InstrSeq>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use xsac_xml::TagDict;
+
+    fn bank(exprs: &[&str]) -> (InstrSeq, Vec<Automaton>, TagDict) {
+        let mut dict = TagDict::new();
+        let autos: Vec<Automaton> =
+            exprs.iter().map(|e| Automaton::compile(&parse_path(e).unwrap(), &mut dict)).collect();
+        let seq = InstrSeq::compile(autos.iter());
+        (seq, autos, dict)
+    }
+
+    /// Every instruction must be the faithful image of its source state.
+    fn assert_mirrors(seq: &InstrSeq, autos: &[Automaton]) {
+        let mut base = 0u32;
+        let mut pred_base = 0u32;
+        for (owner, a) in autos.iter().enumerate() {
+            assert_eq!(seq.starts[owner], base + a.start);
+            for (s, st) in a.states.iter().enumerate() {
+                let i = seq.instr(base + s as u32);
+                assert_eq!(i.owner as usize, owner);
+                assert_eq!(i.self_loop(), st.self_loop);
+                assert_eq!(i.is_final(), st.is_final);
+                match st.transition {
+                    None => assert_eq!(i.label, NO_TRANSITION),
+                    Some((Label::Wildcard, n)) => {
+                        assert_eq!(i.label, WILDCARD);
+                        assert_eq!(i.next, base + n);
+                    }
+                    Some((Label::Tag(t), n)) => {
+                        assert_eq!(i.label, t.0);
+                        assert_eq!(i.next, base + n);
+                    }
+                }
+                assert_eq!(seq.labels(i.remaining), &st.remaining_labels[..]);
+                let anchors: Vec<u32> = st.pred_anchors.iter().map(|&p| pred_base + p).collect();
+                assert_eq!(seq.anchors(i.anchors), &anchors[..]);
+            }
+            for (pi, p) in a.preds.iter().enumerate() {
+                let ip = &seq.preds[pred_base as usize + pi];
+                assert_eq!(ip.owner as usize, owner);
+                assert_eq!(ip.start, base + p.start_state);
+                assert_eq!(ip.self_pred, p.start_state == p.final_state);
+                assert_eq!(ip.comparison, p.comparison);
+            }
+            base += a.states.len() as u32;
+            pred_base += a.preds.len() as u32;
+        }
+        assert_eq!(seq.len() as u32, base);
+        assert_eq!(seq.preds.len() as u32, pred_base);
+    }
+
+    #[test]
+    fn single_rule_mirrors_automaton() {
+        let (seq, autos, _) = bank(&["//b[c]/d"]);
+        assert_mirrors(&seq, &autos);
+    }
+
+    #[test]
+    fn merged_bank_mirrors_every_automaton() {
+        let (seq, autos, _) = bank(&[
+            "//b[c]/d",
+            "//c",
+            "/a/*/x[y > 5]",
+            "//Folder[Protocol][MedActs//RPhys = USER]/Analysis",
+            "//Age[. > 65]",
+        ]);
+        assert_mirrors(&seq, &autos);
+    }
+
+    #[test]
+    fn label_matching_and_sentinels() {
+        let (seq, _, dict) = bank(&["//b/d"]);
+        let b = dict.get("b").unwrap();
+        let d = dict.get("d").unwrap();
+        let start = seq.instr(seq.starts[0]);
+        assert!(start.matches(b));
+        assert!(!start.matches(d));
+        assert!(start.self_loop());
+        let mid = seq.instr(start.next);
+        assert!(mid.matches(d));
+        let fin = seq.instr(mid.next);
+        assert_eq!(fin.label, NO_TRANSITION);
+        assert!(fin.is_final());
+        // A final state never matches anything.
+        assert!(!fin.matches(b) && !fin.matches(d));
+    }
+
+    #[test]
+    fn wildcard_label_matches_all() {
+        let (seq, _, dict) = bank(&["/a/*"]);
+        let a = dict.get("a").unwrap();
+        let start = seq.instr(seq.starts[0]);
+        let second = seq.instr(start.next);
+        assert_eq!(second.label, WILDCARD);
+        assert!(second.matches(a));
+        assert!(second.matches(TagId(4_000_000)));
+    }
+
+    #[test]
+    fn remaining_label_pool_is_shared() {
+        // Both rules need {a, b} remaining at their start state: the pool
+        // stores the set once.
+        let (seq, autos, _) = bank(&["/a/b", "/a/b"]);
+        assert_mirrors(&seq, &autos);
+        let r0 = seq.instr(seq.starts[0]).remaining;
+        let r1 = seq.instr(seq.starts[1]).remaining;
+        assert_eq!(r0, r1, "identical label sets should share one pool range");
+        assert_eq!(seq.label_pool.len(), 3, "{{a,b}} and {{b}} only");
+    }
+
+    #[test]
+    fn append_assigns_query_owner_and_global_preds() {
+        let (mut seq, _, mut dict) = bank(&["//b[c]/d"]);
+        let rule_preds = seq.preds.len();
+        let rule_instrs = seq.len();
+        let q = Automaton::parse("//d[e]", &mut dict).unwrap();
+        let qstart = seq.append(&q, OWNER_QUERY);
+        assert_eq!(qstart as usize, rule_instrs);
+        assert_eq!(seq.instr(qstart).owner, OWNER_QUERY);
+        assert_eq!(seq.preds.len(), rule_preds + 1);
+        assert_eq!(seq.preds[rule_preds].owner, OWNER_QUERY);
+        // The query's anchored predicate ids are global (offset past the
+        // rules' predicates).
+        let anchor_instr = seq.instr(seq.instr(qstart).next);
+        assert_eq!(seq.anchors(anchor_instr.anchors), &[rule_preds as u32]);
+    }
+
+    #[test]
+    fn empty_bank() {
+        let seq = InstrSeq::compile(std::iter::empty());
+        assert!(seq.is_empty());
+        assert_eq!(seq.len(), 0);
+        assert!(seq.starts.is_empty());
+    }
+}

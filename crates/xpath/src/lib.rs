@@ -16,13 +16,18 @@
 //!   with one navigational path and zero or more predicate paths (§3.1),
 //!   including the `RemainingLabels` metadata used by the skip index (§4.2);
 //! * [`containment`] — homomorphism-based sufficient containment test used
-//!   for the static policy minimization discussed in §3.3.
+//!   for the static policy minimization discussed in §3.3;
+//! * [`ir`] — the flat evaluation IR: a policy's automaton bank merged
+//!   into one contiguous instruction sequence for the hot event loop.
 
 pub mod ast;
 pub mod automaton;
 pub mod containment;
+pub mod ir;
 pub mod parser;
 
 pub use ast::{Axis, CmpOp, NameTest, Path, Predicate, Step, Value};
 pub use automaton::{Automaton, Label, PredPathInfo, StateId};
+pub use containment::{redundant_rules_report, RedundancyReport};
+pub use ir::{Instr, InstrSeq, IrPred, PoolRange, OWNER_QUERY};
 pub use parser::{parse_path, XPathError};
