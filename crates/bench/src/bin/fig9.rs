@@ -18,7 +18,7 @@ fn main() {
     let server = prepare(&doc, IntegrityScheme::Ecb);
     println!(
         "source: {} encoded bytes ({} raw)",
-        server.encoded.bytes.len(),
+        server.protected.plain_len,
         xsac_xml::writer::document_to_string(&doc).len()
     );
     println!(

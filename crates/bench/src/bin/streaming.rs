@@ -13,7 +13,10 @@
 //! The JSON records, besides ns/session for both backends, the metered
 //! `resident_bytes_peak` of the file-backed run against the document
 //! size — the out-of-core claim as a number: peak residency tracks the
-//! window, not the document.
+//! window, not the document. Two more rows pin the other side of the
+//! O(layout) story: the `GetMeta` payload size on the wire, and the
+//! peak bytes the one-pass parse → encode → encrypt → disk protection
+//! pipeline buffered.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -65,7 +68,7 @@ fn main() {
     let mem_server = DocServer::new(mem, demo_key());
 
     let tmp = TempPath::new("bench-streaming");
-    let file = ServerDoc::prepare_to_store(
+    let (file, prepare_stats) = ServerDoc::prepare_to_store_with_stats(
         &doc,
         &demo_key(),
         IntegrityScheme::EcbMht,
@@ -74,6 +77,8 @@ fn main() {
         WINDOW_BYTES,
     )
     .expect("prepare to store");
+    let meta_wire_bytes = xsac_net::meta::encode_meta(&file.meta()).len();
+    let protect_peak = prepare_stats.peak_buffered;
     let file_server = DocServer::new(file, demo_key());
 
     let mut rows: Vec<Row> = Vec::new();
@@ -97,6 +102,10 @@ fn main() {
     assert!(doc_bytes >= 8 * WINDOW_BYTES, "document must dwarf the window");
     assert!(peak * 4 <= doc_bytes, "peak residency {peak} not ≪ document {doc_bytes}");
     assert!(mem_server.resident_bytes_peak().is_none(), "mem backend does not meter");
+    // The wire/protect contracts: `GetMeta` is O(layout), and one-pass
+    // protection buffers O(chunk) — neither scales with the document.
+    assert!(meta_wire_bytes * 4 <= doc_bytes, "meta {meta_wire_bytes} B not ≪ document");
+    assert!(protect_peak <= layout.chunk_size + 2048, "protect peak {protect_peak} not O(chunk)");
 
     for r in &rows {
         println!("{:<12} {:<5}: {:>10.1} sessions/s", r.profile, r.backend, 1e9 / r.ns_per_session);
@@ -106,12 +115,17 @@ fn main() {
          ({:.1}% of document)",
         100.0 * peak as f64 / doc_bytes as f64
     );
+    println!(
+        "GetMeta on the wire: {meta_wire_bytes} B; protect-time peak buffer: {protect_peak} B"
+    );
 
     let path = output_dir().join("BENCH_streaming.json");
     let mut body = String::from("{\n  \"bench\": \"streaming\",\n");
     body.push_str(&format!("  \"doc_bytes\": {doc_bytes},\n"));
     body.push_str(&format!("  \"window_bytes\": {WINDOW_BYTES},\n"));
     body.push_str(&format!("  \"resident_bytes_peak\": {peak},\n"));
+    body.push_str(&format!("  \"meta_wire_bytes\": {meta_wire_bytes},\n"));
+    body.push_str(&format!("  \"protect_peak_buffered\": {protect_peak},\n"));
     body.push_str(&format!("  \"sessions_per_batch\": {SESSIONS_PER_BATCH},\n"));
     body.push_str("  \"scheme\": \"ECB-MHT\",\n");
     body.push_str("  \"results\": [\n");
@@ -128,6 +142,13 @@ fn main() {
             sep
         ));
     }
+    body.push_str("  ],\n  \"wire\": [\n");
+    body.push_str(&format!(
+        "    {{\"group\": \"streaming/wire\", \"name\": \"meta_bytes_on_wire\", \"bytes\": {meta_wire_bytes}}},\n"
+    ));
+    body.push_str(&format!(
+        "    {{\"group\": \"streaming/wire\", \"name\": \"protect_peak_buffered\", \"bytes\": {protect_peak}}}\n"
+    ));
     body.push_str("  ]\n}\n");
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
         Ok(()) => println!("\nwrote {}", path.display()),

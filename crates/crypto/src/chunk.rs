@@ -93,58 +93,141 @@ pub struct ProtectedDoc<S: ChunkStore = MemStore> {
     pub plain_len: usize,
 }
 
+/// Push-style protection pipeline: plaintext arrives in arbitrary-sized
+/// slices (e.g. straight from a streaming encoder), is assembled into
+/// chunks, and each full chunk is encrypted, digested and handed to
+/// `emit` immediately. One chunk-sized buffer is the only transient
+/// state — neither the plaintext nor the ciphertext is ever materialized
+/// whole, which is what lets `prepare_to_store` run parse → encode →
+/// encrypt → disk as one pass.
+pub struct ChunkProtector<'k, E, F: FnMut(&[u8]) -> Result<(), E>> {
+    key: &'k TripleDes,
+    scheme: IntegrityScheme,
+    layout: ChunkLayout,
+    /// The chunk under assembly (plaintext until sealed).
+    buf: Vec<u8>,
+    /// Index of the chunk under assembly.
+    ci: usize,
+    /// Total plaintext pushed so far.
+    plain_len: usize,
+    digests: Vec<[u8; DIGEST_RECORD]>,
+    emit: F,
+}
+
+impl<'k, E, F: FnMut(&[u8]) -> Result<(), E>> ChunkProtector<'k, E, F> {
+    /// Fresh pipeline over a ciphertext consumer.
+    pub fn new(
+        key: &'k TripleDes,
+        scheme: IntegrityScheme,
+        layout: ChunkLayout,
+        emit: F,
+    ) -> ChunkProtector<'k, E, F> {
+        layout.validate();
+        ChunkProtector {
+            key,
+            scheme,
+            layout,
+            // Exact-capacity chunk buffer: assembly never reallocates, so
+            // the pipeline's residency is exactly one chunk.
+            buf: Vec::with_capacity(layout.chunk_size),
+            ci: 0,
+            plain_len: 0,
+            digests: Vec::new(),
+            emit,
+        }
+    }
+
+    /// Appends plaintext; every chunk completed by it is sealed and
+    /// emitted before returning.
+    pub fn push(&mut self, mut data: &[u8]) -> Result<(), E> {
+        self.plain_len += data.len();
+        while !data.is_empty() {
+            let room = self.layout.chunk_size - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == self.layout.chunk_size {
+                self.seal()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Encrypts + digests the assembled chunk and hands it downstream.
+    fn seal(&mut self) -> Result<(), E> {
+        // Zero padding of the final blocks (a full chunk is already
+        // block-aligned: chunk sizes are whole fragments, fragments whole
+        // blocks).
+        self.buf.resize(self.buf.len().div_ceil(BLOCK) * BLOCK, 0);
+        let ci = self.ci;
+        let start = ci * self.layout.chunk_size;
+        // Plaintext digest must be taken before the in-place pass.
+        let plain_digest =
+            if self.scheme == IntegrityScheme::CbcSha { Some(sha1(&self.buf)) } else { None };
+        match self.scheme {
+            IntegrityScheme::Ecb | IntegrityScheme::EcbMht => {
+                posxor_encrypt_in_place(self.key, &mut self.buf, (start / BLOCK) as u64);
+            }
+            IntegrityScheme::CbcSha | IntegrityScheme::CbcShac => {
+                // Per-chunk CBC with the chunk index folded into the IV
+                // (random access re-starts at chunk boundaries).
+                cbc_encrypt_in_place(self.key, &mut self.buf, iv_for(ci));
+            }
+        }
+        let digest = match self.scheme {
+            IntegrityScheme::Ecb => None,
+            IntegrityScheme::CbcSha => plain_digest,
+            IntegrityScheme::CbcShac => Some(sha1(&self.buf)),
+            IntegrityScheme::EcbMht => {
+                Some(merkle_root(&fragment_hashes(&self.buf, self.layout.fragment_size)))
+            }
+        };
+        if let Some(d) = digest {
+            self.digests.push(encrypt_digest(self.key, ci, &d));
+        }
+        (self.emit)(&self.buf)?;
+        self.buf.clear();
+        self.ci += 1;
+        Ok(())
+    }
+
+    /// Peak bytes buffered by the pipeline itself (≤ one chunk) — for the
+    /// protect-time residency accounting.
+    pub fn peak_buffered(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Seals the final partial chunk (block-padded) and returns the
+    /// digest table and the total plaintext length pushed.
+    pub fn finish(mut self) -> Result<(Vec<[u8; DIGEST_RECORD]>, usize), E> {
+        if !self.buf.is_empty() {
+            self.seal()?;
+        }
+        Ok((self.digests, self.plain_len))
+    }
+}
+
 /// Encrypts and authenticates `plaintext` chunk-at-a-time, handing each
 /// ciphertext chunk to `emit` in order. One chunk-sized buffer is the
 /// only transient state — neither the padded plaintext nor the ciphertext
 /// is materialized. Returns the digest table and the padded length.
 ///
 /// This is the single protection core: the in-memory and file-backed
-/// paths both call it, so their outputs are byte-identical by
-/// construction (and re-checked by the differential tests).
+/// paths both drive [`ChunkProtector`] through it (and the one-pass
+/// encode path drives the protector directly), so their outputs are
+/// byte-identical by construction (and re-checked by the differential
+/// tests).
 pub fn protect_chunks<E>(
     plaintext: &[u8],
     key: &TripleDes,
     scheme: IntegrityScheme,
     layout: ChunkLayout,
-    mut emit: impl FnMut(&[u8]) -> Result<(), E>,
+    emit: impl FnMut(&[u8]) -> Result<(), E>,
 ) -> Result<(Vec<[u8; DIGEST_RECORD]>, usize), E> {
-    layout.validate();
-    let padded_len = plaintext.len().div_ceil(BLOCK) * BLOCK;
-    let n_chunks = padded_len.div_ceil(layout.chunk_size);
-    let mut digests = Vec::with_capacity(if scheme == IntegrityScheme::Ecb { 0 } else { n_chunks });
-    let mut buf = Vec::with_capacity(layout.chunk_size.min(padded_len));
-    for ci in 0..n_chunks {
-        let start = ci * layout.chunk_size;
-        let end = (start + layout.chunk_size).min(padded_len);
-        buf.clear();
-        buf.extend_from_slice(&plaintext[start..end.min(plaintext.len())]);
-        buf.resize(end - start, 0); // zero padding of the final blocks
-                                    // Plaintext digest must be taken before the in-place pass.
-        let plain_digest = if scheme == IntegrityScheme::CbcSha { Some(sha1(&buf)) } else { None };
-        match scheme {
-            IntegrityScheme::Ecb | IntegrityScheme::EcbMht => {
-                posxor_encrypt_in_place(key, &mut buf, (start / BLOCK) as u64);
-            }
-            IntegrityScheme::CbcSha | IntegrityScheme::CbcShac => {
-                // Per-chunk CBC with the chunk index folded into the IV
-                // (random access re-starts at chunk boundaries).
-                cbc_encrypt_in_place(key, &mut buf, iv_for(ci));
-            }
-        }
-        let digest = match scheme {
-            IntegrityScheme::Ecb => None,
-            IntegrityScheme::CbcSha => plain_digest,
-            IntegrityScheme::CbcShac => Some(sha1(&buf)),
-            IntegrityScheme::EcbMht => {
-                Some(merkle_root(&fragment_hashes(&buf, layout.fragment_size)))
-            }
-        };
-        if let Some(d) = digest {
-            digests.push(encrypt_digest(key, ci, &d));
-        }
-        emit(&buf)?;
-    }
-    Ok((digests, padded_len))
+    let mut p = ChunkProtector::new(key, scheme, layout, emit);
+    p.push(plaintext)?;
+    let (digests, plain_len) = p.finish()?;
+    Ok((digests, plain_len.div_ceil(BLOCK) * BLOCK))
 }
 
 impl ProtectedDoc {
@@ -350,6 +433,47 @@ mod tests {
             assert_eq!(file.plain_len, mem.plain_len);
             assert_eq!(file.chunk_count(), mem.chunk_count());
             assert_eq!(file.stored_len(), mem.stored_len());
+        }
+    }
+
+    #[test]
+    fn protector_output_independent_of_push_granularity() {
+        // The push-style pipeline must produce the same ciphertext and
+        // digest table whether the plaintext arrives whole, byte by byte,
+        // or in awkward prime-sized slices — the property the streaming
+        // encoder (which emits odd-sized runs) relies on.
+        let k = key();
+        let d = data(4999);
+        let layout = ChunkLayout { chunk_size: 512, fragment_size: 64 };
+        for scheme in IntegrityScheme::ALL {
+            let mut whole = Vec::new();
+            let (digests, padded) =
+                protect_chunks::<std::convert::Infallible>(&d, &k, scheme, layout, |c| {
+                    whole.extend_from_slice(c);
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(whole.len(), padded);
+            for step in [1usize, 7, 131, 512, 4999] {
+                let mut pieced = Vec::new();
+                let mut p = ChunkProtector::<std::convert::Infallible, _>::new(
+                    &k,
+                    scheme,
+                    layout,
+                    |c: &[u8]| {
+                        pieced.extend_from_slice(c);
+                        Ok(())
+                    },
+                );
+                for s in d.chunks(step) {
+                    p.push(s).unwrap();
+                }
+                assert!(p.peak_buffered() <= layout.chunk_size, "{scheme:?}");
+                let (dg, plain_len) = p.finish().unwrap();
+                assert_eq!(pieced, whole, "{scheme:?} step {step}");
+                assert_eq!(dg, digests, "{scheme:?} step {step}");
+                assert_eq!(plain_len, d.len());
+            }
         }
     }
 

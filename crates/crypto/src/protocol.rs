@@ -291,6 +291,14 @@ pub struct SoeReader<'a, S: ChunkStore = MemStore> {
     /// crossed the channel at least once, so re-transfers are metered
     /// ([`AccessCost::bytes_refetched`]). Lazily sized on first fetch.
     fetched_blocks: Vec<u64>,
+    /// Still-resident plaintext set aside for the current request: when a
+    /// request starts before the working buffer but overlaps it, the
+    /// overlap is moved here before the fetch loop overwrites the buffer,
+    /// and served in place — the channel (and the refetch audit) only
+    /// see the bytes that actually move. Valid for one `consume` call.
+    held: Vec<u8>,
+    /// Plaintext offset of `held` (`usize::MAX` when `held` is empty).
+    held_start: usize,
     /// Accumulated costs.
     pub cost: AccessCost,
 }
@@ -309,6 +317,8 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
             digest_cache: None,
             leaves: None,
             fetched_blocks: Vec::new(),
+            held: Vec::new(),
+            held_start: usize::MAX,
             cost: AccessCost::default(),
         }
     }
@@ -370,6 +380,19 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
         // contract (and error payload) as every backend's `read_at`.
         crate::store::check_bounds(offset, len, self.doc.store.len())?;
         let end = offset + len;
+        // A request starting before the working buffer but overlapping it
+        // would overwrite the buffer while fetching its own head and then
+        // re-transfer bytes that were resident at entry. Set the overlap
+        // aside and serve it in place instead.
+        self.held.clear();
+        self.held_start = usize::MAX;
+        let cached = self.cache_start..self.cache_start + self.cache.len();
+        if !self.cache.is_empty() && offset < cached.start && end > cached.start {
+            let take = end.min(cached.end) - cached.start;
+            self.held.extend_from_slice(&self.cache[..take]);
+            self.held_start = cached.start;
+            self.note_residency();
+        }
         let rollback = out.as_deref().map(Vec::len);
         let mut pos = offset;
         while pos < end {
@@ -389,7 +412,29 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 pos += take;
                 continue;
             }
-            if let Err(e) = self.fetch_unit(pos, end) {
+            if !self.held.is_empty() && pos >= self.held_start {
+                let held_end = self.held_start + self.held.len();
+                if pos < held_end {
+                    // Still-resident plaintext: no transfer, no refetch.
+                    let take = (end - pos).min(held_end - pos);
+                    if let Some(out) = out.as_deref_mut() {
+                        let lo = pos - self.held_start;
+                        out.extend_from_slice(&self.held[lo..lo + take]);
+                    }
+                    if matches!(self.doc.scheme, IntegrityScheme::CbcShac | IntegrityScheme::EcbMht)
+                    {
+                        self.cost.bytes_decrypted += take as u64;
+                    }
+                    pos += take;
+                    continue;
+                }
+            }
+            // Clamp the fetch extent so an ECB unit (whose extent tracks
+            // the request end) never re-covers the held range. CBC and
+            // MHT units are chunk/fragment extents, which cannot overlap
+            // the (unit-aligned) held range from below.
+            let req_end = if pos < self.held_start { end.min(self.held_start) } else { end };
+            if let Err(e) = self.fetch_unit(pos, req_end) {
                 // A failed unit — storage fault or integrity violation —
                 // must never be consumable: discard the working buffer
                 // (its contents are unverified ciphertext or garbage)
@@ -436,7 +481,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
     /// reader buffer = total resident bytes).
     fn note_residency(&mut self) {
         if let Some(m) = self.doc.store.meter() {
-            let now = self.cache.capacity() + self.chunk_scratch.capacity();
+            let now = self.cache.capacity() + self.chunk_scratch.capacity() + self.held.capacity();
             match now.cmp(&self.registered_resident) {
                 std::cmp::Ordering::Greater => m.add((now - self.registered_resident) as u64),
                 std::cmp::Ordering::Less => m.sub((self.registered_resident - now) as u64),
@@ -1059,6 +1104,53 @@ mod tests {
         r.read(2048, 8).unwrap(); // another chunk: working buffer moves on
         r.read(0, 8).unwrap(); // fragment 0 again
         assert_eq!(r.cost.bytes_refetched, p.layout.fragment_size as u64);
+    }
+
+    #[test]
+    fn revisit_serves_still_resident_chunk_without_refetch() {
+        // The PR-4 over-count, fixed: re-reading a 3-chunk span while the
+        // working buffer still holds one of its chunks used to charge the
+        // channel (and the refetch audit) for all three. The resident
+        // chunk is now set aside and served in place, so the meter and
+        // the actual transfers agree at exactly two chunks.
+        let (p, data) = doc(IntegrityScheme::Ecb, 3 * 2048);
+        let k = key();
+        let mut r = SoeReader::new(&p, &k);
+        r.read(0, 3 * 2048).unwrap();
+        let before = r.cost;
+        let got = r.read(0, 3 * 2048).unwrap();
+        assert_eq!(got, data, "held plaintext must be byte-identical");
+        assert_eq!(
+            r.cost.bytes_refetched - before.bytes_refetched,
+            2 * 2048,
+            "the still-resident chunk must not be metered as a refetch"
+        );
+        assert_eq!(
+            r.cost.bytes_to_soe - before.bytes_to_soe,
+            2 * 2048,
+            "the meter must agree with the actual transfers"
+        );
+
+        // Same audit under a whole-chunk-unit scheme: only the two
+        // refetched chunks cross the channel (plus their digest records).
+        let (p, data) = doc(IntegrityScheme::CbcShac, 3 * 2048);
+        let mut r = SoeReader::new(&p, &k);
+        r.read(0, 3 * 2048).unwrap();
+        let before = r.cost;
+        let got = r.read(0, 3 * 2048).unwrap();
+        assert_eq!(got, data);
+        assert_eq!(r.cost.bytes_refetched - before.bytes_refetched, 2 * 2048);
+        assert_eq!(r.cost.bytes_to_soe - before.bytes_to_soe, 2 * (2048 + DIGEST_RECORD as u64));
+
+        // A partial backward overlap holds only the overlapping prefix.
+        let (p, data) = doc(IntegrityScheme::Ecb, 2 * 2048);
+        let mut r = SoeReader::new(&p, &k);
+        r.read(0, 2 * 2048).unwrap(); // working buffer: chunk 1
+        let before = r.cost;
+        let got = r.read(2040, 16).unwrap(); // 8 bytes before chunk 1, 8 inside
+        assert_eq!(got, data[2040..2056], "straddling read must be exact");
+        assert_eq!(r.cost.bytes_refetched - before.bytes_refetched, 8);
+        assert_eq!(r.cost.bytes_to_soe - before.bytes_to_soe, 8);
     }
 
     #[test]

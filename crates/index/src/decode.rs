@@ -296,7 +296,27 @@ impl<'a> Decoder<'a> {
         ctx: &DecoderContext,
         out: &mut Vec<Event<'d>>,
     ) -> Result<(), DecodeError> {
+        Decoder::decode_range_at(data, 0, ctx, out)
+    }
+
+    /// Like [`Decoder::decode_range_into`], but over a buffer that holds
+    /// only the bytes `base..base + data.len()` of the document — the
+    /// cursor path: a readback fetches exactly its saved range and
+    /// decodes it in place, so `data` need not start at document offset
+    /// 0. All offsets in `ctx` (and in the emitted errors) stay absolute.
+    pub fn decode_range_at<'d>(
+        data: &'d [u8],
+        base: usize,
+        ctx: &DecoderContext,
+        out: &mut Vec<Event<'d>>,
+    ) -> Result<(), DecodeError> {
         out.clear();
+        if ctx.start < base || ctx.end < ctx.start || ctx.end - base > data.len() {
+            return Err(DecodeError {
+                offset: ctx.start,
+                message: "range outside provided data".into(),
+            });
+        }
         let mut stack: Vec<(TagId, usize, Arc<[TagId]>, u64)> = Vec::new();
         let mut pos = ctx.start;
         loop {
@@ -317,7 +337,7 @@ impl<'a> Decoder<'a> {
                 None => (ctx.tags.clone(), ctx.body_bound),
             };
             let record_start = pos;
-            let mut r = BitReader::at(data, pos);
+            let mut r = BitReader::at(data, pos - base);
             let err = |message: &str| DecodeError { offset: record_start, message: message.into() };
             let leaf = r.read_bit().ok_or_else(|| err("eof in leaf bit"))?;
             let tagw = width_for(tags.len().saturating_sub(1) as u64);
@@ -334,7 +354,7 @@ impl<'a> Decoder<'a> {
                 }
             }
             r.align();
-            let body_start = r.byte_pos();
+            let body_start = base + r.byte_pos();
             let body_end = body_start + size;
             if tag == TagId::TEXT {
                 let bytes = r.read_bytes(size).ok_or_else(|| err("eof in text body"))?;
@@ -364,6 +384,347 @@ impl<'a> Decoder<'a> {
             }
         }
         Ok(out)
+    }
+}
+
+/// A fallible, random-access byte provider the [`CursorDecoder`] pulls
+/// encoded ranges through — the seam between the index layer and
+/// whatever fetches, verifies and decrypts those bytes (in the SOE, a
+/// metered `SoeReader` over a `ChunkStore`; in tests, a plain slice).
+///
+/// Every byte the decoder consumes goes through [`ByteSource::fetch`], so
+/// a metering source observes exactly the decoder's touch pattern: the
+/// records it reads, never the subtrees it skips.
+pub trait ByteSource {
+    /// Fetch failure type.
+    type Error;
+
+    /// Total document length in bytes.
+    fn len(&self) -> usize;
+
+    /// True when the document is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends the bytes `offset..offset + len` to `out`. On error
+    /// nothing may remain appended (the caller's buffer is rolled back to
+    /// its length at entry, as `SoeReader::read_into` guarantees).
+    fn fetch(&mut self, offset: usize, len: usize, out: &mut Vec<u8>) -> Result<(), Self::Error>;
+}
+
+/// [`ByteSource`] over an in-memory slice (tests, oracles).
+pub struct SliceSource<'a>(pub &'a [u8]);
+
+impl ByteSource for SliceSource<'_> {
+    type Error = DecodeError;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn fetch(&mut self, offset: usize, len: usize, out: &mut Vec<u8>) -> Result<(), DecodeError> {
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= self.0.len())
+            .ok_or_else(|| DecodeError { offset, message: "fetch past end of input".into() })?;
+        out.extend_from_slice(&self.0[offset..end]);
+        Ok(())
+    }
+}
+
+/// Error of a [`CursorDecoder`]: either the source failed to deliver
+/// bytes (a storage fault, an integrity violation) or the delivered bytes
+/// failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CursorError<E> {
+    /// The byte source failed.
+    Source(E),
+    /// The fetched bytes are not a valid record stream.
+    Decode(DecodeError),
+}
+
+impl<E> From<DecodeError> for CursorError<E> {
+    fn from(e: DecodeError) -> Self {
+        CursorError::Decode(e)
+    }
+}
+
+impl From<CursorError<DecodeError>> for DecodeError {
+    fn from(e: CursorError<DecodeError>) -> Self {
+        match e {
+            CursorError::Source(e) | CursorError::Decode(e) => e,
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for CursorError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorError::Source(e) => write!(f, "source error: {e}"),
+            CursorError::Decode(e) => e.fmt(f),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for CursorError<E> {}
+
+/// Streaming TCSBR decoder over a [`ByteSource`] — the out-of-core twin
+/// of [`Decoder`]. Instead of indexing a resident flat buffer it fetches
+/// each record's header and body on demand, so the bytes resident at any
+/// moment are one record header plus (for text) one text body, and the
+/// source sees precisely the skip-index access pattern: headers of the
+/// records on the authorized path, bodies of delivered text, and nothing
+/// of skipped subtrees.
+///
+/// The navigation surface mirrors [`Decoder`] (same `SkipStack`
+/// semantics, same saved-[`DecoderContext`] readback protocol); returned
+/// [`DecodedNode`]s borrow the decoder's internal fetch buffer, so each
+/// node must be consumed before the next call.
+pub struct CursorDecoder<R: ByteSource> {
+    src: R,
+    pos: usize,
+    /// End of the root record (from the 4-byte header).
+    root_end: usize,
+    stack: Vec<Level>,
+    last_element: Option<DecoderContext>,
+    last_desc: TagSet,
+    desc_buf: Vec<TagId>,
+    root_tags: Arc<[TagId]>,
+    done: bool,
+    /// Scratch for the current record header.
+    hdr: Vec<u8>,
+    /// Scratch for the current text body.
+    text: Vec<u8>,
+    /// Scratch for readback ranges (see [`CursorDecoder::read_range`]).
+    range: Vec<u8>,
+    /// Total bytes fetched by `next` (skipped bytes are *not* counted —
+    /// that is the point of the index).
+    pub bytes_read: usize,
+}
+
+impl<R: ByteSource> CursorDecoder<R> {
+    /// Creates a cursor over a source; `dict_len` is the tag dictionary
+    /// size. Fetches the 4-byte root-record header immediately.
+    pub fn new(mut src: R, dict_len: usize) -> Result<CursorDecoder<R>, CursorError<R::Error>> {
+        if src.len() < 4 {
+            return Err(DecodeError { offset: 0, message: "missing header".into() }.into());
+        }
+        let mut hdr = Vec::with_capacity(4);
+        src.fetch(0, 4, &mut hdr).map_err(CursorError::Source)?;
+        let root_end = 4 + u32::from_be_bytes(hdr[..4].try_into().expect("4 bytes")) as usize;
+        let root_tags: Arc<[TagId]> = (0..dict_len as u32).map(TagId).collect();
+        Ok(CursorDecoder {
+            src,
+            pos: 4,
+            root_end,
+            stack: Vec::new(),
+            last_element: None,
+            last_desc: TagSet::new(),
+            desc_buf: Vec::new(),
+            root_tags,
+            done: false,
+            hdr,
+            text: Vec::new(),
+            range: Vec::new(),
+            bytes_read: 4,
+        })
+    }
+
+    /// The underlying source (e.g. to inspect its metering).
+    pub fn source(&self) -> &R {
+        &self.src
+    }
+
+    /// Mutable access to the underlying source.
+    pub fn source_mut(&mut self) -> &mut R {
+        &mut self.src
+    }
+
+    /// Consumes the cursor, returning the source.
+    pub fn into_source(self) -> R {
+        self.src
+    }
+
+    /// Descendant-tag set of the element most recently returned by
+    /// [`CursorDecoder::next`] — empty for leaves. Valid until the next
+    /// `next` call.
+    pub fn last_desc(&self) -> &TagSet {
+        &self.last_desc
+    }
+
+    /// Tag-list context for decoding the children of the element most
+    /// recently opened by [`CursorDecoder::next`].
+    pub fn current_tags(&self) -> Arc<[TagId]> {
+        self.stack.last().map(|l| l.tags.clone()).unwrap_or_else(|| self.root_tags.clone())
+    }
+
+    /// Current absolute byte position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The context of the element record most recently returned by
+    /// [`CursorDecoder::next`] — save it before skipping to allow
+    /// readback.
+    pub fn last_element_context(&self) -> Option<DecoderContext> {
+        self.last_element.clone()
+    }
+
+    /// Context covering the *remaining* content of the current element
+    /// (skip-rest on close directives).
+    pub fn rest_context(&self) -> Option<DecoderContext> {
+        let top = self.stack.last()?;
+        Some(DecoderContext {
+            start: self.pos,
+            end: top.end,
+            tags: top.tags.clone(),
+            body_bound: top.body_bound,
+        })
+    }
+
+    /// Next node in document order. Fetches the record's header (and, for
+    /// text, its body) from the source; the returned node borrows the
+    /// decoder's fetch buffers.
+    #[allow(clippy::should_implement_trait)] // fallible pull-style next()
+    pub fn next(&mut self) -> Result<DecodedNode<'_>, CursorError<R::Error>> {
+        if self.done {
+            return Ok(DecodedNode::End);
+        }
+        // Close any element whose body is exhausted.
+        if let Some(top) = self.stack.last() {
+            debug_assert!(self.pos <= top.end, "decoder overran a subtree");
+            if self.pos == top.end {
+                let level = self.stack.pop().expect("non-empty");
+                if self.stack.is_empty() {
+                    self.done = true;
+                }
+                return Ok(DecodedNode::Close(level.tag));
+            }
+        }
+        if self.stack.is_empty() && self.pos > 4 {
+            self.done = true;
+            return Ok(DecodedNode::End);
+        }
+
+        let (tags, bound, level_end) = match self.stack.last() {
+            Some(top) => (top.tags.clone(), top.body_bound, top.end),
+            None => (self.root_tags.clone(), u32::MAX as u64, self.root_end),
+        };
+        let record_start = self.pos;
+        let err = |offset, message: &str| {
+            CursorError::Decode(DecodeError { offset, message: message.into() })
+        };
+        // The widths of the fixed prefix (leaf bit, tag index, size) are
+        // known from the parent context before reading a single byte —
+        // fetch exactly that many, parse, then fetch the tag array whose
+        // presence and width the prefix reveals.
+        let tagw = width_for(tags.len().saturating_sub(1) as u64);
+        let sizew = width_for(bound);
+        let prefix_bits = (1 + tagw + sizew) as usize;
+        let prefix_bytes = prefix_bits.div_ceil(8);
+        self.hdr.clear();
+        self.src.fetch(record_start, prefix_bytes, &mut self.hdr).map_err(CursorError::Source)?;
+        let mut r = BitReader::at(&self.hdr, 0);
+        let leaf = r.read_bit().ok_or_else(|| err(record_start, "eof in leaf bit"))?;
+        let idx = r.read(tagw).ok_or_else(|| err(record_start, "eof in tag index"))? as usize;
+        let tag = *tags.get(idx).ok_or_else(|| err(record_start, "tag index out of context"))?;
+        let size = r.read(sizew).ok_or_else(|| err(record_start, "eof in size"))? as usize;
+        self.last_desc.clear();
+        self.desc_buf.clear();
+        let hdr_len = if leaf { prefix_bytes } else { (prefix_bits + tags.len()).div_ceil(8) };
+        if !leaf {
+            if hdr_len > prefix_bytes {
+                self.src
+                    .fetch(record_start + prefix_bytes, hdr_len - prefix_bytes, &mut self.hdr)
+                    .map_err(CursorError::Source)?;
+            }
+            // Re-read past the prefix (it can exceed 64 bits, so skip it
+            // with the same three reads rather than one).
+            let mut r = BitReader::at(&self.hdr, 0);
+            r.read_bit();
+            r.read(tagw);
+            r.read(sizew);
+            for &t in tags.iter() {
+                if r.read_bit().ok_or_else(|| err(record_start, "eof in tag array"))? {
+                    self.last_desc.insert(t);
+                    self.desc_buf.push(t);
+                }
+            }
+        }
+        let body_start = record_start + hdr_len;
+        let body_end = body_start + size;
+        if body_end > level_end {
+            return Err(err(record_start, "record overruns its parent"));
+        }
+        self.bytes_read += hdr_len;
+        if tag == TagId::TEXT {
+            if self.stack.is_empty() {
+                return Err(err(record_start, "text node at document root"));
+            }
+            self.text.clear();
+            self.src.fetch(body_start, size, &mut self.text).map_err(CursorError::Source)?;
+            let text = std::str::from_utf8(&self.text)
+                .map_err(|_| err(body_start, "invalid UTF-8 text"))?;
+            self.pos = body_end;
+            self.bytes_read += size;
+            return Ok(DecodedNode::Text(text));
+        }
+        // Element record. The child-context tag list is the only
+        // per-record allocation (it outlives this record via saved
+        // `DecoderContext`s).
+        let desc_list: Arc<[TagId]> = self.desc_buf.as_slice().into();
+        self.last_element = Some(DecoderContext {
+            start: record_start,
+            end: body_end,
+            tags: tags.clone(),
+            body_bound: bound,
+        });
+        self.stack.push(Level { tag, tags: desc_list, body_bound: size as u64, end: body_end });
+        self.pos = body_start;
+        Ok(DecodedNode::Element { tag, body: (body_start, body_end) })
+    }
+
+    /// Skips the element opened by the last [`DecodedNode::Element`]: a
+    /// pure position seek — the source is never asked for the skipped
+    /// bytes, which is the whole point of the index.
+    pub fn skip_current(&mut self) {
+        let level = self.stack.pop().expect("skip_current without open element");
+        self.pos = level.end;
+        if self.stack.is_empty() {
+            self.done = true;
+        }
+    }
+
+    /// Skips the remaining content of the current element (after some of
+    /// its children were decoded) and pops it without emitting its close.
+    pub fn skip_rest(&mut self) {
+        let level = self.stack.pop().expect("skip_rest without open element");
+        self.pos = level.end;
+        if self.stack.is_empty() {
+            self.done = true;
+        }
+    }
+
+    /// Fetches the byte range of a saved context in one pull (pending
+    /// readback) and returns it; decode it in place with
+    /// [`Decoder::decode_range_at`] using `ctx.start` as the base. The
+    /// borrow ends before the next navigation call, so one internal
+    /// buffer serves every readback of a session.
+    pub fn read_range(&mut self, ctx: &DecoderContext) -> Result<&[u8], CursorError<R::Error>> {
+        if ctx.end < ctx.start {
+            return Err(DecodeError { offset: ctx.start, message: "inverted range".into() }.into());
+        }
+        self.range.clear();
+        self.src
+            .fetch(ctx.start, ctx.end - ctx.start, &mut self.range)
+            .map_err(CursorError::Source)?;
+        Ok(&self.range)
     }
 }
 
@@ -551,5 +912,138 @@ mod tests {
     #[test]
     fn garbage_header_errors() {
         assert!(Decoder::new(&[1, 2], 5).is_err());
+    }
+
+    /// A `ByteSource` that counts fetched bytes — stands in for the
+    /// metered SOE reader to pin the cursor's touch pattern.
+    struct CountingSource<'a> {
+        data: &'a [u8],
+        fetched: usize,
+    }
+
+    impl ByteSource for CountingSource<'_> {
+        type Error = DecodeError;
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        fn fetch(
+            &mut self,
+            offset: usize,
+            len: usize,
+            out: &mut Vec<u8>,
+        ) -> Result<(), DecodeError> {
+            SliceSource(self.data).fetch(offset, len, out)?;
+            self.fetched += len;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cursor_matches_slice_decoder_event_for_event() {
+        for xml in [
+            "<a></a>",
+            "<a><b>one</b><c>two</c></a>",
+            "<a>t1<b><c><d>deep</d></c></b>t2<e></e></a>",
+            "<a><a><a>x</a></a><a>y</a></a>",
+        ] {
+            let doc = Document::parse(xml).unwrap();
+            let enc = encode_document(&doc, Encoding::TCSBR);
+            let mut slice = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+            let mut cursor = CursorDecoder::new(SliceSource(&enc.bytes), doc.dict.len()).unwrap();
+            loop {
+                let expect = slice.next().unwrap();
+                let desc_expect: Vec<_> = slice.last_desc().iter().collect();
+                let pos_expect = slice.position();
+                let got = cursor.next().unwrap();
+                assert_eq!(got, expect, "{xml}");
+                let done = matches!(got, DecodedNode::End);
+                assert_eq!(cursor.last_desc().iter().collect::<Vec<_>>(), desc_expect, "{xml}");
+                assert_eq!(cursor.position(), pos_expect, "{xml}");
+                assert_eq!(cursor.depth(), slice.depth(), "{xml}");
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(cursor.bytes_read, slice.bytes_read, "{xml}");
+        }
+    }
+
+    #[test]
+    fn cursor_skip_fetches_nothing_from_skipped_subtree() {
+        let doc = Document::parse(
+            "<a><b><x>0123456789012345678901234567890123456789</x></b><c>c</c></a>",
+        )
+        .unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let full = {
+            let mut d =
+                CursorDecoder::new(CountingSource { data: &enc.bytes, fetched: 0 }, doc.dict.len())
+                    .unwrap();
+            while !matches!(d.next().unwrap(), DecodedNode::End) {}
+            d.into_source().fetched
+        };
+        let skipped = {
+            let mut d =
+                CursorDecoder::new(CountingSource { data: &enc.bytes, fetched: 0 }, doc.dict.len())
+                    .unwrap();
+            d.next().unwrap(); // a
+            d.next().unwrap(); // b
+            d.skip_current();
+            while !matches!(d.next().unwrap(), DecodedNode::End) {}
+            d.into_source().fetched
+        };
+        assert!(skipped + 40 <= full, "skip must not fetch the subtree: {skipped} vs {full}");
+    }
+
+    #[test]
+    fn cursor_readback_decodes_from_fetched_range_only() {
+        let doc = Document::parse("<a><b><x>11</x><y>22</y></b><c>cc</c></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let mut d = CursorDecoder::new(SliceSource(&enc.bytes), doc.dict.len()).unwrap();
+        d.next().unwrap(); // a
+        d.next().unwrap(); // b
+        let ctx = d.last_element_context().unwrap();
+        d.skip_current();
+        // The readback decodes over a buffer holding only the saved range.
+        let data = d.read_range(&ctx).unwrap();
+        assert_eq!(data.len(), ctx.end - ctx.start);
+        let mut events = Vec::new();
+        Decoder::decode_range_at(data, ctx.start, &ctx, &mut events).unwrap();
+        assert_eq!(events, Decoder::decode_range(&enc.bytes, &ctx).unwrap());
+    }
+
+    #[test]
+    fn decode_range_at_rejects_range_outside_data() {
+        let doc = Document::parse("<a><b>hello</b></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let mut d = Decoder::new(&enc.bytes, doc.dict.len()).unwrap();
+        d.next().unwrap(); // a
+        d.next().unwrap(); // b
+        let ctx = d.last_element_context().unwrap();
+        let mut out = Vec::new();
+        // Buffer starts after the range, or is too short: typed error.
+        let short = &enc.bytes[ctx.start..ctx.end - 1];
+        assert!(Decoder::decode_range_at(short, ctx.start, &ctx, &mut out).is_err());
+        assert!(Decoder::decode_range_at(&enc.bytes[..], ctx.start + 1, &ctx, &mut out).is_err());
+    }
+
+    #[test]
+    fn cursor_truncated_input_errors() {
+        let doc = Document::parse("<a><b>hello world</b></a>").unwrap();
+        let enc = encode_document(&doc, Encoding::TCSBR);
+        let truncated = &enc.bytes[..enc.bytes.len() - 4];
+        let mut d = CursorDecoder::new(SliceSource(truncated), doc.dict.len()).unwrap();
+        let mut result = Ok(());
+        loop {
+            match d.next() {
+                Ok(DecodedNode::End) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert!(result.is_err(), "truncation must be detected");
     }
 }

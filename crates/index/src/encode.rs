@@ -35,7 +35,7 @@
 //! bitmap per internal element. All sizes reported include the serialized
 //! tag dictionary for the compressed variants.
 
-use crate::bits::{width_for, BitWriter};
+use crate::bits::{width_for, BitOut, BitSink, BitWriter};
 use xsac_xml::{Document, Node, NodeId, TagId};
 
 /// The five encodings of Figure 8.
@@ -331,13 +331,45 @@ fn encode_tcsbr(doc: &Document) -> EncodedDoc {
     let root_record =
         facts[doc.root().index()].body + header_len_tcsbr(doc, doc.root(), &facts, &root_ctx(doc));
     w.write_bytes(&(root_record as u32).to_be_bytes());
-    emit_tcsbr(doc, doc.root(), &root_ctx(doc), &facts, &mut w);
+    emit_tcsbr(doc, doc.root(), &root_ctx(doc), &facts, &mut w).unwrap_or_else(|e| match e {});
     EncodedDoc {
         encoding: Encoding::TCSBR,
         bytes: w.finish(),
         text_bytes: text_bytes_of(doc),
         dict_bytes: doc.dict.serialized_len(),
     }
+}
+
+/// Outcome of a streamed TCSBR encode (see [`encode_tcsbr_stream`]).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamedEncode {
+    /// Total encoded length handed downstream (header + root record).
+    pub encoded_len: usize,
+    /// Peak bytes the encoder itself had buffered — O(1), never
+    /// O(document); the figure `prepare_to_store` folds into its
+    /// protect-peak accounting.
+    pub peak_buffered: usize,
+}
+
+/// Streams the TCSBR encoding of `doc` into `emit` without ever holding
+/// the encoded bytes whole: the per-node layout facts are O(nodes), the
+/// byte buffer is O(1), and `emit` receives the exact byte sequence that
+/// [`encode_document`] would have produced (pinned by test). This is the
+/// encoder half of the one-pass parse → encode → encrypt → disk protect
+/// path; the consumer's error type `E` propagates out unchanged.
+pub fn encode_tcsbr_stream<E>(
+    doc: &Document,
+    emit: impl FnMut(&[u8]) -> Result<(), E>,
+) -> Result<StreamedEncode, E> {
+    let facts = compute_tcsbr_facts(doc);
+    let ctx = root_ctx(doc);
+    let root_record =
+        facts[doc.root().index()].body + header_len_tcsbr(doc, doc.root(), &facts, &ctx);
+    let mut w = BitSink::new(emit);
+    w.write_bytes(&(root_record as u32).to_be_bytes())?;
+    emit_tcsbr(doc, doc.root(), &ctx, &facts, &mut w)?;
+    let (encoded_len, peak_buffered) = w.finish()?;
+    Ok(StreamedEncode { encoded_len, peak_buffered })
 }
 
 /// The encoding context a node is read under: the parent's descendant-tag
@@ -407,7 +439,13 @@ fn header_len_tcsbr(_doc: &Document, id: NodeId, facts: &[NodeFacts], ctx: &Ctx)
     header_len_with(&facts[id.index()], ctx.tags.len(), ctx.body)
 }
 
-fn emit_tcsbr(doc: &Document, id: NodeId, ctx: &Ctx, facts: &[NodeFacts], w: &mut BitWriter) {
+fn emit_tcsbr<W: BitOut>(
+    doc: &Document,
+    id: NodeId,
+    ctx: &Ctx,
+    facts: &[NodeFacts],
+    w: &mut W,
+) -> Result<(), W::Error> {
     let f = &facts[id.index()];
     let tagw = width_for(ctx.tags.len().saturating_sub(1) as u64);
     let sizew = width_for(ctx.body);
@@ -416,24 +454,25 @@ fn emit_tcsbr(doc: &Document, id: NodeId, ctx: &Ctx, facts: &[NodeFacts], w: &mu
         .tags
         .binary_search(&tag)
         .unwrap_or_else(|_| panic!("tag {tag:?} missing from parent context"));
-    w.write_bit(f.leaf);
-    w.write(idx as u64, tagw);
-    w.write(f.body, sizew);
+    w.write_bit(f.leaf)?;
+    w.write(idx as u64, tagw)?;
+    w.write(f.body, sizew)?;
     if !f.leaf {
         for t in &ctx.tags {
-            w.write_bit(f.desc.binary_search(t).is_ok());
+            w.write_bit(f.desc.binary_search(t).is_ok())?;
         }
     }
-    w.align();
+    w.align()?;
     match doc.node(id) {
-        Node::Text(t) => w.write_bytes(t.as_bytes()),
+        Node::Text(t) => w.write_bytes(t.as_bytes())?,
         Node::Element { children, .. } => {
             let child_ctx = Ctx { tags: f.desc.clone(), body: f.body };
             for &c in children {
-                emit_tcsbr(doc, c, &child_ctx, facts, w);
+                emit_tcsbr(doc, c, &child_ctx, facts, w)?;
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -515,6 +554,50 @@ mod tests {
         let d = Document::parse(&xml).unwrap();
         let e = encode_document(&d, Encoding::TCSBR);
         assert!(e.bytes.len() > 300 * 9);
+    }
+
+    #[test]
+    fn streamed_tcsbr_matches_in_memory() {
+        // The streamed encoder must hand downstream the exact bytes the
+        // in-memory encoder produces — the identity the whole one-pass
+        // protect path rests on.
+        let mut xml = String::from("<r>");
+        for i in 0..200 {
+            xml.push_str(&format!("<x><y>{}</y><z>payload-{i}-0123456789</z></x>", "t".repeat(i)));
+        }
+        xml.push_str("</r>");
+        for xml in
+            ["<a></a>", "<a><b>one</b><c>two</c></a>", "<a>t1<b><c><d>deep</d></c></b>t2</a>", &xml]
+        {
+            let d = Document::parse(xml).unwrap();
+            let expect = encode_document(&d, Encoding::TCSBR);
+            let mut streamed = Vec::new();
+            let out = encode_tcsbr_stream(&d, |b| {
+                streamed.extend_from_slice(b);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+            assert_eq!(streamed, expect.bytes, "stream diverged for {}", &xml[..20.min(xml.len())]);
+            assert_eq!(out.encoded_len, expect.bytes.len());
+            assert!(
+                out.peak_buffered < 2048,
+                "encoder buffered {} bytes of a {}-byte document",
+                out.peak_buffered,
+                expect.bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_consumer_error_propagates() {
+        let d = doc();
+        let mut n = 0;
+        let res = encode_tcsbr_stream(&d, |_b| {
+            n += 1;
+            Err("downstream refused")
+        });
+        assert_eq!(res.unwrap_err(), "downstream refused");
+        assert_eq!(n, 1, "must stop at the first consumer failure");
     }
 
     #[test]

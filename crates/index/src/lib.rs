@@ -36,7 +36,10 @@ pub mod encode;
 pub mod overhead;
 pub mod update;
 
-pub use decode::{DecodeError, DecodedNode, Decoder, DecoderContext};
-pub use encode::{encode_document, EncodedDoc, Encoding};
+pub use decode::{
+    ByteSource, CursorDecoder, CursorError, DecodeError, DecodedNode, Decoder, DecoderContext,
+    SliceSource,
+};
+pub use encode::{encode_document, encode_tcsbr_stream, EncodedDoc, Encoding, StreamedEncode};
 pub use overhead::{overhead_row, OverheadReport};
 pub use update::{update_impact, Update, UpdateImpact};

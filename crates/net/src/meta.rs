@@ -4,14 +4,20 @@
 //! primitives (little-endian integers, length-prefixed strings/byte
 //! strings), decoded through the same bounds-checked cursor as every
 //! other message: a hostile or truncated meta payload surfaces as a
-//! typed [`WireError`], never a panic. The *integrity* of the material
-//! does not rest on this layer — the digest table is encrypted and
-//! position-bound, so a server lying here can only cause verification
-//! failures client-side (the tamper tests pin this).
+//! typed [`WireError`], never a panic. The payload is O(layout) — tag
+//! dictionary, geometry, lengths and the per-chunk digest table; the
+//! encoded document itself never travels, the SOE streams it back out of
+//! the ciphertext. The *integrity* of the material does not rest on this
+//! layer — the digest table is encrypted and position-bound, so a server
+//! lying here can only cause verification failures client-side (the
+//! tamper tests pin this) — but internally *consistent* geometry is
+//! enforced here, so a hostile meta cannot push the session layer into
+//! out-of-range arithmetic before verification gets a chance to fail.
 
-use crate::wire::{put_bytes, Cursor, WireError};
+use crate::wire::{Cursor, WireError};
 use xsac_crypto::chunk::{ChunkLayout, DIGEST_RECORD};
-use xsac_index::encode::{EncodedDoc, Encoding};
+use xsac_crypto::IntegrityScheme;
+use xsac_index::encode::Encoding;
 use xsac_soe::DocMeta;
 use xsac_xml::TagDict;
 
@@ -45,11 +51,8 @@ pub fn encode_meta(meta: &DocMeta) -> Vec<u8> {
         out.extend_from_slice(&(name.len() as u32).to_le_bytes());
         out.extend_from_slice(name.as_bytes());
     }
-    // Skip-index encoding.
-    out.push(encoding_code(meta.encoded.encoding));
-    put_bytes(&mut out, &meta.encoded.bytes);
-    out.extend_from_slice(&(meta.encoded.text_bytes as u64).to_le_bytes());
-    out.extend_from_slice(&(meta.encoded.dict_bytes as u64).to_le_bytes());
+    // Skip-index encoding selector.
+    out.push(encoding_code(meta.encoding));
     // Scheme + geometry + lengths.
     out.push(crate::wire::scheme_code(meta.scheme));
     out.extend_from_slice(&(meta.layout.chunk_size as u32).to_le_bytes());
@@ -64,7 +67,12 @@ pub fn encode_meta(meta: &DocMeta) -> Vec<u8> {
     out
 }
 
-/// Parses a `GetMeta` payload.
+/// Parses a `GetMeta` payload, enforcing internal consistency: the
+/// announced geometry, lengths and digest-table size must agree with each
+/// other exactly as honest preparation would produce them. A disagreeing
+/// payload is a typed [`WireError::Malformed`], so the connection layer
+/// reports it and survives instead of panicking (or handing the session
+/// layer impossible arithmetic).
 pub fn decode_meta(body: &[u8]) -> Result<DocMeta, WireError> {
     let mut c = Cursor::new(body);
     let dict_n = c.u32()? as usize;
@@ -80,9 +88,6 @@ pub fn decode_meta(body: &[u8]) -> Result<DocMeta, WireError> {
         }
     }
     let encoding = encoding_from_code(c.u8()?)?;
-    let bytes = c.bytes()?.to_vec();
-    let text_bytes = c.u64()? as usize;
-    let dict_bytes = c.u64()? as usize;
     let scheme = crate::wire::scheme_from_code(c.u8()?)?;
     let layout = ChunkLayout { chunk_size: c.u32()? as usize, fragment_size: c.u32()? as usize };
     if layout.chunk_size == 0
@@ -96,7 +101,21 @@ pub fn decode_meta(body: &[u8]) -> Result<DocMeta, WireError> {
     }
     let plain_len = c.u64()? as usize;
     let ciphertext_len = c.u64()? as usize;
+    // The ciphertext is the plaintext zero-padded to the 8-byte block
+    // size — any other announced length is a lie about the geometry.
+    if ciphertext_len != plain_len.div_ceil(8) * 8 {
+        return Err(WireError::Malformed("ciphertext length disagrees with plaintext length"));
+    }
     let digest_n = c.u32()? as usize;
+    // Tamper-resistant schemes carry exactly one digest record per chunk
+    // of the announced ciphertext; ECB carries none.
+    let expect_digests = match scheme {
+        IntegrityScheme::Ecb => 0,
+        _ => ciphertext_len.div_ceil(layout.chunk_size),
+    };
+    if digest_n != expect_digests {
+        return Err(WireError::Malformed("digest table disagrees with announced length"));
+    }
     let mut digests = Vec::with_capacity(digest_n.min(1 << 20));
     for _ in 0..digest_n {
         let rec: [u8; DIGEST_RECORD] =
@@ -104,15 +123,7 @@ pub fn decode_meta(body: &[u8]) -> Result<DocMeta, WireError> {
         digests.push(rec);
     }
     c.finish("trailing meta bytes")?;
-    Ok(DocMeta {
-        dict,
-        encoded: EncodedDoc { encoding, bytes, text_bytes, dict_bytes },
-        scheme,
-        layout,
-        digests,
-        plain_len,
-        ciphertext_len,
-    })
+    Ok(DocMeta { dict, encoding, scheme, layout, digests, plain_len, ciphertext_len })
 }
 
 #[cfg(test)]
@@ -135,10 +146,7 @@ mod tests {
         );
         let meta = prepared.meta();
         let decoded = decode_meta(&encode_meta(&meta)).unwrap();
-        assert_eq!(decoded.encoded.bytes, meta.encoded.bytes);
-        assert_eq!(decoded.encoded.encoding, meta.encoded.encoding);
-        assert_eq!(decoded.encoded.text_bytes, meta.encoded.text_bytes);
-        assert_eq!(decoded.encoded.dict_bytes, meta.encoded.dict_bytes);
+        assert_eq!(decoded.encoding, meta.encoding);
         assert_eq!(decoded.scheme, meta.scheme);
         assert_eq!(decoded.layout, meta.layout);
         assert_eq!(decoded.digests, meta.digests);
@@ -150,6 +158,33 @@ mod tests {
         }
         // Re-encoding the decoded meta is byte-identical (canonical form).
         assert_eq!(encode_meta(&decoded), encode_meta(&meta));
+    }
+
+    #[test]
+    fn meta_payload_is_o_layout() {
+        // The wire payload must scale with the digest table and the
+        // dictionary, never the document text: a 50× larger document in
+        // the same chunk geometry grows the payload by chunk count only.
+        let small = Document::parse("<a><b>x</b></a>").unwrap();
+        let mut xml = String::from("<a>");
+        for i in 0..400 {
+            xml.push_str(&format!("<b>a much longer payload body number {i}</b>"));
+        }
+        xml.push_str("</a>");
+        let big = Document::parse(&xml).unwrap();
+        let key = TripleDes::new(*b"meta-roundtrip-key-24-ab");
+        let layout = ChunkLayout { chunk_size: 2048, fragment_size: 128 };
+        let s = ServerDoc::prepare(&small, &key, IntegrityScheme::CbcShac, layout);
+        let b = ServerDoc::prepare(&big, &key, IntegrityScheme::CbcShac, layout);
+        let small_wire = encode_meta(&s.meta()).len();
+        let big_wire = encode_meta(&b.meta()).len();
+        let digest_growth = (b.meta().digests.len() - s.meta().digests.len()) * DIGEST_RECORD;
+        assert!(b.protected.plain_len > 50 * s.protected.plain_len);
+        assert_eq!(
+            big_wire - small_wire,
+            digest_growth,
+            "meta growth must be exactly the digest table (same dictionary)"
+        );
     }
 
     #[test]
@@ -170,6 +205,35 @@ mod tests {
         // A hostile geometry (zero chunk size) is refused.
         let mut evil = prepared.meta();
         evil.layout = ChunkLayout { chunk_size: 0, fragment_size: 32 };
+        assert!(matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn hostile_meta_inconsistent_lengths_refused() {
+        let doc = Document::parse("<a><b>some text body</b><c>more</c></a>").unwrap();
+        let key = TripleDes::new(*b"meta-roundtrip-key-24-ab");
+        let layout = ChunkLayout { chunk_size: 256, fragment_size: 32 };
+        let prepared = ServerDoc::prepare(&doc, &key, IntegrityScheme::CbcShac, layout);
+
+        // Ciphertext length that is not the block-padded plaintext length.
+        let mut evil = prepared.meta();
+        evil.ciphertext_len += 8;
+        assert!(matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))));
+
+        // Digest table shorter than the announced ciphertext needs.
+        let mut evil = prepared.meta();
+        evil.digests.pop();
+        assert!(matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))));
+
+        // Digest table longer than the announced ciphertext needs.
+        let mut evil = prepared.meta();
+        evil.digests.push([0u8; DIGEST_RECORD]);
+        assert!(matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))));
+
+        // ECB must announce an empty digest table.
+        let ecb = ServerDoc::prepare(&doc, &key, IntegrityScheme::Ecb, layout);
+        let mut evil = ecb.meta();
+        evil.digests.push([0u8; DIGEST_RECORD]);
         assert!(matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))));
     }
 }

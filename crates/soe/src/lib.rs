@@ -34,7 +34,7 @@ pub mod session;
 
 pub use baseline::{brute_force_session, lwb_estimate, LwbReport};
 pub use cost::{CostModel, TimeBreakdown};
-pub use document::{DocMeta, ServerDoc};
+pub use document::{DocMeta, PrepareStats, ServerDoc};
 pub use server::{CompilerSnapshot, DocServer, SessionSpec};
 // Client sessions compile policies with these; re-exported so dependants
 // (e.g. the net layer's observability) need not depend on xsac-core

@@ -28,7 +28,9 @@ use xsac_core::Policy;
 use xsac_crypto::protocol::AccessCost;
 use xsac_crypto::store::ChunkStore;
 use xsac_crypto::{LeafCache, ReadError, SoeReader, StoreError, TripleDes};
-use xsac_index::decode::{DecodedNode, Decoder, DecoderContext};
+use xsac_index::decode::{
+    ByteSource, CursorDecoder, CursorError, DecodedNode, Decoder, DecoderContext,
+};
 use xsac_xpath::Automaton;
 
 /// How the SOE consumes the document.
@@ -122,6 +124,15 @@ impl From<xsac_index::DecodeError> for SessionError {
     }
 }
 
+impl From<CursorError<ReadError>> for SessionError {
+    fn from(e: CursorError<ReadError>) -> Self {
+        match e {
+            CursorError::Source(e) => e.into(),
+            CursorError::Decode(e) => SessionError::Decode(e),
+        }
+    }
+}
+
 /// Outcome of a session.
 pub struct SessionResult {
     /// Delivery log of the authorized view / query result.
@@ -208,6 +219,41 @@ impl HandleTable {
     }
 }
 
+/// [`ByteSource`] adapter: every byte the decoder pulls is transferred,
+/// verified and deciphered through the [`SoeReader`] — the real Figure-2
+/// pipeline. Nothing stays resident beyond the reader's chunk window and
+/// the decoder's per-record buffers, so a session's footprint is bounded
+/// by the window budget plus one record, independent of document size.
+struct SoeSource<'a, S: ChunkStore> {
+    reader: SoeReader<'a, S>,
+    /// Encoded plaintext length (`ProtectedDoc::plain_len`).
+    len: usize,
+}
+
+impl<S: ChunkStore> ByteSource for SoeSource<'_, S> {
+    type Error = ReadError;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn fetch(&mut self, offset: usize, len: usize, out: &mut Vec<u8>) -> Result<(), ReadError> {
+        self.reader.read_into(offset, len, out)
+    }
+}
+
+/// First phase of each loop step: what the decoder produced, minus the
+/// borrowed payloads (text is fed to the evaluator while the decoder's
+/// buffer is live; everything else is `Copy`). Splitting the step this
+/// way ends the lending borrow of [`CursorDecoder::next`] before the
+/// directive handling needs the decoder back.
+enum Step {
+    End,
+    Close,
+    Text,
+    Element(xsac_xml::TagId),
+}
+
 /// Runs one SOE session over a pre-compiled (shareable) policy and, under
 /// ECB-MHT, an optional cross-session terminal leaf-hash cache — the
 /// multi-session serving path.
@@ -219,23 +265,17 @@ pub fn run_session_shared<S: ChunkStore>(
     config: &SessionConfig,
     leaves: Option<&Arc<LeafCache>>,
 ) -> Result<SessionResult, SessionError> {
-    let mut reader = match leaves {
+    let reader = match leaves {
         Some(cache) => SoeReader::with_leaf_cache(&server.protected, key, Arc::clone(cache)),
         None => SoeReader::new(&server.protected, key),
     };
-    // Simulation scaffold: the decoder walks the plaintext image; every
-    // range it consumes is *also* driven through `reader`, which performs
-    // the metered transfer, decryption and verification of the real
-    // ciphertext — `touch` decrypts into the reader's one reusable
-    // working buffer and copies nothing out, so the whole
-    // decode→verify→decrypt→evaluate loop allocates O(chunks), not
-    // O(blocks). A verification failure aborts the session.
-    let plain = &server.encoded.bytes;
-    let mut decoder = Decoder::new(plain, server.dict.len())?;
-    // One event buffer serves every readback and bulk delivery; decoded
-    // text borrows straight from `plain`, so serving a subtree costs no
-    // per-text-node allocation.
-    let mut events_buf: Vec<xsac_xml::Event<'_>> = Vec::new();
+    // The decoder pulls every record it visits out of the ciphertext
+    // through the reader: transfer, verification and decryption happen on
+    // demand, per record, and skipped subtrees are never fetched at all.
+    // No plaintext image of the document exists on either side. A
+    // verification failure aborts the session.
+    let source = SoeSource { reader, len: server.protected.plain_len };
+    let mut decoder = CursorDecoder::new(source, server.dict.len())?;
 
     let eval_config = EvalConfig {
         enable_skip_directives: config.strategy != Strategy::BruteForce,
@@ -247,21 +287,27 @@ pub fn run_session_shared<S: ChunkStore>(
     // Pending skipped subtrees: handle → saved decoder context.
     let mut handles = HandleTable::default();
 
-    // Header transfer.
-    reader.touch(0, 4)?;
-
     loop {
-        let before = decoder.position();
-        let node = decoder.next()?;
-        let consumed = decoder.position() - before;
-        if consumed > 0 {
-            reader.touch(before, consumed)?;
-        }
-        match node {
-            DecodedNode::End => break,
-            DecodedNode::Close(_) => {
+        // Phase 1: advance the decoder; consume borrowed payloads (text)
+        // immediately so the lending borrow can end.
+        let step = match decoder.next()? {
+            DecodedNode::End => Step::End,
+            DecodedNode::Close(_) => Step::Close,
+            DecodedNode::Text(t) => {
+                eval.text(t);
+                Step::Text
+            }
+            DecodedNode::Element { tag, .. } => Step::Element(tag),
+        };
+        // Phase 2: directive handling, free to navigate the decoder.
+        match step {
+            Step::End => break,
+            Step::Text => {
+                serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+            }
+            Step::Close => {
                 let directive = eval.close();
-                serve_readbacks(&mut eval, &mut reader, plain, &mut handles, &mut events_buf)?;
+                serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
                 if directive == Directive::SkipDeny || directive == Directive::SkipPending {
                     // Skip the rest of the parent element. A denied rest
                     // needs no readback context; a pending one registers
@@ -278,23 +324,13 @@ pub fn run_session_shared<S: ChunkStore>(
                             } else {
                                 eval.skip_close(None);
                             }
-                            serve_readbacks(
-                                &mut eval,
-                                &mut reader,
-                                plain,
-                                &mut handles,
-                                &mut events_buf,
-                            )?;
+                            serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
                             continue;
                         }
                     }
                 }
             }
-            DecodedNode::Text(t) => {
-                eval.text(t);
-                serve_readbacks(&mut eval, &mut reader, plain, &mut handles, &mut events_buf)?;
-            }
-            DecodedNode::Element { tag, .. } => {
+            Step::Element(tag) => {
                 let ctx = decoder.last_element_context();
                 let handle_id = handles.next;
                 let info = SkipInfo {
@@ -302,19 +338,13 @@ pub fn run_session_shared<S: ChunkStore>(
                     handle: ctx.as_ref().map(|_| SubtreeRef(handle_id)),
                 };
                 let directive = eval.open(tag, Some(&info));
-                serve_readbacks(&mut eval, &mut reader, plain, &mut handles, &mut events_buf)?;
+                serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
                 match directive {
                     Directive::Continue => {}
                     Directive::SkipDeny => {
                         decoder.skip_current();
                         eval.skip_close(None);
-                        serve_readbacks(
-                            &mut eval,
-                            &mut reader,
-                            plain,
-                            &mut handles,
-                            &mut events_buf,
-                        )?;
+                        serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
                     }
                     Directive::SkipPending => {
                         let ctx = ctx.expect("element context");
@@ -323,44 +353,42 @@ pub fn run_session_shared<S: ChunkStore>(
                         if !eval.skip_close(Some(SubtreeRef(handle))) {
                             handles.remove(handle);
                         }
-                        serve_readbacks(
-                            &mut eval,
-                            &mut reader,
-                            plain,
-                            &mut handles,
-                            &mut events_buf,
-                        )?;
+                        serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
                     }
                     Directive::Deliver => {
-                        // Bulk delivery: decode the subtree without rule
-                        // evaluation; bytes are still transferred and
-                        // deciphered.
-                        let ctx = ctx.expect("element context");
-                        let inner = DecoderContext {
-                            start: decoder.position(),
-                            end: ctx.end,
-                            tags: decoder.current_tags(),
-                            body_bound: (ctx.end - decoder.position()) as u64,
-                        };
-                        // Raw subtree contents (the root open was already
-                        // processed by the evaluator).
-                        let body_len = ctx.end - decoder.position();
-                        if body_len > 0 {
-                            reader.touch(decoder.position(), body_len)?;
-                            Decoder::decode_range_into(plain, &inner, &mut events_buf)?;
-                            for ev in &events_buf {
-                                eval.raw_event(ev);
+                        // Bulk delivery: stream the subtree's events
+                        // without rule evaluation — bytes are still
+                        // transferred and deciphered, record by record,
+                        // and the element's own close arrives from the
+                        // decoder (its open was already processed).
+                        let depth = decoder.depth();
+                        loop {
+                            let raw = match decoder.next()? {
+                                DecodedNode::End => Step::End,
+                                DecodedNode::Element { tag, .. } => Step::Element(tag),
+                                DecodedNode::Text(t) => {
+                                    eval.raw_event(&xsac_xml::Event::Text(t.into()));
+                                    Step::Text
+                                }
+                                DecodedNode::Close(t) => {
+                                    eval.raw_event(&xsac_xml::Event::Close(t));
+                                    Step::Close
+                                }
+                            };
+                            match raw {
+                                Step::End => break,
+                                Step::Text => {}
+                                Step::Element(tag) => {
+                                    eval.raw_event(&xsac_xml::Event::Open(tag));
+                                }
+                                Step::Close => {
+                                    if decoder.depth() < depth {
+                                        break;
+                                    }
+                                }
                             }
                         }
-                        eval.raw_event(&xsac_xml::Event::Close(tag));
-                        decoder.skip_current();
-                        serve_readbacks(
-                            &mut eval,
-                            &mut reader,
-                            plain,
-                            &mut handles,
-                            &mut events_buf,
-                        )?;
+                        serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
                     }
                 }
             }
@@ -368,7 +396,7 @@ pub fn run_session_shared<S: ChunkStore>(
     }
 
     let result = eval.finish();
-    let mut cost = reader.cost;
+    let mut cost = decoder.into_source().reader.cost;
     let evaluator_ops = (result.stats.token_ops + result.stats.events()) as u64;
     let result_bytes: usize = result
         .log
@@ -399,15 +427,15 @@ pub fn run_session_shared<S: ChunkStore>(
 /// Serves the evaluator's readback requests: transfers + verifies +
 /// decodes the saved byte ranges ("pending elements or subtrees are read
 /// back from the terminal", §5 — never re-analyzed, just delivered).
-/// `events_buf` is the session's reusable decode buffer. Served contexts
-/// are dropped from the handle table, as are the contexts of subtrees
-/// whose condition resolved false — the table stays O(pending).
-fn serve_readbacks<'p, S: ChunkStore>(
+/// Each readback fetches exactly its saved range through the decoder's
+/// source (metered and verified like any other access) and decodes it in
+/// place — the document never needs a resident plaintext image. Served
+/// contexts are dropped from the handle table, as are the contexts of
+/// subtrees whose condition resolved false — the table stays O(pending).
+fn serve_readbacks<S: ChunkStore>(
     eval: &mut Evaluator,
-    reader: &mut SoeReader<'_, S>,
-    plain: &'p [u8],
+    decoder: &mut CursorDecoder<SoeSource<'_, S>>,
     handles: &mut HandleTable,
-    events_buf: &mut Vec<xsac_xml::Event<'p>>,
 ) -> Result<(), SessionError> {
     loop {
         for released in eval.take_released_handles() {
@@ -418,10 +446,14 @@ fn serve_readbacks<'p, S: ChunkStore>(
             return Ok(());
         }
         for req in reqs {
-            let ctx = handles.map.get(&req.subtree.0).expect("readback handle");
-            reader.touch(ctx.start, ctx.end - ctx.start)?;
-            Decoder::decode_range_into(plain, ctx, events_buf)?;
-            eval.readback_events(req.entry, events_buf);
+            let ctx = handles.map.get(&req.subtree.0).expect("readback handle").clone();
+            let data = decoder.read_range(&ctx)?;
+            // The events borrow the decoder's range buffer, so the vector
+            // is per-readback local; its length is O(delivered events),
+            // and only actually-delivered subtrees pay it.
+            let mut events: Vec<xsac_xml::Event<'_>> = Vec::new();
+            Decoder::decode_range_at(data, ctx.start, &ctx, &mut events)?;
+            eval.readback_events(req.entry, &events);
             handles.remove(req.subtree.0);
         }
     }

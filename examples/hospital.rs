@@ -21,7 +21,7 @@ fn main() {
     println!(
         "published: {} folders, {} encoded bytes, {} stored bytes (with digests)\n",
         12,
-        server.encoded.bytes.len(),
+        server.protected.plain_len,
         server.stored_len()
     );
 

@@ -22,7 +22,7 @@ fn main() {
     let key = TripleDes::new(*b"pipeline-demo-24-byte-k!");
     let server = ServerDoc::prepare(&doc, &key, IntegrityScheme::EcbMht, ChunkLayout::default());
     println!("[publisher] raw XML:        {:>9} bytes", raw.len());
-    println!("[publisher] skip-indexed:   {:>9} bytes (TCSBR)", server.encoded.bytes.len());
+    println!("[publisher] skip-indexed:   {:>9} bytes (TCSBR)", server.protected.plain_len);
     println!(
         "[publisher] on terminal:    {:>9} bytes (encrypted + digests)\n",
         server.stored_len()

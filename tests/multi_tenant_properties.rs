@@ -209,6 +209,86 @@ proptest! {
         fx.handle.shutdown().unwrap();
     }
 
+    /// The compact `GetMeta` decode is total and typed over hostile
+    /// payloads: announced lengths, geometry and digest table must agree
+    /// exactly as honest preparation produces them, or the decode is a
+    /// typed `WireError` — never a panic, never an inconsistent
+    /// `DocMeta` handed to the session layer. And a client that just
+    /// refused a hostile meta has poisoned nothing: the same server
+    /// still answers an honest handshake on a fresh socket.
+    #[test]
+    fn hostile_meta_decode_is_total_and_typed(
+        tenant in 0usize..2,
+        ct_delta in 1usize..64,
+        flip_at in any::<u16>(),
+        flip_bit in 0u8..8,
+        cut in any::<u16>(),
+    ) {
+        use xsac::net::meta::{decode_meta, encode_meta};
+        use xsac::net::WireError;
+        let fx = fixture();
+        let good_bytes = &fx.meta_bytes[tenant];
+        let good = decode_meta(good_bytes).expect("honest meta decodes");
+
+        // Ciphertext length that is not the block-padded plaintext
+        // length (any nonzero delta breaks the padding equation).
+        let mut evil = good.clone();
+        evil.ciphertext_len += ct_delta;
+        prop_assert!(
+            matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))),
+            "inconsistent ciphertext length must be refused"
+        );
+
+        // Digest table disagreeing with the announced geometry — too
+        // short, too long, and (for the digestless scheme) non-empty.
+        let mut evil = good.clone();
+        if evil.digests.pop().is_none() {
+            evil.digests.push([0u8; xsac::crypto::chunk::DIGEST_RECORD]);
+        }
+        prop_assert!(
+            matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))),
+            "digest table disagreeing with geometry must be refused"
+        );
+
+        // Geometry scramble on the tamper-resistant tenant: a different
+        // (even self-consistent) chunk size makes the digest table the
+        // wrong length for the announced ciphertext.
+        let mut evil = decode_meta(&fx.meta_bytes[0]).expect("honest meta decodes");
+        evil.layout.chunk_size *= 2;
+        prop_assert!(
+            matches!(decode_meta(&encode_meta(&evil)), Err(WireError::Malformed(_))),
+            "geometry disagreeing with the digest table must be refused"
+        );
+
+        // Any truncation is a typed error, and any single bit flip is
+        // *total*: it decodes or errors, but never panics and never
+        // yields a meta whose geometry disagrees with itself.
+        let cut = (cut as usize) % good_bytes.len();
+        prop_assert!(decode_meta(&good_bytes[..cut]).is_err());
+        let mut flipped = good_bytes.clone();
+        let at = (flip_at as usize) % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        if let Ok(meta) = decode_meta(&flipped) {
+            prop_assert_eq!(meta.ciphertext_len, meta.plain_len.div_ceil(8) * 8);
+        }
+
+        // The server that served the honest bytes is untouched by any of
+        // this: a fresh handshake still round-trips byte-identically.
+        let mut sock = raw_socket(&fx);
+        match call(&mut sock, &Request::Hello {
+            version: PROTOCOL_VERSION,
+            doc_id: TENANT_IDS[tenant].to_string(),
+        }) {
+            Response::Hello(_) => {}
+            other => return Err(TestCaseError::fail(format!("Hello failed: {other:?}"))),
+        }
+        match call(&mut sock, &Request::GetMeta) {
+            Response::Meta(bytes) => prop_assert_eq!(&bytes, good_bytes),
+            other => return Err(TestCaseError::fail(format!("GetMeta failed: {other:?}"))),
+        }
+        fx.handle.shutdown().unwrap();
+    }
+
     /// Cross-tenant isolation, pinned by SHA-1: over a random schedule
     /// of interleaved re-Hellos and chunk reads on one connection, every
     /// delivered chunk hashes to the owning tenant's expected ciphertext

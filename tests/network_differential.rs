@@ -100,6 +100,55 @@ fn remote_sessions_equal_in_memory_sessions_and_oracle() {
 }
 
 #[test]
+fn document_larger_than_frame_guard_serves_with_o_layout_meta() {
+    // The wire acceptance bar for the streamed skip-index: a document
+    // whose *encoded plaintext* exceeds the 64 KiB frame guard still
+    // protects, connects and serves byte-identical Figure-10 views —
+    // because no frame in either direction ever carries the document
+    // whole. `GetMeta` is O(layout) (dictionary + geometry + digest
+    // table), and ciphertext moves in bounded chunk batches. The client
+    // is configured to *reject* any frame over the guard, so an
+    // O(plaintext) meta would fail the handshake loudly.
+    use xsac::net::wire::DEFAULT_SERVER_MAX_FRAME;
+    let doc = hospital_document(&HospitalConfig { folders: 40, ..Default::default() }, 11);
+    let layout = ChunkLayout::default();
+    let mem = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, layout);
+    assert!(
+        mem.protected.plain_len > DEFAULT_SERVER_MAX_FRAME,
+        "test document must exceed the frame guard: {} encoded bytes",
+        mem.protected.plain_len
+    );
+    let meta_wire = xsac::net::meta::encode_meta(&mem.meta()).len();
+    assert!(
+        meta_wire < DEFAULT_SERVER_MAX_FRAME,
+        "GetMeta payload must stay under the frame guard: {meta_wire} bytes"
+    );
+    let served = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, layout);
+    let handle = ChunkServer::new(served, "big").spawn("127.0.0.1:0").expect("spawn");
+    let remote = connect(
+        handle.addr(),
+        "big",
+        ClientConfig { max_frame: DEFAULT_SERVER_MAX_FRAME, ..ClientConfig::default() },
+    )
+    .expect("a document bigger than the frame guard must still connect");
+    let frequent = physician_name(0);
+    let rare = physician_name(HospitalConfig::default().physicians - 1);
+    for view in View::ALL {
+        let mut dict = mem.dict.clone();
+        let policy = view.policy(&mut dict, &frequent, &rare);
+        let config = SessionConfig::default();
+        let a = run_session(&mem, &key(), &policy, None, &config).expect("mem session");
+        let b = run_session(&remote, &key(), &policy, None, &config).expect("remote session");
+        assert_eq!(a.log, b.log, "{}: delivery log diverged over the wire", view.name());
+        assert_eq!(a.cost, b.cost, "{}: AccessCost diverged over the wire", view.name());
+        let expected = oracle_view_string(&doc, &policy);
+        let got = reassemble_to_string(&dict, &b.log);
+        assert_eq!(got, expected, "{}: remote view diverged from oracle", view.name());
+    }
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
 fn server_gone_mid_session_is_typed_store_error() {
     let doc = hospital();
     let mem = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, tiny_layout());

@@ -91,6 +91,44 @@ fn concurrent_file_backed_sessions_stay_within_window_budget() {
 }
 
 #[test]
+fn one_pass_protection_never_holds_o_document() {
+    // The publisher side of the memory contract: protecting a document
+    // ≥ 8× the serving window streams parse → encode → encrypt → disk,
+    // holding only the bit-sink flush buffer plus one chunk under
+    // assembly — never the encoded plaintext or the ciphertext whole.
+    const WINDOW: usize = 8 * 1024;
+    let doc = big_hospital();
+    let layout = ChunkLayout::default();
+    let tmp = TempPath::new("one-pass-protect");
+    let (prepared, stats) = ServerDoc::prepare_to_store_with_stats(
+        &doc,
+        &key(),
+        IntegrityScheme::EcbMht,
+        layout,
+        tmp.path(),
+        WINDOW,
+    )
+    .expect("prepare to store");
+    assert_eq!(stats.encoded_len, prepared.protected.plain_len);
+    assert!(
+        stats.encoded_len >= 8 * WINDOW,
+        "test document ({} B encoded) must be ≥ 8× the window ({WINDOW} B)",
+        stats.encoded_len
+    );
+    assert!(
+        stats.peak_buffered <= layout.chunk_size + 2048,
+        "protection pipeline must buffer O(chunk), not O(document): \
+         peak {} for {} encoded bytes",
+        stats.peak_buffered,
+        stats.encoded_len
+    );
+    // And the streamed ciphertext is the one the in-memory path produces.
+    let mem = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, layout);
+    assert_eq!(prepared.protected.digests, mem.protected.digests);
+    assert_eq!(std::fs::read(tmp.path()).unwrap(), mem.protected.ciphertext());
+}
+
+#[test]
 fn storage_fault_mid_session_aborts_with_typed_error() {
     // An I/O fault after the session is underway surfaces as
     // `SessionError::Store`, not a panic and not a truncated view.
@@ -98,7 +136,7 @@ fn storage_fault_mid_session_aborts_with_typed_error() {
     let mem = ServerDoc::prepare(&doc, &key(), IntegrityScheme::EcbMht, ChunkLayout::default());
     let faulty = ServerDoc {
         dict: mem.dict.clone(),
-        encoded: mem.encoded.clone(),
+        encoding: mem.encoding,
         protected: mem.protected.clone().map_store(FaultStore::new),
     };
     let mut dict = faulty.dict.clone();
