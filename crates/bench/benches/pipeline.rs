@@ -2,6 +2,8 @@
 //! evaluate) — the wall-clock counterpart of Figure 12.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 use xsac_bench::{demo_key, prepare};
 use xsac_crypto::IntegrityScheme;
 use xsac_datagen::{hospital::physician_name, Dataset, Profile};
@@ -38,5 +40,57 @@ fn bench_pipeline(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Prices the span clock itself: the ECB-MHT Doctor pipeline row with
+/// telemetry on (every phase transition reads the monotonic clock)
+/// against the same row with the runtime switch off (`Tick::now` is a
+/// relaxed load and a branch). Beyond the two report rows, an
+/// interleaved min-of-K A/B *asserts* the instrumentation costs < 2% —
+/// the tentpole's zero-allocation-span-clock budget, kept honest by the
+/// bench run itself.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let doc = Dataset::Hospital.generate(0.03, 42);
+    let bytes = xsac_xml::writer::document_to_string(&doc).len() as u64;
+    let key = demo_key();
+    let server = prepare(&doc, IntegrityScheme::EcbMht);
+    let mut dict = server.dict.clone();
+    let policy = Profile::Doctor.policy(&physician_name(0), &mut dict);
+    let config = SessionConfig { strategy: Strategy::Tcsbr, cost: CostModel::smartcard() };
+    let session =
+        || run_session(&server, &key, &policy, None, &config).expect("session").result_bytes;
+
+    let mut group = c.benchmark_group("pipeline/telemetry");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    for (label, on) in [("Doctor-mht/instrumented", true), ("Doctor-mht/off", false)] {
+        xsac_obs::set_enabled(on);
+        group.bench_function(label, |b| b.iter(session));
+    }
+    group.finish();
+
+    // Interleaved min-of-K: alternating on/off inside each round cancels
+    // drift (thermal, scheduler), and the per-mode minimum estimates the
+    // noise-free cost. K × 3 sessions per mode keeps this under a second.
+    const ROUNDS: usize = 9;
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..ROUNDS {
+        for (slot, on) in [(0usize, true), (1, false)] {
+            xsac_obs::set_enabled(on);
+            let t = Instant::now();
+            for _ in 0..3 {
+                black_box(session());
+            }
+            best[slot] = best[slot].min(t.elapsed().as_secs_f64());
+        }
+    }
+    xsac_obs::set_enabled(true);
+    let overhead = (best[0] - best[1]) / best[1];
+    println!("telemetry overhead (Doctor, ECB-MHT): {:+.2}%", overhead * 100.0);
+    assert!(
+        overhead < 0.02,
+        "span clock costs {:.2}% on the ECB-MHT Doctor row — the <2% telemetry budget is blown",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(benches, bench_pipeline, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -48,6 +48,12 @@ struct Row {
     docs: usize,
     connections: usize,
     ns_per_session: f64,
+    /// Wire-level round-trip latency percentiles from the telemetry
+    /// histograms (client-side `GetChunks` for single-doc rows,
+    /// server-side per-request for multi-tenant rows); `None` for local
+    /// rows, which never touch a socket.
+    p50_ns: Option<u64>,
+    p99_ns: Option<u64>,
 }
 
 fn specs_for(dict: &xsac_xml::TagDict, profile: Profile) -> Vec<SessionSpec> {
@@ -94,6 +100,8 @@ fn main() {
             docs: 0,
             connections: 0,
             ns_per_session: time_batch(&mem_server, &specs),
+            p50_ns: None,
+            p99_ns: None,
         });
         for window_bytes in WINDOWS {
             for batch_chunks in BATCHES {
@@ -104,6 +112,8 @@ fn main() {
                 )
                 .expect("connect");
                 let remote_server = DocServer::new(remote, demo_key());
+                let ns_per_session = time_batch(&remote_server, &specs);
+                let latency = remote_server.doc().protected.store.stats().latency;
                 rows.push(Row {
                     profile: profile.name(),
                     backend: format!("remote/b{batch_chunks}/w{}k", window_bytes / 1024),
@@ -111,7 +121,9 @@ fn main() {
                     window_bytes,
                     docs: 0,
                     connections: 0,
-                    ns_per_session: time_batch(&remote_server, &specs),
+                    ns_per_session,
+                    p50_ns: Some(latency.p50()),
+                    p99_ns: Some(latency.p99()),
                 });
             }
         }
@@ -172,10 +184,12 @@ fn main() {
     body.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
+        let opt = |v: Option<u64>| v.map_or("null".to_owned(), |n| n.to_string());
         body.push_str(&format!(
             "    {{\"group\": \"net/ECB-MHT\", \"name\": \"{}/{}\", \"backend\": \"{}\", \
              \"batch_chunks\": {}, \"window_bytes\": {}, \"docs\": {}, \"connections\": {}, \
-             \"ns_per_iter\": {:.1}, \"sessions_per_sec\": {:.1}}}{}\n",
+             \"ns_per_iter\": {:.1}, \"sessions_per_sec\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
             r.profile,
             r.backend,
             r.backend,
@@ -185,6 +199,8 @@ fn main() {
             r.connections,
             r.ns_per_session,
             1e9 / r.ns_per_session,
+            opt(r.p50_ns),
+            opt(r.p99_ns),
             sep
         ));
     }
@@ -274,6 +290,8 @@ fn multi_tenant_rows(doc: &xsac_xml::Document, rows: &mut Vec<Row>) {
             docs: n_docs,
             connections: n_conns,
             ns_per_session: best,
+            p50_ns: Some(snap.registry.request_latency.p50()),
+            p99_ns: Some(snap.registry.request_latency.p99()),
         });
         handle.shutdown().expect("shutdown multi server");
     }
@@ -322,6 +340,8 @@ fn degraded_rows(
         )
         .expect("connect degraded");
         let remote_server = DocServer::new(remote, demo_key());
+        let ns_per_session = time_batch(&remote_server, &specs);
+        let stats = remote_server.doc().protected.store.stats();
         rows.push(Row {
             profile: profile.name(),
             backend: format!("degraded/d{DELAY_US}us/drop{DROP_EVERY}"),
@@ -329,9 +349,10 @@ fn degraded_rows(
             window_bytes: 32 * 1024,
             docs: 0,
             connections: 0,
-            ns_per_session: time_batch(&remote_server, &specs),
+            ns_per_session,
+            p50_ns: Some(stats.latency.p50()),
+            p99_ns: Some(stats.latency.p99()),
         });
-        let stats = remote_server.doc().protected.store.stats();
         println!(
             "{:<12} degraded meters: reconnects={} retried_chunks={} backoff_ms={}",
             profile.name(),

@@ -22,6 +22,7 @@ use crate::sha1::{sha1, Digest};
 use crate::store::{ChunkStore, FileStore, MemStore};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use xsac_obs::{Phase, PhaseProfile, Tick};
 
 /// Geometry of the protected document.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +113,11 @@ pub struct ChunkProtector<'k, E, F: FnMut(&[u8]) -> Result<(), E>> {
     plain_len: usize,
     digests: Vec<[u8; DIGEST_RECORD]>,
     emit: F,
+    /// Wall time per protect phase: cipher work charged to
+    /// [`Phase::Decrypt`] (the block cipher works both directions),
+    /// digest work to [`Phase::Hash`], the emit sink to [`Phase::Io`].
+    /// Telemetry only — never part of the byte-exact outputs.
+    phases: PhaseProfile,
 }
 
 impl<'k, E, F: FnMut(&[u8]) -> Result<(), E>> ChunkProtector<'k, E, F> {
@@ -134,6 +140,7 @@ impl<'k, E, F: FnMut(&[u8]) -> Result<(), E>> ChunkProtector<'k, E, F> {
             plain_len: 0,
             digests: Vec::new(),
             emit,
+            phases: PhaseProfile::new(),
         }
     }
 
@@ -162,8 +169,11 @@ impl<'k, E, F: FnMut(&[u8]) -> Result<(), E>> ChunkProtector<'k, E, F> {
         let ci = self.ci;
         let start = ci * self.layout.chunk_size;
         // Plaintext digest must be taken before the in-place pass.
+        let t = Tick::now();
         let plain_digest =
             if self.scheme == IntegrityScheme::CbcSha { Some(sha1(&self.buf)) } else { None };
+        self.phases.record(Phase::Hash, t);
+        let t = Tick::now();
         match self.scheme {
             IntegrityScheme::Ecb | IntegrityScheme::EcbMht => {
                 posxor_encrypt_in_place(self.key, &mut self.buf, (start / BLOCK) as u64);
@@ -174,6 +184,8 @@ impl<'k, E, F: FnMut(&[u8]) -> Result<(), E>> ChunkProtector<'k, E, F> {
                 cbc_encrypt_in_place(self.key, &mut self.buf, iv_for(ci));
             }
         }
+        self.phases.record(Phase::Decrypt, t);
+        let t = Tick::now();
         let digest = match self.scheme {
             IntegrityScheme::Ecb => None,
             IntegrityScheme::CbcSha => plain_digest,
@@ -182,10 +194,15 @@ impl<'k, E, F: FnMut(&[u8]) -> Result<(), E>> ChunkProtector<'k, E, F> {
                 Some(merkle_root(&fragment_hashes(&self.buf, self.layout.fragment_size)))
             }
         };
+        self.phases.record(Phase::Hash, t);
         if let Some(d) = digest {
+            let t = Tick::now();
             self.digests.push(encrypt_digest(self.key, ci, &d));
+            self.phases.record(Phase::Decrypt, t);
         }
+        let t = Tick::now();
         (self.emit)(&self.buf)?;
+        self.phases.record(Phase::Io, t);
         self.buf.clear();
         self.ci += 1;
         Ok(())
@@ -199,11 +216,21 @@ impl<'k, E, F: FnMut(&[u8]) -> Result<(), E>> ChunkProtector<'k, E, F> {
 
     /// Seals the final partial chunk (block-padded) and returns the
     /// digest table and the total plaintext length pushed.
-    pub fn finish(mut self) -> Result<(Vec<[u8; DIGEST_RECORD]>, usize), E> {
+    pub fn finish(self) -> Result<(Vec<[u8; DIGEST_RECORD]>, usize), E> {
+        let (digests, plain_len, _) = self.finish_with_phases()?;
+        Ok((digests, plain_len))
+    }
+
+    /// Like [`ChunkProtector::finish`], also returning the per-phase wall
+    /// time the pipeline accumulated (cipher/digest/emit splits) — the
+    /// protect-side telemetry consumed by `PrepareStats`.
+    pub fn finish_with_phases(
+        mut self,
+    ) -> Result<(Vec<[u8; DIGEST_RECORD]>, usize, PhaseProfile), E> {
         if !self.buf.is_empty() {
             self.seal()?;
         }
-        Ok((self.digests, self.plain_len))
+        Ok((self.digests, self.plain_len, self.phases))
     }
 }
 

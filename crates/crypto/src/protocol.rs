@@ -42,6 +42,7 @@ use crate::sha1::{sha1, Digest};
 use crate::store::{ChunkStore, MemStore, StoreError};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use xsac_obs::{Phase, PhaseProfile, SpanClock, Tick};
 
 /// Integrity scheme selector (Figure 11).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -301,6 +302,13 @@ pub struct SoeReader<'a, S: ChunkStore = MemStore> {
     held_start: usize,
     /// Accumulated costs.
     pub cost: AccessCost,
+    /// Wall time per pipeline phase: staging charged to
+    /// [`Phase::Fetch`], cipher work to [`Phase::Decrypt`], digest work
+    /// to [`Phase::Hash`] (terminal leaf hashing included — it runs on
+    /// the same host here). Telemetry only: kept *outside* [`AccessCost`]
+    /// because the differential harnesses compare costs exactly and
+    /// timings are nondeterministic.
+    pub phases: PhaseProfile,
 }
 
 impl<'a, S: ChunkStore> SoeReader<'a, S> {
@@ -320,6 +328,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
             held: Vec::new(),
             held_start: usize::MAX,
             cost: AccessCost::default(),
+            phases: PhaseProfile::new(),
         }
     }
 
@@ -457,6 +466,10 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
     /// copied from directly (the zero-copy fast path of PR 1); out-of-
     /// core stores go through a bounded `read_at`. The caller
     /// (`consume`) discards the buffer on any failure.
+    /// Unmetered: every caller is a `fetch_unit` arm whose chained span
+    /// clock is already in its Fetch lap (one clock read per phase
+    /// transition for the whole unit — per-operation brackets here would
+    /// double the clock traffic on 128-byte fragments).
     fn stage(&mut self, lo: usize, hi: usize) -> Result<(), ReadError> {
         self.cache.clear();
         self.cache_start = lo;
@@ -533,15 +546,19 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 // fetches one such unit per chunk.
                 let f_lo = pos / BLOCK * BLOCK;
                 let f_hi = (req_end.div_ceil(BLOCK) * BLOCK).min(chunk_range.end);
+                let mut lap = SpanClock::start(Phase::Fetch);
                 self.stage(f_lo, f_hi)?;
                 self.cost.bytes_to_soe += (f_hi - f_lo) as u64;
                 self.cost.bytes_decrypted += (f_hi - f_lo) as u64;
                 self.note_unit_fetched(f_lo, f_hi);
+                lap.switch(&mut self.phases, Phase::Decrypt);
                 posxor_decrypt_in_place(self.key, &mut self.cache, (f_lo / BLOCK) as u64);
+                lap.stop(&mut self.phases);
             }
             IntegrityScheme::CbcSha => {
                 // Unit: the whole chunk — the digest is over plaintext, so
                 // everything must be transferred, deciphered and hashed.
+                let mut lap = SpanClock::start(Phase::Fetch);
                 self.stage(chunk_range.start, chunk_range.end)?;
                 let chunk_len = chunk_range.len();
                 self.cost.bytes_to_soe += (chunk_len + DIGEST_RECORD) as u64;
@@ -549,15 +566,20 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 self.cost.bytes_hashed += chunk_len as u64;
                 self.cost.digests_decrypted += 1;
                 self.note_unit_fetched(chunk_range.start, chunk_range.end);
+                lap.switch(&mut self.phases, Phase::Decrypt);
                 cbc_decrypt_in_place(self.key, &mut self.cache, crate::chunk::chunk_iv(ci));
                 let expect = decrypt_digest(self.key, ci, self.digest_record(ci)?);
-                if sha1(&self.cache) != expect {
+                lap.switch(&mut self.phases, Phase::Hash);
+                let got = sha1(&self.cache);
+                lap.stop(&mut self.phases);
+                if got != expect {
                     return Err(IntegrityError { chunk: ci }.into());
                 }
             }
             IntegrityScheme::CbcShac => {
                 // Unit: the whole chunk, hashed as ciphertext (no
                 // decryption needed to verify), then deciphered.
+                let mut lap = SpanClock::start(Phase::Fetch);
                 self.stage(chunk_range.start, chunk_range.end)?;
                 let chunk_len = chunk_range.len();
                 self.cost.bytes_to_soe += (chunk_len + DIGEST_RECORD) as u64;
@@ -565,14 +587,19 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 self.cost.digests_decrypted += 1;
                 self.cost.bytes_decrypted += DIGEST_RECORD as u64;
                 self.note_unit_fetched(chunk_range.start, chunk_range.end);
+                lap.switch(&mut self.phases, Phase::Decrypt);
                 let expect = decrypt_digest(self.key, ci, self.digest_record(ci)?);
-                if sha1(&self.cache) != expect {
+                lap.switch(&mut self.phases, Phase::Hash);
+                let got = sha1(&self.cache);
+                if got != expect {
                     return Err(IntegrityError { chunk: ci }.into());
                 }
                 // CBC chaining allows decrypting just the needed blocks;
                 // decryption is charged per byte served (see `read`). The
                 // working buffer holds the verified chunk.
+                lap.switch(&mut self.phases, Phase::Decrypt);
                 cbc_decrypt_in_place(self.key, &mut self.cache, crate::chunk::chunk_iv(ci));
+                lap.stop(&mut self.phases);
             }
             IntegrityScheme::EcbMht => {
                 // Unit: one fragment + its Merkle proof; per-fragment
@@ -593,6 +620,11 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                     }
                 };
                 let leaves = self.chunk_leaves(&cache, ci, chunk_range.clone())?;
+                // One chained lap for the whole unit (Fetch → Hash →
+                // Decrypt): fragments are 128 bytes, so per-operation
+                // clock brackets here would cost more than the work they
+                // time — the A/B bench holds the whole span clock to <2%.
+                let mut lap = SpanClock::start(Phase::Fetch);
                 // Stage the fragment ciphertext into the working buffer.
                 // When the scratch buffer holds this chunk (the cold
                 // out-of-core leaf computation just read it), the
@@ -610,6 +642,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 self.cost.bytes_to_soe += (f_hi - f_lo) as u64;
                 self.note_unit_fetched(f_lo, f_hi);
                 let f_idx = (f_lo - chunk_range.start) / layout.fragment_size;
+                lap.switch(&mut self.phases, Phase::Hash);
                 let proof = range_proof(leaves, f_idx..f_idx + 1);
                 self.cost.bytes_to_soe += (proof.len() * 20) as u64;
                 // SOE: hash the fragment, recombine, compare to digest.
@@ -617,6 +650,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 let own = [sha1(&self.cache)];
                 let n_leaves = leaves.len();
                 let root = root_from_range(n_leaves, f_idx..f_idx + 1, &own, &proof);
+                lap.switch(&mut self.phases, Phase::Decrypt);
                 let expect = match self.digest_cache {
                     Some((c, d)) if c == ci => d,
                     _ => {
@@ -634,6 +668,7 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
                 // Decryption charged per byte served (position-XOR ECB
                 // deciphers any block independently).
                 posxor_decrypt_in_place(self.key, &mut self.cache, (f_lo / BLOCK) as u64);
+                lap.stop(&mut self.phases);
             }
         }
         Ok(())
@@ -650,28 +685,41 @@ impl<'a, S: ChunkStore> SoeReader<'a, S> {
         chunk_range: std::ops::Range<usize>,
     ) -> Result<&'c [Digest], ReadError> {
         let fragment_size = self.doc.layout.fragment_size;
-        if let Some(all) = self.doc.store.as_slice() {
-            let cost = &mut self.cost;
-            return Ok(cache.get_or_compute(ci, &all[chunk_range], fragment_size, |n| {
-                cost.terminal_bytes_hashed += n
-            }));
-        }
+        // Warm lookups (every fragment fetch after the chunk's first)
+        // must not touch the clock: this runs once per 128-byte unit.
         if let Some(leaves) = cache.get(ci) {
             return Ok(leaves);
+        }
+        if let Some(all) = self.doc.store.as_slice() {
+            let cost = &mut self.cost;
+            let phases = &mut self.phases;
+            let t = Tick::now();
+            // The charge closure runs only when this call computed the
+            // leaves (first toucher), so a racing session that lost the
+            // compute records nothing.
+            return Ok(cache.get_or_compute(ci, &all[chunk_range], fragment_size, |n| {
+                cost.terminal_bytes_hashed += n;
+                phases.record(Phase::Hash, t);
+            }));
         }
         // Cold chunk over an out-of-core store: stage its ciphertext in
         // the scratch buffer to hash the leaves. Two racing sessions may
         // both stage, but only the one whose init closure runs is charged
         // (first toucher pays), exactly as on the in-memory path.
+        let t = Tick::now();
         self.scratch_chunk = None;
         self.chunk_scratch.clear();
         self.chunk_scratch.resize(chunk_range.len(), 0);
         self.doc.store.read_at(chunk_range.start, &mut self.chunk_scratch)?;
         self.scratch_chunk = Some(ci);
         self.note_residency();
+        self.phases.record(Phase::Fetch, t);
         let cost = &mut self.cost;
+        let phases = &mut self.phases;
+        let t = Tick::now();
         Ok(cache.get_or_compute(ci, &self.chunk_scratch, fragment_size, |n| {
-            cost.terminal_bytes_hashed += n
+            cost.terminal_bytes_hashed += n;
+            phases.record(Phase::Hash, t);
         }))
     }
 

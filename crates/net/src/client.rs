@@ -49,9 +49,10 @@
 //!   dying server aborts as `SessionError::Store`, exactly like a
 //!   session over a dying disk, with nothing partially delivered.
 
+use crate::server::ServiceSnapshot;
 use crate::wire::{
-    self, ChunkSpan, Fault, HelloInfo, Request, Response, WireError, DEFAULT_CLIENT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    self, AdminDocEntry, AdminOp, AdminReply, ChunkSpan, Fault, HelloInfo, Request, Response,
+    WireError, DEFAULT_CLIENT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use std::fmt;
 use std::io;
@@ -61,6 +62,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 use xsac_crypto::sha1::sha1;
 use xsac_crypto::store::{ChunkStore, ChunkWindow, ResidencyMeter, StoreError};
+use xsac_obs::{AtomicHistogram, Histogram, PhaseProfile, Tick};
 use xsac_soe::ServerDoc;
 
 /// Bounded-retry policy for transient transport failures, with
@@ -225,6 +227,10 @@ pub struct RemoteStats {
     pub retried_chunks: u64,
     /// Total milliseconds slept in retry backoff.
     pub backoff_ms: u64,
+    /// Wall time of each successful `GetChunks` round trip,
+    /// log-bucketed nanoseconds (`p50()`/`p99()` are the percentile
+    /// fields the network benchmarks stamp into their JSON rows).
+    pub latency: Histogram,
 }
 
 /// A [`ChunkStore`] whose ciphertext lives on a remote
@@ -257,6 +263,7 @@ pub struct RemoteStore {
     reconnects: AtomicU64,
     retried_chunks: AtomicU64,
     backoff_nanos: AtomicU64,
+    latency: AtomicHistogram,
 }
 
 impl RemoteStore {
@@ -275,6 +282,37 @@ impl RemoteStore {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             retried_chunks: self.retried_chunks.load(Ordering::Relaxed),
             backoff_ms: self.backoff_nanos.load(Ordering::Relaxed) / 1_000_000,
+            latency: self.latency.snapshot(),
+        }
+    }
+
+    /// Pushes a session's phase profile to the server, which merges it
+    /// into the bound document's metrics (the `Report` frame) — how
+    /// client-side decrypt/verify/evaluate time reaches the service's
+    /// `Stats` roll-up. Best-effort telemetry: one reconnect attempt,
+    /// no retry loop.
+    pub fn report_profile(&self, profile: &PhaseProfile) -> Result<(), StoreError> {
+        let mut state = self.state.lock().expect("remote connection state");
+        if state.conn.is_none() {
+            self.reconnect_locked(&mut state)?;
+        }
+        let req = Request::Report { phases: *profile };
+        let res = state.conn.as_mut().expect("live connection").call(&req, self.max_frame);
+        match res {
+            Ok(Response::Report) => Ok(()),
+            Ok(Response::Err(fault)) => Err(fault.into_store_error(0)),
+            Ok(_) => {
+                state.conn = None;
+                Err(StoreError::Io {
+                    offset: 0,
+                    kind: io::ErrorKind::Other,
+                    msg: "server answered Report with a different message".to_owned(),
+                })
+            }
+            Err(e) => {
+                state.conn = None;
+                Err(wire_to_store(e, 0))
+            }
         }
     }
 
@@ -419,8 +457,10 @@ impl RemoteStore {
                 }
             }
             let conn = state.conn.as_mut().expect("live connection");
+            let t = Tick::now();
             let e: StoreError = match conn.call(&req, self.max_frame) {
                 Ok(Response::Chunks(chunks)) => {
+                    self.latency.record(t.elapsed_nanos());
                     match self.validate_chunks(need_ci, want, chunks, offset) {
                         Ok(out) => {
                             self.round_trips.fetch_add(1, Ordering::Relaxed);
@@ -619,8 +659,67 @@ pub fn connect(
         reconnects: AtomicU64::new(0),
         retried_chunks: AtomicU64::new(0),
         backoff_nanos: AtomicU64::new(0),
+        latency: AtomicHistogram::new(),
     };
     Ok(ServerDoc::from_meta(meta, store))
+}
+
+/// Dials the server and performs exactly one request/response exchange
+/// with no `Hello` — the shape of the read-only `Stats` and the gated
+/// `Admin` frames, neither of which binds a document.
+fn one_shot(
+    addr: impl ToSocketAddrs,
+    config: &ClientConfig,
+    req: &Request,
+) -> Result<Response, ConnectError> {
+    let targets: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    let stream = dial(&targets, config.dial_timeout, config.io_timeout)?;
+    let mut conn = Conn { stream, buf: Vec::new() };
+    match conn.call(req, config.max_frame)? {
+        Response::Err(fault) => Err(ConnectError::Rejected(fault)),
+        resp => Ok(resp),
+    }
+}
+
+/// Fetches the service-wide telemetry snapshot over the wire: one
+/// `Stats` round trip, decoded by [`crate::stats::decode_snapshot`].
+/// Needs no `Hello` — `Stats` is read-only and always answered.
+pub fn fetch_stats(
+    addr: impl ToSocketAddrs,
+    config: &ClientConfig,
+) -> Result<ServiceSnapshot, ConnectError> {
+    match one_shot(addr, config, &Request::Stats)? {
+        Response::Stats(bytes) => Ok(crate::stats::decode_snapshot(&bytes)?),
+        _ => Err(ConnectError::Wire(WireError::Unexpected("non-Stats reply to Stats"))),
+    }
+}
+
+/// Lists the documents the service is routing (`Admin(ListDocs)`).
+/// Rejected with [`Fault::AdminDisabled`] unless the server was started
+/// with [`ServerConfig::admin`](crate::server::ServerConfig::admin).
+pub fn admin_list_docs(
+    addr: impl ToSocketAddrs,
+    config: &ClientConfig,
+) -> Result<Vec<AdminDocEntry>, ConnectError> {
+    match one_shot(addr, config, &Request::Admin(AdminOp::ListDocs))? {
+        Response::Admin(AdminReply::Docs(docs)) => Ok(docs),
+        _ => Err(ConnectError::Wire(WireError::Unexpected("non-Docs reply to ListDocs"))),
+    }
+}
+
+/// Asks the service to drop a document's server instance
+/// (`Admin(CloseDoc)`); returns whether an open instance was torn down.
+/// Subject to the same [`ServerConfig::admin`](crate::server::ServerConfig::admin) gate.
+pub fn admin_close_doc(
+    addr: impl ToSocketAddrs,
+    doc_id: &str,
+    config: &ClientConfig,
+) -> Result<bool, ConnectError> {
+    let req = Request::Admin(AdminOp::CloseDoc { doc_id: doc_id.to_owned() });
+    match one_shot(addr, config, &req)? {
+        Response::Admin(AdminReply::Closed { closed }) => Ok(closed),
+        _ => Err(ConnectError::Wire(WireError::Unexpected("non-Closed reply to CloseDoc"))),
+    }
 }
 
 // Remote documents are served concurrently by a client-side `DocServer`

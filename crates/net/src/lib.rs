@@ -74,16 +74,21 @@ pub mod fault;
 pub mod meta;
 pub mod registry;
 pub mod server;
+pub mod stats;
 pub mod wire;
 
-pub use client::{connect, ClientConfig, ConnectError, RemoteStats, RemoteStore, RetryConfig};
+pub use client::{
+    admin_close_doc, admin_list_docs, connect, fetch_stats, ClientConfig, ConnectError,
+    RemoteStats, RemoteStore, RetryConfig,
+};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{FaultPlan, FaultTransport, NetFault};
 pub use registry::{DocMetrics, DocRegistry, DocRow, OpenError, RegistrySnapshot, ServedDoc};
 pub use server::{
     ChunkServer, NetMetrics, ServerConfig, ServerHandle, ServiceSnapshot, WireLimits,
 };
-pub use wire::{Fault, WireError, PROTOCOL_VERSION};
+pub use stats::{decode_snapshot, encode_snapshot, render_json, render_text, SNAPSHOT_VERSION};
+pub use wire::{AdminDocEntry, AdminOp, AdminReply, Fault, WireError, PROTOCOL_VERSION};
 
 #[cfg(test)]
 mod tests {

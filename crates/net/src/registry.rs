@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use xsac_crypto::store::{
     ChunkStore, ChunkWindow, DynChunkStore, FileStore, PoolDoc, StoreError, WindowPool,
 };
+use xsac_obs::{AtomicHistogram, Histogram, PhaseProfile, SharedPhaseProfile};
 use xsac_soe::{DocMeta, MinimizeStats, ServerDoc};
 
 /// Per-document serving counters, shared across every connection bound
@@ -56,6 +57,12 @@ pub struct DocMetrics {
     policy_compiles: AtomicU64,
     policy_cache_hits: AtomicU64,
     rules_minimized: AtomicU64,
+    /// Σ phase nanoseconds reported by client sessions over this
+    /// document (the `Report` frame) — zero until a client reports.
+    phases: SharedPhaseProfile,
+    /// Wall time of each request answered while bound to this document,
+    /// log-bucketed nanoseconds.
+    request_latency: AtomicHistogram,
 }
 
 impl DocMetrics {
@@ -122,6 +129,32 @@ impl DocMetrics {
             self.policy_compiles.fetch_add(1, Ordering::Relaxed);
             self.rules_minimized.fetch_add(stats.rules_dropped() as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Folds a client session's phase profile into this document's
+    /// totals — the `Report`-frame hook, same reporting model as
+    /// [`record_policy_compile`](DocMetrics::record_policy_compile)
+    /// (decrypt/verify/evaluate happen inside the client's SOE; the
+    /// server never observes them directly).
+    pub fn merge_phases(&self, profile: &PhaseProfile) {
+        self.phases.merge(profile);
+    }
+
+    /// Σ phase nanoseconds reported for sessions over this document.
+    pub fn phase_profile(&self) -> PhaseProfile {
+        self.phases.snapshot()
+    }
+
+    /// Records the wall time of one request answered while bound to
+    /// this document.
+    pub fn record_request_latency(&self, nanos: u64) {
+        self.request_latency.record(nanos);
+    }
+
+    /// Log-bucketed wall time (nanoseconds) of requests answered while
+    /// bound to this document.
+    pub fn request_latency(&self) -> Histogram {
+        self.request_latency.snapshot()
     }
 }
 
@@ -226,6 +259,12 @@ pub struct DocRow {
     pub policy_cache_hits: u64,
     /// Σ rules dropped by minimization across reported compilations.
     pub rules_minimized: u64,
+    /// Σ phase nanoseconds reported by client sessions (`Report`
+    /// frames) over this document.
+    pub phases: PhaseProfile,
+    /// Log-bucketed wall time (nanoseconds) of requests answered while
+    /// bound to this document.
+    pub request_latency: Histogram,
 }
 
 /// Registry-level half of the service snapshot: per-document rows plus
@@ -260,6 +299,10 @@ pub struct RegistrySnapshot {
     pub policy_cache_hits: u64,
     /// Σ rules dropped by containment minimization across all tenants.
     pub rules_minimized: u64,
+    /// Σ reported phase nanoseconds, merged across every per-doc row.
+    pub phase_totals: PhaseProfile,
+    /// Request latency merged across every per-doc row.
+    pub request_latency: Histogram,
 }
 
 /// Maps doc-ids to served documents under one shared residency budget.
@@ -570,6 +613,8 @@ impl DocRegistry {
                     policy_compiles: entry.metrics.policy_compiles(),
                     policy_cache_hits: entry.metrics.policy_cache_hits(),
                     rules_minimized: entry.metrics.rules_minimized(),
+                    phases: entry.metrics.phase_profile(),
+                    request_latency: entry.metrics.request_latency(),
                 }
             })
             .collect();
@@ -577,6 +622,15 @@ impl DocRegistry {
         let policy_compiles = docs.iter().map(|d| d.policy_compiles).sum();
         let policy_cache_hits = docs.iter().map(|d| d.policy_cache_hits).sum();
         let rules_minimized = docs.iter().map(|d| d.rules_minimized).sum();
+        // Service-wide phase/latency totals are *defined* as the merge
+        // of the per-doc rows, so rows-sum-to-totals holds by
+        // construction (requests not bound to a document are not timed).
+        let mut phase_totals = PhaseProfile::new();
+        let mut request_latency = Histogram::new();
+        for d in &docs {
+            phase_totals.merge(&d.phases);
+            request_latency.merge(&d.request_latency);
+        }
         RegistrySnapshot {
             docs,
             doc_opens: self.opens.load(Ordering::Relaxed),
@@ -592,6 +646,8 @@ impl DocRegistry {
             policy_compiles,
             policy_cache_hits,
             rules_minimized,
+            phase_totals,
+            request_latency,
         }
     }
 }

@@ -43,8 +43,8 @@
 
 use crate::registry::{DocRegistry, OpenError, RegistrySnapshot, ServedDoc};
 use crate::wire::{
-    self, ChunkSpan, Fault, HelloInfo, Request, Response, WireError, DEFAULT_SERVER_MAX_FRAME,
-    PROTOCOL_VERSION,
+    self, AdminDocEntry, AdminOp, AdminReply, ChunkSpan, Fault, HelloInfo, Request, Response,
+    WireError, DEFAULT_SERVER_MAX_FRAME, PROTOCOL_VERSION,
 };
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -52,6 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xsac_crypto::store::ChunkStore;
+use xsac_obs::{Histogram, PhaseProfile, Tick};
 use xsac_soe::ServerDoc;
 
 /// Pool budget backing the single-document [`ChunkServer::new`]
@@ -104,6 +105,13 @@ pub struct ServerConfig {
     /// ever getting a handler thread, so a connection flood degrades
     /// into bounded, counted rejections instead of unbounded threads.
     pub max_conns: u64,
+    /// Whether [`Request::Admin`] operations (list/close tenants) are
+    /// honoured. Off by default: the admin surface mutates registry
+    /// state, so an operator must opt a listener into it; a disabled
+    /// server answers every admin frame with the typed
+    /// [`Fault::AdminDisabled`] and keeps the connection alive.
+    /// `Stats` is read-only and stays available regardless.
+    pub admin: bool,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +122,7 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_frames_per_conn: 1 << 20,
             max_conns: 1024,
+            admin: false,
         }
     }
 }
@@ -214,6 +223,12 @@ pub struct ServiceSnapshot {
     pub policy_cache_hits: u64,
     /// Σ rules dropped by containment minimization across all tenants.
     pub rules_minimized: u64,
+    /// Σ session phase nanoseconds reported by clients (`Report`
+    /// frames), merged across every per-doc row.
+    pub phase_totals: PhaseProfile,
+    /// Wall time of every doc-bound request, log-bucketed nanoseconds,
+    /// merged across every per-doc row.
+    pub request_latency: Histogram,
 }
 
 /// Serves the documents of a [`DocRegistry`] to concurrent network
@@ -396,6 +411,12 @@ impl ChunkServer {
             }
             frames += 1;
             self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            // Request wall time — decode through response written —
+            // charged to the document the connection is bound to *after*
+            // dispatch (a Hello's cost lands on the tenant it routed
+            // to). Unbound requests are not timed anywhere, keeping the
+            // per-doc-rows-sum-to-service-totals invariant exact.
+            let t = Tick::now();
             let response = match Request::decode(&buf) {
                 Ok(req) => self.dispatch(req, &mut bound),
                 Err(_) => {
@@ -416,6 +437,9 @@ impl ChunkServer {
                     self.metrics.slow_peer_evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 return;
+            }
+            if let Some(doc) = &bound {
+                doc.metrics.record_request_latency(t.elapsed_nanos());
             }
         }
     }
@@ -447,7 +471,11 @@ impl ChunkServer {
                 *bound = Some(doc);
                 hello
             }
-            Request::GetMeta | Request::GetChunks { .. } if bound.is_none() => out_of_order(),
+            Request::GetMeta | Request::GetChunks { .. } | Request::Report { .. }
+                if bound.is_none() =>
+            {
+                out_of_order()
+            }
             Request::GetMeta => {
                 let doc = bound.as_ref().expect("bound checked above");
                 Response::Meta(doc.meta_bytes.as_ref().clone())
@@ -455,6 +483,27 @@ impl ChunkServer {
             Request::GetChunks { spans } => {
                 let doc = Arc::clone(bound.as_ref().expect("bound checked above"));
                 self.get_chunks(&doc, &spans)
+            }
+            Request::Stats => {
+                Response::Stats(crate::stats::encode_snapshot(&self.service_snapshot()))
+            }
+            Request::Admin(_) if !self.config.admin => Response::Err(Fault::AdminDisabled),
+            Request::Admin(AdminOp::ListDocs) => {
+                let snap = self.registry.snapshot();
+                Response::Admin(AdminReply::Docs(
+                    snap.docs
+                        .into_iter()
+                        .map(|d| AdminDocEntry { doc_id: d.doc_id, open: d.open, lazy: d.lazy })
+                        .collect(),
+                ))
+            }
+            Request::Admin(AdminOp::CloseDoc { doc_id }) => {
+                Response::Admin(AdminReply::Closed { closed: self.registry.close(&doc_id) })
+            }
+            Request::Report { phases } => {
+                let doc = bound.as_ref().expect("bound checked above");
+                doc.metrics.merge_phases(&phases);
+                Response::Report
             }
         }
     }
@@ -546,6 +595,8 @@ fn service_snapshot(registry: &DocRegistry, metrics: &NetMetrics) -> ServiceSnap
         policy_compiles: registry.policy_compiles,
         policy_cache_hits: registry.policy_cache_hits,
         rules_minimized: registry.rules_minimized,
+        phase_totals: registry.phase_totals,
+        request_latency: registry.request_latency,
         registry,
         connections: metrics.connections(),
         requests: metrics.requests(),

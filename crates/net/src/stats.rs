@@ -1,0 +1,612 @@
+//! Serialization and exposition of the [`ServiceSnapshot`]: the
+//! payload of the wire `Stats` frame, a Prometheus-style text render
+//! for scraping, and a dependency-free JSON render for tooling.
+//!
+//! The binary encoding is **versioned** ([`SNAPSHOT_VERSION`]) and
+//! decoded with the same hostile-input discipline as the rest of the
+//! wire layer: every read is bounds-checked through the frame
+//! cursor, trailing bytes are rejected, and structural nonsense
+//! (an unknown version, an out-of-range histogram bucket, indices out
+//! of order) is a typed [`WireError::Malformed`] — never a panic or a
+//! silent misread. Histograms travel **sparse** (only non-zero
+//! buckets), so an idle service's snapshot stays small even though a
+//! [`Histogram`] spans 64 buckets.
+//!
+//! The service-level duplicates on [`ServiceSnapshot`]
+//! (`policy_compiles`, `phase_totals`, `request_latency`) are copies
+//! of the registry-level figures by construction, so they are not
+//! re-encoded: decode rebuilds them from the registry half, and the
+//! round trip is byte- and value-exact.
+
+use crate::registry::{DocRow, RegistrySnapshot};
+use crate::server::ServiceSnapshot;
+use crate::wire::{get_profile, put_profile, put_str, put_u32, put_u64, Cursor, WireError};
+use std::fmt::Write as _;
+use xsac_obs::{Histogram, Phase, HISTOGRAM_BUCKETS};
+
+/// Version byte leading every serialized snapshot.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Serializes a snapshot into the `Stats` frame payload.
+pub fn encode_snapshot(snap: &ServiceSnapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(SNAPSHOT_VERSION);
+    let r = &snap.registry;
+    put_u32(&mut out, u32::try_from(r.docs.len()).expect("doc count fits u32"));
+    for d in &r.docs {
+        put_str(&mut out, &d.doc_id);
+        out.push(d.open as u8);
+        out.push(d.lazy as u8);
+        for v in [
+            d.requests,
+            d.chunks_served,
+            d.bytes_served,
+            d.fault_frames,
+            d.opens,
+            d.closes,
+            d.policy_compiles,
+            d.policy_cache_hits,
+            d.rules_minimized,
+        ] {
+            put_u64(&mut out, v);
+        }
+        put_profile(&mut out, &d.phases);
+        put_histogram(&mut out, &d.request_latency);
+    }
+    for v in [
+        r.doc_opens,
+        r.doc_closes,
+        r.unknown_doc_rejections,
+        r.budget_bytes as u64,
+        r.resident_bytes_now,
+        r.resident_bytes_peak,
+        r.pool_fetches,
+        r.pool_refetches,
+        r.pool_evictions,
+        r.pool_purged_chunks,
+        snap.connections,
+        snap.requests,
+        snap.chunks_served,
+        snap.bytes_served,
+        snap.fault_frames,
+        snap.slow_peer_evictions,
+        snap.budget_evictions,
+        snap.admission_rejections,
+    ] {
+        put_u64(&mut out, v);
+    }
+    out
+}
+
+/// Decodes a `Stats` frame payload produced by [`encode_snapshot`].
+pub fn decode_snapshot(body: &[u8]) -> Result<ServiceSnapshot, WireError> {
+    let mut c = Cursor::new(body);
+    if c.u8()? != SNAPSHOT_VERSION {
+        return Err(WireError::Malformed("unknown snapshot version"));
+    }
+    let n_docs = c.u32()? as usize;
+    let mut docs = Vec::with_capacity(n_docs.min(1024));
+    for _ in 0..n_docs {
+        let doc_id = c.str()?.to_owned();
+        let open = c.u8()? != 0;
+        let lazy = c.u8()? != 0;
+        docs.push(DocRow {
+            doc_id,
+            open,
+            lazy,
+            requests: c.u64()?,
+            chunks_served: c.u64()?,
+            bytes_served: c.u64()?,
+            fault_frames: c.u64()?,
+            opens: c.u64()?,
+            closes: c.u64()?,
+            policy_compiles: c.u64()?,
+            policy_cache_hits: c.u64()?,
+            rules_minimized: c.u64()?,
+            phases: get_profile(&mut c)?,
+            request_latency: get_histogram(&mut c)?,
+        });
+    }
+    // The totals are defined as the merge/sum of the rows — rebuild
+    // rather than trust (or ship) a second copy.
+    let mut phase_totals = xsac_obs::PhaseProfile::new();
+    let mut request_latency = Histogram::new();
+    for d in &docs {
+        phase_totals.merge(&d.phases);
+        request_latency.merge(&d.request_latency);
+    }
+    let policy_compiles = docs.iter().map(|d| d.policy_compiles).sum();
+    let policy_cache_hits = docs.iter().map(|d| d.policy_cache_hits).sum();
+    let rules_minimized = docs.iter().map(|d| d.rules_minimized).sum();
+    let registry = RegistrySnapshot {
+        docs,
+        doc_opens: c.u64()?,
+        doc_closes: c.u64()?,
+        unknown_doc_rejections: c.u64()?,
+        budget_bytes: c.u64()? as usize,
+        resident_bytes_now: c.u64()?,
+        resident_bytes_peak: c.u64()?,
+        pool_fetches: c.u64()?,
+        pool_refetches: c.u64()?,
+        pool_evictions: c.u64()?,
+        pool_purged_chunks: c.u64()?,
+        policy_compiles,
+        policy_cache_hits,
+        rules_minimized,
+        phase_totals,
+        request_latency,
+    };
+    let snap = ServiceSnapshot {
+        policy_compiles: registry.policy_compiles,
+        policy_cache_hits: registry.policy_cache_hits,
+        rules_minimized: registry.rules_minimized,
+        phase_totals: registry.phase_totals,
+        request_latency: registry.request_latency,
+        registry,
+        connections: c.u64()?,
+        requests: c.u64()?,
+        chunks_served: c.u64()?,
+        bytes_served: c.u64()?,
+        fault_frames: c.u64()?,
+        slow_peer_evictions: c.u64()?,
+        budget_evictions: c.u64()?,
+        admission_rejections: c.u64()?,
+    };
+    c.finish("trailing snapshot bytes")?;
+    Ok(snap)
+}
+
+/// Sparse histogram encoding: non-zero bucket count, then
+/// `(bucket index, count)` pairs in increasing index order, then the
+/// value sum and max.
+fn put_histogram(out: &mut Vec<u8>, h: &Histogram) {
+    let nonzero = h.buckets().iter().filter(|&&c| c != 0).count();
+    out.push(u8::try_from(nonzero).expect("≤64 buckets"));
+    for (i, &count) in h.buckets().iter().enumerate() {
+        if count != 0 {
+            out.push(i as u8);
+            put_u64(out, count);
+        }
+    }
+    put_u64(out, h.sum());
+    put_u64(out, h.max());
+}
+
+fn get_histogram(c: &mut Cursor<'_>) -> Result<Histogram, WireError> {
+    let nonzero = c.u8()? as usize;
+    if nonzero > HISTOGRAM_BUCKETS {
+        return Err(WireError::Malformed("histogram bucket count out of range"));
+    }
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    let mut last: Option<usize> = None;
+    for _ in 0..nonzero {
+        let i = c.u8()? as usize;
+        if i >= HISTOGRAM_BUCKETS || last.is_some_and(|prev| i <= prev) {
+            return Err(WireError::Malformed("histogram bucket index out of order"));
+        }
+        buckets[i] = c.u64()?;
+        last = Some(i);
+    }
+    Ok(Histogram::from_parts(buckets, c.u64()?, c.u64()?))
+}
+
+fn push_metric(out: &mut String, name: &str, labels: &str, value: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+/// Escapes a label value per the Prometheus exposition format.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn push_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+        push_metric(out, name, &format!("{labels}{sep}quantile=\"{q}\""), v);
+    }
+    push_metric(out, &format!("{name}_count"), labels, h.count());
+    push_metric(out, &format!("{name}_sum"), labels, h.sum());
+    push_metric(out, &format!("{name}_max"), labels, h.max());
+}
+
+fn push_phases(out: &mut String, name: &str, labels: &str, p: &xsac_obs::PhaseProfile) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for phase in Phase::ALL {
+        push_metric(out, name, &format!("{labels}{sep}phase=\"{}\"", phase.name()), p.get(phase));
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format:
+/// service counters, pool residency, per-phase time totals, latency
+/// quantiles, and one labelled series per document. Every counter of
+/// [`NetMetrics`](crate::NetMetrics),
+/// [`DocMetrics`](crate::DocMetrics) and the pool appears here — the
+/// counter-coverage test greps this output.
+pub fn render_text(snap: &ServiceSnapshot) -> String {
+    let mut out = String::new();
+    // Service-level transport counters.
+    for (name, v) in [
+        ("xsac_connections_total", snap.connections),
+        ("xsac_requests_total", snap.requests),
+        ("xsac_chunks_served_total", snap.chunks_served),
+        ("xsac_bytes_served_total", snap.bytes_served),
+        ("xsac_fault_frames_total", snap.fault_frames),
+        ("xsac_slow_peer_evictions_total", snap.slow_peer_evictions),
+        ("xsac_budget_evictions_total", snap.budget_evictions),
+        ("xsac_admission_rejections_total", snap.admission_rejections),
+        ("xsac_policy_compiles_total", snap.policy_compiles),
+        ("xsac_policy_cache_hits_total", snap.policy_cache_hits),
+        ("xsac_rules_minimized_total", snap.rules_minimized),
+    ] {
+        push_metric(&mut out, name, "", v);
+    }
+    // Registry / pool residency.
+    let r = &snap.registry;
+    for (name, v) in [
+        ("xsac_doc_opens_total", r.doc_opens),
+        ("xsac_doc_closes_total", r.doc_closes),
+        ("xsac_unknown_doc_rejections_total", r.unknown_doc_rejections),
+        ("xsac_pool_budget_bytes", r.budget_bytes as u64),
+        ("xsac_pool_resident_bytes", r.resident_bytes_now),
+        ("xsac_pool_resident_bytes_peak", r.resident_bytes_peak),
+        ("xsac_pool_fetches_total", r.pool_fetches),
+        ("xsac_pool_refetches_total", r.pool_refetches),
+        ("xsac_pool_evictions_total", r.pool_evictions),
+        ("xsac_pool_purged_chunks_total", r.pool_purged_chunks),
+    ] {
+        push_metric(&mut out, name, "", v);
+    }
+    // Phase totals and request latency, service-wide then per document.
+    push_phases(&mut out, "xsac_phase_nanos_total", "", &snap.phase_totals);
+    push_histogram(&mut out, "xsac_request_latency_nanos", "", &snap.request_latency);
+    for d in &r.docs {
+        let doc = format!("doc=\"{}\"", escape_label(&d.doc_id));
+        for (name, v) in [
+            ("xsac_doc_requests_total", d.requests),
+            ("xsac_doc_chunks_served_total", d.chunks_served),
+            ("xsac_doc_bytes_served_total", d.bytes_served),
+            ("xsac_doc_fault_frames_total", d.fault_frames),
+            ("xsac_doc_opens", d.opens),
+            ("xsac_doc_closes", d.closes),
+            ("xsac_doc_policy_compiles_total", d.policy_compiles),
+            ("xsac_doc_policy_cache_hits_total", d.policy_cache_hits),
+            ("xsac_doc_rules_minimized_total", d.rules_minimized),
+            ("xsac_doc_open", d.open as u64),
+            ("xsac_doc_lazy", d.lazy as u64),
+        ] {
+            push_metric(&mut out, name, &doc, v);
+        }
+        push_phases(&mut out, "xsac_doc_phase_nanos_total", &doc, &d.phases);
+        push_histogram(&mut out, "xsac_doc_request_latency_nanos", &doc, &d.request_latency);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_histogram(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count(),
+        h.sum(),
+        h.max(),
+        h.p50(),
+        h.p90(),
+        h.p99()
+    )
+}
+
+fn json_phases(p: &xsac_obs::PhaseProfile) -> String {
+    let fields: Vec<String> =
+        Phase::ALL.iter().map(|&ph| format!("\"{}\":{}", ph.name(), p.get(ph))).collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders the snapshot as a JSON object (no external dependencies —
+/// hand-rolled, matching the text exposition's field set).
+pub fn render_json(snap: &ServiceSnapshot) -> String {
+    let r = &snap.registry;
+    let docs: Vec<String> = r
+        .docs
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"doc_id\":\"{}\",\"open\":{},\"lazy\":{},\"requests\":{},\
+                 \"chunks_served\":{},\"bytes_served\":{},\"fault_frames\":{},\
+                 \"opens\":{},\"closes\":{},\"policy_compiles\":{},\
+                 \"policy_cache_hits\":{},\"rules_minimized\":{},\
+                 \"phases\":{},\"request_latency\":{}}}",
+                json_escape(&d.doc_id),
+                d.open,
+                d.lazy,
+                d.requests,
+                d.chunks_served,
+                d.bytes_served,
+                d.fault_frames,
+                d.opens,
+                d.closes,
+                d.policy_compiles,
+                d.policy_cache_hits,
+                d.rules_minimized,
+                json_phases(&d.phases),
+                json_histogram(&d.request_latency)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"connections\":{},\"requests\":{},\"chunks_served\":{},\"bytes_served\":{},\
+         \"fault_frames\":{},\"slow_peer_evictions\":{},\"budget_evictions\":{},\
+         \"admission_rejections\":{},\"policy_compiles\":{},\"policy_cache_hits\":{},\
+         \"rules_minimized\":{},\"doc_opens\":{},\"doc_closes\":{},\
+         \"unknown_doc_rejections\":{},\"pool\":{{\"budget_bytes\":{},\
+         \"resident_bytes_now\":{},\"resident_bytes_peak\":{},\"fetches\":{},\
+         \"refetches\":{},\"evictions\":{},\"purged_chunks\":{}}},\
+         \"phase_totals\":{},\"request_latency\":{},\"docs\":[{}]}}",
+        snap.connections,
+        snap.requests,
+        snap.chunks_served,
+        snap.bytes_served,
+        snap.fault_frames,
+        snap.slow_peer_evictions,
+        snap.budget_evictions,
+        snap.admission_rejections,
+        snap.policy_compiles,
+        snap.policy_cache_hits,
+        snap.rules_minimized,
+        r.doc_opens,
+        r.doc_closes,
+        r.unknown_doc_rejections,
+        r.budget_bytes,
+        r.resident_bytes_now,
+        r.resident_bytes_peak,
+        r.pool_fetches,
+        r.pool_refetches,
+        r.pool_evictions,
+        r.pool_purged_chunks,
+        json_phases(&snap.phase_totals),
+        json_histogram(&snap.request_latency),
+        docs.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsac_obs::PhaseProfile;
+
+    fn sample() -> ServiceSnapshot {
+        let mut latency_a = Histogram::new();
+        let mut latency_b = Histogram::new();
+        for v in [100, 2_000, 2_100, 65_000] {
+            latency_a.record(v);
+        }
+        latency_b.record(1_500_000);
+        let phases_a = PhaseProfile::from_nanos([10, 20, 30, 40, 50, 0, 0]);
+        let phases_b = PhaseProfile::from_nanos([1, 2, 3, 4, 5, 6, 7]);
+        let docs = vec![
+            DocRow {
+                doc_id: "alpha".to_owned(),
+                open: true,
+                lazy: false,
+                requests: 12,
+                chunks_served: 40,
+                bytes_served: 10_240,
+                fault_frames: 1,
+                opens: 1,
+                closes: 0,
+                policy_compiles: 2,
+                policy_cache_hits: 5,
+                rules_minimized: 3,
+                phases: phases_a,
+                request_latency: latency_a,
+            },
+            DocRow {
+                doc_id: "beta \"quoted\"".to_owned(),
+                open: false,
+                lazy: true,
+                requests: 7,
+                chunks_served: 9,
+                bytes_served: 2_304,
+                fault_frames: 0,
+                opens: 2,
+                closes: 2,
+                policy_compiles: 0,
+                policy_cache_hits: 0,
+                rules_minimized: 0,
+                phases: phases_b,
+                request_latency: latency_b,
+            },
+        ];
+        let mut phase_totals = PhaseProfile::new();
+        let mut request_latency = Histogram::new();
+        for d in &docs {
+            phase_totals.merge(&d.phases);
+            request_latency.merge(&d.request_latency);
+        }
+        let registry = RegistrySnapshot {
+            docs,
+            doc_opens: 3,
+            doc_closes: 2,
+            unknown_doc_rejections: 4,
+            budget_bytes: 512,
+            resident_bytes_now: 256,
+            resident_bytes_peak: 700,
+            pool_fetches: 90,
+            pool_refetches: 12,
+            pool_evictions: 33,
+            pool_purged_chunks: 8,
+            policy_compiles: 2,
+            policy_cache_hits: 5,
+            rules_minimized: 3,
+            phase_totals,
+            request_latency,
+        };
+        ServiceSnapshot {
+            policy_compiles: registry.policy_compiles,
+            policy_cache_hits: registry.policy_cache_hits,
+            rules_minimized: registry.rules_minimized,
+            phase_totals: registry.phase_totals,
+            request_latency: registry.request_latency,
+            registry,
+            connections: 6,
+            requests: 19,
+            chunks_served: 49,
+            bytes_served: 12_544,
+            fault_frames: 1,
+            slow_peer_evictions: 2,
+            budget_evictions: 3,
+            admission_rejections: 11,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+        // An empty service round-trips too.
+        let empty = ServiceSnapshot {
+            registry: RegistrySnapshot {
+                docs: Vec::new(),
+                doc_opens: 0,
+                doc_closes: 0,
+                unknown_doc_rejections: 0,
+                budget_bytes: 0,
+                resident_bytes_now: 0,
+                resident_bytes_peak: 0,
+                pool_fetches: 0,
+                pool_refetches: 0,
+                pool_evictions: 0,
+                pool_purged_chunks: 0,
+                policy_compiles: 0,
+                policy_cache_hits: 0,
+                rules_minimized: 0,
+                phase_totals: PhaseProfile::new(),
+                request_latency: Histogram::new(),
+            },
+            connections: 0,
+            requests: 0,
+            chunks_served: 0,
+            bytes_served: 0,
+            fault_frames: 0,
+            slow_peer_evictions: 0,
+            budget_evictions: 0,
+            admission_rejections: 0,
+            policy_compiles: 0,
+            policy_cache_hits: 0,
+            rules_minimized: 0,
+            phase_totals: PhaseProfile::new(),
+            request_latency: Histogram::new(),
+        };
+        assert_eq!(decode_snapshot(&encode_snapshot(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn hostile_snapshot_bytes_are_typed_errors() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap);
+        // Unknown version.
+        let mut evil = bytes.clone();
+        evil[0] = 99;
+        assert!(matches!(decode_snapshot(&evil), Err(WireError::Malformed(_))));
+        // Truncations at every prefix length decode as typed errors.
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "truncation at {cut} must not decode");
+        }
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(decode_snapshot(&long), Err(WireError::Malformed(_))));
+        // An absurd doc count must not pre-allocate unboundedly (the
+        // cursor runs dry first, typed-ly).
+        let mut huge = vec![SNAPSHOT_VERSION];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_snapshot(&huge).is_err());
+    }
+
+    #[test]
+    fn hostile_histogram_encoding_is_rejected() {
+        // Hand-build a histogram with out-of-order bucket indices.
+        let mut body = Vec::new();
+        body.push(2u8);
+        body.push(5u8);
+        put_u64(&mut body, 1);
+        body.push(5u8); // duplicate index
+        put_u64(&mut body, 1);
+        put_u64(&mut body, 2);
+        put_u64(&mut body, 2);
+        let mut c = Cursor::new(&body);
+        assert!(matches!(get_histogram(&mut c), Err(WireError::Malformed(_))));
+        // Bucket index past the array.
+        let mut body = Vec::new();
+        body.push(1u8);
+        body.push(64u8);
+        put_u64(&mut body, 1);
+        put_u64(&mut body, 1);
+        put_u64(&mut body, 1);
+        let mut c = Cursor::new(&body);
+        assert!(matches!(get_histogram(&mut c), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn text_exposition_covers_every_counter() {
+        let snap = sample();
+        let text = render_text(&snap);
+        for needle in [
+            "xsac_connections_total 6",
+            "xsac_admission_rejections_total 11",
+            "xsac_pool_evictions_total 33",
+            "xsac_pool_refetches_total 12",
+            "xsac_slow_peer_evictions_total 2",
+            "xsac_budget_evictions_total 3",
+            "xsac_unknown_doc_rejections_total 4",
+            "xsac_phase_nanos_total{phase=\"fetch\"} 11",
+            "xsac_phase_nanos_total{phase=\"evaluate\"} 55",
+            "xsac_request_latency_nanos{quantile=\"0.5\"}",
+            "xsac_doc_requests_total{doc=\"alpha\"} 12",
+            "xsac_doc_request_latency_nanos{doc=\"alpha\",quantile=\"0.99\"}",
+            "doc=\"beta \\\"quoted\\\"\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_render_is_parseable_shape() {
+        let snap = sample();
+        let json = render_json(&snap);
+        // No serde in-tree: pin the structural anchors instead.
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for needle in [
+            "\"connections\":6",
+            "\"admission_rejections\":11",
+            "\"phase_totals\":{\"fetch\":11",
+            "\"doc_id\":\"alpha\"",
+            "\"doc_id\":\"beta \\\"quoted\\\"\"",
+            "\"p99\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+        assert_eq!(json.matches("\"doc_id\"").count(), 2);
+    }
+}

@@ -10,14 +10,17 @@
 //! never a panic or a hang on garbage.
 //!
 //! The protocol is versioned ([`PROTOCOL_VERSION`], negotiated by
-//! [`Request::Hello`]) and deliberately small — the four interactions of
-//! the dissemination model:
+//! [`Request::Hello`]) and deliberately small — the interactions of the
+//! dissemination model plus an observability/management surface:
 //!
 //! | request | response | paper role |
 //! |---|---|---|
 //! | `Hello` | `Hello` | doc id + scheme/geometry negotiation |
 //! | `GetMeta` | `Meta` | the Figure-2 material: dictionary, skip index, digest table |
 //! | `GetChunks` | `Chunks` | batched ciphertext fetch — one round trip, many chunks |
+//! | `Stats` | `Stats` | the serialized [`ServiceSnapshot`](crate::ServiceSnapshot) |
+//! | `Admin` | `Admin` | list/close tenants (off unless [`ServerConfig::admin`](crate::ServerConfig) is set) |
+//! | `Report` | `Report` | client pushes its session's phase profile to the bound doc |
 //! | — | `Err` | typed faults mirroring [`StoreError`] |
 //!
 //! Responses carry storage faults as structured [`Fault`] frames so the
@@ -29,6 +32,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use xsac_crypto::store::StoreError;
 use xsac_crypto::IntegrityScheme;
+use xsac_obs::{Phase, PhaseProfile};
 
 /// Protocol version spoken by this build (negotiated in `Hello`).
 pub const PROTOCOL_VERSION: u16 = 1;
@@ -184,6 +188,10 @@ pub enum Fault {
         /// Human-readable reason.
         reason: String,
     },
+    /// An [`Request::Admin`] frame reached a server whose
+    /// [`admin`](crate::server::ServerConfig::admin) surface is off
+    /// (the default). Permanent: re-asking cannot enable it.
+    AdminDisabled,
 }
 
 impl fmt::Display for Fault {
@@ -204,6 +212,7 @@ impl fmt::Display for Fault {
                 write!(f, "server at its admission cap ({live} live connections, cap {max})")
             }
             Fault::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            Fault::AdminDisabled => write!(f, "the server's admin surface is disabled"),
         }
     }
 }
@@ -279,6 +288,19 @@ pub struct ChunkSpan {
     pub count: u32,
 }
 
+/// One management operation in a [`Request::Admin`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminOp {
+    /// Lists every registered document with its open/lazy state.
+    ListDocs,
+    /// Closes a lazy tenant's residency now (see
+    /// [`DocRegistry::close`](crate::DocRegistry::close)).
+    CloseDoc {
+        /// The document to close.
+        doc_id: String,
+    },
+}
+
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -296,6 +318,26 @@ pub enum Request {
     GetChunks {
         /// The requested chunk runs.
         spans: Vec<ChunkSpan>,
+    },
+    /// Requests the server's
+    /// [`ServiceSnapshot`](crate::ServiceSnapshot) — counters, per-doc
+    /// rows, phase totals and latency histograms. Needs no `Hello`: the
+    /// snapshot is service-wide, not per-document.
+    Stats,
+    /// A management operation, honoured only when the server's
+    /// [`admin`](crate::server::ServerConfig::admin) surface is on
+    /// (answered with [`Fault::AdminDisabled`] otherwise).
+    Admin(AdminOp),
+    /// Pushes the client session's phase profile to the server, where it
+    /// is merged into the **bound** document's metrics (requires a prior
+    /// `Hello`). Access control runs inside the client's SOE, so
+    /// decrypt/verify/evaluate time exists only client-side; this frame
+    /// is how it reaches the server's `Stats` roll-up — the same
+    /// client-reporting hook as
+    /// [`DocRegistry::record_policy_compile`](crate::DocRegistry::record_policy_compile).
+    Report {
+        /// Per-phase nanoseconds, indexed like [`Phase::ALL`].
+        phases: PhaseProfile,
     },
 }
 
@@ -317,6 +359,29 @@ pub struct HelloInfo {
     pub ciphertext_len: u64,
 }
 
+/// One row of an [`AdminReply::Docs`] listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminDocEntry {
+    /// The registered id.
+    pub doc_id: String,
+    /// Whether the document is currently open.
+    pub open: bool,
+    /// Whether the document is a lazy file-backed tenant.
+    pub lazy: bool,
+}
+
+/// The successful answer to a [`Request::Admin`] operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminReply {
+    /// The registry's documents, sorted by id.
+    Docs(Vec<AdminDocEntry>),
+    /// Whether `CloseDoc` found anything open to close.
+    Closed {
+        /// `true` iff an open lazy tenant was closed.
+        closed: bool,
+    },
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -328,6 +393,13 @@ pub enum Response {
     /// Fetched chunks: `(chunk index, ciphertext bytes)` per chunk, in
     /// request order.
     Chunks(Vec<(u64, Vec<u8>)>),
+    /// The serialized [`ServiceSnapshot`](crate::ServiceSnapshot)
+    /// (decoded by [`stats`](crate::stats)).
+    Stats(Vec<u8>),
+    /// A successful admin operation.
+    Admin(AdminReply),
+    /// Acknowledges a [`Request::Report`].
+    Report,
     /// A typed fault.
     Err(Fault),
 }
@@ -336,10 +408,20 @@ pub enum Response {
 const REQ_HELLO: u8 = 0x01;
 const REQ_GET_META: u8 = 0x02;
 const REQ_GET_CHUNKS: u8 = 0x03;
+const REQ_STATS: u8 = 0x04;
+const REQ_ADMIN: u8 = 0x05;
+const REQ_REPORT: u8 = 0x06;
 const RESP_HELLO: u8 = 0x81;
 const RESP_META: u8 = 0x82;
 const RESP_CHUNKS: u8 = 0x83;
+const RESP_STATS: u8 = 0x84;
+const RESP_ADMIN: u8 = 0x85;
+const RESP_REPORT: u8 = 0x86;
 const RESP_ERR: u8 = 0xFF;
+
+// ---- admin op codes ----
+const ADMIN_LIST_DOCS: u8 = 0;
+const ADMIN_CLOSE_DOC: u8 = 1;
 
 // ---- fault codes ----
 const FAULT_OOB: u8 = 1;
@@ -349,6 +431,7 @@ const FAULT_UNKNOWN_DOC: u8 = 16;
 const FAULT_VERSION: u8 = 17;
 const FAULT_BAD_REQUEST: u8 = 18;
 const FAULT_BUSY: u8 = 19;
+const FAULT_ADMIN: u8 = 20;
 
 /// Writes one frame: length prefix + body.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
@@ -400,19 +483,19 @@ fn read_exact_or(r: &mut impl Read, buf: &mut [u8], start_of_frame: bool) -> Res
 
 // ---- little put/get primitives ----
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, u32::try_from(s.len()).expect("string fits u32"));
     out.extend_from_slice(s.as_bytes());
 }
@@ -518,6 +601,21 @@ impl Request {
                     put_u32(&mut out, s.count);
                 }
             }
+            Request::Stats => out.push(REQ_STATS),
+            Request::Admin(op) => {
+                out.push(REQ_ADMIN);
+                match op {
+                    AdminOp::ListDocs => out.push(ADMIN_LIST_DOCS),
+                    AdminOp::CloseDoc { doc_id } => {
+                        out.push(ADMIN_CLOSE_DOC);
+                        put_str(&mut out, doc_id);
+                    }
+                }
+            }
+            Request::Report { phases } => {
+                out.push(REQ_REPORT);
+                put_profile(&mut out, phases);
+            }
         }
         out
     }
@@ -540,11 +638,44 @@ impl Request {
                 }
                 Request::GetChunks { spans }
             }
+            REQ_STATS => Request::Stats,
+            REQ_ADMIN => match c.u8()? {
+                ADMIN_LIST_DOCS => Request::Admin(AdminOp::ListDocs),
+                ADMIN_CLOSE_DOC => {
+                    Request::Admin(AdminOp::CloseDoc { doc_id: c.str()?.to_owned() })
+                }
+                _ => return Err(WireError::Malformed("unknown admin op")),
+            },
+            REQ_REPORT => Request::Report { phases: get_profile(&mut c)? },
             _ => return Err(WireError::Malformed("unknown request tag")),
         };
         c.finish("trailing request bytes")?;
         Ok(req)
     }
+}
+
+/// Encodes a phase profile: a phase-count byte, then one u64 of
+/// nanoseconds per phase in [`Phase::ALL`] order. The explicit count
+/// keeps the layout self-describing if phases are ever added.
+pub(crate) fn put_profile(out: &mut Vec<u8>, p: &PhaseProfile) {
+    out.push(Phase::COUNT as u8);
+    for &nanos in p.nanos() {
+        put_u64(out, nanos);
+    }
+}
+
+/// Decodes a [`put_profile`] phase profile, refusing a count this build
+/// does not know (a peer speaking a different phase set must surface as
+/// a typed error, not silently misattributed time).
+pub(crate) fn get_profile(c: &mut Cursor<'_>) -> Result<PhaseProfile, WireError> {
+    if c.u8()? as usize != Phase::COUNT {
+        return Err(WireError::Malformed("unknown phase count"));
+    }
+    let mut nanos = [0u64; Phase::COUNT];
+    for slot in &mut nanos {
+        *slot = c.u64()?;
+    }
+    Ok(PhaseProfile::from_nanos(nanos))
 }
 
 impl Response {
@@ -573,6 +704,29 @@ impl Response {
                     put_bytes(&mut out, bytes);
                 }
             }
+            Response::Stats(bytes) => {
+                out.push(RESP_STATS);
+                out.extend_from_slice(bytes);
+            }
+            Response::Admin(reply) => {
+                out.push(RESP_ADMIN);
+                match reply {
+                    AdminReply::Docs(docs) => {
+                        out.push(ADMIN_LIST_DOCS);
+                        put_u32(&mut out, u32::try_from(docs.len()).expect("doc count fits u32"));
+                        for d in docs {
+                            put_str(&mut out, &d.doc_id);
+                            out.push(d.open as u8);
+                            out.push(d.lazy as u8);
+                        }
+                    }
+                    AdminReply::Closed { closed } => {
+                        out.push(ADMIN_CLOSE_DOC);
+                        out.push(*closed as u8);
+                    }
+                }
+            }
+            Response::Report => out.push(RESP_REPORT),
             Response::Err(fault) => {
                 out.push(RESP_ERR);
                 let (code, a, b, c, msg): (u8, u64, u64, u64, &str) = match fault {
@@ -589,6 +743,7 @@ impl Response {
                     Fault::VersionMismatch { server } => (FAULT_VERSION, *server as u64, 0, 0, ""),
                     Fault::Busy { live, max } => (FAULT_BUSY, *live, *max, 0, ""),
                     Fault::BadRequest { reason } => (FAULT_BAD_REQUEST, 0, 0, 0, reason.as_str()),
+                    Fault::AdminDisabled => (FAULT_ADMIN, 0, 0, 0, ""),
                 };
                 out.push(code);
                 put_u64(&mut out, a);
@@ -632,6 +787,29 @@ impl Response {
                 }
                 Response::Chunks(chunks)
             }
+            RESP_STATS => {
+                // Like Meta, the snapshot payload is opaque here; the
+                // `stats` module decodes (and version-checks) it.
+                let rest = c.take(body.len() - 1, "stats body")?;
+                return Ok(Response::Stats(rest.to_vec()));
+            }
+            RESP_ADMIN => match c.u8()? {
+                ADMIN_LIST_DOCS => {
+                    let n = c.u32()? as usize;
+                    let mut docs = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        docs.push(AdminDocEntry {
+                            doc_id: c.str()?.to_owned(),
+                            open: c.u8()? != 0,
+                            lazy: c.u8()? != 0,
+                        });
+                    }
+                    Response::Admin(AdminReply::Docs(docs))
+                }
+                ADMIN_CLOSE_DOC => Response::Admin(AdminReply::Closed { closed: c.u8()? != 0 }),
+                _ => return Err(WireError::Malformed("unknown admin reply")),
+            },
+            RESP_REPORT => Response::Report,
             RESP_ERR => {
                 let code = c.u8()?;
                 let (a, b, cc) = (c.u64()?, c.u64()?, c.u64()?);
@@ -647,6 +825,7 @@ impl Response {
                     },
                     FAULT_BUSY => Fault::Busy { live: a, max: b },
                     FAULT_BAD_REQUEST => Fault::BadRequest { reason: msg },
+                    FAULT_ADMIN => Fault::AdminDisabled,
                     _ => return Err(WireError::Malformed("unknown fault code")),
                 };
                 Response::Err(fault)
@@ -670,9 +849,22 @@ mod tests {
             Request::GetChunks {
                 spans: vec![ChunkSpan { first: 0, count: 4 }, ChunkSpan { first: 1000, count: 1 }],
             },
+            Request::Stats,
+            Request::Admin(AdminOp::ListDocs),
+            Request::Admin(AdminOp::CloseDoc { doc_id: "cold-tenant".to_owned() }),
+            Request::Report { phases: PhaseProfile::from_nanos([7, 6, 5, 4, 3, 2, 1]) },
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn report_with_unknown_phase_count_is_malformed() {
+        let mut body = Request::Report { phases: PhaseProfile::new() }.encode();
+        body[1] = Phase::COUNT as u8 + 1;
+        assert!(matches!(Request::decode(&body), Err(WireError::Malformed(_))));
+        body[1] = 0;
+        assert!(matches!(Request::decode(&body), Err(WireError::Malformed(_))));
     }
 
     #[test]
@@ -695,6 +887,14 @@ mod tests {
             Response::Err(Fault::VersionMismatch { server: 2 }),
             Response::Err(Fault::Busy { live: 1024, max: 1024 }),
             Response::Err(Fault::BadRequest { reason: "too many spans".to_owned() }),
+            Response::Err(Fault::AdminDisabled),
+            Response::Stats(vec![1, 9, 9, 4]),
+            Response::Admin(AdminReply::Docs(vec![
+                AdminDocEntry { doc_id: "alpha".to_owned(), open: true, lazy: false },
+                AdminDocEntry { doc_id: "beta".to_owned(), open: false, lazy: true },
+            ])),
+            Response::Admin(AdminReply::Closed { closed: true }),
+            Response::Report,
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }

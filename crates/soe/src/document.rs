@@ -19,6 +19,7 @@ use xsac_crypto::chunk::{ChunkLayout, ChunkProtector, DIGEST_RECORD};
 use xsac_crypto::store::{ChunkStore, FileStore, MemStore};
 use xsac_crypto::{IntegrityScheme, ProtectedDoc, TripleDes};
 use xsac_index::encode::{encode_document, encode_tcsbr_stream, Encoding};
+use xsac_obs::{Phase, PhaseProfile, Tick};
 use xsac_xml::{Document, TagDict};
 
 /// A published document: TCSBR-encoded, encrypted and authenticated,
@@ -45,6 +46,14 @@ pub struct PrepareStats {
     /// bit-sink's flush buffer plus the protector's one chunk under
     /// assembly. Independent of document size.
     pub peak_buffered: usize,
+    /// Wall time per protect phase: cipher work as
+    /// [`xsac_obs::Phase::Decrypt`], digests as
+    /// [`xsac_obs::Phase::Hash`], the write sink as
+    /// [`xsac_obs::Phase::Io`] (all from the [`ChunkProtector`]);
+    /// parse-and-encode as [`xsac_obs::Phase::Encode`], derived as the
+    /// pass's wall time minus the protector's share. Telemetry only —
+    /// zero under `telemetry-off`.
+    pub phases: PhaseProfile,
 }
 
 impl ServerDoc {
@@ -105,18 +114,24 @@ impl ServerDoc<FileStore> {
         path: &Path,
         window_bytes: usize,
     ) -> io::Result<(ServerDoc<FileStore>, PrepareStats)> {
+        let pass = Tick::now();
         let file = std::fs::File::create(path)?;
         let mut w = BufWriter::new(file);
         let mut protector = ChunkProtector::new(key, scheme, layout, |chunk| w.write_all(chunk));
         let streamed = encode_tcsbr_stream(doc, |slice| protector.push(slice))?;
         let peak_buffered = streamed.peak_buffered + protector.peak_buffered();
-        let (digests, plain_len) = protector.finish()?;
+        let (digests, plain_len, mut phases) = protector.finish_with_phases()?;
+        let t = Tick::now();
         w.flush()?;
         w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        phases.record(Phase::Io, t);
+        // What the whole pass spent beyond cipher/digest/io is the
+        // tokenize-and-encode work itself.
+        phases.add_nanos(Phase::Encode, pass.elapsed_nanos().saturating_sub(phases.total()));
         let store = FileStore::open(path, layout.chunk_size, window_bytes)?;
         let protected = ProtectedDoc { scheme, layout, store, digests, plain_len };
         let server = ServerDoc { dict: doc.dict.clone(), encoding: Encoding::TCSBR, protected };
-        Ok((server, PrepareStats { encoded_len: streamed.encoded_len, peak_buffered }))
+        Ok((server, PrepareStats { encoded_len: streamed.encoded_len, peak_buffered, phases }))
     }
 }
 

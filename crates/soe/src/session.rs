@@ -31,6 +31,7 @@ use xsac_crypto::{LeafCache, ReadError, SoeReader, StoreError, TripleDes};
 use xsac_index::decode::{
     ByteSource, CursorDecoder, CursorError, DecodedNode, Decoder, DecoderContext,
 };
+use xsac_obs::{Phase, PhaseProfile, SpanClock};
 use xsac_xpath::Automaton;
 
 /// How the SOE consumes the document.
@@ -158,6 +159,14 @@ pub struct SessionResult {
     /// minimization pass shrank the rule set this session ran under, and
     /// how big the resulting flat instruction bank is.
     pub compiler: MinimizeStats,
+    /// Measured wall time per pipeline phase: fetch/decrypt/hash from the
+    /// SOE reader, decode/evaluate from the session event loop (decode is
+    /// exclusive — reader time accrued inside `decoder.next()` is
+    /// subtracted out). Telemetry only: zero under `telemetry-off` or
+    /// when runtime-disabled, and never part of the byte-exact outputs
+    /// the differential suites compare ([`AccessCost`] and
+    /// [`TimeBreakdown`] stay model-synthesized).
+    pub phases: PhaseProfile,
 }
 
 // Sessions fan out over threads in the server layer; their results must
@@ -287,27 +296,38 @@ pub fn run_session_shared<S: ChunkStore>(
     // Pending skipped subtrees: handle → saved decoder context.
     let mut handles = HandleTable::default();
 
+    // Span clock for the event loop: one clock read per decode↔evaluate
+    // transition. Reader time (fetch/decrypt/hash) accrues inside
+    // `decoder.next()`/`read_range` calls — always under the Decode span
+    // — and is subtracted out at the end, so the reported Decode figure
+    // is decode-exclusive.
+    let mut spans = PhaseProfile::new();
+    let mut clock = SpanClock::start(Phase::Decode);
+
     loop {
         // Phase 1: advance the decoder; consume borrowed payloads (text)
         // immediately so the lending borrow can end.
+        clock.switch(&mut spans, Phase::Decode);
         let step = match decoder.next()? {
             DecodedNode::End => Step::End,
             DecodedNode::Close(_) => Step::Close,
             DecodedNode::Text(t) => {
+                clock.switch(&mut spans, Phase::Evaluate);
                 eval.text(t);
                 Step::Text
             }
             DecodedNode::Element { tag, .. } => Step::Element(tag),
         };
         // Phase 2: directive handling, free to navigate the decoder.
+        clock.switch(&mut spans, Phase::Evaluate);
         match step {
             Step::End => break,
             Step::Text => {
-                serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+                serve_readbacks(&mut eval, &mut decoder, &mut handles, &mut clock, &mut spans)?;
             }
             Step::Close => {
                 let directive = eval.close();
-                serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+                serve_readbacks(&mut eval, &mut decoder, &mut handles, &mut clock, &mut spans)?;
                 if directive == Directive::SkipDeny || directive == Directive::SkipPending {
                     // Skip the rest of the parent element. A denied rest
                     // needs no readback context; a pending one registers
@@ -324,7 +344,13 @@ pub fn run_session_shared<S: ChunkStore>(
                             } else {
                                 eval.skip_close(None);
                             }
-                            serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+                            serve_readbacks(
+                                &mut eval,
+                                &mut decoder,
+                                &mut handles,
+                                &mut clock,
+                                &mut spans,
+                            )?;
                             continue;
                         }
                     }
@@ -338,13 +364,19 @@ pub fn run_session_shared<S: ChunkStore>(
                     handle: ctx.as_ref().map(|_| SubtreeRef(handle_id)),
                 };
                 let directive = eval.open(tag, Some(&info));
-                serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+                serve_readbacks(&mut eval, &mut decoder, &mut handles, &mut clock, &mut spans)?;
                 match directive {
                     Directive::Continue => {}
                     Directive::SkipDeny => {
                         decoder.skip_current();
                         eval.skip_close(None);
-                        serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+                        serve_readbacks(
+                            &mut eval,
+                            &mut decoder,
+                            &mut handles,
+                            &mut clock,
+                            &mut spans,
+                        )?;
                     }
                     Directive::SkipPending => {
                         let ctx = ctx.expect("element context");
@@ -353,7 +385,13 @@ pub fn run_session_shared<S: ChunkStore>(
                         if !eval.skip_close(Some(SubtreeRef(handle))) {
                             handles.remove(handle);
                         }
-                        serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+                        serve_readbacks(
+                            &mut eval,
+                            &mut decoder,
+                            &mut handles,
+                            &mut clock,
+                            &mut spans,
+                        )?;
                     }
                     Directive::Deliver => {
                         // Bulk delivery: stream the subtree's events
@@ -361,6 +399,14 @@ pub fn run_session_shared<S: ChunkStore>(
                         // transferred and deciphered, record by record,
                         // and the element's own close arrives from the
                         // decoder (its open was already processed).
+                        //
+                        // The whole streamed span is charged to Decode:
+                        // delivery is decoding plus copy-out, the rule
+                        // engine never runs, and per-event clock reads
+                        // here would blow the <2% instrumentation budget
+                        // the A/B bench enforces on delivery-heavy
+                        // profiles. Evaluate stays rule-engine-only.
+                        clock.switch(&mut spans, Phase::Decode);
                         let depth = decoder.depth();
                         loop {
                             let raw = match decoder.next()? {
@@ -388,15 +434,37 @@ pub fn run_session_shared<S: ChunkStore>(
                                 }
                             }
                         }
-                        serve_readbacks(&mut eval, &mut decoder, &mut handles)?;
+                        clock.switch(&mut spans, Phase::Evaluate);
+                        serve_readbacks(
+                            &mut eval,
+                            &mut decoder,
+                            &mut handles,
+                            &mut clock,
+                            &mut spans,
+                        )?;
                     }
                 }
             }
         }
     }
 
+    clock.switch(&mut spans, Phase::Evaluate);
     let result = eval.finish();
-    let mut cost = decoder.into_source().reader.cost;
+    clock.stop(&mut spans);
+    let source = decoder.into_source();
+    let reader_phases = source.reader.phases;
+    let mut cost = source.reader.cost;
+    // The reader's fetch/decrypt/hash time all accrued under the loop's
+    // Decode span (the decoder's source is only pulled from
+    // `decoder.next()`/`read_range`, both timed as Decode) — subtract it
+    // so Decode reports decoding proper. Saturating: the clocks are
+    // read at different instants, so tiny inversions are possible.
+    let reader_nanos = reader_phases.get(Phase::Fetch)
+        + reader_phases.get(Phase::Decrypt)
+        + reader_phases.get(Phase::Hash);
+    let mut phases = reader_phases;
+    phases.add_nanos(Phase::Decode, spans.get(Phase::Decode).saturating_sub(reader_nanos));
+    phases.add_nanos(Phase::Evaluate, spans.get(Phase::Evaluate));
     let evaluator_ops = (result.stats.token_ops + result.stats.events()) as u64;
     let result_bytes: usize = result
         .log
@@ -421,6 +489,7 @@ pub fn run_session_shared<S: ChunkStore>(
         handles_created: handles.created,
         handles_peak: handles.peak,
         compiler: *policy.minimize_stats(),
+        phases,
     })
 }
 
@@ -436,6 +505,8 @@ fn serve_readbacks<S: ChunkStore>(
     eval: &mut Evaluator,
     decoder: &mut CursorDecoder<SoeSource<'_, S>>,
     handles: &mut HandleTable,
+    clock: &mut SpanClock,
+    spans: &mut PhaseProfile,
 ) -> Result<(), SessionError> {
     loop {
         for released in eval.take_released_handles() {
@@ -447,12 +518,16 @@ fn serve_readbacks<S: ChunkStore>(
         }
         for req in reqs {
             let ctx = handles.map.get(&req.subtree.0).expect("readback handle").clone();
+            // Readback transfer + re-decode is decode-span work (its
+            // reader costs are subtracted like any other fetch).
+            clock.switch(spans, Phase::Decode);
             let data = decoder.read_range(&ctx)?;
             // The events borrow the decoder's range buffer, so the vector
             // is per-readback local; its length is O(delivered events),
             // and only actually-delivered subtrees pay it.
             let mut events: Vec<xsac_xml::Event<'_>> = Vec::new();
             Decoder::decode_range_at(data, ctx.start, &ctx, &mut events)?;
+            clock.switch(spans, Phase::Evaluate);
             eval.readback_events(req.entry, &events);
             handles.remove(req.subtree.0);
         }

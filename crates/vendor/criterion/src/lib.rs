@@ -27,6 +27,13 @@ pub struct BenchRecord {
     pub name: String,
     /// Median nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// 50th-percentile sample (== the median, kept explicit so every
+    /// report row carries the same percentile schema).
+    pub p50_ns: f64,
+    /// 99th-percentile sample — with the shim's small sample counts this
+    /// is the worst observed sample, a tail indicator rather than a
+    /// statistically tight p99.
+    pub p99_ns: f64,
     /// Declared per-iteration payload, if any.
     pub throughput: Option<Throughput>,
 }
@@ -108,6 +115,8 @@ impl Display for BenchmarkId {
 pub struct Bencher {
     sample_size: usize,
     result_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
 }
 
 impl Bencher {
@@ -130,6 +139,8 @@ impl Bencher {
         }
         samples.sort_by(|a, b| a.total_cmp(b));
         self.result_ns = samples[samples.len() / 2];
+        self.p50_ns = self.result_ns;
+        self.p99_ns = samples[((samples.len() - 1) * 99).div_ceil(100)];
     }
 }
 
@@ -160,9 +171,14 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { sample_size: self.sample_size, result_ns: f64::NAN };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result_ns: f64::NAN,
+            p50_ns: f64::NAN,
+            p99_ns: f64::NAN,
+        };
         f(&mut b);
-        self.record(id, b.result_ns);
+        self.record(id, &b);
         self
     }
 
@@ -177,20 +193,27 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher { sample_size: self.sample_size, result_ns: f64::NAN };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result_ns: f64::NAN,
+            p50_ns: f64::NAN,
+            p99_ns: f64::NAN,
+        };
         f(&mut b, input);
-        self.record(id, b.result_ns);
+        self.record(id, &b);
         self
     }
 
     /// Ends the group (kept for API compatibility; recording is eager).
     pub fn finish(&mut self) {}
 
-    fn record(&mut self, id: BenchmarkId, ns: f64) {
+    fn record(&mut self, id: BenchmarkId, b: &Bencher) {
         let rec = BenchRecord {
             group: self.name.clone(),
             name: id.0,
-            ns_per_iter: ns,
+            ns_per_iter: b.result_ns,
+            p50_ns: b.p50_ns,
+            p99_ns: b.p99_ns,
             throughput: self.throughput,
         };
         if let Some(bps) = rec.bytes_per_sec() {
@@ -257,10 +280,12 @@ pub fn write_report() {
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         body.push_str(&format!(
-            "    {{\"group\": {:?}, \"name\": {:?}, \"ns_per_iter\": {:.1}, \"throughput_bytes\": {}, \"bytes_per_sec\": {}, \"throughput_elements\": {}, \"elements_per_sec\": {}}}{}\n",
+            "    {{\"group\": {:?}, \"name\": {:?}, \"ns_per_iter\": {:.1}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"throughput_bytes\": {}, \"bytes_per_sec\": {}, \"throughput_elements\": {}, \"elements_per_sec\": {}}}{}\n",
             r.group,
             r.name,
             r.ns_per_iter,
+            r.p50_ns,
+            r.p99_ns,
             opt(r.throughput_bytes().map(|t| t.to_string())),
             opt(r.bytes_per_sec().map(|b| format!("{b:.1}"))),
             opt(r.throughput_elements().map(|t| t.to_string())),
@@ -337,9 +362,12 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher { sample_size: 3, result_ns: f64::NAN };
+        let mut b =
+            Bencher { sample_size: 3, result_ns: f64::NAN, p50_ns: f64::NAN, p99_ns: f64::NAN };
         b.iter(|| std::hint::black_box(1u64.wrapping_mul(3)));
         assert!(b.result_ns.is_finite() && b.result_ns > 0.0);
+        assert_eq!(b.p50_ns, b.result_ns, "p50 is the median sample");
+        assert!(b.p99_ns >= b.p50_ns, "the tail cannot be faster than the median");
     }
 
     #[test]
@@ -354,6 +382,8 @@ mod tests {
             group: "g".into(),
             name: "n".into(),
             ns_per_iter: 1e9,
+            p50_ns: 1e9,
+            p99_ns: 2e9,
             throughput: Some(Throughput::Bytes(1_000_000)),
         };
         assert!((r.bytes_per_sec().unwrap() - 1_000_000.0).abs() < 1e-6);

@@ -19,6 +19,7 @@
 //! | [`crypto`] | `xsac-crypto` | DES/3DES, SHA-1, position-XOR-ECB, Merkle integrity |
 //! | [`soe`] | `xsac-soe` | Table-1 cost model, server prep, SOE sessions, baselines |
 //! | [`net`] | `xsac-net` | dissemination wire protocol, chunk server, remote client store |
+//! | [`obs`] | `xsac-obs` | phase-timed span clock, log-bucketed latency histograms |
 //! | [`datagen`] | `xsac-datagen` | the four Table-2 datasets and the paper's policies |
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@ pub use xsac_crypto as crypto;
 pub use xsac_datagen as datagen;
 pub use xsac_index as index;
 pub use xsac_net as net;
+pub use xsac_obs as obs;
 pub use xsac_soe as soe;
 pub use xsac_xml as xml;
 pub use xsac_xpath as xpath;
